@@ -1,0 +1,54 @@
+//! A2 — ablation: Kempe recoloring strategy (component swap vs the
+//! paper's literal cascade, Figure 4).
+//!
+//! Both must produce valid colorings with exactly π colors; the cascade
+//! narrates the proof, the component swap is the production path.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
+use dagwave_gen::random;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kempe");
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let g = random::random_internal_cycle_free(&mut rng, 250, 60);
+    let family = random::random_family(&mut rng, &g, 1_500, 6);
+    for strat in [KempeStrategy::ComponentSwap, KempeStrategy::Cascade] {
+        let res = theorem1::color_optimal_with(&g, &family, PeelOrder::Fifo, strat).unwrap();
+        assert!(res.assignment.is_valid(&g, &family));
+        assert_eq!(res.assignment.num_colors(), res.load);
+        report_row(
+            "A2",
+            &format!("{strat:?}"),
+            "w=pi for both strategies",
+            &format!("w={}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strat:?}")),
+            &strat,
+            |b, &strat| {
+                b.iter(|| {
+                    let res = theorem1::color_optimal_with(
+                        black_box(&g),
+                        black_box(&family),
+                        PeelOrder::Fifo,
+                        strat,
+                    )
+                    .unwrap();
+                    black_box(res.kempe_swaps)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

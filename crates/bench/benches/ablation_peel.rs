@@ -1,0 +1,56 @@
+//! A1 — ablation: peel-order variants of the Theorem-1 solver.
+//!
+//! All three source-arc elimination orders (FIFO / LIFO / MinId) produce
+//! valid optimal colorings; the ablation measures their constant-factor
+//! differences and Kempe-swap counts.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
+use dagwave_gen::random;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_peel");
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let g = random::random_internal_cycle_free(&mut rng, 300, 80);
+    let family = random::random_family(&mut rng, &g, 2_000, 6);
+    for order in [PeelOrder::Fifo, PeelOrder::Lifo, PeelOrder::MinId] {
+        let res =
+            theorem1::color_optimal_with(&g, &family, order, KempeStrategy::ComponentSwap)
+                .unwrap();
+        assert!(res.assignment.is_valid(&g, &family));
+        assert_eq!(res.assignment.num_colors(), res.load);
+        report_row(
+            "A1",
+            &format!("{order:?}"),
+            "w=pi for all orders",
+            &format!("w={}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("order", format!("{order:?}")),
+            &order,
+            |b, &order| {
+                b.iter(|| {
+                    let res = theorem1::color_optimal_with(
+                        black_box(&g),
+                        black_box(&family),
+                        order,
+                        KempeStrategy::ComponentSwap,
+                    )
+                    .unwrap();
+                    black_box(res.load)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! F1 — Figure 1: the pathological staircase.
+//!
+//! Claim: π = 2 for every k while w = k (conflict graph K_k): the ratio
+//! w/π is unbounded on DAGs with internal cycles. The bench verifies the
+//! claim at each k and times the exact solve.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::WavelengthSolver;
+use dagwave_gen::figures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_staircase");
+    for k in [2usize, 4, 8, 12, 16] {
+        let inst = figures::staircase(k);
+        let pi = inst.load();
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .expect("staircase is a DAG");
+        assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
+        assert_eq!(pi, 2);
+        assert_eq!(sol.num_colors, k);
+        report_row(
+            "F1",
+            &format!("k={k}"),
+            "pi=2, w=k",
+            &format!("pi={pi}, w={}", sol.num_colors),
+        );
+        group.bench_with_input(BenchmarkId::new("solve", k), &k, |b, &k| {
+            let inst = figures::staircase(k);
+            b.iter(|| {
+                let sol = WavelengthSolver::new()
+                    .solve(black_box(&inst.graph), black_box(&inst.family))
+                    .unwrap();
+                black_box(sol.num_colors)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,49 @@
+//! F3 — Figure 3: one internal cycle, five dipaths, conflict graph C5.
+//!
+//! Claim: π = 2, w = 3. Also benches the replicated series ⌈5h/2⌉ (the
+//! paper's remark before Theorem 7: ratio 5/4).
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::{bounds, WavelengthSolver};
+use dagwave_gen::figures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = figures::figure3();
+    let sol = WavelengthSolver::new()
+        .solve(&inst.graph, &inst.family)
+        .unwrap();
+    assert_eq!(inst.load(), 2);
+    assert_eq!(sol.num_colors, 3);
+    report_row("F3", "base", "pi=2, w=3", &format!("pi={}, w={}", inst.load(), sol.num_colors));
+
+    let mut group = c.benchmark_group("fig3_c5");
+    for h in [1usize, 2, 4, 8] {
+        let family = inst.family.replicate(h);
+        let sol = WavelengthSolver::new().solve(&inst.graph, &family).unwrap();
+        assert!(sol.assignment.is_valid(&inst.graph, &family));
+        assert_eq!(sol.num_colors, bounds::c5_wavelengths(h));
+        report_row(
+            "F3",
+            &format!("h={h}"),
+            &format!("pi={}, w=ceil(5h/2)={}", 2 * h, bounds::c5_wavelengths(h)),
+            &format!("pi={}, w={}", sol.load, sol.num_colors),
+        );
+        group.bench_with_input(BenchmarkId::new("solve_replicated", h), &h, |b, _| {
+            b.iter(|| {
+                let sol = WavelengthSolver::new()
+                    .solve(black_box(&inst.graph), black_box(&family))
+                    .unwrap();
+                black_box(sol.num_colors)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

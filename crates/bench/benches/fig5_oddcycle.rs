@@ -1,0 +1,51 @@
+//! F5 — Figure 5 / Theorem 2: the size-k internal cycle construction.
+//!
+//! Claim: for every k, the 2k+1 dipaths have π = 2 and w = 3 (odd
+//! conflict cycle). Benches witness generation + exact solve across k.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::WavelengthSolver;
+use dagwave_gen::{figures, theorem2};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_oddcycle");
+    for k in [2usize, 4, 8, 16, 32] {
+        let inst = figures::theorem2_family(k);
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
+        assert_eq!(inst.load(), 2);
+        assert_eq!(sol.num_colors, 3);
+        report_row(
+            "F5",
+            &format!("k={k}"),
+            "pi=2, w=3",
+            &format!("pi={}, w={}", inst.load(), sol.num_colors),
+        );
+        group.bench_with_input(BenchmarkId::new("solve", k), &k, |b, _| {
+            b.iter(|| {
+                let sol = WavelengthSolver::new()
+                    .solve(black_box(&inst.graph), black_box(&inst.family))
+                    .unwrap();
+                black_box(sol.num_colors)
+            });
+        });
+        // Witness re-derivation from the bare graph (Theorem 2's
+        // constructive content).
+        group.bench_with_input(BenchmarkId::new("derive_witness", k), &k, |b, _| {
+            b.iter(|| {
+                let family = theorem2::witness_family(black_box(&inst.graph)).unwrap();
+                black_box(family.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

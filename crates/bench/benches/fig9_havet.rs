@@ -1,0 +1,72 @@
+//! F9 — Figure 9 / Theorem 7: Havet's tight example.
+//!
+//! Claim: π = 2h and w = ⌈8h/3⌉ = ⌈4π/3⌉ — the Theorem 6 bound is
+//! attained. The bench verifies the exact series and times both the
+//! weighted-coloring solve and the constructive Theorem-6 merge.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::{bounds, theorem6, WavelengthSolver};
+use dagwave_gen::havet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_havet");
+    for h in [1usize, 2, 3, 4, 6] {
+        let inst = havet::havet(h);
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
+        assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
+        assert_eq!(sol.num_colors, bounds::havet_wavelengths(h));
+        report_row(
+            "F9",
+            &format!("h={h}"),
+            &format!("pi={}, w=ceil(8h/3)={}", 2 * h, bounds::havet_wavelengths(h)),
+            &format!(
+                "pi={}, w={} (ratio {:.4}, bound {})",
+                sol.load,
+                sol.num_colors,
+                sol.num_colors as f64 / sol.load as f64,
+                bounds::theorem6_bound(sol.load)
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("solver", h), &h, |b, _| {
+            b.iter(|| {
+                let sol = WavelengthSolver::new()
+                    .solve(black_box(&inst.graph), black_box(&inst.family))
+                    .unwrap();
+                black_box(sol.num_colors)
+            });
+        });
+        // The constructive Theorem-6 merge alone (may exceed the bound on
+        // replicated multisets — see DESIGN.md §6; report it honestly).
+        let t6 = theorem6::color_single_cycle_upp(&inst.graph, &inst.family).unwrap();
+        report_row(
+            "F9/theorem6-merge",
+            &format!("h={h}"),
+            &format!("w<=ceil(4pi/3)={}", t6.bound),
+            &format!(
+                "w={} (within_bound={}, extras={})",
+                t6.assignment.num_colors(),
+                t6.within_bound,
+                t6.extra_colors
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("theorem6_merge", h), &h, |b, _| {
+            b.iter(|| {
+                let res =
+                    theorem6::color_single_cycle_upp(black_box(&inst.graph), &inst.family)
+                        .unwrap();
+                black_box(res.assignment.num_colors())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

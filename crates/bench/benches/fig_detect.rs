@@ -1,0 +1,50 @@
+//! F2/F4 — detection machinery: internal-cycle detection, counting and
+//! witness extraction (Figure 2's definitions, Figure 4's walk), plus UPP
+//! testing, across instance sizes.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::internal;
+use dagwave_gen::random;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_detect");
+    for &n in &[100usize, 400, 1600] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let clean = random::random_internal_cycle_free(&mut rng, n, n / 3);
+        let dirty = random::random_layered(&mut rng, 6, n / 6, 0.25);
+        assert!(internal::is_internal_cycle_free(&clean));
+        report_row(
+            "F2",
+            &format!("n={n}"),
+            "detector separates 2a from 2b",
+            &format!(
+                "clean: 0 cycles; layered: {} cycles",
+                internal::internal_cycle_count(&dirty)
+            ),
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("detect_clean", n), &n, |b, _| {
+            b.iter(|| black_box(internal::has_internal_cycle(black_box(&clean))));
+        });
+        group.bench_with_input(BenchmarkId::new("detect_layered", n), &n, |b, _| {
+            b.iter(|| black_box(internal::internal_cycle_count(black_box(&dirty))));
+        });
+        group.bench_with_input(BenchmarkId::new("witness_extract", n), &n, |b, _| {
+            b.iter(|| black_box(internal::find_internal_cycle(black_box(&dirty))));
+        });
+        group.bench_with_input(BenchmarkId::new("upp_test", n), &n, |b, _| {
+            b.iter(|| black_box(dagwave_graph::pathcount::is_upp(black_box(&clean))));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

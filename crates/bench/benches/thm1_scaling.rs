@@ -1,0 +1,68 @@
+//! T1 — Theorem 1 at scale: the constructive w = π solver on random
+//! internal-cycle-free DAGs and rooted trees.
+//!
+//! Claim: w = π always, in polynomial time. The bench verifies equality at
+//! every size and shows near-linear scaling of the peel/replay solver.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::theorem1;
+use dagwave_gen::random;
+use dagwave_paths::load;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1_scaling");
+    for &(n, paths) in &[(50usize, 100usize), (100, 400), (200, 1200), (400, 3000), (800, 8000)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = random::random_internal_cycle_free(&mut rng, n, n / 4);
+        let family = random::random_family(&mut rng, &g, paths, 6);
+        let pi = load::max_load(&g, &family);
+        let res = theorem1::color_optimal(&g, &family).unwrap();
+        assert!(res.assignment.is_valid(&g, &family));
+        assert_eq!(res.assignment.num_colors(), pi);
+        report_row(
+            "T1",
+            &format!("n={n},|P|={paths}"),
+            "w=pi",
+            &format!("w={}=pi={pi}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+        );
+        group.throughput(Throughput::Elements(paths as u64));
+        group.bench_with_input(BenchmarkId::new("color_optimal", paths), &paths, |b, _| {
+            b.iter(|| {
+                let res = theorem1::color_optimal(black_box(&g), black_box(&family)).unwrap();
+                black_box(res.load)
+            });
+        });
+    }
+    // Rooted-tree all-from-root workload (the paper's special case).
+    for &n in &[100usize, 400, 1600] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + n as u64);
+        let g = random::random_out_tree(&mut rng, n);
+        let family = random::root_to_all_family(&g);
+        let pi = load::max_load(&g, &family);
+        let res = theorem1::color_optimal(&g, &family).unwrap();
+        assert_eq!(res.assignment.num_colors(), pi);
+        report_row(
+            "T1/rooted-tree",
+            &format!("n={n}"),
+            "w=pi",
+            &format!("w={pi}"),
+        );
+        group.bench_with_input(BenchmarkId::new("rooted_tree", n), &n, |b, _| {
+            b.iter(|| {
+                let res = theorem1::color_optimal(black_box(&g), black_box(&family)).unwrap();
+                black_box(res.load)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! T6 — Theorem 6 at scale: the split/merge solver on random
+//! single-internal-cycle UPP instances.
+//!
+//! Claim: w ≤ ⌈4π/3⌉ for duplicate-free families. The bench verifies the
+//! bound and records the observed w/π ratios and class profiles across
+//! cycle sizes.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::theorem6;
+use dagwave_gen::random;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn dedup(f: &dagwave_paths::DipathFamily) -> dagwave_paths::DipathFamily {
+    let mut seen = std::collections::HashSet::new();
+    f.iter()
+        .filter(|(_, p)| seen.insert(p.arcs().to_vec()))
+        .map(|(_, p)| p.clone())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6_bound");
+    for &(k, count) in &[(2usize, 12usize), (4, 30), (8, 80), (16, 200)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(k as u64);
+        let g = random::single_cycle_upp(k);
+        let family = dedup(&random::random_family(&mut rng, &g, count, 4));
+        let res = theorem6::color_single_cycle_upp(&g, &family).unwrap();
+        assert!(res.assignment.is_valid(&g, &family));
+        assert!(res.within_bound, "distinct families must respect the bound");
+        report_row(
+            "T6",
+            &format!("k={k},|P|={}", family.len()),
+            "w<=ceil(4pi/3)",
+            &format!(
+                "pi={}, w={}, bound={}, profile={:?}",
+                res.load,
+                res.assignment.num_colors(),
+                res.bound,
+                res.class_profile
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("split_merge", k), &k, |b, _| {
+            b.iter(|| {
+                let res = theorem6::color_single_cycle_upp(black_box(&g), black_box(&family))
+                    .unwrap();
+                black_box(res.assignment.num_colors())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,157 @@
+//! Bipartiteness and odd-cycle extraction.
+//!
+//! The Theorem-2 witness families have conflict graphs that are odd cycles;
+//! `w = 3 > 2 = π` follows precisely from non-bipartiteness. This module
+//! provides the 2-coloring test with an explicit odd-cycle certificate,
+//! used by the generators' validation and the integration tests.
+
+use crate::ugraph::UGraph;
+
+/// Outcome of a bipartiteness test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bipartiteness {
+    /// A valid 2-coloring (side per vertex).
+    Bipartite(Vec<u8>),
+    /// An odd cycle as a closed vertex sequence (first = last).
+    OddCycle(Vec<usize>),
+}
+
+impl Bipartiteness {
+    /// `true` for the bipartite variant.
+    pub fn is_bipartite(&self) -> bool {
+        matches!(self, Bipartiteness::Bipartite(_))
+    }
+}
+
+/// BFS 2-coloring with odd-cycle certificate.
+pub fn check_bipartite(g: &UGraph) -> Bipartiteness {
+    let n = g.vertex_count();
+    let mut side = vec![u8::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if side[start] != u8::MAX {
+            continue;
+        }
+        side[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                let w = w as usize;
+                if side[w] == u8::MAX {
+                    side[w] = 1 - side[v];
+                    parent[w] = v;
+                    queue.push_back(w);
+                } else if side[w] == side[v] {
+                    return Bipartiteness::OddCycle(extract_odd_cycle(&parent, v, w));
+                }
+            }
+        }
+    }
+    Bipartiteness::Bipartite(side)
+}
+
+/// Close the odd cycle through the BFS tree paths of the offending edge.
+fn extract_odd_cycle(parent: &[usize], v: usize, w: usize) -> Vec<usize> {
+    // Ancestor chains to the root; the cycle closes at the lowest common
+    // ancestor.
+    let chain = |mut x: usize| {
+        let mut c = vec![x];
+        while parent[x] != usize::MAX {
+            x = parent[x];
+            c.push(x);
+        }
+        c
+    };
+    let cv = chain(v);
+    let cw = chain(w);
+    // Find LCA: deepest common vertex (chains end at the same root).
+    let inter: std::collections::HashSet<usize> = cw.iter().copied().collect();
+    let lca = *cv.iter().find(|x| inter.contains(x)).expect("same BFS tree");
+    let mut cycle: Vec<usize> = cv.iter().take_while(|&&x| x != lca).copied().collect();
+    cycle.push(lca);
+    let wside: Vec<usize> = cw.iter().take_while(|&&x| x != lca).copied().collect();
+    cycle.extend(wside.iter().rev());
+    cycle.push(v);
+    debug_assert_eq!(cycle.first(), cycle.last());
+    debug_assert_eq!(cycle.len() % 2, 0, "odd cycle: even vertex-list length with repeat");
+    cycle
+}
+
+/// `true` iff the graph is bipartite (χ ≤ 2).
+pub fn is_bipartite(g: &UGraph) -> bool {
+    check_bipartite(g).is_bipartite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{complete_bipartite, complete_graph, cycle_graph, UGraph};
+
+    #[test]
+    fn even_cycles_are_bipartite() {
+        for n in [4usize, 6, 10] {
+            match check_bipartite(&cycle_graph(n)) {
+                Bipartiteness::Bipartite(side) => {
+                    let g = cycle_graph(n);
+                    for (a, b) in g.edge_list() {
+                        assert_ne!(side[a], side[b]);
+                    }
+                }
+                other => panic!("C{n} should be bipartite, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn odd_cycles_yield_certificates() {
+        for n in [3usize, 5, 9] {
+            let g = cycle_graph(n);
+            match check_bipartite(&g) {
+                Bipartiteness::OddCycle(cycle) => {
+                    assert_eq!(cycle.first(), cycle.last());
+                    let len = cycle.len() - 1;
+                    assert_eq!(len % 2, 1, "odd length");
+                    for w in cycle.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]), "cycle edge {w:?}");
+                    }
+                }
+                other => panic!("C{n} is odd, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_families() {
+        assert!(is_bipartite(&complete_bipartite(3, 4)));
+        assert!(is_bipartite(&UGraph::new(5)));
+        assert!(!is_bipartite(&complete_graph(3)));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        // An even cycle plus a separate triangle: not bipartite.
+        let mut g = UGraph::new(7);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        g.add_edge(6, 4);
+        match check_bipartite(&g) {
+            Bipartiteness::OddCycle(c) => {
+                assert!(c.iter().all(|&v| v >= 4), "certificate in the triangle");
+            }
+            other => panic!("expected odd cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wagner_graph_is_not_bipartite() {
+        // Figure 9's conflict graph (C8 + antipodal chords).
+        let mut g = cycle_graph(8);
+        for i in 0..4 {
+            g.add_edge(i, i + 4);
+        }
+        assert!(!is_bipartite(&g));
+    }
+}

@@ -1,0 +1,185 @@
+//! Maximum clique via Bron–Kerbosch with pivoting.
+//!
+//! Used to verify Property 3 (for UPP-DAGs the clique number of the conflict
+//! graph equals the load `π`) and to seed the exact chromatic solver's lower
+//! bound.
+
+use crate::ugraph::UGraph;
+use dagwave_graph::BitSet;
+
+/// A maximum clique of `g` (vertex set, any one if several).
+pub fn max_clique(g: &UGraph) -> Vec<usize> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let neigh: Vec<BitSet> = (0..n)
+        .map(|v| {
+            let mut b = BitSet::new(n);
+            for &w in g.neighbors(v) {
+                b.insert(w as usize);
+            }
+            b
+        })
+        .collect();
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let mut p = BitSet::new(n);
+    for v in 0..n {
+        p.insert(v);
+    }
+    let x = BitSet::new(n);
+    bron_kerbosch(&neigh, &mut r, p, x, &mut best);
+    best
+}
+
+/// The clique number `ω(g)`.
+pub fn clique_number(g: &UGraph) -> usize {
+    max_clique(g).len()
+}
+
+fn bron_kerbosch(
+    neigh: &[BitSet],
+    r: &mut Vec<usize>,
+    p: BitSet,
+    x: BitSet,
+    best: &mut Vec<usize>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    // Bound: even taking all of P cannot beat the incumbent.
+    if r.len() + p.count() <= best.len() {
+        return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| {
+            let mut t = p.clone();
+            t.intersect_with(&neigh[u]);
+            t.count()
+        })
+        .expect("P ∪ X non-empty");
+    // Branch on P \ N(pivot).
+    let mut candidates = p.clone();
+    candidates.difference_with(&neigh[pivot]);
+    let mut p = p;
+    let mut x = x;
+    for v in candidates.iter().collect::<Vec<_>>() {
+        let mut p2 = p.clone();
+        p2.intersect_with(&neigh[v]);
+        let mut x2 = x.clone();
+        x2.intersect_with(&neigh[v]);
+        r.push(v);
+        bron_kerbosch(neigh, r, p2, x2, best);
+        r.pop();
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+/// Check that a vertex set is a clique.
+pub fn is_clique(g: &UGraph, verts: &[usize]) -> bool {
+    for (i, &a) in verts.iter().enumerate() {
+        for &b in &verts[i + 1..] {
+            if !g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A fast greedy clique (not maximum): grows from the highest-degree vertex.
+/// Used as the cheap lower bound inside the exact chromatic solver.
+pub fn greedy_clique(g: &UGraph) -> Vec<usize> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let order = g.largest_first_order();
+    let mut clique = vec![order[0]];
+    for &v in &order[1..] {
+        if clique.iter().all(|&u| g.has_edge(u, v)) {
+            clique.push(v);
+        }
+    }
+    clique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{complete_bipartite, complete_graph, cycle_graph, UGraph};
+
+    #[test]
+    fn clique_of_complete_graph() {
+        let g = complete_graph(6);
+        let c = max_clique(&g);
+        assert_eq!(c.len(), 6);
+        assert!(is_clique(&g, &c));
+    }
+
+    #[test]
+    fn clique_of_cycle_is_edge() {
+        let g = cycle_graph(6);
+        assert_eq!(clique_number(&g), 2);
+        let g3 = cycle_graph(3);
+        assert_eq!(clique_number(&g3), 3, "triangle is K3");
+    }
+
+    #[test]
+    fn clique_of_bipartite_is_edge() {
+        assert_eq!(clique_number(&complete_bipartite(3, 4)), 2);
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        // K5 planted in a sparse graph.
+        let mut g = UGraph::new(12);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                g.add_edge(a, b);
+            }
+        }
+        for i in 5..11 {
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(0, 7);
+        let c = max_clique(&g);
+        assert_eq!(c.len(), 5);
+        assert!(is_clique(&g, &c));
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(max_clique(&UGraph::new(0)).is_empty());
+        assert_eq!(clique_number(&UGraph::new(5)), 1, "single vertex clique");
+    }
+
+    #[test]
+    fn greedy_clique_is_clique() {
+        let g = complete_bipartite(3, 3);
+        let c = greedy_clique(&g);
+        assert!(is_clique(&g, &c));
+        assert!(!c.is_empty());
+        assert!(c.len() <= clique_number(&g));
+    }
+
+    #[test]
+    fn is_clique_rejects_nonclique() {
+        let g = cycle_graph(4);
+        assert!(!is_clique(&g, &[0, 1, 2]));
+        assert!(is_clique(&g, &[0, 1]));
+        assert!(is_clique(&g, &[2]));
+        assert!(is_clique(&g, &[]));
+    }
+}

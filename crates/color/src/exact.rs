@@ -1,0 +1,293 @@
+//! Exact chromatic number by branch and bound.
+//!
+//! A DSATUR-ordered backtracking solver: vertices are colored in saturation
+//! order; a branch assigns either one of the colors already in use or one
+//! fresh color; branches whose used-color count reaches the incumbent are
+//! pruned. The initial lower bound comes from a greedy clique, the upper
+//! bound from DSATUR. Exponential in the worst case — intended for the
+//! verification of `w` on paper-scale conflict graphs (≲ 100 vertices),
+//! with an explicit node budget for safety.
+
+use crate::clique::greedy_clique;
+use crate::dsatur::dsatur_coloring;
+use crate::ugraph::UGraph;
+use crate::verify::is_proper;
+use crate::Coloring;
+
+/// Outcome of an exact chromatic computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactResult {
+    /// Optimum found: chromatic number and an optimal coloring.
+    Optimal {
+        /// The chromatic number.
+        chromatic: usize,
+        /// A proper coloring using `chromatic` colors.
+        coloring: Coloring,
+    },
+    /// Node budget exhausted; best bounds found so far.
+    BudgetExceeded {
+        /// Best lower bound proven.
+        lower: usize,
+        /// Best proper coloring found (upper bound witness).
+        upper: usize,
+        /// The coloring witnessing `upper`.
+        coloring: Coloring,
+    },
+}
+
+impl ExactResult {
+    /// The chromatic number if proven optimal.
+    pub fn chromatic(&self) -> Option<usize> {
+        match self {
+            ExactResult::Optimal { chromatic, .. } => Some(*chromatic),
+            ExactResult::BudgetExceeded { .. } => None,
+        }
+    }
+
+    /// Best coloring found (optimal or incumbent).
+    pub fn coloring(&self) -> &Coloring {
+        match self {
+            ExactResult::Optimal { coloring, .. } => coloring,
+            ExactResult::BudgetExceeded { coloring, .. } => coloring,
+        }
+    }
+}
+
+/// Default branch-node budget for [`chromatic_number`].
+pub const DEFAULT_NODE_BUDGET: u64 = 20_000_000;
+
+/// Exact chromatic number with the default node budget.
+pub fn chromatic_number(g: &UGraph) -> ExactResult {
+    chromatic_number_budgeted(g, DEFAULT_NODE_BUDGET)
+}
+
+/// Exact chromatic number with an explicit node budget.
+pub fn chromatic_number_budgeted(g: &UGraph, budget: u64) -> ExactResult {
+    let n = g.vertex_count();
+    if n == 0 {
+        return ExactResult::Optimal { chromatic: 0, coloring: Vec::new() };
+    }
+    // Bounds.
+    let clique = greedy_clique(g);
+    let lower = clique.len().max(1);
+    let incumbent = dsatur_coloring(g);
+    let mut best_count = incumbent.iter().copied().max().unwrap_or(0) + 1;
+    let mut best = incumbent;
+    if best_count == lower {
+        return ExactResult::Optimal { chromatic: best_count, coloring: best };
+    }
+
+    // Pre-seed: color the clique first with distinct colors — symmetry
+    // breaking that removes factorial branching on the densest part.
+    let mut state = Search {
+        g,
+        colors: vec![usize::MAX; n],
+        best_count: &mut best_count,
+        best: &mut best,
+        nodes: 0,
+        budget,
+        lower,
+    };
+    for (i, &v) in clique.iter().enumerate() {
+        state.colors[v] = i;
+    }
+    let exhausted = !state.branch(clique.len());
+    let best_count = *state.best_count;
+
+    if exhausted {
+        ExactResult::BudgetExceeded { lower, upper: best_count, coloring: best }
+    } else {
+        debug_assert!(is_proper(g, &best));
+        ExactResult::Optimal { chromatic: best_count, coloring: best }
+    }
+}
+
+struct Search<'a> {
+    g: &'a UGraph,
+    colors: Coloring,
+    best_count: &'a mut usize,
+    best: &'a mut Coloring,
+    nodes: u64,
+    budget: u64,
+    lower: usize,
+}
+
+impl Search<'_> {
+    /// Returns `false` when the node budget ran out.
+    fn branch(&mut self, used: usize) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
+        }
+        if used >= *self.best_count {
+            return true; // pruned
+        }
+        // Next vertex: uncolored with max saturation (DSATUR rule inline).
+        let n = self.g.vertex_count();
+        let mut pick: Option<(usize, usize, usize)> = None; // (sat, deg, v)
+        for v in 0..n {
+            if self.colors[v] != usize::MAX {
+                continue;
+            }
+            let mut seen = dagwave_graph::BitSet::new(*self.best_count + 1);
+            let mut sat = 0;
+            for &w in self.g.neighbors(v) {
+                let c = self.colors[w as usize];
+                if c != usize::MAX && c < seen.capacity() && seen.insert(c) {
+                    sat += 1;
+                }
+            }
+            let key = (sat, self.g.degree(v), v);
+            if pick.is_none() || key > pick.unwrap() {
+                pick = Some(key);
+            }
+        }
+        let Some((_, _, v)) = pick else {
+            // Complete coloring: update incumbent.
+            if used < *self.best_count {
+                *self.best_count = used;
+                *self.best = self.colors.clone();
+            }
+            // Optimality certificate: matched the clique lower bound.
+            return true;
+        };
+
+        // Feasible existing colors, then at most one fresh color.
+        let mut forbidden = dagwave_graph::BitSet::new(used + 1);
+        for &w in self.g.neighbors(v) {
+            let c = self.colors[w as usize];
+            if c != usize::MAX && c <= used {
+                forbidden.insert(c.min(used));
+            }
+        }
+        for c in 0..used {
+            if forbidden.contains(c) {
+                continue;
+            }
+            self.colors[v] = c;
+            if !self.branch(used) {
+                return false;
+            }
+            self.colors[v] = usize::MAX;
+            if *self.best_count == self.lower {
+                return true; // proven optimal, stop early
+            }
+        }
+        if used + 1 < *self.best_count {
+            self.colors[v] = used;
+            if !self.branch(used + 1) {
+                return false;
+            }
+            self.colors[v] = usize::MAX;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{complete_bipartite, complete_graph, cycle_graph, UGraph};
+
+    fn chi(g: &UGraph) -> usize {
+        chromatic_number(g).chromatic().expect("budget sufficient")
+    }
+
+    #[test]
+    fn standard_chromatic_numbers() {
+        assert_eq!(chi(&complete_graph(5)), 5);
+        assert_eq!(chi(&cycle_graph(6)), 2);
+        assert_eq!(chi(&cycle_graph(7)), 3);
+        assert_eq!(chi(&complete_bipartite(3, 4)), 2);
+        assert_eq!(chi(&UGraph::new(4)), 1);
+        assert_eq!(chi(&UGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn coloring_witness_is_proper_and_tight() {
+        let g = cycle_graph(9);
+        match chromatic_number(&g) {
+            ExactResult::Optimal { chromatic, coloring } => {
+                assert_eq!(chromatic, 3);
+                assert!(is_proper(&g, &coloring));
+                let used = coloring.iter().copied().max().unwrap() + 1;
+                assert_eq!(used, 3);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn petersen_graph_is_3_chromatic() {
+        // Outer C5 0–4, inner pentagram 5–9, spokes i — i+5.
+        let mut g = UGraph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+            g.add_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_edge(i, i + 5);
+        }
+        assert_eq!(chi(&g), 3);
+    }
+
+    #[test]
+    fn havet_conflict_graph_is_3_chromatic() {
+        // Figure 9: C8 plus antipodal chords.
+        let mut g = cycle_graph(8);
+        for i in 0..4 {
+            g.add_edge(i, i + 4);
+        }
+        assert_eq!(chi(&g), 3);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn wheel_graphs() {
+        // Odd wheel W5 (C5 + hub): chromatic 4; even wheel W6: 3.
+        let mut w5 = cycle_graph(5);
+        let mut adj: Vec<Vec<u32>> = (0..6).map(|_| Vec::new()).collect();
+        for v in 0..5 {
+            for &w in w5.neighbors(v) {
+                adj[v].push(w);
+            }
+        }
+        let mut g = UGraph::new(6);
+        for v in 0..5 {
+            for &w in &adj[v] {
+                g.add_edge(v, w as usize);
+            }
+            g.add_edge(v, 5);
+        }
+        w5 = g;
+        assert_eq!(chi(&w5), 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_bounds() {
+        let g = complete_graph(12);
+        match chromatic_number_budgeted(&g, 1) {
+            ExactResult::Optimal { chromatic, .. } => {
+                // Greedy clique == DSATUR here, so it may close instantly.
+                assert_eq!(chromatic, 12);
+            }
+            ExactResult::BudgetExceeded { lower, upper, coloring } => {
+                assert!(lower <= upper);
+                assert!(is_proper(&g, &coloring));
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_exact_vs_dsatur_bound() {
+        // Exact never exceeds the DSATUR upper bound.
+        let edges: Vec<(usize, usize)> = (0..14)
+            .flat_map(|a| ((a + 1)..14).map(move |b| (a, b)))
+            .filter(|&(a, b)| (a * 7 + b * 13) % 3 == 0)
+            .collect();
+        let g = UGraph::from_edges(14, &edges);
+        let exact = chi(&g);
+        let ds = crate::dsatur::dsatur_color_count(&g);
+        let omega = crate::clique::clique_number(&g);
+        assert!(exact <= ds);
+        assert!(exact >= omega);
+    }
+}

@@ -1,0 +1,233 @@
+//! Forbidden-subgraph detectors.
+//!
+//! Corollary 5: the conflict graph of a dipath family in an UPP-DAG contains
+//! no `K_{2,3}`. The paper also notes `K_5` minus two independent edges is
+//! forbidden. These detectors power property tests that validate the theory
+//! against randomly generated UPP instances.
+
+use crate::ugraph::UGraph;
+
+/// Search for a `K_{2,3}` subgraph (not necessarily induced): two vertices
+/// with three common neighbors. Returns `([a, b], [x, y, z])` if found.
+pub fn find_k23(g: &UGraph) -> Option<([usize; 2], [usize; 3])> {
+    let n = g.vertex_count();
+    // For every pair (a, b), intersect neighbor lists (both sorted).
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mut common = [0usize; 3];
+            let mut count = 0;
+            let (mut i, mut j) = (0, 0);
+            let (na, nb) = (g.neighbors(a), g.neighbors(b));
+            while i < na.len() && j < nb.len() {
+                match na[i].cmp(&nb[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let v = na[i] as usize;
+                        if v != a && v != b {
+                            common[count] = v;
+                            count += 1;
+                            if count == 3 {
+                                return Some(([a, b], common));
+                            }
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `true` if the graph contains a `K_{2,3}` subgraph (sides not required
+/// to be independent — a weaker condition than Corollary 5 forbids).
+pub fn contains_k23(g: &UGraph) -> bool {
+    find_k23(g).is_some()
+}
+
+/// Search for an *induced* `K_{2,3}`: two non-adjacent vertices with three
+/// pairwise non-adjacent common neighbors. This is the exact configuration
+/// Corollary 5 excludes from UPP conflict graphs (its proof needs the
+/// `P_i`s pairwise disjoint and the `Q_j`s disjoint).
+pub fn find_induced_k23(g: &UGraph) -> Option<([usize; 2], [usize; 3])> {
+    let n = g.vertex_count();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if g.has_edge(a, b) {
+                continue;
+            }
+            // Common neighbors of the non-adjacent pair.
+            let common: Vec<usize> = g
+                .neighbors(a)
+                .iter()
+                .filter(|&&v| g.has_edge(b, v as usize))
+                .map(|&v| v as usize)
+                .collect();
+            if common.len() < 3 {
+                continue;
+            }
+            // Any independent triple among the common neighbors?
+            for (i, &x) in common.iter().enumerate() {
+                for (j, &y) in common.iter().enumerate().skip(i + 1) {
+                    if g.has_edge(x, y) {
+                        continue;
+                    }
+                    for &z in common.iter().skip(j + 1) {
+                        if !g.has_edge(x, z) && !g.has_edge(y, z) {
+                            return Some(([a, b], [x, y, z]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `true` if the graph contains an induced `K_{2,3}` (see
+/// [`find_induced_k23`]).
+pub fn contains_induced_k23(g: &UGraph) -> bool {
+    find_induced_k23(g).is_some()
+}
+
+/// Search for `K_5` minus two independent edges ("the bowtie complement"):
+/// five vertices where all 10 pairs are adjacent except two disjoint pairs.
+/// The paper proves UPP conflict graphs exclude it.
+pub fn contains_k5_minus_two_independent_edges(g: &UGraph) -> bool {
+    let n = g.vertex_count();
+    if n < 5 {
+        return false;
+    }
+    // Pick the two missing (independent) edges {a,b} and {c,d} among
+    // non-adjacent pairs, plus a fifth vertex adjacent to all four.
+    let non_edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| !g.has_edge(a, b))
+        .collect();
+    for (i, &(a, b)) in non_edges.iter().enumerate() {
+        for &(c, d) in &non_edges[i + 1..] {
+            if a == c || a == d || b == c || b == d {
+                continue; // must be independent
+            }
+            // The four cross pairs must be edges.
+            if !(g.has_edge(a, c) && g.has_edge(a, d) && g.has_edge(b, c) && g.has_edge(b, d)) {
+                continue;
+            }
+            // Fifth vertex adjacent to all of a, b, c, d.
+            for e in 0..n {
+                if e == a || e == b || e == c || e == d {
+                    continue;
+                }
+                if g.has_edge(e, a) && g.has_edge(e, b) && g.has_edge(e, c) && g.has_edge(e, d) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{complete_bipartite, complete_graph, cycle_graph, UGraph};
+
+    #[test]
+    fn k23_itself_detected() {
+        let g = complete_bipartite(2, 3);
+        let ([a, b], [x, y, z]) = find_k23(&g).unwrap();
+        for &u in &[x, y, z] {
+            assert!(g.has_edge(a, u) && g.has_edge(b, u));
+        }
+        assert!(contains_k23(&g));
+    }
+
+    #[test]
+    fn k23_inside_larger_graph() {
+        let mut g = cycle_graph(8);
+        // Vertices 0 and 2 get common neighbors 1 (cycle), 5, 6.
+        g.add_edge(0, 5);
+        g.add_edge(2, 5);
+        g.add_edge(0, 6);
+        g.add_edge(2, 6);
+        assert!(contains_k23(&g));
+    }
+
+    #[test]
+    fn cycle_has_no_k23() {
+        assert!(!contains_k23(&cycle_graph(10)));
+        assert!(!contains_k23(&UGraph::new(4)));
+    }
+
+    #[test]
+    fn k4_has_no_k23_but_k5_does() {
+        // K4: any two vertices have exactly 2 common neighbors.
+        assert!(!contains_k23(&complete_graph(4)));
+        // K5: any two vertices have 3 common neighbors — contains K_{2,3}
+        // as a (non-induced) subgraph, but no induced one (everything is
+        // adjacent), so it does NOT violate Corollary 5.
+        assert!(contains_k23(&complete_graph(5)));
+        assert!(!contains_induced_k23(&complete_graph(5)));
+    }
+
+    #[test]
+    fn induced_k23_detection() {
+        let g = complete_bipartite(2, 3);
+        let ([a, b], [x, y, z]) = find_induced_k23(&g).unwrap();
+        assert!(!g.has_edge(a, b));
+        assert!(!g.has_edge(x, y) && !g.has_edge(x, z) && !g.has_edge(y, z));
+        // Adding the chord between the two "left" vertices kills the
+        // induced pattern (no other non-adjacent pair has 3 common
+        // neighbors).
+        let mut h = complete_bipartite(2, 3);
+        h.add_edge(0, 1);
+        assert!(contains_k23(&h), "subgraph copy remains");
+        assert!(!contains_induced_k23(&h), "induced copy is gone");
+    }
+
+    #[test]
+    fn k5_minus_two_independent_edges() {
+        // Build K5 and remove {0,1} and {2,3}.
+        let mut g = UGraph::new(5);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                if (a, b) != (0, 1) && (a, b) != (2, 3) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        assert!(contains_k5_minus_two_independent_edges(&g));
+        // Removing adjacent-looking edges instead: {0,1} and {1,2} share
+        // vertex 1, pattern must NOT match on K5 minus those two.
+        let mut h = UGraph::new(5);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                if (a, b) != (0, 1) && (a, b) != (1, 2) {
+                    h.add_edge(a, b);
+                }
+            }
+        }
+        assert!(!contains_k5_minus_two_independent_edges(&h));
+    }
+
+    #[test]
+    fn small_graphs_lack_k5_pattern() {
+        assert!(!contains_k5_minus_two_independent_edges(&cycle_graph(8)));
+        assert!(!contains_k5_minus_two_independent_edges(&complete_graph(4)));
+    }
+
+    #[test]
+    fn c8_with_antipodal_chords_is_clean() {
+        // Figure 9's conflict graph satisfies both exclusions, as Corollary 5
+        // demands of a genuine UPP conflict graph.
+        let mut g = cycle_graph(8);
+        for i in 0..4 {
+            g.add_edge(i, i + 4);
+        }
+        assert!(!contains_k23(&g));
+        assert!(!contains_induced_k23(&g));
+        assert!(!contains_k5_minus_two_independent_edges(&g));
+    }
+}

@@ -1,0 +1,116 @@
+//! Independent sets.
+//!
+//! Theorem 7's lower-bound argument: the conflict graph on `8h` dipaths has
+//! independence number 3h at most 3 per replication round, so any proper
+//! coloring needs ≥ `8h/3` colors (`w ≥ n/α`). This module provides a greedy
+//! maximal independent set and an exact maximum independent set (via
+//! Bron–Kerbosch on the complement) for paper-scale graphs.
+
+use crate::clique::max_clique;
+use crate::ugraph::UGraph;
+
+/// Greedy maximal independent set (min-degree-first heuristic).
+pub fn greedy_mis(g: &UGraph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| g.degree(v));
+    let mut blocked = vec![false; n];
+    let mut mis = Vec::new();
+    for v in order {
+        if blocked[v] {
+            continue;
+        }
+        mis.push(v);
+        blocked[v] = true;
+        for &w in g.neighbors(v) {
+            blocked[w as usize] = true;
+        }
+    }
+    mis
+}
+
+/// Exact maximum independent set — a maximum clique of the complement.
+/// Exponential; use on paper-scale graphs only.
+pub fn max_independent_set(g: &UGraph) -> Vec<usize> {
+    max_clique(&g.complement())
+}
+
+/// The independence number `α(g)` (exact).
+pub fn independence_number(g: &UGraph) -> usize {
+    max_independent_set(g).len()
+}
+
+/// Check that a vertex set is independent.
+pub fn is_independent(g: &UGraph, verts: &[usize]) -> bool {
+    for (i, &a) in verts.iter().enumerate() {
+        for &b in &verts[i + 1..] {
+            if g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The `⌈n / α⌉` chromatic lower bound.
+pub fn chromatic_lower_bound_via_alpha(g: &UGraph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let alpha = independence_number(g);
+    n.div_ceil(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{complete_graph, cycle_graph, UGraph};
+
+    #[test]
+    fn greedy_mis_is_independent_and_maximal() {
+        let g = cycle_graph(7);
+        let mis = greedy_mis(&g);
+        assert!(is_independent(&g, &mis));
+        // Maximality: every vertex outside has a neighbor inside.
+        for v in 0..7 {
+            if !mis.contains(&v) {
+                assert!(g.neighbors(v).iter().any(|&w| mis.contains(&(w as usize))));
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_of_standard_graphs() {
+        assert_eq!(independence_number(&cycle_graph(5)), 2);
+        assert_eq!(independence_number(&cycle_graph(8)), 4);
+        assert_eq!(independence_number(&complete_graph(6)), 1);
+        assert_eq!(independence_number(&UGraph::new(4)), 4);
+    }
+
+    #[test]
+    fn havet_alpha_is_three() {
+        // Figure 9 conflict graph: α = 3 ⇒ w ≥ ⌈8/3⌉ = 3.
+        let mut g = cycle_graph(8);
+        for i in 0..4 {
+            g.add_edge(i, i + 4);
+        }
+        assert_eq!(independence_number(&g), 3);
+        assert_eq!(chromatic_lower_bound_via_alpha(&g), 3);
+    }
+
+    #[test]
+    fn lower_bound_edge_cases() {
+        assert_eq!(chromatic_lower_bound_via_alpha(&UGraph::new(0)), 0);
+        assert_eq!(chromatic_lower_bound_via_alpha(&complete_graph(4)), 4);
+        assert_eq!(chromatic_lower_bound_via_alpha(&cycle_graph(6)), 2);
+    }
+
+    #[test]
+    fn is_independent_detects_edges() {
+        let g = cycle_graph(4);
+        assert!(is_independent(&g, &[0, 2]));
+        assert!(!is_independent(&g, &[0, 1]));
+        assert!(is_independent(&g, &[]));
+    }
+}

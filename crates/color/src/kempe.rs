@@ -1,0 +1,146 @@
+//! Kempe-chain component swaps.
+//!
+//! The recoloring cascade in the Theorem 1 proof (Figure 4) is exactly a
+//! Kempe chain: flipping colors α/β on the connected component of a vertex
+//! in the subgraph induced by the two color classes. The paper's case
+//! analysis (A/B/C) corresponds to: the component flip succeeds (A), the
+//! cascade cannot revisit a vertex (B — impossible because the original
+//! coloring was proper), or the component reaches the protected vertex (C —
+//! only possible across an internal cycle).
+
+use crate::ugraph::UGraph;
+use crate::Coloring;
+
+/// The connected component of `start` in the subgraph induced by vertices
+/// colored `alpha` or `beta`.
+pub fn kempe_component(
+    g: &UGraph,
+    colors: &Coloring,
+    start: usize,
+    alpha: usize,
+    beta: usize,
+) -> Vec<usize> {
+    debug_assert!(colors[start] == alpha || colors[start] == beta);
+    let n = g.vertex_count();
+    let mut in_comp = vec![false; n];
+    in_comp[start] = true;
+    let mut stack = vec![start];
+    let mut comp = vec![start];
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if !in_comp[w] && (colors[w] == alpha || colors[w] == beta) {
+                in_comp[w] = true;
+                comp.push(w);
+                stack.push(w);
+            }
+        }
+    }
+    comp
+}
+
+/// Swap colors `alpha ↔ beta` on the Kempe component of `start`. Preserves
+/// properness. Returns the flipped component.
+pub fn kempe_swap(
+    g: &UGraph,
+    colors: &mut Coloring,
+    start: usize,
+    alpha: usize,
+    beta: usize,
+) -> Vec<usize> {
+    let comp = kempe_component(g, colors, start, alpha, beta);
+    for &v in &comp {
+        colors[v] = if colors[v] == alpha { beta } else { alpha };
+    }
+    comp
+}
+
+/// Like [`kempe_swap`] but refuses to touch `protected`: if the component
+/// contains it, nothing is changed and `Err` carries the component. This is
+/// the exact operation the Theorem-1 rebuild performs — case C of the proof
+/// corresponds to the `Err`.
+pub fn kempe_swap_protected(
+    g: &UGraph,
+    colors: &mut Coloring,
+    start: usize,
+    alpha: usize,
+    beta: usize,
+    protected: usize,
+) -> Result<Vec<usize>, Vec<usize>> {
+    let comp = kempe_component(g, colors, start, alpha, beta);
+    if comp.contains(&protected) {
+        return Err(comp);
+    }
+    for &v in &comp {
+        colors[v] = if colors[v] == alpha { beta } else { alpha };
+    }
+    Ok(comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::{cycle_graph, UGraph};
+    use crate::verify::is_proper;
+
+    #[test]
+    fn component_on_path() {
+        // Path 0-1-2-3 colored a,b,a,c: component of 0 under (a,b) = {0,1,2}.
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let colors = vec![0, 1, 0, 2];
+        let mut comp = kempe_component(&g, &colors, 0, 0, 1);
+        comp.sort_unstable();
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn swap_preserves_properness() {
+        let g = cycle_graph(6);
+        let mut colors = vec![0, 1, 0, 1, 0, 1];
+        let comp = kempe_swap(&g, &mut colors, 0, 0, 1);
+        assert!(is_proper(&g, &colors));
+        assert_eq!(comp.len(), 6, "even cycle is one α/β component");
+        assert_eq!(colors, vec![1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn swap_local_component_only() {
+        // Two disjoint edges colored (0,1): flipping one leaves the other.
+        let g = UGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut colors = vec![0, 1, 0, 1];
+        kempe_swap(&g, &mut colors, 0, 0, 1);
+        assert_eq!(colors, vec![1, 0, 0, 1]);
+        assert!(is_proper(&g, &colors));
+    }
+
+    #[test]
+    fn protected_blocks_swap() {
+        let g = cycle_graph(4);
+        let mut colors = vec![0, 1, 0, 1];
+        let before = colors.clone();
+        let res = kempe_swap_protected(&g, &mut colors, 0, 0, 1, 2);
+        assert!(res.is_err(), "vertex 2 is in the α/β component of 0");
+        assert_eq!(colors, before, "failed swap leaves coloring untouched");
+    }
+
+    #[test]
+    fn protected_outside_component_allows_swap() {
+        let g = UGraph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let mut colors = vec![0, 1, 0, 1, 0];
+        let res = kempe_swap_protected(&g, &mut colors, 0, 0, 1, 3);
+        assert!(res.is_ok());
+        assert_eq!(colors[0], 1);
+        assert_eq!(colors[3], 1, "protected untouched");
+        assert!(is_proper(&g, &colors));
+    }
+
+    #[test]
+    fn third_color_is_invisible_to_chain() {
+        // Star center colored 2; leaves colored 0/1: component of a leaf
+        // under (0,1) never crosses the center.
+        let g = UGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let colors = vec![2, 0, 1, 0];
+        let comp = kempe_component(&g, &colors, 1, 0, 1);
+        assert_eq!(comp, vec![1], "chain blocked by color-2 center");
+    }
+}

@@ -1,0 +1,63 @@
+//! # dagwave-color
+//!
+//! Undirected graph coloring and clique toolkit — the baseline machinery the
+//! paper's results are compared against.
+//!
+//! `w(G, P)` is the chromatic number of the conflict graph; computing it is
+//! NP-hard in general (the paper cites the coloring reduction explicitly).
+//! This crate provides:
+//!
+//! * [`UGraph`] — a simple undirected graph (the conflict graph's shape).
+//! * [`greedy`] — greedy coloring with several vertex orders (natural,
+//!   largest-first, smallest-last/degeneracy).
+//! * [`dsatur`] — the DSATUR heuristic.
+//! * [`exact`] — exact chromatic number by DSATUR-style branch and bound
+//!   with clique lower bounds (used to *verify* `w` on paper instances).
+//! * [`clique`] — Bron–Kerbosch maximum clique (verifies Property 3).
+//! * [`kempe`] — Kempe-chain component swaps (shared with the Theorem-1
+//!   solver).
+//! * [`forbidden`] — `K_{2,3}` detection (Corollary 5 checks).
+//! * [`independent`] — greedy maximal independent sets (Theorem 7's
+//!   lower-bound argument `w ≥ n/α`).
+//! * [`verify`] — proper-coloring validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod clique;
+pub mod dsatur;
+pub mod exact;
+pub mod forbidden;
+pub mod greedy;
+pub mod independent;
+pub mod kempe;
+pub mod multicolor;
+pub mod ugraph;
+pub mod verify;
+
+pub use ugraph::UGraph;
+
+/// A vertex coloring: `colors[v]` is the color of vertex `v`.
+pub type Coloring = Vec<usize>;
+
+/// Number of distinct colors used by a coloring.
+pub fn color_count(coloring: &Coloring) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &c in coloring {
+        seen.insert(c);
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_count_distinct() {
+        assert_eq!(color_count(&vec![0, 1, 0, 2]), 3);
+        assert_eq!(color_count(&vec![]), 0);
+        assert_eq!(color_count(&vec![5, 5, 5]), 1);
+    }
+}

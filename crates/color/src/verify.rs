@@ -1,0 +1,63 @@
+//! Proper-coloring validation.
+
+use crate::ugraph::UGraph;
+use crate::Coloring;
+
+/// `true` if no edge joins two vertices of the same color and every vertex
+/// is colored (`colors[v] != usize::MAX`).
+pub fn is_proper(g: &UGraph, colors: &Coloring) -> bool {
+    if colors.len() != g.vertex_count() {
+        return false;
+    }
+    if colors.contains(&usize::MAX) {
+        return false;
+    }
+    for (a, ns) in (0..g.vertex_count()).map(|v| (v, g.neighbors(v))) {
+        for &b in ns {
+            if colors[a] == colors[b as usize] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The first conflicting edge `(a, b)` under the coloring, if any.
+pub fn first_violation(g: &UGraph, colors: &Coloring) -> Option<(usize, usize)> {
+    for a in 0..g.vertex_count() {
+        for &b in g.neighbors(a) {
+            let b = b as usize;
+            if a < b && colors.get(a) == colors.get(b) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::cycle_graph;
+
+    #[test]
+    fn proper_and_improper() {
+        let g = cycle_graph(4);
+        assert!(is_proper(&g, &vec![0, 1, 0, 1]));
+        assert!(!is_proper(&g, &vec![0, 0, 1, 1]));
+        assert_eq!(first_violation(&g, &vec![0, 0, 1, 1]), Some((0, 1)));
+        assert_eq!(first_violation(&g, &vec![0, 1, 0, 1]), None);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let g = cycle_graph(3);
+        assert!(!is_proper(&g, &vec![0, 1]));
+    }
+
+    #[test]
+    fn uncolored_vertex_rejected() {
+        let g = cycle_graph(3);
+        assert!(!is_proper(&g, &vec![0, 1, usize::MAX]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Wavelength assignments and their validation.
+
+use dagwave_graph::Digraph;
+use dagwave_paths::{DipathFamily, PathId};
+
+/// A wavelength (color) assignment for a dipath family: `colors[p]` is the
+/// wavelength of dipath `p`. Valid when dipaths sharing an arc get distinct
+/// wavelengths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WavelengthAssignment {
+    colors: Vec<usize>,
+}
+
+impl WavelengthAssignment {
+    /// Wrap a raw color vector (one entry per dipath, in id order).
+    pub fn new(colors: Vec<usize>) -> Self {
+        WavelengthAssignment { colors }
+    }
+
+    /// The wavelength of dipath `p`.
+    #[inline]
+    pub fn color(&self, p: PathId) -> usize {
+        self.colors[p.index()]
+    }
+
+    /// Raw color slice.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Number of dipaths covered.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// `true` for the empty assignment.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Number of distinct wavelengths used.
+    pub fn num_colors(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &self.colors {
+            seen.insert(c);
+        }
+        seen.len()
+    }
+
+    /// Validate against an instance: two dipaths sharing an arc must have
+    /// different wavelengths. Checked per arc (the load buckets), which is
+    /// the cheapest complete check.
+    pub fn is_valid(&self, g: &Digraph, family: &DipathFamily) -> bool {
+        self.first_violation(g, family).is_none()
+    }
+
+    /// First pair of same-colored conflicting dipaths, if any.
+    pub fn first_violation(&self, g: &Digraph, family: &DipathFamily) -> Option<(PathId, PathId)> {
+        if self.colors.len() != family.len() {
+            // Treat a length mismatch as a violation on the first dipath.
+            return Some((PathId(0), PathId(0)));
+        }
+        let mut buckets: Vec<Vec<PathId>> = vec![Vec::new(); g.arc_count()];
+        for (id, p) in family.iter() {
+            for &a in p.arcs() {
+                buckets[a.index()].push(id);
+            }
+        }
+        for bucket in &buckets {
+            for (i, &p) in bucket.iter().enumerate() {
+                for &q in &bucket[i + 1..] {
+                    if self.colors[p.index()] == self.colors[q.index()] {
+                        return Some((p, q));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Renumber wavelengths to the dense range `0..num_colors()`, preserving
+    /// the partition (first-seen order).
+    pub fn normalized(&self) -> WavelengthAssignment {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let colors = self
+            .colors
+            .iter()
+            .map(|&c| {
+                *map.entry(c).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
+            .collect();
+        WavelengthAssignment { colors }
+    }
+
+    /// Dipaths per wavelength, indexed by normalized color.
+    pub fn classes(&self) -> Vec<Vec<PathId>> {
+        let norm = self.normalized();
+        let mut classes = vec![Vec::new(); norm.num_colors()];
+        for (i, &c) in norm.colors.iter().enumerate() {
+            classes[c].push(PathId::from_index(i));
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+    use dagwave_paths::Dipath;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut f = DipathFamily::new();
+        f.push(Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap());
+        f.push(Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap());
+        f.push(Dipath::from_vertices(&g, &[v(2), v(3)]).unwrap());
+        (g, f)
+    }
+
+    #[test]
+    fn valid_assignment_accepted() {
+        let (g, f) = instance();
+        // p0 conflicts p1 (arc 1→2); p1 conflicts p2 (arc 2→3); p0 ∥ p2.
+        let w = WavelengthAssignment::new(vec![0, 1, 0]);
+        assert!(w.is_valid(&g, &f));
+        assert_eq!(w.num_colors(), 2);
+        assert_eq!(w.color(PathId(1)), 1);
+    }
+
+    #[test]
+    fn conflicting_assignment_rejected() {
+        let (g, f) = instance();
+        let w = WavelengthAssignment::new(vec![0, 0, 1]);
+        assert!(!w.is_valid(&g, &f));
+        assert_eq!(w.first_violation(&g, &f), Some((PathId(0), PathId(1))));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (g, f) = instance();
+        let w = WavelengthAssignment::new(vec![0, 1]);
+        assert!(!w.is_valid(&g, &f));
+    }
+
+    #[test]
+    fn normalization_is_dense_and_consistent() {
+        let w = WavelengthAssignment::new(vec![7, 3, 7, 9]);
+        let n = w.normalized();
+        assert_eq!(n.colors(), &[0, 1, 0, 2]);
+        assert_eq!(n.num_colors(), 3);
+        assert_eq!(w.num_colors(), 3);
+    }
+
+    #[test]
+    fn classes_partition_paths() {
+        let w = WavelengthAssignment::new(vec![5, 2, 5]);
+        let classes = w.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![PathId(0), PathId(2)]);
+        assert_eq!(classes[1], vec![PathId(1)]);
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let w = WavelengthAssignment::new(vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.num_colors(), 0);
+        let g = Digraph::new();
+        let f = DipathFamily::new();
+        assert!(w.is_valid(&g, &f));
+    }
+}

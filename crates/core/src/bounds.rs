@@ -1,0 +1,88 @@
+//! Bound arithmetic from the paper's statements.
+
+/// `⌈4π/3⌉` — the Theorem 6 upper bound for UPP-DAGs with one internal
+/// cycle.
+pub fn theorem6_bound(pi: usize) -> usize {
+    (4 * pi).div_ceil(3)
+}
+
+/// `⌈(4/3)^C · π⌉` — the paper's generalized bound for UPP-DAGs with `C`
+/// internal cycles ("the argument of the proof can be repeated").
+pub fn multi_cycle_bound(pi: usize, cycles: usize) -> usize {
+    // Integer-safe: multiply by 4^C then ceil-divide by 3^C. Caps C to keep
+    // the powers in u128 (beyond ~70 cycles the bound is astronomically
+    // loose anyway).
+    let c = cycles.min(64) as u32;
+    let num = (pi as u128) * 4u128.pow(c);
+    let den = 3u128.pow(c);
+    num.div_ceil(den) as usize
+}
+
+/// `⌈8h/3⌉` — the exact wavelength number of Theorem 7's replicated Havet
+/// family at replication factor `h` (where `π = 2h`).
+pub fn havet_wavelengths(h: usize) -> usize {
+    (8 * h).div_ceil(3)
+}
+
+/// `⌈5h/2⌉` — the wavelength number of the replicated Theorem-2 `C5`
+/// family (paper, discussion before Theorem 7: ratio 5/4, not tight).
+pub fn c5_wavelengths(h: usize) -> usize {
+    (5 * h).div_ceil(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem6_values() {
+        assert_eq!(theorem6_bound(0), 0);
+        assert_eq!(theorem6_bound(1), 2);
+        assert_eq!(theorem6_bound(2), 3);
+        assert_eq!(theorem6_bound(3), 4);
+        assert_eq!(theorem6_bound(6), 8);
+        assert_eq!(theorem6_bound(100), 134);
+    }
+
+    #[test]
+    fn multi_cycle_reduces_to_theorem6() {
+        for pi in 0..50 {
+            assert_eq!(multi_cycle_bound(pi, 1), theorem6_bound(pi));
+            assert_eq!(multi_cycle_bound(pi, 0), pi);
+        }
+    }
+
+    #[test]
+    fn multi_cycle_grows() {
+        assert_eq!(multi_cycle_bound(9, 2), 16);
+        assert!(multi_cycle_bound(10, 3) >= multi_cycle_bound(10, 2));
+    }
+
+    #[test]
+    fn havet_matches_paper() {
+        // π = 2h, w = ⌈8h/3⌉: ratio tends to 4/3.
+        assert_eq!(havet_wavelengths(1), 3);
+        assert_eq!(havet_wavelengths(3), 8);
+        assert_eq!(havet_wavelengths(6), 16);
+        for h in 1..100 {
+            let pi = 2 * h;
+            assert!(havet_wavelengths(h) <= theorem6_bound(pi), "h={h}");
+        }
+        // Tightness at multiples of 3: ⌈8h/3⌉ = ⌈4(2h)/3⌉ exactly.
+        for h in [3usize, 6, 9, 30] {
+            assert_eq!(havet_wavelengths(h), theorem6_bound(2 * h));
+        }
+    }
+
+    #[test]
+    fn c5_ratio_is_five_fourths() {
+        assert_eq!(c5_wavelengths(1), 3);
+        assert_eq!(c5_wavelengths(2), 5);
+        // 5h/2 over π = 2h gives ratio 5/4 < 4/3: never above the bound,
+        // and strictly below once the ceilings stop coinciding.
+        for h in 1..50 {
+            assert!(c5_wavelengths(h) <= theorem6_bound(2 * h));
+        }
+        assert!(c5_wavelengths(12) < theorem6_bound(24));
+    }
+}

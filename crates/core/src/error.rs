@@ -1,0 +1,75 @@
+//! Error types for the core algorithms.
+
+use dagwave_graph::VertexId;
+use dagwave_paths::PathId;
+use std::fmt;
+
+/// Errors produced by the wavelength-assignment algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The digraph is not acyclic (every algorithm here requires a DAG).
+    NotADag(Vec<VertexId>),
+    /// Theorem 1 was invoked on a DAG whose recoloring got blocked — the
+    /// defining symptom of an internal cycle. Carries the alternating dipath
+    /// chain of the failed Kempe cascade (the paper's Figure 4 walk).
+    InternalCycleObstruction {
+        /// The chain `P1, …, Pp = P0` of alternately-colored dipaths whose
+        /// pairwise intersections trace the internal cycle.
+        chain: Vec<PathId>,
+    },
+    /// Theorem 6 requires an UPP-DAG; this digraph has two dipaths between
+    /// the witness pair.
+    NotUpp(VertexId, VertexId),
+    /// Theorem 6 requires exactly one internal cycle; this digraph has the
+    /// stated number.
+    WrongInternalCycleCount(usize),
+    /// Theorem 6's merge produced a conflict that Facts 1–2 should prevent —
+    /// indicates the instance violated a precondition undetected.
+    MergeConflict(PathId, PathId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotADag(cycle) => {
+                write!(f, "digraph has a directed cycle through")?;
+                for v in cycle.iter().take(4) {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            CoreError::InternalCycleObstruction { chain } => write!(
+                f,
+                "recoloring blocked by an internal cycle (chain of {} dipaths)",
+                chain.len()
+            ),
+            CoreError::NotUpp(u, v) => {
+                write!(f, "digraph is not UPP: two dipaths from {u} to {v}")
+            }
+            CoreError::WrongInternalCycleCount(n) => {
+                write!(f, "theorem 6 needs exactly one internal cycle, found {n}")
+            }
+            CoreError::MergeConflict(p, q) => {
+                write!(f, "merge produced conflicting colors on {p} and {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::NotADag(vec![VertexId(0), VertexId(1)]);
+        assert!(e.to_string().contains("directed cycle"));
+        let e = CoreError::InternalCycleObstruction { chain: vec![PathId(0), PathId(1)] };
+        assert!(e.to_string().contains("2 dipaths"));
+        assert!(CoreError::NotUpp(VertexId(1), VertexId(2)).to_string().contains("v1 to v2"));
+        assert!(CoreError::WrongInternalCycleCount(3).to_string().contains('3'));
+        assert!(CoreError::MergeConflict(PathId(0), PathId(9)).to_string().contains("p9"));
+    }
+}

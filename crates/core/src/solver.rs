@@ -1,0 +1,433 @@
+//! The solver facade: classify the instance, run the strongest method.
+//!
+//! Mirrors the paper's taxonomy (`internal::classify`):
+//!
+//! | class | method | guarantee |
+//! |-------|--------|-----------|
+//! | no internal cycle | Theorem 1 | `w = π`, polynomial |
+//! | UPP, one internal cycle | Theorem 6 | `w ≤ ⌈4π/3⌉` |
+//! | otherwise | exact B&B (small) or DSATUR | best effort, `w ≥ π` |
+
+use crate::assignment::WavelengthAssignment;
+use crate::bounds;
+use crate::error::CoreError;
+use crate::internal::{self, DagClass};
+use crate::{theorem1, theorem6};
+use dagwave_color::{dsatur, exact, ugraph::UGraph};
+use dagwave_paths::{load, ConflictGraph, DipathFamily, PathId};
+
+/// Which method produced a [`Solution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Theorem 1 (peel/replay): optimal, `w = π`.
+    Theorem1,
+    /// Theorem 6 (split/merge): `w ≤ ⌈4π/3⌉`.
+    Theorem6,
+    /// Exact branch-and-bound chromatic number of the conflict graph.
+    Exact,
+    /// DSATUR heuristic on the conflict graph (upper bound only).
+    Dsatur,
+    /// Weighted coloring (independent-set covering) of the deduplicated
+    /// conflict graph — the method that realizes Theorem 7's `⌈8h/3⌉` on
+    /// replicated families.
+    Weighted,
+}
+
+/// A solved instance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The wavelength assignment.
+    pub assignment: WavelengthAssignment,
+    /// Number of wavelengths used.
+    pub num_colors: usize,
+    /// `π(G, P)` — the universal lower bound.
+    pub load: usize,
+    /// `true` when `num_colors` is provably minimum (`w`).
+    pub optimal: bool,
+    /// The instance class per the paper's taxonomy.
+    pub class: DagClass,
+    /// The method used.
+    pub strategy: Strategy,
+}
+
+/// Configurable solver facade.
+#[derive(Clone, Debug)]
+pub struct WavelengthSolver {
+    /// Largest conflict graph handed to the exact solver (vertices).
+    pub exact_limit: usize,
+    /// Node budget for the exact solver.
+    pub exact_budget: u64,
+}
+
+impl Default for WavelengthSolver {
+    fn default() -> Self {
+        WavelengthSolver { exact_limit: 80, exact_budget: exact::DEFAULT_NODE_BUDGET }
+    }
+}
+
+impl WavelengthSolver {
+    /// Solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solve the instance, dispatching on its class.
+    pub fn solve(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+    ) -> Result<Solution, CoreError> {
+        if let Err(dagwave_graph::GraphError::NotADag(c)) =
+            dagwave_graph::topo::topological_order(g)
+        {
+            return Err(CoreError::NotADag(c));
+        }
+        let class = internal::classify(g);
+        match class {
+            DagClass::InternalCycleFree => {
+                let res = theorem1::color_optimal(g, family)?;
+                Ok(Solution {
+                    num_colors: res.assignment.num_colors(),
+                    assignment: res.assignment,
+                    load: res.load,
+                    optimal: true,
+                    class,
+                    strategy: Strategy::Theorem1,
+                })
+            }
+            DagClass::UppSingleCycle => {
+                let res = theorem6::color_single_cycle_upp(g, family)?;
+                let num = res.assignment.num_colors();
+                // Optimal iff it matched the lower bound π.
+                let optimal = num == res.load || res.load == 0;
+                let primary = Solution {
+                    num_colors: num,
+                    assignment: res.assignment,
+                    load: res.load,
+                    optimal,
+                    class,
+                    strategy: Strategy::Theorem6,
+                };
+                // Replicated families sidestep the constructive merge's
+                // duplicate penalty via weighted coloring (Theorem 7's
+                // ⌈8h/3⌉); keep whichever uses fewer wavelengths.
+                Ok(match self.solve_weighted(g, family, class) {
+                    Some(weighted) if weighted.num_colors < primary.num_colors => weighted,
+                    _ => primary,
+                })
+            }
+            DagClass::UppMultiCycle { .. } | DagClass::General { .. } => {
+                let primary = self.solve_general(g, family, class)?;
+                if primary.optimal {
+                    return Ok(primary);
+                }
+                Ok(match self.solve_weighted(g, family, class) {
+                    Some(weighted) if weighted.num_colors < primary.num_colors => weighted,
+                    _ => primary,
+                })
+            }
+        }
+    }
+
+    /// Solve many instances in parallel with rayon — the batch entry point
+    /// for parameter sweeps (each instance is independent; errors are
+    /// returned per instance).
+    pub fn solve_batch(
+        &self,
+        instances: &[(&dagwave_graph::Digraph, &DipathFamily)],
+    ) -> Vec<Result<Solution, CoreError>> {
+        use rayon::prelude::*;
+        instances
+            .par_iter()
+            .map(|(g, family)| self.solve(g, family))
+            .collect()
+    }
+
+    /// Weighted-coloring path for families with duplicated dipaths: group
+    /// identical dipaths, multicolor the deduplicated conflict graph, and
+    /// expand the color lists back to the copies. Returns `None` when the
+    /// family has no duplicates or the base graph exceeds the exact-IS
+    /// budget.
+    pub fn solve_weighted(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+        class: DagClass,
+    ) -> Option<Solution> {
+        use std::collections::HashMap;
+        let mut groups: HashMap<&[dagwave_graph::ArcId], Vec<PathId>> = HashMap::new();
+        for (id, p) in family.iter() {
+            groups.entry(p.arcs()).or_default().push(id);
+        }
+        let base_count = groups.len();
+        if base_count == family.len() || base_count > 40 {
+            return None; // no duplicates, or base too large for exact IS
+        }
+        // Deterministic base order: by smallest member id.
+        let mut base: Vec<(&[dagwave_graph::ArcId], Vec<PathId>)> = groups.into_iter().collect();
+        base.sort_by_key(|(_, members)| members[0]);
+        let base_family: DipathFamily = base
+            .iter()
+            .map(|(_, members)| family.path(members[0]).clone())
+            .collect();
+        let weights: Vec<usize> = base.iter().map(|(_, m)| m.len()).collect();
+        let cg = ConflictGraph::build(g, &base_family);
+        let ug = conflict_to_ugraph(&cg);
+        // Exact covering only at paper scale; greedy beyond.
+        let total_weight: usize = weights.iter().sum();
+        let mc = if base_count <= 16 && total_weight <= 64 {
+            dagwave_color::multicolor::exact_multicoloring(&ug, &weights)
+        } else {
+            dagwave_color::multicolor::greedy_multicoloring(&ug, &weights)
+        };
+        debug_assert!(mc.is_valid(&ug, &weights));
+        let mut colors = vec![usize::MAX; family.len()];
+        for ((_, members), assigned) in base.iter().zip(&mc.colors) {
+            for (member, &c) in members.iter().zip(assigned) {
+                colors[member.index()] = c;
+            }
+        }
+        let assignment = WavelengthAssignment::new(colors);
+        debug_assert!(assignment.is_valid(g, family));
+        let pi = load::max_load(g, family);
+        let num = assignment.num_colors();
+        Some(Solution {
+            num_colors: num,
+            assignment,
+            load: pi,
+            optimal: num == pi,
+            class,
+            strategy: Strategy::Weighted,
+        })
+    }
+
+    /// Fallback path: exact chromatic on small conflict graphs, DSATUR
+    /// beyond. Also used directly by benches as the baseline.
+    pub fn solve_general(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+        class: DagClass,
+    ) -> Result<Solution, CoreError> {
+        let pi = load::max_load(g, family);
+        let cg = ConflictGraph::build(g, family);
+        let ug = conflict_to_ugraph(&cg);
+        if ug.vertex_count() <= self.exact_limit {
+            match exact::chromatic_number_budgeted(&ug, self.exact_budget) {
+                exact::ExactResult::Optimal { chromatic, coloring } => {
+                    let assignment = WavelengthAssignment::new(coloring);
+                    debug_assert!(assignment.is_valid(g, family));
+                    return Ok(Solution {
+                        num_colors: chromatic,
+                        assignment,
+                        load: pi,
+                        optimal: true,
+                        class,
+                        strategy: Strategy::Exact,
+                    });
+                }
+                exact::ExactResult::BudgetExceeded { coloring, .. } => {
+                    let assignment = WavelengthAssignment::new(coloring);
+                    let num = assignment.num_colors();
+                    return Ok(Solution {
+                        num_colors: num,
+                        assignment,
+                        load: pi,
+                        optimal: num == pi,
+                        class,
+                        strategy: Strategy::Exact,
+                    });
+                }
+            }
+        }
+        let coloring = dsatur::dsatur_coloring(&ug);
+        let assignment = WavelengthAssignment::new(coloring);
+        let num = assignment.num_colors();
+        debug_assert!(assignment.is_valid(g, family));
+        Ok(Solution {
+            num_colors: num,
+            assignment,
+            load: pi,
+            optimal: num == pi,
+            class,
+            strategy: Strategy::Dsatur,
+        })
+    }
+
+    /// The a-priori upper bound the paper guarantees for this instance
+    /// class (`π` / `⌈4π/3⌉` / `⌈(4/3)^C π⌉`), or `None` for non-UPP DAGs
+    /// with internal cycles (unbounded ratio, Figure 1).
+    pub fn guaranteed_bound(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+    ) -> Option<usize> {
+        let pi = load::max_load(g, family);
+        match internal::classify(g) {
+            DagClass::InternalCycleFree => Some(pi),
+            DagClass::UppSingleCycle => Some(bounds::theorem6_bound(pi)),
+            DagClass::UppMultiCycle { cycles } => Some(bounds::multi_cycle_bound(pi, cycles)),
+            DagClass::General { .. } => None,
+        }
+    }
+}
+
+/// Adapt a [`ConflictGraph`] to the coloring toolkit's [`UGraph`].
+pub fn conflict_to_ugraph(cg: &ConflictGraph) -> UGraph {
+    let adj: Vec<Vec<u32>> = (0..cg.vertex_count())
+        .map(|i| cg.neighbors(PathId::from_index(i)).to_vec())
+        .collect();
+    UGraph::from_sorted_adjacency(adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::{Digraph, VertexId};
+    use dagwave_paths::Dipath;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn path(g: &Digraph, route: &[usize]) -> Dipath {
+        let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(g, &route).unwrap()
+    }
+
+    #[test]
+    fn dispatches_theorem1_on_tree() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[0, 1, 3]),
+            path(&g, &[1, 2]),
+        ]);
+        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        assert_eq!(sol.strategy, Strategy::Theorem1);
+        assert!(sol.optimal);
+        assert_eq!(sol.num_colors, sol.load);
+        assert!(sol.assignment.is_valid(&g, &f));
+        assert_eq!(
+            WavelengthSolver::new().guaranteed_bound(&g, &f),
+            Some(sol.load)
+        );
+    }
+
+    #[test]
+    fn dispatches_theorem6_on_single_cycle_upp() {
+        // Single-arc dipaths over the crossing pattern.
+        let g = from_edges(
+            8,
+            &[(0, 2), (1, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 6), (5, 7)],
+        );
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 2, 4, 6]),
+            path(&g, &[1, 3, 5, 7]),
+            path(&g, &[2, 5]),
+            path(&g, &[3, 4]),
+        ]);
+        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        assert_eq!(sol.strategy, Strategy::Theorem6);
+        assert!(sol.assignment.is_valid(&g, &f));
+        let bound = WavelengthSolver::new().guaranteed_bound(&g, &f).unwrap();
+        assert!(sol.num_colors <= bound);
+    }
+
+    #[test]
+    fn dispatches_exact_on_general_dag() {
+        // Guarded diamond: internal cycle, not UPP.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 4]),
+            path(&g, &[1, 3, 4]),
+            path(&g, &[3, 4, 5]),
+        ]);
+        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        assert_eq!(sol.strategy, Strategy::Exact);
+        assert!(sol.optimal);
+        assert!(sol.assignment.is_valid(&g, &f));
+        assert!(sol.num_colors >= sol.load);
+        assert_eq!(WavelengthSolver::new().guaranteed_bound(&g, &f), None);
+    }
+
+    #[test]
+    fn dsatur_fallback_on_large_conflict_graph() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 4]),
+            path(&g, &[1, 3, 4]),
+            path(&g, &[3, 4, 5]),
+        ])
+        .replicate(30); // 120 paths > exact_limit
+        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        assert_eq!(sol.strategy, Strategy::Dsatur);
+        assert!(sol.assignment.is_valid(&g, &f));
+        assert!(sol.num_colors >= sol.load);
+    }
+
+    #[test]
+    fn rejects_cyclic_input() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let f = DipathFamily::new();
+        assert!(matches!(
+            WavelengthSolver::new().solve(&g, &f),
+            Err(CoreError::NotADag(_))
+        ));
+    }
+
+    #[test]
+    fn empty_family_on_any_class() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let sol = WavelengthSolver::new().solve(&g, &DipathFamily::new()).unwrap();
+        assert_eq!(sol.num_colors, 0);
+        assert_eq!(sol.load, 0);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn batch_solving_matches_individual() {
+        let g1 = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let f1 = DipathFamily::from_paths(vec![
+            path(&g1, &[0, 1, 2]),
+            path(&g1, &[0, 1, 3]),
+        ]);
+        let g2 = from_edges(3, &[(0, 1), (1, 2)]);
+        let f2 = DipathFamily::from_paths(vec![path(&g2, &[0, 1, 2])]).replicate(4);
+        let solver = WavelengthSolver::new();
+        let batch = solver.solve_batch(&[(&g1, &f1), (&g2, &f2)]);
+        assert_eq!(batch.len(), 2);
+        let s1 = batch[0].as_ref().unwrap();
+        let s2 = batch[1].as_ref().unwrap();
+        assert_eq!(s1.num_colors, solver.solve(&g1, &f1).unwrap().num_colors);
+        assert_eq!(s2.num_colors, 4);
+    }
+
+    #[test]
+    fn batch_reports_errors_per_instance() {
+        let good = from_edges(2, &[(0, 1)]);
+        let bad = from_edges(2, &[(0, 1), (1, 0)]);
+        let f = DipathFamily::new();
+        let batch = WavelengthSolver::new().solve_batch(&[(&good, &f), (&bad, &f)]);
+        assert!(batch[0].is_ok());
+        assert!(matches!(batch[1], Err(CoreError::NotADag(_))));
+    }
+
+    #[test]
+    fn conflict_to_ugraph_preserves_structure() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 3]),
+            path(&g, &[2, 3]),
+        ]);
+        let cg = ConflictGraph::build(&g, &f);
+        let ug = conflict_to_ugraph(&cg);
+        assert_eq!(ug.vertex_count(), 3);
+        assert_eq!(ug.edge_count(), cg.edge_count());
+        assert!(ug.has_edge(0, 1));
+    }
+}

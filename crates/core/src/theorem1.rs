@@ -1,0 +1,606 @@
+//! Theorem 1 — the constructive `w = π` wavelength assignment.
+//!
+//! **Theorem 1 (paper).** If `G` is a DAG without internal cycle then for
+//! every family of dipaths `P`, `w(G, P) = π(G, P)`.
+//!
+//! The proof is an induction on arcs: remove an arc `(x0, y0)` whose tail is
+//! a source, shrink the dipaths through it, color the smaller instance, then
+//! re-extend — after recoloring so that the shrunk dipaths all carry distinct
+//! colors. The recoloring is an alternating cascade (paper Figure 4) which is
+//! precisely a Kempe-chain component swap on the conflict graph; it can only
+//! fail by reaching the protected dipath, which the proof shows forces an
+//! internal cycle.
+//!
+//! This module implements the induction iteratively:
+//!
+//! 1. **Peel** ([`peel`]): repeatedly delete an arc out of a current source,
+//!    logging for each deletion the dipaths whose front arc it was (the
+//!    source condition guarantees dipaths are consumed strictly front-first).
+//! 2. **Replay** ([`color_optimal_with`]): process the log in reverse.
+//!    Adding arc `e` back extends the logged dipaths at the front; before
+//!    extension, Kempe swaps make their colors pairwise distinct; dipaths
+//!    born as the single arc `e` take fresh palette colors. The palette has
+//!    exactly `π(G, P)` colors and never runs out (the proof's counting
+//!    argument), so the final assignment uses at most — hence exactly —
+//!    `π` wavelengths whenever any arc is loaded.
+
+use crate::assignment::WavelengthAssignment;
+use crate::error::CoreError;
+use dagwave_graph::{topo, ArcId, BitSet, Digraph, VertexId};
+use dagwave_paths::{load, DipathFamily, PathId};
+
+/// Which arc to peel next when several sources are available — the A1
+/// ablation of DESIGN.md. All variants yield a valid optimal coloring; they
+/// differ in constant factors and cache behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PeelOrder {
+    /// FIFO over sources (Kahn-style breadth-first).
+    #[default]
+    Fifo,
+    /// LIFO over sources (depth-first flavor).
+    Lifo,
+    /// Always the smallest-id ready source (deterministic, cache-friendly
+    /// for generators that allocate ids topologically).
+    MinId,
+}
+
+/// Kempe recoloring strategy — the A2 ablation. Both produce identical
+/// colorings; `Cascade` follows the paper's step-by-step narration,
+/// `ComponentSwap` flips the whole two-color component at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KempeStrategy {
+    /// Flip the connected α/β component of the dipath in one pass.
+    #[default]
+    ComponentSwap,
+    /// The paper's literal cascade: recolor `P1`, then everything of the
+    /// other color it now clashes with, and so on (Figure 4).
+    Cascade,
+}
+
+/// One peel step: the removed arc and the dipaths whose front arc it was.
+#[derive(Clone, Debug)]
+pub struct PeelStep {
+    /// The removed arc (its tail was a source at removal time).
+    pub arc: ArcId,
+    /// Dipaths that contained the arc; at removal time it was their front
+    /// arc. `was_last` marks dipaths for which it was also their final
+    /// remaining arc (they vanish — the paper's "`Q` reduced to `(x0,y0)`").
+    pub affected: Vec<(PathId, bool)>,
+}
+
+/// The full peel log plus bookkeeping for the replay.
+#[derive(Clone, Debug)]
+pub struct PeelLog {
+    /// Steps in removal order (replay walks them in reverse).
+    pub steps: Vec<PeelStep>,
+}
+
+/// Peel all arcs of `g`, front-consuming `family` (paper's induction order).
+///
+/// Requires a DAG; errors with the directed-cycle witness otherwise.
+pub fn peel(g: &Digraph, family: &DipathFamily, order: PeelOrder) -> Result<PeelLog, CoreError> {
+    if let Err(dagwave_graph::GraphError::NotADag(c)) = topo::topological_order(g) {
+        return Err(CoreError::NotADag(c));
+    }
+    let n = g.vertex_count();
+    let m = g.arc_count();
+
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| g.indegree(VertexId::from_index(i)))
+        .collect();
+    let mut removed = vec![false; m];
+    let mut out_cursor = vec![0usize; n]; // next out-arc to try per vertex
+
+    // front_of[p]: index into the dipath's arc list of its current front.
+    // bucket[a]: dipaths whose current front arc is `a`.
+    let mut bucket: Vec<Vec<PathId>> = vec![Vec::new(); m];
+    for (id, p) in family.iter() {
+        bucket[p.first_arc().index()].push(id);
+    }
+
+    // Ready pool: sources with remaining out-arcs.
+    let mut ready: std::collections::VecDeque<VertexId> = g
+        .vertices()
+        .filter(|&v| indeg[v.index()] == 0 && g.outdegree(v) > 0)
+        .collect();
+    let mut steps = Vec::with_capacity(m);
+    let mut front_of: Vec<usize> = vec![0; family.len()];
+
+    while let Some(&x0) = match order {
+        PeelOrder::Fifo => ready.front(),
+        PeelOrder::Lifo => ready.back(),
+        PeelOrder::MinId => ready.iter().min(),
+    } {
+        // Take one remaining out-arc of x0.
+        let arc = loop {
+            let outs = g.out_arcs(x0);
+            let cur = out_cursor[x0.index()];
+            if cur >= outs.len() {
+                break None;
+            }
+            let a = outs[cur];
+            out_cursor[x0.index()] += 1;
+            if !removed[a.index()] {
+                break Some(a);
+            }
+        };
+        let Some(arc) = arc else {
+            // x0 exhausted: drop it from the pool.
+            match order {
+                PeelOrder::Fifo => {
+                    ready.pop_front();
+                }
+                PeelOrder::Lifo => {
+                    ready.pop_back();
+                }
+                PeelOrder::MinId => {
+                    let pos = ready.iter().position(|&v| v == x0).expect("x0 in pool");
+                    ready.remove(pos);
+                }
+            }
+            continue;
+        };
+        removed[arc.index()] = true;
+        let y0 = g.head(arc);
+        indeg[y0.index()] -= 1;
+        if indeg[y0.index()] == 0 && g.out_arcs(y0).iter().any(|&a| !removed[a.index()]) {
+            ready.push_back(y0);
+        }
+
+        // Advance the dipaths whose front is `arc`.
+        let mut affected = Vec::new();
+        for id in std::mem::take(&mut bucket[arc.index()]) {
+            let path = family.path(id);
+            front_of[id.index()] += 1;
+            let was_last = front_of[id.index()] == path.len();
+            if !was_last {
+                let next = path.arcs()[front_of[id.index()]];
+                bucket[next.index()].push(id);
+            }
+            affected.push((id, was_last));
+        }
+        steps.push(PeelStep { arc, affected });
+    }
+
+    debug_assert_eq!(steps.len(), m, "every arc of a DAG gets peeled");
+    debug_assert!(front_of
+        .iter()
+        .enumerate()
+        .all(|(i, &f)| f == family.path(PathId::from_index(i)).len()));
+    Ok(PeelLog { steps })
+}
+
+/// Outcome of the Theorem-1 coloring, including the quantities the theorem
+/// equates.
+#[derive(Clone, Debug)]
+pub struct Theorem1Result {
+    /// The wavelength assignment (uses colors `0..load`).
+    pub assignment: WavelengthAssignment,
+    /// `π(G, P)` — also the number of wavelengths used when non-zero.
+    pub load: usize,
+    /// Number of Kempe swaps performed during the replay.
+    pub kempe_swaps: usize,
+}
+
+/// Color `family` on `g` with exactly `π(G, P)` wavelengths (Theorem 1),
+/// using default peel order and Kempe strategy.
+pub fn color_optimal(g: &Digraph, family: &DipathFamily) -> Result<Theorem1Result, CoreError> {
+    color_optimal_with(g, family, PeelOrder::default(), KempeStrategy::default())
+}
+
+/// [`color_optimal`] with explicit ablation knobs.
+pub fn color_optimal_with(
+    g: &Digraph,
+    family: &DipathFamily,
+    order: PeelOrder,
+    kempe: KempeStrategy,
+) -> Result<Theorem1Result, CoreError> {
+    let log = peel(g, family, order)?;
+    replay(g, family, &log, kempe)
+}
+
+/// The replay phase: rebuild the graph arc by arc (reverse peel order),
+/// keeping an always-valid partial coloring.
+fn replay(
+    g: &Digraph,
+    family: &DipathFamily,
+    log: &PeelLog,
+    kempe: KempeStrategy,
+) -> Result<Theorem1Result, CoreError> {
+    let pi = load::max_load(g, family);
+    let np = family.len();
+    const UNCOLORED: usize = usize::MAX;
+    let mut colors = vec![UNCOLORED; np];
+
+    // Dynamic conflict adjacency: grows by one clique per replayed arc
+    // (before a step, no live dipath contains the step's arc, so all new
+    // conflicts are within the step's affected set).
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); np];
+    let mut kempe_swaps = 0usize;
+
+    // Scratch palette bitset, reused per step.
+    let mut used = BitSet::new(pi.max(1));
+
+    for step in log.steps.iter().rev() {
+        if step.affected.is_empty() {
+            continue;
+        }
+        // P0 = already-live dipaths being extended; newborns take fresh colors.
+        let p0: Vec<PathId> = step
+            .affected
+            .iter()
+            .filter(|&&(_, was_last)| !was_last)
+            .map(|&(id, _)| id)
+            .collect();
+
+        // Make P0's colors pairwise distinct via Kempe swaps.
+        loop {
+            used.clear();
+            let mut dup: Option<(PathId, PathId)> = None; // (keeper, to-flip)
+            let mut keeper_of: Vec<Option<PathId>> = vec![None; pi.max(1)];
+            for &p in &p0 {
+                let c = colors[p.index()];
+                debug_assert_ne!(c, UNCOLORED, "live dipath must be colored");
+                if let Some(k) = keeper_of[c] {
+                    // Record the first duplicate but keep scanning: β must
+                    // avoid the colors of *every* P0 member.
+                    dup.get_or_insert((k, p));
+                } else {
+                    keeper_of[c] = Some(p);
+                }
+                used.insert(c);
+            }
+            let Some((keeper, flip)) = dup else { break };
+            // β: a palette color unused by P0. Exists because P0 shows at
+            // most |P0| − 1 < π distinct colors (the duplication).
+            let beta = used.first_absent().expect("palette has a free color");
+            let alpha = colors[flip.index()];
+            let swapped = match kempe {
+                KempeStrategy::ComponentSwap => {
+                    kempe_component_swap(&adj, &mut colors, flip, alpha, beta, keeper)
+                }
+                KempeStrategy::Cascade => {
+                    kempe_cascade(&adj, &mut colors, flip, alpha, beta, keeper)
+                }
+            };
+            match swapped {
+                Ok(()) => kempe_swaps += 1,
+                Err(chain) => return Err(CoreError::InternalCycleObstruction { chain }),
+            }
+        }
+
+        // Extend: every affected dipath now (re)contains `step.arc`; they are
+        // pairwise in conflict, so wire the clique and color the newborns.
+        used.clear();
+        for &p in &p0 {
+            used.insert(colors[p.index()]);
+        }
+        for &(id, was_last) in &step.affected {
+            if was_last {
+                let c = used.first_absent().expect("π bounds the arc's clique");
+                used.insert(c);
+                colors[id.index()] = c;
+            }
+        }
+        let members: Vec<PathId> = step.affected.iter().map(|&(id, _)| id).collect();
+        for (i, &p) in members.iter().enumerate() {
+            for &q in &members[i + 1..] {
+                // Parallel growth can re-announce a pair; dedup on insert.
+                if !adj[p.index()].contains(&q.0) {
+                    adj[p.index()].push(q.0);
+                    adj[q.index()].push(p.0);
+                }
+            }
+        }
+    }
+
+    debug_assert!(colors.iter().all(|&c| c != UNCOLORED || family.is_empty()));
+    let assignment = WavelengthAssignment::new(colors);
+    debug_assert!(assignment.is_valid(g, family));
+    Ok(Theorem1Result { assignment, load: pi, kempe_swaps })
+}
+
+/// Flip α↔β on the conflict component of `start`, refusing to touch
+/// `protected`. `Err` carries the discovery chain from `start` towards
+/// `protected` — the paper's Figure 4 sequence `P1, …, Pp = P0`.
+fn kempe_component_swap(
+    adj: &[Vec<u32>],
+    colors: &mut [usize],
+    start: PathId,
+    alpha: usize,
+    beta: usize,
+    protected: PathId,
+) -> Result<(), Vec<PathId>> {
+    let mut parent: Vec<Option<PathId>> = vec![None; colors.len()];
+    let mut comp = vec![start];
+    let mut in_comp = vec![false; colors.len()];
+    in_comp[start.index()] = true;
+    let mut stack = vec![start];
+    while let Some(p) = stack.pop() {
+        for &qn in &adj[p.index()] {
+            let q = PathId(qn);
+            if in_comp[q.index()] {
+                continue;
+            }
+            let c = colors[q.index()];
+            if c != alpha && c != beta {
+                continue;
+            }
+            if q == protected {
+                // Unwind the chain start → … → protected.
+                let mut chain = vec![q, p];
+                let mut cur = p;
+                while let Some(par) = parent[cur.index()] {
+                    chain.push(par);
+                    cur = par;
+                }
+                chain.reverse();
+                return Err(chain);
+            }
+            in_comp[q.index()] = true;
+            parent[q.index()] = Some(p);
+            comp.push(q);
+            stack.push(q);
+        }
+    }
+    for p in comp {
+        let c = &mut colors[p.index()];
+        *c = if *c == alpha { beta } else { alpha };
+    }
+    Ok(())
+}
+
+/// The paper's literal cascade: flip `start` to β; then the family `P2` of
+/// β-colored dipaths clashing with it flips to α; then the α-colored
+/// dipaths clashing with `P2` flip to β; and so on until no clash remains
+/// (case A) or `protected` must flip (case C). Case B (re-flipping) cannot
+/// occur — asserted.
+fn kempe_cascade(
+    adj: &[Vec<u32>],
+    colors: &mut [usize],
+    start: PathId,
+    alpha: usize,
+    beta: usize,
+    protected: PathId,
+) -> Result<(), Vec<PathId>> {
+    let snapshot: Vec<usize> = colors.to_vec();
+    let mut flipped = vec![false; colors.len()];
+    let mut chain_parent: Vec<Option<PathId>> = vec![None; colors.len()];
+
+    colors[start.index()] = beta;
+    flipped[start.index()] = true;
+    let mut wave = vec![start];
+    // The wave alternates: after flipping to γ′, clashes are with old-γ′.
+    loop {
+        let mut next_wave: Vec<PathId> = Vec::new();
+        for &p in &wave {
+            let pc = colors[p.index()];
+            for &qn in &adj[p.index()] {
+                let q = PathId(qn);
+                if colors[q.index()] != pc {
+                    continue; // no clash
+                }
+                if q == protected {
+                    let mut chain = vec![q, p];
+                    let mut cur = p;
+                    while let Some(par) = chain_parent[cur.index()] {
+                        chain.push(par);
+                        cur = par;
+                    }
+                    chain.reverse();
+                    // Restore: the cascade failed (case C).
+                    colors.copy_from_slice(&snapshot);
+                    return Err(chain);
+                }
+                // Case B impossible: a dipath never flips twice.
+                assert!(!flipped[q.index()], "case B: dipath reflipped");
+                flipped[q.index()] = true;
+                chain_parent[q.index()] = Some(p);
+                colors[q.index()] = if colors[q.index()] == alpha { beta } else { alpha };
+                next_wave.push(q);
+            }
+        }
+        if next_wave.is_empty() {
+            return Ok(()); // case A
+        }
+        wave = next_wave;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_paths::Dipath;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn path(g: &Digraph, route: &[usize]) -> Dipath {
+        let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(g, &route).unwrap()
+    }
+
+    /// Chain instance: w = π = 2.
+    fn chain_instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 3]),
+            path(&g, &[2, 3, 4]),
+        ]);
+        (g, f)
+    }
+
+    #[test]
+    fn peel_consumes_every_arc() {
+        let (g, f) = chain_instance();
+        for order in [PeelOrder::Fifo, PeelOrder::Lifo, PeelOrder::MinId] {
+            let log = peel(&g, &f, order).unwrap();
+            assert_eq!(log.steps.len(), g.arc_count());
+            let mut seen = std::collections::HashSet::new();
+            for s in &log.steps {
+                assert!(seen.insert(s.arc), "arc peeled twice");
+            }
+        }
+    }
+
+    #[test]
+    fn peel_affects_paths_front_first() {
+        let (g, f) = chain_instance();
+        let log = peel(&g, &f, PeelOrder::Fifo).unwrap();
+        // Track fronts: a path must be affected exactly len times, in
+        // increasing arc positions.
+        let mut hits: Vec<Vec<ArcId>> = vec![Vec::new(); f.len()];
+        for s in &log.steps {
+            for &(id, _) in &s.affected {
+                hits[id.index()].push(s.arc);
+            }
+        }
+        for (i, h) in hits.iter().enumerate() {
+            let p = f.path(PathId::from_index(i));
+            assert_eq!(h, p.arcs(), "path consumed front-first in arc order");
+        }
+    }
+
+    #[test]
+    fn peel_rejects_cyclic() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let f = DipathFamily::new();
+        assert!(matches!(
+            peel(&g, &f, PeelOrder::Fifo),
+            Err(CoreError::NotADag(_))
+        ));
+    }
+
+    #[test]
+    fn chain_colored_with_exactly_pi() {
+        let (g, f) = chain_instance();
+        let res = color_optimal(&g, &f).unwrap();
+        assert_eq!(res.load, 2);
+        assert!(res.assignment.is_valid(&g, &f));
+        assert_eq!(res.assignment.num_colors(), 2, "w == π");
+    }
+
+    #[test]
+    fn all_orders_and_strategies_agree_on_color_count() {
+        let (g, f) = chain_instance();
+        for order in [PeelOrder::Fifo, PeelOrder::Lifo, PeelOrder::MinId] {
+            for strat in [KempeStrategy::ComponentSwap, KempeStrategy::Cascade] {
+                let res = color_optimal_with(&g, &f, order, strat).unwrap();
+                assert!(res.assignment.is_valid(&g, &f), "{order:?}/{strat:?}");
+                assert_eq!(res.assignment.num_colors(), 2, "{order:?}/{strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_tree_all_to_all_is_optimal() {
+        // Out-tree: root 0, dipaths from root to every leaf plus subtree
+        // paths — the paper's rooted-tree special case.
+        let g = from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 3]),
+            path(&g, &[0, 1, 4]),
+            path(&g, &[0, 2, 5]),
+            path(&g, &[0, 2, 6]),
+            path(&g, &[1, 3]),
+            path(&g, &[2, 6]),
+            path(&g, &[0, 1]),
+        ]);
+        let pi = load::max_load(&g, &f);
+        let res = color_optimal(&g, &f).unwrap();
+        assert!(res.assignment.is_valid(&g, &f));
+        assert_eq!(res.assignment.num_colors(), pi);
+        assert_eq!(res.load, pi);
+    }
+
+    #[test]
+    fn empty_family() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let f = DipathFamily::new();
+        let res = color_optimal(&g, &f).unwrap();
+        assert_eq!(res.load, 0);
+        assert_eq!(res.assignment.num_colors(), 0);
+        assert!(res.assignment.is_valid(&g, &f));
+    }
+
+    #[test]
+    fn single_dipath() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let f = DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]);
+        let res = color_optimal(&g, &f).unwrap();
+        assert_eq!(res.load, 1);
+        assert_eq!(res.assignment.num_colors(), 1);
+    }
+
+    #[test]
+    fn identical_replicated_dipaths_need_pi_colors() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let f = DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]).replicate(5);
+        let res = color_optimal(&g, &f).unwrap();
+        assert_eq!(res.load, 5);
+        assert_eq!(res.assignment.num_colors(), 5);
+        assert!(res.assignment.is_valid(&g, &f));
+    }
+
+    #[test]
+    fn fan_dag_forces_recoloring() {
+        // Two levels of sharing that force the replay to actually recolor:
+        // dipaths overlap pairwise on different arcs with load 2 everywhere,
+        // while a greedy front-assignment would clash.
+        let g = from_edges(
+            7,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+        );
+        // Not internal-cycle-free? 4,5 produce a diamond 3→4→6, 3→5→6 whose
+        // vertices: 3 (pred 2 ✓), 4, 5, 6 — 6 is a sink ⇒ not internal. OK.
+        assert!(crate::internal::is_internal_cycle_free(&g));
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 2, 3, 4]),
+            path(&g, &[1, 2, 3, 5]),
+            path(&g, &[3, 4, 6]),
+            path(&g, &[3, 5, 6]),
+        ]);
+        let pi = load::max_load(&g, &f);
+        assert_eq!(pi, 2);
+        let res = color_optimal(&g, &f).unwrap();
+        assert!(res.assignment.is_valid(&g, &f));
+        assert_eq!(res.assignment.num_colors(), 2);
+    }
+
+    #[test]
+    fn cascade_matches_component_swap_counts() {
+        let g = from_edges(
+            7,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+        );
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 2, 3, 4]),
+            path(&g, &[1, 2, 3, 5]),
+            path(&g, &[3, 4, 6]),
+            path(&g, &[3, 5, 6]),
+        ]);
+        let a = color_optimal_with(&g, &f, PeelOrder::Fifo, KempeStrategy::ComponentSwap).unwrap();
+        let b = color_optimal_with(&g, &f, PeelOrder::Fifo, KempeStrategy::Cascade).unwrap();
+        assert_eq!(a.assignment.num_colors(), b.assignment.num_colors());
+        assert!(b.assignment.is_valid(&g, &f));
+    }
+
+    #[test]
+    fn parallel_arcs_are_independent_channels() {
+        // Two parallel fibers 0→1: two dipaths, one per fiber — no conflict,
+        // π = 1, one wavelength suffices.
+        let mut g = from_edges(2, &[(0, 1)]);
+        let second = g.add_arc(v(0), v(1));
+        let f = DipathFamily::from_paths(vec![
+            Dipath::single(g.find_arc(v(0), v(1)).unwrap()),
+            Dipath::single(second),
+        ]);
+        let res = color_optimal(&g, &f).unwrap();
+        assert_eq!(res.load, 1);
+        assert_eq!(res.assignment.num_colors(), 1);
+        assert!(res.assignment.is_valid(&g, &f));
+    }
+}

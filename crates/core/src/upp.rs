@@ -1,0 +1,279 @@
+//! UPP-DAGs: the Unique diPath Property (paper, Sections 2 and 4).
+//!
+//! A DAG is **UPP** when between any two vertices there is at most one
+//! dipath. The paper proves structural properties of their conflict graphs:
+//!
+//! * **Property 3 (Helly)** — pairwise-intersecting dipaths have a common
+//!   dipath intersection; consequently the load `π` equals the clique number
+//!   of the conflict graph ([`clique_number_via_load`]).
+//! * **Lemma 4 (Crossing)** and **Corollary 5** — the conflict graph
+//!   contains no `K_{2,3}` (checked in property tests with
+//!   `dagwave_color::forbidden`).
+
+use dagwave_graph::pathcount;
+use dagwave_graph::{ArcId, Digraph, VertexId};
+use dagwave_paths::conflict::Intersection;
+use dagwave_paths::{load, Dipath, DipathFamily, PathId};
+
+/// `true` if `g` has the Unique diPath Property.
+pub fn is_upp(g: &Digraph) -> bool {
+    pathcount::is_upp(g)
+}
+
+/// A witness pair `(u, v)` with two distinct dipaths `u → v`, or `None`.
+pub fn upp_violation(g: &Digraph) -> Option<(VertexId, VertexId)> {
+    pathcount::upp_violation(g)
+}
+
+/// The unique dipath from `u` to `v` in an UPP-DAG, or `None` when
+/// unreachable or `u == v`. (On a non-UPP digraph this returns *a* shortest
+/// dipath; callers that need the UPP guarantee validate with [`is_upp`].)
+pub fn unique_dipath(g: &Digraph, u: VertexId, v: VertexId) -> Option<Dipath> {
+    let arcs = dagwave_graph::reach::shortest_dipath(g, u, v)?;
+    if arcs.is_empty() {
+        return None;
+    }
+    Some(Dipath::from_arcs(g, arcs).expect("BFS output is contiguous"))
+}
+
+/// Property 3, first step: the intersection of two conflicting dipaths in an
+/// UPP-DAG is a single sub-dipath. Returns the shared run as
+/// `(start, end)` positions in `p`'s arc sequence, or `None` if disjoint.
+///
+/// # Panics
+/// Debug-asserts single-interval structure — a violation means the host
+/// digraph was not UPP.
+pub fn helly_intersection(p: &Dipath, q: &Dipath) -> Option<(usize, usize)> {
+    let ix = Intersection::of(p, q);
+    if ix.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        ix.is_single_interval(),
+        "UPP violated: intersection in {} pieces",
+        ix.intervals.len()
+    );
+    Some(ix.intervals[0])
+}
+
+/// Property 3's consequence: on an UPP-DAG, `π(G, P)` equals the clique
+/// number of the conflict graph. This function returns `π` (computing it
+/// from loads) — which *is* the clique number; tests cross-validate against
+/// Bron–Kerbosch on the explicit conflict graph.
+pub fn clique_number_via_load(g: &Digraph, family: &DipathFamily) -> usize {
+    load::max_load(g, family)
+}
+
+/// Check the full Helly property on a set of pairwise-conflicting dipaths:
+/// their common intersection is non-empty (shares at least one arc among
+/// all). Used by property tests on random UPP instances.
+pub fn helly_holds(family: &DipathFamily, clique: &[PathId]) -> bool {
+    if clique.len() < 2 {
+        return true;
+    }
+    // Intersect arc sets progressively.
+    let mut common: std::collections::HashSet<ArcId> = family
+        .path(clique[0])
+        .arcs()
+        .iter()
+        .copied()
+        .collect();
+    for &p in &clique[1..] {
+        let arcs: std::collections::HashSet<ArcId> =
+            family.path(p).arcs().iter().copied().collect();
+        common.retain(|a| arcs.contains(a));
+        if common.is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Lemma 4 (Crossing lemma) checker, used by property tests: given disjoint
+/// dipaths `p1, p2` and disjoint `q1, q2` each intersecting both, if `q1`
+/// meets `p1` before `q2` (by position on `p1`), then `q2` must meet `p2`
+/// before `q1`. Returns `true` when the configuration is consistent with
+/// the lemma (or not applicable).
+pub fn crossing_lemma_holds(
+    family: &DipathFamily,
+    p1: PathId,
+    p2: PathId,
+    q1: PathId,
+    q2: PathId,
+) -> bool {
+    let (p1d, p2d) = (family.path(p1), family.path(p2));
+    let (q1d, q2d) = (family.path(q1), family.path(q2));
+    if p1d.conflicts_with(p2d) || q1d.conflicts_with(q2d) {
+        return true; // not applicable: the pairs must be disjoint
+    }
+    let pos = |host: &Dipath, guest: &Dipath| -> Option<usize> {
+        Intersection::of(host, guest).intervals.first().map(|&(s, _)| s)
+    };
+    let (Some(a11), Some(a12), Some(a21), Some(a22)) = (
+        pos(p1d, q1d),
+        pos(p1d, q2d),
+        pos(p2d, q1d),
+        pos(p2d, q2d),
+    ) else {
+        return true; // not applicable: each q must meet each p
+    };
+    if a11 < a12 {
+        // q1 before q2 on p1 ⇒ q2 before q1 on p2.
+        a22 < a21
+    } else if a12 < a11 {
+        a21 < a22
+    } else {
+        true // met at the same position: degenerate, lemma silent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_paths::ConflictGraph;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn path(g: &Digraph, route: &[usize]) -> Dipath {
+        let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(g, &route).unwrap()
+    }
+
+    #[test]
+    fn unique_dipath_on_tree() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert!(is_upp(&g));
+        let p = unique_dipath(&g, v(0), v(3)).unwrap();
+        assert_eq!(p.vertices(&g), vec![v(0), v(1), v(3)]);
+        assert!(unique_dipath(&g, v(3), v(0)).is_none());
+        assert!(unique_dipath(&g, v(2), v(2)).is_none());
+    }
+
+    #[test]
+    fn helly_intersection_single_run() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = path(&g, &[0, 1, 2, 3, 4]);
+        let q = path(&g, &[2, 3, 4, 5]);
+        assert_eq!(helly_intersection(&p, &q), Some((2, 4)));
+        let r = path(&g, &[4, 5]);
+        assert_eq!(helly_intersection(&p, &r), None);
+    }
+
+    #[test]
+    fn clique_number_equals_load_on_upp_chain() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(is_upp(&g));
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2, 3]),
+            path(&g, &[1, 2, 3, 4]),
+            path(&g, &[2, 3]),
+            path(&g, &[0, 1]),
+        ]);
+        let pi = clique_number_via_load(&g, &f);
+        assert_eq!(pi, 3);
+        // Cross-validate with Bron–Kerbosch on the explicit conflict graph.
+        let cg = ConflictGraph::build(&g, &f);
+        let adj: Vec<Vec<u32>> = (0..cg.vertex_count())
+            .map(|i| cg.neighbors(PathId::from_index(i)).to_vec())
+            .collect();
+        let ug = dagwave_color::UGraph::from_sorted_adjacency(adj);
+        assert_eq!(dagwave_color::clique::clique_number(&ug), pi);
+    }
+
+    #[test]
+    fn helly_holds_on_upp_clique() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2, 3]),
+            path(&g, &[1, 2, 3, 4]),
+            path(&g, &[2, 3]),
+        ]);
+        let ids: Vec<PathId> = f.ids().collect();
+        assert!(helly_holds(&f, &ids));
+        assert!(helly_holds(&f, &ids[..1]), "trivial cliques pass");
+        assert!(helly_holds(&f, &[]));
+    }
+
+    #[test]
+    fn helly_fails_on_non_upp_configuration() {
+        // Three dipaths pairwise intersecting without a common arc — only
+        // possible when UPP fails (a detour around the middle arc).
+        let g = from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 2)],
+        );
+        assert!(!is_upp(&g), "detour 1→5→2 breaks UPP");
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),       // arcs {0→1, 1→2}
+            path(&g, &[1, 2, 3]),       // arcs {1→2, 2→3}
+            path(&g, &[0, 1, 5, 2, 3]), // arcs {0→1, …detour…, 2→3}
+        ]);
+        // Pairwise in conflict: p0∩p1 = {1→2}, p1∩p2 = {2→3}, p0∩p2 = {0→1}.
+        for (i, p) in f.iter() {
+            for (j, q) in f.iter() {
+                if i < j {
+                    assert!(p.conflicts_with(q), "{i} vs {j}");
+                }
+            }
+        }
+        let ids: Vec<PathId> = f.ids().collect();
+        assert!(!helly_holds(&f, &ids), "no common arc: Helly fails");
+    }
+
+    #[test]
+    fn crossing_lemma_on_figure8_configuration() {
+        // Figure 8: the only legal crossing pattern in an UPP-DAG — Q1 goes
+        // P1-then-P2, Q2 goes P2-then-P1, with the meeting orders reversed.
+        let g = from_edges(
+            10,
+            &[
+                (0, 1), (1, 2), (2, 3), // P1 spine
+                (4, 5), (5, 6), (6, 7), // P2 spine
+                (8, 0),                  // Q1 feed
+                (1, 6),                  // Q1 bridge: leaves P1 early, joins P2 late
+                (9, 4),                  // Q2 feed
+                (5, 2),                  // Q2 bridge: leaves P2 early, joins P1 late
+            ],
+        );
+        assert!(is_upp(&g));
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2, 3]),    // P1
+            path(&g, &[4, 5, 6, 7]),    // P2
+            path(&g, &[8, 0, 1, 6, 7]), // Q1: shares 0→1 (P1 pos 0), 6→7 (P2 pos 2)
+            path(&g, &[9, 4, 5, 2, 3]), // Q2: shares 4→5 (P2 pos 0), 2→3 (P1 pos 2)
+        ]);
+        assert!(crossing_lemma_holds(&f, PathId(0), PathId(1), PathId(2), PathId(3)));
+        assert!(crossing_lemma_holds(&f, PathId(1), PathId(0), PathId(2), PathId(3)));
+        // The conflict graph of {P1, P2, Q1, Q2} is exactly C4 (Figure 8).
+        let cg = ConflictGraph::build(&g, &f);
+        assert_eq!(cg.edge_count(), 4);
+        assert!(!cg.are_adjacent(PathId(0), PathId(1)));
+        assert!(!cg.are_adjacent(PathId(2), PathId(3)));
+        assert!(cg.are_adjacent(PathId(0), PathId(2)));
+        assert!(cg.are_adjacent(PathId(1), PathId(3)));
+    }
+
+    #[test]
+    fn crossing_lemma_not_applicable_cases() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 3]),
+            path(&g, &[2, 3]),
+            path(&g, &[0, 1]),
+        ]);
+        // p1, p2 conflict ⇒ lemma silent ⇒ holds.
+        assert!(crossing_lemma_holds(&f, PathId(0), PathId(1), PathId(2), PathId(3)));
+    }
+
+    #[test]
+    fn violation_reported_on_diamond() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(!is_upp(&g));
+        let (u, w) = upp_violation(&g).unwrap();
+        assert_eq!((u, w), (v(0), v(3)));
+    }
+}

@@ -1,0 +1,252 @@
+//! The paper's figures as constructions.
+//!
+//! * [`staircase`] — Figure 1: `k` pairwise-conflicting dipaths with
+//!   `π = 2`, so `w = k` (the unbounded-ratio example).
+//! * [`oriented_cycle_demo`] / [`internal_cycle_demo`] — Figure 2 a/b.
+//! * [`figure3`] — the 5-dipath `C5` instance on a one-internal-cycle DAG
+//!   (`π = 2`, `w = 3`).
+//! * [`theorem2_family`] — Figure 5: the size-`k` internal cycle with
+//!   `2k + 1` dipaths forming `C_{2k+1}` (`π = 2`, `w = 3`).
+//! * [`crossing_c4`] — Figure 8: the legal UPP crossing pattern whose
+//!   conflict graph is `C4`.
+
+use crate::Instance;
+use dagwave_graph::{ArcId, Digraph, VertexId};
+use dagwave_paths::{Dipath, DipathFamily};
+
+/// Figure 1 — the pathological staircase.
+///
+/// `k` dipaths such that every pair shares exactly one arc (each shared arc
+/// has load exactly 2, private connector arcs have load 1). The conflict
+/// graph is `K_k`, so `w = k` while `π = 2` (for `k ≥ 2`): no function of
+/// `π` bounds `w` on DAGs with internal cycles.
+///
+/// Realization: a shared arc `e_{ij}` per pair `i < j`, placed on level
+/// `i + j`; dipath `i` traverses `e_{0,i}, …, e_{i-1,i}, e_{i,i+1}, …,
+/// e_{i,k-1}` (strictly increasing levels, hence a DAG), glued by private
+/// arcs.
+#[allow(clippy::needless_range_loop)] // (i, j) are pair indices, not positions
+pub fn staircase(k: usize) -> Instance {
+    assert!(k >= 1, "need at least one dipath");
+    let mut g = Digraph::new();
+    if k == 1 {
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let arc = g.add_arc(a, b);
+        let family = DipathFamily::from_paths(vec![Dipath::single(arc)]);
+        return Instance { graph: g, family, name: "fig1-staircase-k1".into() };
+    }
+    // Shared arc per pair (i, j), i < j.
+    let mut shared: Vec<Vec<Option<ArcId>>> = vec![vec![None; k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let u = g.add_vertex();
+            let v = g.add_vertex();
+            shared[i][j] = Some(g.add_arc(u, v));
+        }
+    }
+    let mut paths = Vec::with_capacity(k);
+    for i in 0..k {
+        // Pair sequence of dipath i, in increasing level order.
+        let seq: Vec<ArcId> = (0..i)
+            .map(|j| shared[j][i].expect("pair arc"))
+            .chain(((i + 1)..k).map(|j| shared[i][j].expect("pair arc")))
+            .collect();
+        // Glue consecutive shared arcs with private connectors.
+        let mut arcs = Vec::with_capacity(2 * seq.len());
+        arcs.push(seq[0]);
+        for w in seq.windows(2) {
+            let from = g.head(w[0]);
+            let to = g.tail(w[1]);
+            arcs.push(g.add_arc(from, to));
+            arcs.push(w[1]);
+        }
+        paths.push(Dipath::from_arcs(&g, arcs).expect("staircase path is contiguous"));
+    }
+    Instance {
+        graph: g,
+        family: DipathFamily::from_paths(paths),
+        name: format!("fig1-staircase-k{k}"),
+    }
+}
+
+/// Figure 2a — an oriented cycle that is *not* internal (plain diamond:
+/// the top vertex is a source, the bottom a sink).
+pub fn oriented_cycle_demo() -> Digraph {
+    dagwave_graph::builder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+}
+
+/// Figure 2b — an internal cycle: the same diamond with a guard
+/// predecessor above and successor below, making every cycle vertex
+/// internal.
+pub fn internal_cycle_demo() -> Digraph {
+    dagwave_graph::builder::from_edges(
+        6,
+        &[(4, 0), (0, 1), (0, 2), (1, 3), (2, 3), (3, 5)],
+    )
+}
+
+/// Figure 3 — one internal cycle, five dipaths, `π = 2`, `w = 3`.
+///
+/// The digraph is the chain `a → b → c → d → e` plus the second dipath
+/// `b → d` (a direct arc); the five dipaths' conflict graph is `C5`.
+pub fn figure3() -> Instance {
+    let mut g = Digraph::new();
+    let vs = g.add_vertices(5); // a b c d e
+    let (a, b, c, d, e) = (vs[0], vs[1], vs[2], vs[3], vs[4]);
+    let ab = g.add_arc(a, b);
+    let bc = g.add_arc(b, c);
+    let cd = g.add_arc(c, d);
+    let de = g.add_arc(d, e);
+    let bd = g.add_arc(b, d);
+    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("figure 3 path");
+    let family = DipathFamily::from_paths(vec![
+        p(vec![ab, bc]),     // a b c
+        p(vec![bc, cd]),     // b c d
+        p(vec![cd, de]),     // c d e
+        p(vec![bd, de]),     // b d e  (second dipath b→d)
+        p(vec![ab, bd]),     // a b d  (second dipath b→d)
+    ]);
+    Instance { graph: g, family, name: "fig3-c5".into() }
+}
+
+/// Figure 5 / Theorem 2 — the size-`k` internal cycle (`k ≥ 2`) with
+/// `2k + 1` dipaths whose conflict graph is the odd cycle `C_{2k+1}`:
+/// `π = 2`, `w = 3`.
+///
+/// Arcs: `a_i → b_i`, `b_i → c_i`, `b_i → c_{i-1}` (mod `k`), `c_i → d_i`.
+pub fn theorem2_family(k: usize) -> Instance {
+    assert!(k >= 2, "the cycle construction needs k ≥ 2 (see figure3() for k = 1)");
+    let mut g = Digraph::new();
+    let a: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
+    let b: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
+    let c: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
+    let d: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
+    let ab: Vec<ArcId> = (0..k).map(|i| g.add_arc(a[i], b[i])).collect();
+    let bc: Vec<ArcId> = (0..k).map(|i| g.add_arc(b[i], c[i])).collect();
+    let bc_prev: Vec<ArcId> = (0..k)
+        .map(|i| g.add_arc(b[i], c[(i + k - 1) % k]))
+        .collect();
+    let cd: Vec<ArcId> = (0..k).map(|i| g.add_arc(c[i], d[i])).collect();
+    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("theorem 2 path");
+    let mut paths = Vec::with_capacity(2 * k + 1);
+    paths.push(p(vec![ab[0], bc[0]])); // X  = a1 b1 c1
+    paths.push(p(vec![bc[0], cd[0]])); // Y  = b1 c1 d1
+    for i in 1..k {
+        // A_i = a_i b_i c_{i-1} d_{i-1} ; B_i = a_i b_i c_i d_i
+        paths.push(p(vec![ab[i], bc_prev[i], cd[i - 1]]));
+        paths.push(p(vec![ab[i], bc[i], cd[i]]));
+    }
+    paths.push(p(vec![ab[0], bc_prev[0], cd[k - 1]])); // Z = a1 b1 ck dk
+    Instance {
+        graph: g,
+        family: DipathFamily::from_paths(paths),
+        name: format!("fig5-theorem2-k{k}"),
+    }
+}
+
+/// Figure 8 — the only legal UPP crossing configuration: two disjoint
+/// spines `P1`, `P2` and two crossing dipaths `Q1` (P1 early → P2 late),
+/// `Q2` (P2 early → P1 late). Conflict graph: `C4`.
+pub fn crossing_c4() -> Instance {
+    let g = dagwave_graph::builder::from_edges(
+        10,
+        &[
+            (0, 1), (1, 2), (2, 3), // P1 spine
+            (4, 5), (5, 6), (6, 7), // P2 spine
+            (8, 0),                  // Q1 feed
+            (1, 6),                  // Q1 bridge
+            (9, 4),                  // Q2 feed
+            (5, 2),                  // Q2 bridge
+        ],
+    );
+    let v = |i: usize| VertexId::from_index(i);
+    let p = |route: &[usize]| {
+        let r: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(&g, &r).expect("crossing path")
+    };
+    let family = DipathFamily::from_paths(vec![
+        p(&[0, 1, 2, 3]),
+        p(&[4, 5, 6, 7]),
+        p(&[8, 0, 1, 6, 7]),
+        p(&[9, 4, 5, 2, 3]),
+    ]);
+    Instance { graph: g, family, name: "fig8-crossing-c4".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_paths::{load, ConflictGraph, PathId};
+
+    #[test]
+    fn staircase_is_k_clique_with_load_two() {
+        for k in [2usize, 3, 5, 8] {
+            let inst = staircase(k);
+            assert!(dagwave_graph::topo::is_dag(&inst.graph), "k={k}");
+            assert_eq!(inst.load(), 2, "k={k}");
+            let cg = ConflictGraph::build(&inst.graph, &inst.family);
+            assert_eq!(cg.vertex_count(), k);
+            assert_eq!(cg.edge_count(), k * (k - 1) / 2, "K_{k} conflicts");
+        }
+    }
+
+    #[test]
+    fn staircase_k1_trivial() {
+        let inst = staircase(1);
+        assert_eq!(inst.family.len(), 1);
+        assert_eq!(inst.load(), 1);
+    }
+
+    #[test]
+    fn figure2_demos_classify_correctly() {
+        use dagwave_core::internal;
+        assert!(internal::is_internal_cycle_free(&oriented_cycle_demo()));
+        assert!(internal::has_internal_cycle(&internal_cycle_demo()));
+        assert_eq!(internal::internal_cycle_count(&internal_cycle_demo()), 1);
+    }
+
+    #[test]
+    fn figure3_matches_paper() {
+        let inst = figure3();
+        assert!(dagwave_graph::topo::is_dag(&inst.graph));
+        assert_eq!(inst.load(), 2, "π = 2");
+        assert_eq!(dagwave_core::internal::internal_cycle_count(&inst.graph), 1);
+        let cg = ConflictGraph::build(&inst.graph, &inst.family);
+        assert_eq!(cg.vertex_count(), 5);
+        assert_eq!(cg.edge_count(), 5, "C5 has 5 edges");
+        // Every vertex has degree 2 (a 5-cycle) and the graph is connected.
+        for i in 0..5 {
+            assert_eq!(cg.degree(PathId::from_index(i)), 2);
+        }
+    }
+
+    #[test]
+    fn theorem2_family_is_odd_cycle() {
+        for k in [2usize, 3, 4, 6] {
+            let inst = theorem2_family(k);
+            assert!(dagwave_graph::topo::is_dag(&inst.graph), "k={k}");
+            assert_eq!(load::max_load(&inst.graph, &inst.family), 2, "k={k}");
+            assert_eq!(inst.family.len(), 2 * k + 1);
+            let cg = ConflictGraph::build(&inst.graph, &inst.family);
+            assert_eq!(cg.edge_count(), 2 * k + 1, "C_{{2k+1}} edge count, k={k}");
+            for i in 0..cg.vertex_count() {
+                assert_eq!(cg.degree(PathId::from_index(i)), 2, "k={k} vertex {i}");
+            }
+            // The internal cycle exists.
+            assert!(dagwave_core::internal::has_internal_cycle(&inst.graph));
+        }
+    }
+
+    #[test]
+    fn crossing_c4_is_upp_with_c4_conflicts() {
+        let inst = crossing_c4();
+        assert!(dagwave_graph::pathcount::is_upp(&inst.graph));
+        let cg = ConflictGraph::build(&inst.graph, &inst.family);
+        assert_eq!(cg.vertex_count(), 4);
+        assert_eq!(cg.edge_count(), 4);
+        for i in 0..4 {
+            assert_eq!(cg.degree(PathId::from_index(i)), 2);
+        }
+    }
+}

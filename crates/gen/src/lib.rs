@@ -1,0 +1,45 @@
+//! # dagwave-gen
+//!
+//! Instance generators: every figure of the paper as a reusable
+//! construction, plus seeded random workloads for the scaling benchmarks.
+//!
+//! * [`figures`] — Figures 1, 2, 3, 5, 8 (staircase, cycle demos, the `C5`
+//!   instance, the Theorem-2 family, the crossing-lemma `C4`).
+//! * [`havet`] — Figure 9 / Theorem 7 (the `⌈8h/3⌉` tight example).
+//! * [`theorem2`] — the `π = 2, w = 3` witness family on an arbitrary
+//!   internal cycle of any DAG.
+//! * [`random`] — seeded random DAGs (layered, out-trees, fans,
+//!   single-cycle UPP) and random dipath families.
+//!
+//! All generators return an [`Instance`] bundling the digraph with a dipath
+//! family and the paper-claimed quantities where applicable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod io;
+pub mod havet;
+pub mod random;
+pub mod theorem2;
+
+use dagwave_graph::Digraph;
+use dagwave_paths::DipathFamily;
+
+/// A generated instance: a digraph plus a dipath family.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The host DAG.
+    pub graph: Digraph,
+    /// The dipath family `P`.
+    pub family: DipathFamily,
+    /// Human-readable tag (figure id / generator parameters).
+    pub name: String,
+}
+
+impl Instance {
+    /// `π(G, P)` of the instance.
+    pub fn load(&self) -> usize {
+        dagwave_paths::load::max_load(&self.graph, &self.family)
+    }
+}

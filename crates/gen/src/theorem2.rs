@@ -1,0 +1,321 @@
+//! Theorem 2 — the `π = 2, w = 3` witness family on *any* internal cycle.
+//!
+//! Given an arbitrary DAG containing an internal cycle, build a dipath
+//! family of load 2 whose conflict graph is an odd cycle (`C5` or
+//! `C_{2k+1}`), hence needing 3 wavelengths. Together with Theorem 1, this
+//! proves the Main Theorem: `w = π` universally ⟺ no internal cycle.
+
+use dagwave_graph::undirected::OrientedCycle;
+use dagwave_graph::{ArcId, Digraph, VertexId};
+use dagwave_paths::{Dipath, DipathFamily};
+
+/// Failure modes of the witness construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessError {
+    /// The digraph has no internal cycle (Theorem 1 territory).
+    NoInternalCycle,
+    /// Degenerate `k = 1` cycle made of two single-arc dipaths (parallel
+    /// arcs): the odd-cycle family needs a run of length ≥ 2.
+    DegenerateParallelCycle,
+    /// Could not pick collision-free guard arcs (pathological sharing of
+    /// predecessors/successors between turn vertices).
+    GuardCollision,
+}
+
+impl std::fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WitnessError::NoInternalCycle => write!(f, "no internal cycle in the digraph"),
+            WitnessError::DegenerateParallelCycle => {
+                write!(f, "internal cycle is two parallel arcs; no odd-cycle family exists")
+            }
+            WitnessError::GuardCollision => {
+                write!(f, "could not choose collision-free guard arcs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// One directed run of the internal cycle: a dipath `from ⇝ to` given by
+/// consecutive arcs.
+#[derive(Clone, Debug)]
+pub struct CycleRun {
+    /// Out-turn vertex the run leaves.
+    pub from: VertexId,
+    /// In-turn vertex the run enters.
+    pub to: VertexId,
+    /// The arcs, in dipath order.
+    pub arcs: Vec<ArcId>,
+}
+
+/// Decompose an oriented cycle into its maximal directed runs, each
+/// reported as a forward dipath between turn vertices. Runs alternate
+/// "with the walk" and "against the walk"; both are returned in dipath
+/// (arc) direction. The walk is rotated so that runs pair up as the
+/// paper's `b_i ⇝ c_i` / `b_{i+1} ⇝ c_i` pattern.
+pub fn directed_runs(g: &Digraph, cycle: &OrientedCycle) -> Vec<CycleRun> {
+    debug_assert!(cycle.validate(g), "malformed oriented cycle");
+    let k = cycle.len();
+    debug_assert!(k >= 2);
+    // Rotate so the walk starts at the beginning of a forward run.
+    let start = (0..k)
+        .find(|&i| cycle.steps[i].forward && !cycle.steps[(i + k - 1) % k].forward)
+        .expect("an oriented cycle in a DAG alternates direction");
+    let mut runs: Vec<CycleRun> = Vec::new();
+    let mut i = 0;
+    while i < k {
+        let idx = (start + i) % k;
+        let forward = cycle.steps[idx].forward;
+        let mut arcs = Vec::new();
+        let run_start = cycle.vertices[idx];
+        let mut j = i;
+        while j < k && cycle.steps[(start + j) % k].forward == forward {
+            arcs.push(cycle.steps[(start + j) % k].arc);
+            j += 1;
+        }
+        let run_end = cycle.vertices[(start + j) % k];
+        if forward {
+            runs.push(CycleRun { from: run_start, to: run_end, arcs });
+        } else {
+            // Walked against the arcs: as a dipath it goes run_end → run_start.
+            arcs.reverse();
+            runs.push(CycleRun { from: run_end, to: run_start, arcs });
+        }
+        i = j;
+    }
+    runs
+}
+
+/// Build the Theorem-2 witness family on the digraph's first internal
+/// cycle: load 2, conflict graph an odd cycle, so `w = 3 > 2 = π`.
+pub fn witness_family(g: &Digraph) -> Result<DipathFamily, WitnessError> {
+    let cycle =
+        dagwave_core::internal::find_internal_cycle(g).ok_or(WitnessError::NoInternalCycle)?;
+    witness_on_cycle(g, &cycle)
+}
+
+/// [`witness_family`] on an explicit internal cycle.
+pub fn witness_on_cycle(
+    g: &Digraph,
+    cycle: &OrientedCycle,
+) -> Result<DipathFamily, WitnessError> {
+    let runs = directed_runs(g, cycle);
+    debug_assert!(runs.len() % 2 == 0, "even number of alternating runs");
+    let k = runs.len() / 2;
+
+    // Guard arcs: a non-cycle in-arc per out-turn, non-cycle out-arc per
+    // in-turn. Turn vertices are internal, and the cycle arcs at an
+    // out-turn all leave it (resp. enter an in-turn), so guards exist.
+    let cycle_arcs: std::collections::HashSet<ArcId> =
+        cycle.steps.iter().map(|s| s.arc).collect();
+    let out_turns: Vec<VertexId> = {
+        let mut seen = std::collections::HashSet::new();
+        runs.iter()
+            .map(|r| r.from)
+            .filter(|&v| seen.insert(v))
+            .collect()
+    };
+    let in_turns: Vec<VertexId> = {
+        let mut seen = std::collections::HashSet::new();
+        runs.iter()
+            .map(|r| r.to)
+            .filter(|&v| seen.insert(v))
+            .collect()
+    };
+    let mut taken = std::collections::HashSet::new();
+    let mut pred: std::collections::HashMap<VertexId, ArcId> = Default::default();
+    for &b in &out_turns {
+        let arc = g
+            .in_arcs(b)
+            .iter()
+            .copied()
+            .find(|a| !cycle_arcs.contains(a) && !taken.contains(a))
+            .ok_or(WitnessError::GuardCollision)?;
+        taken.insert(arc);
+        pred.insert(b, arc);
+    }
+    let mut succ: std::collections::HashMap<VertexId, ArcId> = Default::default();
+    for &c in &in_turns {
+        let arc = g
+            .out_arcs(c)
+            .iter()
+            .copied()
+            .find(|a| !cycle_arcs.contains(a) && !taken.contains(a))
+            .ok_or(WitnessError::GuardCollision)?;
+        taken.insert(arc);
+        succ.insert(c, arc);
+    }
+
+    let mk = |arcs: Vec<ArcId>| Dipath::from_arcs(g, arcs).expect("witness path contiguity");
+
+    if k == 1 {
+        // Two dipaths R1, R2 from b to c (Figure 3 pattern). Need a run of
+        // length ≥ 2.
+        let (r_long, r_short) = if runs[0].arcs.len() >= runs[1].arcs.len() {
+            (&runs[0], &runs[1])
+        } else {
+            (&runs[1], &runs[0])
+        };
+        if r_long.arcs.len() < 2 {
+            return Err(WitnessError::DegenerateParallelCycle);
+        }
+        let b = r_long.from;
+        let c = r_long.to;
+        let pb = pred[&b];
+        let sc = succ[&c];
+        return Ok(DipathFamily::from_paths(vec![
+            mk(vec![pb, r_long.arcs[0]]),                       // P1 = pred + R1 start
+            mk(r_long.arcs.clone()),                            // P2 = R1
+            mk(vec![*r_long.arcs.last().unwrap(), sc]),         // P3 = R1 end + succ
+            mk({
+                let mut v = r_short.arcs.clone();
+                v.push(sc);
+                v
+            }),                                                 // P4 = R2 + succ
+            mk({
+                let mut v = vec![pb];
+                v.extend_from_slice(&r_short.arcs);
+                v
+            }),                                                 // P5 = pred + R2
+        ]));
+    }
+
+    // k ≥ 2: runs alternate D_i (b_i ⇝ c_i) and D'_{i+1} (b_{i+1} ⇝ c_i).
+    // runs[2i] = b_i ⇝ c_i, runs[2i+1] = b_{i+1} ⇝ c_i (by the rotation).
+    let d_run = |i: usize| &runs[2 * (i % k)]; // b_i ⇝ c_i
+    let dp_run = |i: usize| &runs[(2 * (i % k) + 1) % (2 * k)]; // b_{i+1} ⇝ c_i
+    let b_of = |i: usize| d_run(i).from;
+    let c_of = |i: usize| d_run(i).to;
+
+    let mut paths = Vec::with_capacity(2 * k + 1);
+    // X = pred(b_0) + D_0
+    paths.push(mk({
+        let mut v = vec![pred[&b_of(0)]];
+        v.extend_from_slice(&d_run(0).arcs);
+        v
+    }));
+    // Y = D_0 + succ(c_0)
+    paths.push(mk({
+        let mut v = d_run(0).arcs.clone();
+        v.push(succ[&c_of(0)]);
+        v
+    }));
+    // For i = 1..k-1: A_i = pred(b_i) + D'_{i-1→} … the run b_i ⇝ c_{i-1}
+    // is dp_run(i-1); B_i = pred(b_i) + D_i + succ(c_i).
+    for i in 1..k {
+        paths.push(mk({
+            let mut v = vec![pred[&b_of(i)]];
+            v.extend_from_slice(&dp_run(i - 1).arcs);
+            v.push(succ[&c_of(i - 1)]);
+            v
+        }));
+        paths.push(mk({
+            let mut v = vec![pred[&b_of(i)]];
+            v.extend_from_slice(&d_run(i).arcs);
+            v.push(succ[&c_of(i)]);
+            v
+        }));
+    }
+    // Z = pred(b_0) + (b_0 ⇝ c_{k-1}) + succ(c_{k-1})
+    paths.push(mk({
+        let mut v = vec![pred[&b_of(0)]];
+        v.extend_from_slice(&dp_run(k - 1).arcs);
+        v.push(succ[&c_of(k - 1)]);
+        v
+    }));
+    Ok(DipathFamily::from_paths(paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_paths::{load, ConflictGraph, PathId};
+
+    fn assert_odd_cycle_witness(g: &Digraph, family: &DipathFamily) {
+        assert_eq!(load::max_load(g, family), 2, "π = 2");
+        let cg = ConflictGraph::build(g, family);
+        let n = cg.vertex_count();
+        assert_eq!(n % 2, 1, "odd number of dipaths");
+        assert_eq!(cg.edge_count(), n, "cycle edge count");
+        for i in 0..n {
+            assert_eq!(cg.degree(PathId::from_index(i)), 2, "vertex {i} degree");
+        }
+        // Connected 2-regular graph of odd order = odd cycle ⇒ χ = 3.
+        let sol = dagwave_core::WavelengthSolver::new().solve(g, family).unwrap();
+        assert_eq!(sol.num_colors, 3, "w = 3");
+    }
+
+    #[test]
+    fn witness_on_figure3_graph() {
+        let inst = crate::figures::figure3();
+        let family = witness_family(&inst.graph).unwrap();
+        assert_odd_cycle_witness(&inst.graph, &family);
+    }
+
+    #[test]
+    fn witness_on_guarded_diamond() {
+        // k = 1 cycle with both runs of length 2.
+        let g = dagwave_graph::builder::from_edges(
+            8,
+            &[(6, 0), (0, 1), (1, 3), (0, 2), (2, 3), (3, 7)],
+        );
+        let family = witness_family(&g).unwrap();
+        assert_odd_cycle_witness(&g, &family);
+    }
+
+    #[test]
+    fn witness_on_figure5_graph() {
+        for k in [2usize, 3, 5] {
+            let inst = crate::figures::theorem2_family(k);
+            let family = witness_family(&inst.graph).unwrap();
+            assert_odd_cycle_witness(&inst.graph, &family);
+        }
+    }
+
+    #[test]
+    fn witness_on_havet_graph() {
+        let g = crate::havet::havet_graph();
+        let family = witness_family(&g).unwrap();
+        assert_odd_cycle_witness(&g, &family);
+    }
+
+    #[test]
+    fn no_internal_cycle_is_rejected() {
+        let g = dagwave_graph::builder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(matches!(witness_family(&g), Err(WitnessError::NoInternalCycle)));
+    }
+
+    #[test]
+    fn parallel_arc_cycle_is_degenerate() {
+        // pred → b ⇉ c → succ: the internal cycle is two parallel arcs.
+        let mut g = Digraph::new();
+        let vs = g.add_vertices(4);
+        g.add_arc(vs[0], vs[1]);
+        g.add_arc(vs[1], vs[2]);
+        g.add_arc(vs[1], vs[2]);
+        g.add_arc(vs[2], vs[3]);
+        assert!(dagwave_core::internal::has_internal_cycle(&g));
+        assert!(matches!(
+            witness_family(&g),
+            Err(WitnessError::DegenerateParallelCycle)
+        ));
+    }
+
+    #[test]
+    fn directed_runs_structure() {
+        let inst = crate::figures::figure3();
+        let cycle = dagwave_core::internal::find_internal_cycle(&inst.graph).unwrap();
+        let runs = directed_runs(&inst.graph, &cycle);
+        assert_eq!(runs.len(), 2, "k = 1 cycle has two runs");
+        // Both runs go b → d (vertex 1 → vertex 3).
+        for r in &runs {
+            assert_eq!(r.from, VertexId(1));
+            assert_eq!(r.to, VertexId(3));
+            let p = Dipath::from_arcs(&inst.graph, r.arcs.clone()).unwrap();
+            assert_eq!(p.source(&inst.graph), r.from);
+            assert_eq!(p.target(&inst.graph), r.to);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! A dense fixed-capacity bitset.
+//!
+//! Used throughout the workspace for vertex/arc/dipath membership tests where
+//! `HashSet` would be both slower and larger (perf-book: prefer dense
+//! structures with integer keys). Word-level operations make unions,
+//! intersections and population counts branch-free.
+
+/// A fixed-capacity set of `usize` keys in `0..len`, stored one bit per key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Create an empty bitset with capacity for keys `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Capacity (number of addressable keys).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !had
+    }
+
+    /// Remove `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        had
+    }
+
+    /// Test membership of `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other` (capacities must match).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference `self \ other` (capacities must match).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` if `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the present keys in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Smallest key not present, or `None` if the set is full.
+    ///
+    /// This is the "first free color" primitive used by greedy coloring.
+    pub fn first_absent(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let b = (!w).trailing_zeros() as usize;
+                let idx = wi * WORD_BITS + b;
+                if idx < self.len {
+                    return Some(idx);
+                } else {
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Raw word slice (read-only), for bulk parallel operations.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a bitset with capacity `max + 1` of the yielded keys.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut bs = BitSet::new(cap);
+        for i in items {
+            bs.insert(i);
+        }
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bs = BitSet::new(130);
+        assert!(bs.insert(0));
+        assert!(bs.insert(64));
+        assert!(bs.insert(129));
+        assert!(!bs.insert(64), "double insert reports false");
+        assert!(bs.contains(0) && bs.contains(64) && bs.contains(129));
+        assert!(!bs.contains(1));
+        assert!(bs.remove(64));
+        assert!(!bs.remove(64));
+        assert!(!bs.contains(64));
+        assert_eq!(bs.count(), 2);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut bs = BitSet::new(10);
+        assert!(bs.is_empty());
+        bs.insert(3);
+        assert!(!bs.is_empty());
+        bs.clear();
+        assert!(bs.is_empty());
+        assert_eq!(bs.count(), 0);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in [1, 5, 70] {
+            a.insert(i);
+        }
+        for i in [5, 70, 99] {
+            b.insert(i);
+        }
+        assert!(a.intersects(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 70, 99]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![5, 70]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_order_is_sorted() {
+        let mut bs = BitSet::new(300);
+        for i in [250, 3, 64, 65, 128] {
+            bs.insert(i);
+        }
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![3, 64, 65, 128, 250]);
+    }
+
+    #[test]
+    fn first_absent_scans_words() {
+        let mut bs = BitSet::new(130);
+        assert_eq!(bs.first_absent(), Some(0));
+        for i in 0..65 {
+            bs.insert(i);
+        }
+        assert_eq!(bs.first_absent(), Some(65));
+        for i in 65..130 {
+            bs.insert(i);
+        }
+        assert_eq!(bs.first_absent(), None, "full set has no absent key");
+    }
+
+    #[test]
+    fn first_absent_respects_capacity() {
+        let mut bs = BitSet::new(3);
+        bs.insert(0);
+        bs.insert(1);
+        bs.insert(2);
+        // Word has free bits past index 2, but they are out of capacity.
+        assert_eq!(bs.first_absent(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bs: BitSet = [4usize, 1, 9].into_iter().collect();
+        assert_eq!(bs.capacity(), 10);
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn intersects_disjoint_is_false() {
+        let a: BitSet = [1usize, 2].into_iter().collect();
+        let mut b = BitSet::new(3);
+        b.insert(0);
+        assert!(!a.intersects(&b));
+    }
+}

@@ -1,0 +1,170 @@
+//! Ergonomic construction of digraphs from edge lists and named vertices.
+//!
+//! Figures in the paper are specified with letter-named vertices
+//! (`a1, b1, c1, …`); the builder keeps a name → id map so generators and
+//! tests can be written in the paper's own notation.
+
+use crate::digraph::Digraph;
+use crate::error::GraphError;
+use crate::ids::{ArcId, VertexId};
+use std::collections::HashMap;
+
+/// Incremental digraph builder with optional string-named vertices.
+#[derive(Default)]
+pub struct DigraphBuilder {
+    graph: Digraph,
+    names: HashMap<String, VertexId>,
+    labels: Vec<Option<String>>,
+}
+
+impl DigraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the vertex with the given name.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        if let Some(&v) = self.names.get(name) {
+            return v;
+        }
+        let v = self.graph.add_vertex();
+        self.names.insert(name.to_owned(), v);
+        self.labels.push(Some(name.to_owned()));
+        v
+    }
+
+    /// Add an anonymous vertex.
+    pub fn anon(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.labels.push(None);
+        v
+    }
+
+    /// Add an arc between named vertices, creating them as needed.
+    pub fn arc(&mut self, tail: &str, head: &str) -> ArcId {
+        let (t, h) = (self.vertex(tail), self.vertex(head));
+        self.graph.add_arc(t, h)
+    }
+
+    /// Add an arc between existing ids.
+    pub fn arc_ids(&mut self, tail: VertexId, head: VertexId) -> Result<ArcId, GraphError> {
+        self.graph.try_add_arc(tail, head)
+    }
+
+    /// Add a chain of arcs through the named vertices, e.g.
+    /// `chain(&["a", "b", "c"])` adds `a→b` and `b→c`. Returns the arc ids.
+    pub fn chain(&mut self, names: &[&str]) -> Vec<ArcId> {
+        names
+            .windows(2)
+            .map(|w| self.arc(w[0], w[1]))
+            .collect()
+    }
+
+    /// Look up a named vertex without creating it.
+    pub fn get(&self, name: &str) -> Option<VertexId> {
+        self.names.get(name).copied()
+    }
+
+    /// Label of vertex `v` if it was created by name.
+    pub fn label(&self, v: VertexId) -> Option<&str> {
+        self.labels.get(v.index()).and_then(|l| l.as_deref())
+    }
+
+    /// Number of vertices built so far.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Borrow the graph under construction.
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Finish, returning the digraph.
+    pub fn build(self) -> Digraph {
+        self.graph
+    }
+
+    /// Finish, returning the digraph and the name → id map.
+    pub fn build_named(self) -> (Digraph, HashMap<String, VertexId>) {
+        (self.graph, self.names)
+    }
+}
+
+/// Build a digraph with `n` vertices from an edge list of index pairs.
+///
+/// ```
+/// let g = dagwave_graph::builder::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.arc_count(), 2);
+/// ```
+pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Digraph {
+    let mut g = Digraph::with_vertices(n);
+    for &(t, h) in edges {
+        g.add_arc(VertexId::from_index(t), VertexId::from_index(h));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_vertices_are_deduplicated() {
+        let mut b = DigraphBuilder::new();
+        let a1 = b.vertex("a");
+        let a2 = b.vertex("a");
+        assert_eq!(a1, a2);
+        assert_eq!(b.vertex_count(), 1);
+    }
+
+    #[test]
+    fn arcs_by_name() {
+        let mut b = DigraphBuilder::new();
+        b.arc("a", "b");
+        b.arc("b", "c");
+        let (g, names) = b.build_named();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.arc_count(), 2);
+        let a = names["a"];
+        let b_ = names["b"];
+        assert!(g.find_arc(a, b_).is_some());
+    }
+
+    #[test]
+    fn chain_builds_consecutive_arcs() {
+        let mut b = DigraphBuilder::new();
+        let arcs = b.chain(&["s", "x", "y", "t"]);
+        assert_eq!(arcs.len(), 3);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.arc_count(), 3);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let mut b = DigraphBuilder::new();
+        let v = b.vertex("root");
+        let anon = b.anon();
+        assert_eq!(b.label(v), Some("root"));
+        assert_eq!(b.label(anon), None);
+        assert_eq!(b.get("root"), Some(v));
+        assert_eq!(b.get("missing"), None);
+    }
+
+    #[test]
+    fn from_edges_constructor() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.sources().len(), 1);
+    }
+
+    #[test]
+    fn arc_ids_validates() {
+        let mut b = DigraphBuilder::new();
+        let v = b.vertex("a");
+        assert!(b.arc_ids(v, v).is_err(), "self-loop rejected");
+    }
+}

@@ -1,0 +1,205 @@
+//! Compressed sparse row (CSR) snapshot of a digraph.
+//!
+//! The arena [`Digraph`] stores per-vertex `Vec`s — ideal
+//! for construction, but each adjacency list is its own allocation. For the
+//! read-heavy phases (peeling, reachability sweeps, load computation over
+//! millions of dipath arcs) a CSR snapshot packs all out-arcs (and
+//! in-arcs) into two flat arrays each, halving memory and making neighbor
+//! iteration a contiguous scan (perf-book: prefer dense, boxed-slice
+//! layouts for hot read-only data).
+
+use crate::digraph::Digraph;
+use crate::ids::{ArcId, VertexId};
+
+/// Immutable CSR view of a digraph (out- and in-adjacency).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `out_start[v] .. out_start[v+1]` indexes `out_arcs`.
+    out_start: Box<[u32]>,
+    out_arcs: Box<[ArcId]>,
+    in_start: Box<[u32]>,
+    in_arcs: Box<[ArcId]>,
+    /// Arc endpoints, indexed by arc id: `(tail, head)`.
+    endpoints: Box<[(VertexId, VertexId)]>,
+}
+
+impl Csr {
+    /// Snapshot `g`.
+    pub fn from_digraph(g: &Digraph) -> Self {
+        let n = g.vertex_count();
+        let m = g.arc_count();
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_arcs = Vec::with_capacity(m);
+        let mut in_start = Vec::with_capacity(n + 1);
+        let mut in_arcs = Vec::with_capacity(m);
+        for v in g.vertices() {
+            out_start.push(out_arcs.len() as u32);
+            out_arcs.extend_from_slice(g.out_arcs(v));
+            in_start.push(in_arcs.len() as u32);
+            in_arcs.extend_from_slice(g.in_arcs(v));
+        }
+        out_start.push(out_arcs.len() as u32);
+        in_start.push(in_arcs.len() as u32);
+        let endpoints = g
+            .arcs()
+            .map(|(_, a)| (a.tail, a.head))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Csr {
+            out_start: out_start.into_boxed_slice(),
+            out_arcs: out_arcs.into_boxed_slice(),
+            in_start: in_start.into_boxed_slice(),
+            in_arcs: in_arcs.into_boxed_slice(),
+            endpoints,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.out_start.len() - 1
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Outgoing arc ids of `v` (contiguous slice).
+    #[inline]
+    pub fn out_arcs(&self, v: VertexId) -> &[ArcId] {
+        let (s, e) = (
+            self.out_start[v.index()] as usize,
+            self.out_start[v.index() + 1] as usize,
+        );
+        &self.out_arcs[s..e]
+    }
+
+    /// Incoming arc ids of `v`.
+    #[inline]
+    pub fn in_arcs(&self, v: VertexId) -> &[ArcId] {
+        let (s, e) = (
+            self.in_start[v.index()] as usize,
+            self.in_start[v.index() + 1] as usize,
+        );
+        &self.in_arcs[s..e]
+    }
+
+    /// Tail of arc `a`.
+    #[inline]
+    pub fn tail(&self, a: ArcId) -> VertexId {
+        self.endpoints[a.index()].0
+    }
+
+    /// Head of arc `a`.
+    #[inline]
+    pub fn head(&self, a: ArcId) -> VertexId {
+        self.endpoints[a.index()].1
+    }
+
+    /// Outdegree of `v`.
+    #[inline]
+    pub fn outdegree(&self, v: VertexId) -> usize {
+        self.out_arcs(v).len()
+    }
+
+    /// Indegree of `v`.
+    #[inline]
+    pub fn indegree(&self, v: VertexId) -> usize {
+        self.in_arcs(v).len()
+    }
+
+    /// Kahn topological order directly on the CSR (allocation-light).
+    pub fn topological_order(&self) -> Option<Vec<VertexId>> {
+        let n = self.vertex_count();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.indegree(VertexId::from_index(i)) as u32)
+            .collect();
+        let mut order: Vec<VertexId> = (0..n)
+            .map(VertexId::from_index)
+            .filter(|&v| indeg[v.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &a in self.out_arcs(v) {
+                let w = self.head(a);
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    order.push(w);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn snapshot_matches_digraph() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.vertex_count(), g.vertex_count());
+        assert_eq!(csr.arc_count(), g.arc_count());
+        for vert in g.vertices() {
+            assert_eq!(csr.out_arcs(vert), g.out_arcs(vert));
+            assert_eq!(csr.in_arcs(vert), g.in_arcs(vert));
+            assert_eq!(csr.outdegree(vert), g.outdegree(vert));
+            assert_eq!(csr.indegree(vert), g.indegree(vert));
+        }
+        for (id, arc) in g.arcs() {
+            assert_eq!(csr.tail(id), arc.tail);
+            assert_eq!(csr.head(id), arc.head);
+        }
+    }
+
+    #[test]
+    fn csr_topo_matches_digraph_topo() {
+        let g = from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5)]);
+        let csr = Csr::from_digraph(&g);
+        let order = csr.topological_order().expect("DAG");
+        assert_eq!(order.len(), 6);
+        let mut rank = [0usize; 6];
+        for (i, w) in order.iter().enumerate() {
+            rank[w.index()] = i;
+        }
+        for (_, arc) in g.arcs() {
+            assert!(rank[arc.tail.index()] < rank[arc.head.index()]);
+        }
+    }
+
+    #[test]
+    fn csr_detects_cycles() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let csr = Csr::from_digraph(&g);
+        assert!(csr.topological_order().is_none());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = crate::Digraph::with_vertices(3);
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.arc_count(), 0);
+        assert_eq!(csr.out_arcs(v(1)), &[]);
+        assert_eq!(csr.topological_order().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parallel_arcs_preserved() {
+        let mut g = from_edges(2, &[(0, 1)]);
+        g.add_arc(v(0), v(1));
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.outdegree(v(0)), 2);
+        assert_eq!(csr.out_arcs(v(0)).len(), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The core directed multigraph type.
+//!
+//! [`Digraph`] is an append-only arena: vertices and arcs receive dense ids
+//! in insertion order and are never removed (algorithms that need "deletion"
+//! use [`crate::SubgraphView`] masks, which keeps all per-id tables valid
+//! across the workspace). Parallel arcs are allowed; self-loops are rejected
+//! because the paper's model is a DAG.
+
+use crate::error::GraphError;
+use crate::ids::{ArcId, VertexId};
+
+/// An arc (directed edge) `tail → head`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Arc {
+    /// Initial vertex (the arc leaves this vertex).
+    pub tail: VertexId,
+    /// Terminal vertex (the arc enters this vertex).
+    pub head: VertexId,
+}
+
+/// A directed multigraph with dense integer ids.
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Digraph {
+    arcs: Vec<Arc>,
+    /// Outgoing arc ids per vertex, in insertion order.
+    out_arcs: Vec<Vec<ArcId>>,
+    /// Incoming arc ids per vertex, in insertion order.
+    in_arcs: Vec<Vec<ArcId>>,
+}
+
+impl Digraph {
+    /// Create an empty digraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty digraph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        Digraph {
+            arcs: Vec::new(),
+            out_arcs: vec![Vec::new(); n],
+            in_arcs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.out_arcs.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Add a new isolated vertex and return its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::from_index(self.out_arcs.len());
+        self.out_arcs.push(Vec::new());
+        self.in_arcs.push(Vec::new());
+        id
+    }
+
+    /// Add `k` vertices, returning their ids in order.
+    pub fn add_vertices(&mut self, k: usize) -> Vec<VertexId> {
+        (0..k).map(|_| self.add_vertex()).collect()
+    }
+
+    /// Add an arc `tail → head`. Parallel arcs are allowed; self-loops panic
+    /// (use [`Digraph::try_add_arc`] for a fallible version).
+    pub fn add_arc(&mut self, tail: VertexId, head: VertexId) -> ArcId {
+        self.try_add_arc(tail, head).expect("invalid arc endpoints")
+    }
+
+    /// Fallible [`Digraph::add_arc`].
+    pub fn try_add_arc(&mut self, tail: VertexId, head: VertexId) -> Result<ArcId, GraphError> {
+        if tail.index() >= self.vertex_count() {
+            return Err(GraphError::InvalidVertex(tail));
+        }
+        if head.index() >= self.vertex_count() {
+            return Err(GraphError::InvalidVertex(head));
+        }
+        if tail == head {
+            return Err(GraphError::SelfLoop(tail));
+        }
+        let id = ArcId::from_index(self.arcs.len());
+        self.arcs.push(Arc { tail, head });
+        self.out_arcs[tail.index()].push(id);
+        self.in_arcs[head.index()].push(id);
+        Ok(id)
+    }
+
+    /// Endpoints of arc `a`.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> Arc {
+        self.arcs[a.index()]
+    }
+
+    /// Tail (initial vertex) of arc `a`.
+    #[inline]
+    pub fn tail(&self, a: ArcId) -> VertexId {
+        self.arcs[a.index()].tail
+    }
+
+    /// Head (terminal vertex) of arc `a`.
+    #[inline]
+    pub fn head(&self, a: ArcId) -> VertexId {
+        self.arcs[a.index()].head
+    }
+
+    /// Outdegree of `v` (number of arcs with initial vertex `v`).
+    #[inline]
+    pub fn outdegree(&self, v: VertexId) -> usize {
+        self.out_arcs[v.index()].len()
+    }
+
+    /// Indegree of `v` (number of arcs with terminal vertex `v`).
+    #[inline]
+    pub fn indegree(&self, v: VertexId) -> usize {
+        self.in_arcs[v.index()].len()
+    }
+
+    /// `true` if `v` is a source (indegree 0).
+    #[inline]
+    pub fn is_source(&self, v: VertexId) -> bool {
+        self.indegree(v) == 0
+    }
+
+    /// `true` if `v` is a sink (outdegree 0).
+    #[inline]
+    pub fn is_sink(&self, v: VertexId) -> bool {
+        self.outdegree(v) == 0
+    }
+
+    /// `true` if `v` is *internal*: it has both a predecessor and a successor.
+    ///
+    /// This is the vertex condition in the paper's definition of an internal
+    /// cycle (Section 2): "all its vertices have in `G` an indegree > 0 and
+    /// an outdegree > 0".
+    #[inline]
+    pub fn is_internal(&self, v: VertexId) -> bool {
+        self.indegree(v) > 0 && self.outdegree(v) > 0
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count()).map(VertexId::from_index)
+    }
+
+    /// Iterate over all arc ids.
+    pub fn arc_ids(&self) -> impl Iterator<Item = ArcId> + '_ {
+        (0..self.arc_count()).map(ArcId::from_index)
+    }
+
+    /// Iterate over `(ArcId, Arc)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, Arc)> + '_ {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (ArcId::from_index(i), a))
+    }
+
+    /// Outgoing arc ids of `v`.
+    #[inline]
+    pub fn out_arcs(&self, v: VertexId) -> &[ArcId] {
+        &self.out_arcs[v.index()]
+    }
+
+    /// Incoming arc ids of `v`.
+    #[inline]
+    pub fn in_arcs(&self, v: VertexId) -> &[ArcId] {
+        &self.in_arcs[v.index()]
+    }
+
+    /// Out-neighbors of `v` (with multiplicity, in insertion order).
+    pub fn successors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_arcs[v.index()].iter().map(move |&a| self.head(a))
+    }
+
+    /// In-neighbors of `v` (with multiplicity, in insertion order).
+    pub fn predecessors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_arcs[v.index()].iter().map(move |&a| self.tail(a))
+    }
+
+    /// All sources (indegree 0) in id order.
+    pub fn sources(&self) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.is_source(v)).collect()
+    }
+
+    /// All sinks (outdegree 0) in id order.
+    pub fn sinks(&self) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.is_sink(v)).collect()
+    }
+
+    /// The set of internal vertices (see [`Digraph::is_internal`]).
+    pub fn internal_vertices(&self) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.is_internal(v)).collect()
+    }
+
+    /// First arc id `tail → head` if one exists (ignores parallel copies).
+    pub fn find_arc(&self, tail: VertexId, head: VertexId) -> Option<ArcId> {
+        self.out_arcs[tail.index()]
+            .iter()
+            .copied()
+            .find(|&a| self.head(a) == head)
+    }
+
+    /// All arc ids `tail → head` (parallel arcs included).
+    pub fn find_arcs(&self, tail: VertexId, head: VertexId) -> Vec<ArcId> {
+        self.out_arcs[tail.index()]
+            .iter()
+            .copied()
+            .filter(|&a| self.head(a) == head)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Digraph, Vec<VertexId>) {
+        // a → b → d, a → c → d
+        let mut g = Digraph::new();
+        let vs = g.add_vertices(4);
+        g.add_arc(vs[0], vs[1]);
+        g.add_arc(vs[0], vs[2]);
+        g.add_arc(vs[1], vs[3]);
+        g.add_arc(vs[2], vs[3]);
+        (g, vs)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, vs) = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.outdegree(vs[0]), 2);
+        assert_eq!(g.indegree(vs[0]), 0);
+        assert_eq!(g.indegree(vs[3]), 2);
+        assert_eq!(g.outdegree(vs[3]), 0);
+        assert_eq!(g.indegree(vs[1]), 1);
+        assert_eq!(g.outdegree(vs[1]), 1);
+    }
+
+    #[test]
+    fn sources_sinks_internal() {
+        let (g, vs) = diamond();
+        assert_eq!(g.sources(), vec![vs[0]]);
+        assert_eq!(g.sinks(), vec![vs[3]]);
+        assert_eq!(g.internal_vertices(), vec![vs[1], vs[2]]);
+        assert!(g.is_source(vs[0]) && g.is_sink(vs[3]));
+        assert!(g.is_internal(vs[1]) && !g.is_internal(vs[0]));
+    }
+
+    #[test]
+    fn arc_endpoints() {
+        let (g, vs) = diamond();
+        let a = g.find_arc(vs[0], vs[1]).unwrap();
+        assert_eq!(g.tail(a), vs[0]);
+        assert_eq!(g.head(a), vs[1]);
+        assert_eq!(g.arc(a), Arc { tail: vs[0], head: vs[1] });
+    }
+
+    #[test]
+    fn neighbors() {
+        let (g, vs) = diamond();
+        let succ: Vec<_> = g.successors(vs[0]).collect();
+        assert_eq!(succ, vec![vs[1], vs[2]]);
+        let pred: Vec<_> = g.predecessors(vs[3]).collect();
+        assert_eq!(pred, vec![vs[1], vs[2]]);
+    }
+
+    #[test]
+    fn parallel_arcs_are_distinct() {
+        let mut g = Digraph::new();
+        let vs = g.add_vertices(2);
+        let a1 = g.add_arc(vs[0], vs[1]);
+        let a2 = g.add_arc(vs[0], vs[1]);
+        assert_ne!(a1, a2);
+        assert_eq!(g.outdegree(vs[0]), 2);
+        assert_eq!(g.find_arcs(vs[0], vs[1]), vec![a1, a2]);
+        assert_eq!(g.find_arc(vs[0], vs[1]), Some(a1));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Digraph::new();
+        let v = g.add_vertex();
+        assert_eq!(g.try_add_arc(v, v), Err(GraphError::SelfLoop(v)));
+    }
+
+    #[test]
+    fn invalid_endpoint_rejected() {
+        let mut g = Digraph::new();
+        let v = g.add_vertex();
+        let bogus = VertexId(7);
+        assert_eq!(g.try_add_arc(v, bogus), Err(GraphError::InvalidVertex(bogus)));
+        assert_eq!(g.try_add_arc(bogus, v), Err(GraphError::InvalidVertex(bogus)));
+    }
+
+    #[test]
+    fn with_vertices_constructor() {
+        let g = Digraph::with_vertices(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.sources().len(), 5, "isolated vertices are sources");
+        assert_eq!(g.sinks().len(), 5, "and sinks");
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, _) = diamond();
+        assert_eq!(g.vertices().count(), 4);
+        assert_eq!(g.arc_ids().count(), 4);
+        assert_eq!(g.arcs().count(), 4);
+        for (id, arc) in g.arcs() {
+            assert_eq!(g.tail(id), arc.tail);
+            assert_eq!(g.head(id), arc.head);
+        }
+    }
+
+    #[test]
+    fn find_arc_absent() {
+        let (g, vs) = diamond();
+        assert_eq!(g.find_arc(vs[1], vs[0]), None);
+        assert!(g.find_arcs(vs[3], vs[0]).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Union-find (disjoint-set union) with union by rank and path compression.
+//!
+//! The internal-cycle detector reduces to "does the underlying undirected
+//! multigraph of the internal subgraph contain a cycle", which is a forest
+//! check: process edges through a union-find and report the first edge whose
+//! endpoints are already connected.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of the set containing `x` (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `false` if they were already
+    /// in the same set (i.e. the edge `{a,b}` would close a cycle).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 2));
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn union_detects_cycle_edge() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        // Closing edge of a triangle: endpoints already connected.
+        assert!(!uf.union(2, 0));
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn large_chain_path_compression() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            assert!(uf.union(i - 1, i));
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.len(), 0);
+        assert_eq!(uf.component_count(), 0);
+    }
+}

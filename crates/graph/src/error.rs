@@ -1,0 +1,61 @@
+//! Error types for the graph substrate.
+
+use crate::ids::{ArcId, VertexId};
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced a vertex that does not exist.
+    InvalidVertex(VertexId),
+    /// An arc id referenced an arc that does not exist.
+    InvalidArc(ArcId),
+    /// The digraph contains a directed cycle where a DAG was required.
+    /// Carries a witness cycle as a vertex sequence `v0 → v1 → … → v0`
+    /// (first vertex repeated at the end).
+    NotADag(Vec<VertexId>),
+    /// A self-loop was rejected (the paper's DAG model has none).
+    SelfLoop(VertexId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidVertex(v) => write!(f, "invalid vertex id {v}"),
+            GraphError::InvalidArc(a) => write!(f, "invalid arc id {a}"),
+            GraphError::NotADag(cycle) => {
+                write!(f, "digraph is not acyclic; witness cycle:")?;
+                for v in cycle {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_vertex() {
+        let e = GraphError::InvalidVertex(VertexId(5));
+        assert_eq!(e.to_string(), "invalid vertex id v5");
+    }
+
+    #[test]
+    fn display_cycle_witness() {
+        let e = GraphError::NotADag(vec![VertexId(0), VertexId(1), VertexId(0)]);
+        assert!(e.to_string().contains("witness cycle: v0 v1 v0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&GraphError::SelfLoop(VertexId(1)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Index newtypes for vertices and arcs.
+//!
+//! Both are thin wrappers over `u32` (per the perf-book "smaller integers"
+//! guidance: instances in this workspace never exceed a few million vertices
+//! and halving index size keeps adjacency arrays in cache).
+
+use std::fmt;
+
+/// Identifier of a vertex inside a [`crate::Digraph`].
+///
+/// Vertex ids are dense: the `i`-th vertex added receives id `i`. They are
+/// never reused; the substrate does not support vertex deletion (algorithms
+/// that need deletion work on [`crate::SubgraphView`]s instead, which is both
+/// cheaper and keeps ids stable across the whole workspace).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub u32);
+
+/// Identifier of an arc inside a [`crate::Digraph`].
+///
+/// Arc ids are dense and allocation-ordered, like [`VertexId`]s. Parallel
+/// arcs (same tail and head) get distinct ids — the paper's multigraph
+/// semantics require distinguishing them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArcId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize`, for indexing into per-vertex tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it does not fit in `u32`).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VertexId(u32::try_from(i).expect("vertex index exceeds u32"))
+    }
+}
+
+impl ArcId {
+    /// The id as a `usize`, for indexing into per-arc tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it does not fit in `u32`).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ArcId(u32::try_from(i).expect("arc index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<VertexId> for usize {
+    fn from(v: VertexId) -> usize {
+        v.index()
+    }
+}
+
+impl From<ArcId> for usize {
+    fn from(a: ArcId) -> usize {
+        a.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+    }
+
+    #[test]
+    fn arc_id_roundtrip() {
+        let a = ArcId::from_index(7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a, ArcId(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(ArcId(9).to_string(), "e9");
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", ArcId(9)), "e9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(ArcId(0) < ArcId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds u32")]
+    fn from_index_overflow_panics() {
+        let _ = VertexId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn ids_are_small() {
+        // Keep handles at 4 bytes: adjacency arrays stay cache-dense.
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<ArcId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<VertexId>>(), 8);
+    }
+}

@@ -1,0 +1,242 @@
+//! Masked subgraph views.
+//!
+//! Algorithms in the workspace never mutate a [`Digraph`] destructively;
+//! instead they operate on a [`SubgraphView`] that masks out vertices and/or
+//! arcs. Ids stay stable, so per-id side tables (loads, colors, dipath
+//! membership) remain valid for the whole computation — this is what makes
+//! the Theorem-1 "peel and replay" implementation cheap.
+
+use crate::bitset::BitSet;
+use crate::digraph::Digraph;
+use crate::ids::{ArcId, VertexId};
+
+/// A subgraph of a [`Digraph`] defined by vertex and arc masks.
+///
+/// An arc is present iff its own mask bit is set **and** both endpoints are
+/// present. Degree queries are O(degree in the base graph); the view caches
+/// nothing, which keeps mask mutation O(1).
+pub struct SubgraphView<'g> {
+    base: &'g Digraph,
+    vertices: BitSet,
+    arcs: BitSet,
+}
+
+impl<'g> SubgraphView<'g> {
+    /// View containing the whole base graph.
+    pub fn full(base: &'g Digraph) -> Self {
+        let mut vertices = BitSet::new(base.vertex_count());
+        for v in base.vertices() {
+            vertices.insert(v.index());
+        }
+        let mut arcs = BitSet::new(base.arc_count());
+        for a in base.arc_ids() {
+            arcs.insert(a.index());
+        }
+        SubgraphView { base, vertices, arcs }
+    }
+
+    /// View induced on a vertex set: arcs with both endpoints inside are kept.
+    pub fn induced(base: &'g Digraph, verts: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut vertices = BitSet::new(base.vertex_count());
+        for v in verts {
+            vertices.insert(v.index());
+        }
+        let mut arcs = BitSet::new(base.arc_count());
+        for (id, arc) in base.arcs() {
+            if vertices.contains(arc.tail.index()) && vertices.contains(arc.head.index()) {
+                arcs.insert(id.index());
+            }
+        }
+        SubgraphView { base, vertices, arcs }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &'g Digraph {
+        self.base
+    }
+
+    /// Is vertex `v` present?
+    #[inline]
+    pub fn has_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(v.index())
+    }
+
+    /// Is arc `a` present (mask bit set and both endpoints present)?
+    #[inline]
+    pub fn has_arc(&self, a: ArcId) -> bool {
+        if !self.arcs.contains(a.index()) {
+            return false;
+        }
+        let arc = self.base.arc(a);
+        self.has_vertex(arc.tail) && self.has_vertex(arc.head)
+    }
+
+    /// Remove an arc from the view. Returns whether it was present.
+    pub fn remove_arc(&mut self, a: ArcId) -> bool {
+        self.arcs.remove(a.index())
+    }
+
+    /// Re-insert an arc into the view.
+    pub fn insert_arc(&mut self, a: ArcId) -> bool {
+        self.arcs.insert(a.index())
+    }
+
+    /// Remove a vertex (and implicitly its incident arcs) from the view.
+    pub fn remove_vertex(&mut self, v: VertexId) -> bool {
+        self.vertices.remove(v.index())
+    }
+
+    /// Number of present vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.count()
+    }
+
+    /// Number of present arcs.
+    pub fn arc_count(&self) -> usize {
+        self.base
+            .arc_ids()
+            .filter(|&a| self.has_arc(a))
+            .count()
+    }
+
+    /// Present vertices in id order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().map(VertexId::from_index)
+    }
+
+    /// Present arcs in id order.
+    pub fn arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.base.arc_ids().filter(move |&a| self.has_arc(a))
+    }
+
+    /// Outdegree of `v` inside the view.
+    pub fn outdegree(&self, v: VertexId) -> usize {
+        self.base
+            .out_arcs(v)
+            .iter()
+            .filter(|&&a| self.has_arc(a))
+            .count()
+    }
+
+    /// Indegree of `v` inside the view.
+    pub fn indegree(&self, v: VertexId) -> usize {
+        self.base
+            .in_arcs(v)
+            .iter()
+            .filter(|&&a| self.has_arc(a))
+            .count()
+    }
+
+    /// Outgoing present arcs of `v`.
+    pub fn out_arcs(&self, v: VertexId) -> impl Iterator<Item = ArcId> + '_ {
+        self.base
+            .out_arcs(v)
+            .iter()
+            .copied()
+            .filter(move |&a| self.has_arc(a))
+    }
+
+    /// Incoming present arcs of `v`.
+    pub fn in_arcs(&self, v: VertexId) -> impl Iterator<Item = ArcId> + '_ {
+        self.base
+            .in_arcs(v)
+            .iter()
+            .copied()
+            .filter(move |&a| self.has_arc(a))
+    }
+
+    /// Materialize the view as a standalone digraph plus id maps
+    /// (`old vertex id → new`, per-arc `old → new`). Vertices keep relative
+    /// order. Useful when handing a subgraph to code that wants a `Digraph`.
+    pub fn to_digraph(&self) -> (Digraph, Vec<Option<VertexId>>, Vec<Option<ArcId>>) {
+        let mut vmap = vec![None; self.base.vertex_count()];
+        let mut g = Digraph::new();
+        for v in self.vertices() {
+            vmap[v.index()] = Some(g.add_vertex());
+        }
+        let mut amap = vec![None; self.base.arc_count()];
+        for a in self.arcs() {
+            let arc = self.base.arc(a);
+            let (t, h) = (vmap[arc.tail.index()].unwrap(), vmap[arc.head.index()].unwrap());
+            amap[a.index()] = Some(g.add_arc(t, h));
+        }
+        (g, vmap, amap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn full_view_matches_base() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let v = SubgraphView::full(&g);
+        assert_eq!(v.vertex_count(), 4);
+        assert_eq!(v.arc_count(), 3);
+        assert_eq!(v.outdegree(VertexId(1)), 1);
+        assert_eq!(v.indegree(VertexId(1)), 1);
+    }
+
+    #[test]
+    fn remove_arc_updates_degrees() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut v = SubgraphView::full(&g);
+        let a = g.find_arc(VertexId(0), VertexId(1)).unwrap();
+        assert!(v.remove_arc(a));
+        assert!(!v.has_arc(a));
+        assert_eq!(v.outdegree(VertexId(0)), 1);
+        assert_eq!(v.indegree(VertexId(1)), 0);
+        assert!(v.insert_arc(a));
+        assert_eq!(v.outdegree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn remove_vertex_hides_incident_arcs() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let mut v = SubgraphView::full(&g);
+        v.remove_vertex(VertexId(1));
+        assert_eq!(v.arc_count(), 0);
+        assert_eq!(v.vertex_count(), 2);
+        assert_eq!(v.outdegree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn induced_view() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let v = SubgraphView::induced(&g, [VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(v.vertex_count(), 3);
+        // arcs 0→1 and 1→2 survive; 2→3 and 0→3 lose an endpoint.
+        assert_eq!(v.arc_count(), 2);
+        assert!(!v.has_vertex(VertexId(3)));
+    }
+
+    #[test]
+    fn to_digraph_remaps_ids() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let v = SubgraphView::induced(&g, [VertexId(1), VertexId(2), VertexId(3)]);
+        let (sub, vmap, amap) = v.to_digraph();
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.arc_count(), 2);
+        assert_eq!(vmap[0], None);
+        assert!(vmap[1].is_some());
+        let kept = amap.iter().filter(|m| m.is_some()).count();
+        assert_eq!(kept, 2);
+    }
+
+    #[test]
+    fn iterators_respect_masks() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let mut v = SubgraphView::full(&g);
+        v.remove_vertex(VertexId(0));
+        let verts: Vec<_> = v.vertices().collect();
+        assert_eq!(verts, vec![VertexId(1), VertexId(2)]);
+        let arcs: Vec<_> = v.arcs().collect();
+        assert_eq!(arcs.len(), 1);
+        let outs: Vec<_> = v.out_arcs(VertexId(1)).collect();
+        assert_eq!(outs.len(), 1);
+        let ins: Vec<_> = v.in_arcs(VertexId(2)).collect();
+        assert_eq!(ins.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the graph substrate: topological-order invariants,
+//! reachability consistency, undirected cycle machinery, and UPP counting.
+
+use dagwave_graph::builder::from_edges;
+use dagwave_graph::{pathcount, reach, topo, undirected, Digraph, SubgraphView, VertexId};
+use proptest::prelude::*;
+
+/// Random DAG as an edge list with edges oriented low → high (always
+/// acyclic) over `n` vertices.
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..3 * n).prop_map(
+            move |pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| (a.min(b), a.max(b)))
+                    .collect::<Vec<_>>()
+            },
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_order_respects_all_arcs((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        let order = topo::topological_order(&g).expect("low→high edges are acyclic");
+        prop_assert_eq!(order.len(), n);
+        let rank = topo::topological_rank(&g).unwrap();
+        for (_, arc) in g.arcs() {
+            prop_assert!(rank[arc.tail.index()] < rank[arc.head.index()]);
+        }
+    }
+
+    #[test]
+    fn closure_matches_bfs((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        let closure = reach::transitive_closure(&g);
+        let par = reach::transitive_closure_parallel(&g);
+        for u in 0..n {
+            let bfs = reach::reachable_from(&g, VertexId::from_index(u));
+            prop_assert_eq!(closure[u].iter().collect::<Vec<_>>(), bfs.iter().collect::<Vec<_>>());
+            prop_assert_eq!(par[u].iter().collect::<Vec<_>>(), bfs.iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn forward_backward_reachability_agree((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        for u in 0..n.min(8) {
+            for v in 0..n.min(8) {
+                let fwd = reach::is_reachable(&g, VertexId::from_index(u), VertexId::from_index(v));
+                let bwd = reach::reaching_to(&g, VertexId::from_index(v)).contains(u);
+                prop_assert_eq!(fwd, bwd);
+            }
+        }
+    }
+
+    #[test]
+    fn underlying_cycle_iff_not_forest((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        let view = SubgraphView::full(&g);
+        let forest = undirected::is_underlying_forest(&view);
+        let found = undirected::find_underlying_cycle(&view);
+        prop_assert_eq!(forest, found.is_none());
+        if let Some(cycle) = found {
+            prop_assert!(cycle.validate(&g));
+        }
+        // Cyclomatic number 0 ⟺ forest.
+        prop_assert_eq!(undirected::cyclomatic_number(&view) == 0, forest);
+    }
+
+    #[test]
+    fn upp_agrees_with_enumeration((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        let upp = pathcount::is_upp(&g);
+        // Cross-check on a sample of pairs with capped enumeration.
+        let mut any_double = false;
+        for u in 0..n.min(10) {
+            for v in 0..n.min(10) {
+                if u == v { continue; }
+                let paths = pathcount::enumerate_dipaths(
+                    &g, VertexId::from_index(u), VertexId::from_index(v), 2);
+                if paths.len() >= 2 {
+                    any_double = true;
+                }
+            }
+        }
+        if any_double {
+            prop_assert!(!upp, "found two dipaths, UPP must be false");
+        }
+        if let Some((u, v)) = pathcount::upp_violation(&g) {
+            prop_assert!(!upp);
+            let paths = pathcount::enumerate_dipaths(&g, u, v, 2);
+            prop_assert_eq!(paths.len(), 2, "violation pair has two dipaths");
+        } else {
+            prop_assert!(upp);
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_minimal((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        for u in 0..n.min(6) {
+            for v in 0..n.min(6) {
+                if u == v { continue; }
+                let (uu, vv) = (VertexId::from_index(u), VertexId::from_index(v));
+                if let Some(p) = reach::shortest_dipath(&g, uu, vv) {
+                    // Chained and minimal vs capped enumeration.
+                    for w in p.windows(2) {
+                        prop_assert_eq!(g.head(w[0]), g.tail(w[1]));
+                    }
+                    let all = pathcount::enumerate_dipaths(&g, uu, vv, 50);
+                    let min = all.iter().map(|q| q.len()).min().unwrap();
+                    prop_assert_eq!(p.len(), min);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_depths_are_consistent((n, edges) in dag_strategy()) {
+        let g = from_edges(n, &edges);
+        let depth = topo::longest_path_lengths(&g).unwrap();
+        for (_, arc) in g.arcs() {
+            prop_assert!(depth[arc.head.index()] > depth[arc.tail.index()]);
+        }
+    }
+}
+
+#[test]
+fn subgraph_view_masks_compose() {
+    let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]);
+    let mut view = SubgraphView::full(&g);
+    view.remove_vertex(VertexId(3));
+    let (sub, vmap, amap) = view.to_digraph();
+    assert_eq!(sub.vertex_count(), 5);
+    // Arcs 2→3 and 3→4 vanish.
+    assert_eq!(sub.arc_count(), 4);
+    assert!(vmap[3].is_none());
+    assert_eq!(amap.iter().filter(|m| m.is_some()).count(), 4);
+    assert!(topo::is_dag(&sub));
+}
+
+#[test]
+fn digraph_clone_is_independent() {
+    let mut g = Digraph::new();
+    let a = g.add_vertex();
+    let b = g.add_vertex();
+    g.add_arc(a, b);
+    let snapshot = g.clone();
+    g.add_vertex();
+    g.add_arc(b, VertexId(2));
+    assert_eq!(snapshot.vertex_count(), 2);
+    assert_eq!(snapshot.arc_count(), 1);
+    assert_eq!(g.arc_count(), 2);
+}

@@ -1,0 +1,318 @@
+//! The conflict graph of a dipath family.
+//!
+//! Vertices are the dipaths of `P`; two vertices are joined when their
+//! dipaths share an arc (paper, Section 2). `w(G, P)` is the chromatic
+//! number of this graph, and for UPP-DAGs `π(G, P)` is exactly its clique
+//! number (Property 3).
+//!
+//! Construction uses the arc-bucket algorithm: group dipaths by the arcs
+//! they use, then every bucket contributes a clique. Cost is
+//! `O(Σ_P Σ_{a∈P} load(a))` — output-sensitive and parallelizable per
+//! dipath, which rayon handles.
+
+use crate::dipath::Dipath;
+use crate::family::{DipathFamily, PathId};
+use dagwave_graph::{ArcId, Digraph};
+use rayon::prelude::*;
+
+/// The conflict graph: a simple undirected graph over [`PathId`]s.
+#[derive(Clone, Debug)]
+pub struct ConflictGraph {
+    /// Sorted, deduplicated neighbor lists.
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl ConflictGraph {
+    /// Build the conflict graph of `family` over `g`.
+    pub fn build(g: &Digraph, family: &DipathFamily) -> Self {
+        // Bucket pass: which dipaths use each arc.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); g.arc_count()];
+        for (id, p) in family.iter() {
+            for &a in p.arcs() {
+                buckets[a.index()].push(id.0);
+            }
+        }
+        Self::from_buckets(family.len(), &buckets)
+    }
+
+    /// Rayon-parallel build; same output as [`ConflictGraph::build`].
+    pub fn build_parallel(g: &Digraph, family: &DipathFamily) -> Self {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); g.arc_count()];
+        for (id, p) in family.iter() {
+            for &a in p.arcs() {
+                buckets[a.index()].push(id.0);
+            }
+        }
+        let n = family.len();
+        let adj: Vec<Vec<u32>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let id = PathId::from_index(i);
+                let mut neigh: Vec<u32> = family
+                    .path(id)
+                    .arcs()
+                    .iter()
+                    .flat_map(|&a| buckets[a.index()].iter().copied())
+                    .filter(|&j| j != id.0)
+                    .collect();
+                neigh.sort_unstable();
+                neigh.dedup();
+                neigh
+            })
+            .collect();
+        let edges = adj.iter().map(|ns| ns.len()).sum::<usize>() / 2;
+        ConflictGraph { adj, edges }
+    }
+
+    fn from_buckets(n: usize, buckets: &[Vec<u32>]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for bucket in buckets {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    adj[i as usize].push(j);
+                    adj[j as usize].push(i);
+                }
+            }
+        }
+        let mut edges = 0;
+        for ns in &mut adj {
+            ns.sort_unstable();
+            ns.dedup();
+            edges += ns.len();
+        }
+        ConflictGraph { adj, edges: edges / 2 }
+    }
+
+    /// Number of vertices (= dipaths).
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (= conflicting pairs).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Sorted neighbor ids of `p`.
+    pub fn neighbors(&self, p: PathId) -> &[u32] {
+        &self.adj[p.index()]
+    }
+
+    /// Degree of `p`.
+    pub fn degree(&self, p: PathId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// `true` if `p` and `q` conflict.
+    pub fn are_adjacent(&self, p: PathId, q: PathId) -> bool {
+        self.adj[p.index()].binary_search(&q.0).is_ok()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|ns| ns.len()).max().unwrap_or(0)
+    }
+
+    /// Edge list `(i, j)` with `i < j`.
+    pub fn edge_list(&self) -> Vec<(PathId, PathId)> {
+        let mut edges = Vec::with_capacity(self.edges);
+        for (i, ns) in self.adj.iter().enumerate() {
+            for &j in ns {
+                if (i as u32) < j {
+                    edges.push((PathId::from_index(i), PathId(j)));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// The shared-arc structure of two conflicting dipaths.
+///
+/// For UPP-DAGs the intersection of two conflicting dipaths is a single
+/// sub-dipath (Property 3's first step); in general it can be several
+/// intervals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Intersection {
+    /// Maximal runs of consecutive shared arcs, as `(start, end)` positions
+    /// (inclusive, exclusive) in the *first* dipath's arc sequence.
+    pub intervals: Vec<(usize, usize)>,
+}
+
+impl Intersection {
+    /// Compute the intersection structure of `p` with `q`.
+    pub fn of(p: &Dipath, q: &Dipath) -> Self {
+        let shared: std::collections::HashSet<ArcId> = q.arcs().iter().copied().collect();
+        let mut intervals = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for (i, a) in p.arcs().iter().enumerate() {
+            if shared.contains(a) {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else if let Some(s) = run_start.take() {
+                intervals.push((s, i));
+            }
+        }
+        if let Some(s) = run_start {
+            intervals.push((s, p.len()));
+        }
+        Intersection { intervals }
+    }
+
+    /// `true` if the dipaths share no arc.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// `true` if the shared arcs form one contiguous run — guaranteed for
+    /// UPP-DAGs by Property 3.
+    pub fn is_single_interval(&self) -> bool {
+        self.intervals.len() == 1
+    }
+
+    /// Total number of shared arcs.
+    pub fn shared_arc_count(&self) -> usize {
+        self.intervals.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dipath::Dipath;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn chain_family() -> (Digraph, DipathFamily) {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut f = DipathFamily::new();
+        f.push(Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap()); // p0
+        f.push(Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap()); // p1
+        f.push(Dipath::from_vertices(&g, &[v(3), v(4)]).unwrap()); // p2
+        (g, f)
+    }
+
+    #[test]
+    fn build_matches_pairwise_conflicts() {
+        let (g, f) = chain_family();
+        let cg = ConflictGraph::build(&g, &f);
+        assert_eq!(cg.vertex_count(), 3);
+        // Ground truth from pairwise dipath conflicts.
+        let mut expected = 0;
+        for (i, p) in f.iter() {
+            for (j, q) in f.iter() {
+                if i < j && p.conflicts_with(q) {
+                    expected += 1;
+                    assert!(cg.are_adjacent(i, j));
+                }
+            }
+        }
+        assert_eq!(cg.edge_count(), expected);
+    }
+
+    #[test]
+    fn adjacency_details() {
+        let (g, f) = chain_family();
+        let cg = ConflictGraph::build(&g, &f);
+        assert!(cg.are_adjacent(PathId(0), PathId(1)));
+        assert!(!cg.are_adjacent(PathId(0), PathId(2)));
+        assert!(!cg.are_adjacent(PathId(1), PathId(2)), "vertex-meet is no conflict");
+        assert_eq!(cg.degree(PathId(0)), 1);
+        assert_eq!(cg.neighbors(PathId(1)), &[0]);
+        assert_eq!(cg.max_degree(), 1);
+    }
+
+    #[test]
+    fn parallel_build_matches() {
+        let (g, f) = chain_family();
+        let big = f.replicate(20);
+        let a = ConflictGraph::build(&g, &big);
+        let b = ConflictGraph::build_parallel(&g, &big);
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for i in 0..a.vertex_count() {
+            assert_eq!(
+                a.neighbors(PathId::from_index(i)),
+                b.neighbors(PathId::from_index(i))
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_identical_dipaths_form_cliques() {
+        let (g, f) = chain_family();
+        let big = f.replicate(3);
+        let cg = ConflictGraph::build(&g, &big);
+        // The three copies of p0 (ids 0, 3, 6) are pairwise in conflict.
+        for &i in &[0u32, 3, 6] {
+            for &j in &[0u32, 3, 6] {
+                if i != j {
+                    assert!(cg.are_adjacent(PathId(i), PathId(j)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_is_canonical() {
+        let (g, f) = chain_family();
+        let cg = ConflictGraph::build(&g, &f);
+        let edges = cg.edge_list();
+        assert_eq!(edges.len(), cg.edge_count());
+        for (a, b) in edges {
+            assert!(a < b);
+            assert!(cg.are_adjacent(a, b));
+        }
+    }
+
+    #[test]
+    fn empty_family() {
+        let g = from_edges(2, &[(0, 1)]);
+        let cg = ConflictGraph::build(&g, &DipathFamily::new());
+        assert_eq!(cg.vertex_count(), 0);
+        assert_eq!(cg.edge_count(), 0);
+        assert_eq!(cg.max_degree(), 0);
+        assert!(cg.edge_list().is_empty());
+    }
+
+    #[test]
+    fn intersection_single_interval() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = Dipath::from_vertices(&g, &[v(0), v(1), v(2), v(3)]).unwrap();
+        let q = Dipath::from_vertices(&g, &[v(1), v(2), v(3), v(4)]).unwrap();
+        let ix = Intersection::of(&p, &q);
+        assert!(ix.is_single_interval());
+        assert_eq!(ix.intervals, vec![(1, 3)]);
+        assert_eq!(ix.shared_arc_count(), 2);
+    }
+
+    #[test]
+    fn intersection_empty() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap();
+        let q = Dipath::from_vertices(&g, &[v(2), v(3)]).unwrap();
+        let ix = Intersection::of(&p, &q);
+        assert!(ix.is_empty());
+        assert_eq!(ix.shared_arc_count(), 0);
+    }
+
+    #[test]
+    fn intersection_two_intervals_in_non_upp_graph() {
+        // p and q share arcs 0→1 and 2→3 but not the middle: q detours.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 2), (3, 5)]);
+        let p = Dipath::from_vertices(&g, &[v(0), v(1), v(2), v(3)]).unwrap();
+        let q = Dipath::from_vertices(&g, &[v(0), v(1), v(4), v(2), v(3), v(5)]).unwrap();
+        let ix = Intersection::of(&p, &q);
+        assert!(!ix.is_single_interval());
+        assert_eq!(ix.intervals.len(), 2);
+        assert_eq!(ix.shared_arc_count(), 2);
+        // And this graph indeed violates UPP (two dipaths 1 → 2).
+        assert!(!dagwave_graph::pathcount::is_upp(&g));
+    }
+}

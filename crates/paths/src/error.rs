@@ -1,0 +1,67 @@
+//! Error types for dipath construction.
+
+use dagwave_graph::{ArcId, VertexId};
+use std::fmt;
+
+/// Errors produced when building or manipulating dipaths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The arc sequence is not contiguous: `first.head != second.tail`.
+    NotContiguous {
+        /// The arc whose head does not match.
+        prev: ArcId,
+        /// The arc whose tail does not match.
+        next: ArcId,
+    },
+    /// A dipath must contain at least one arc.
+    Empty,
+    /// No arc exists between two consecutive vertices of a vertex route.
+    MissingArc {
+        /// Expected tail.
+        from: VertexId,
+        /// Expected head.
+        to: VertexId,
+    },
+    /// The dipath repeats a vertex (dipaths in a DAG are simple; repetition
+    /// indicates a construction bug).
+    RepeatedVertex(VertexId),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::NotContiguous { prev, next } => {
+                write!(f, "arcs {prev} and {next} are not contiguous")
+            }
+            PathError::Empty => write!(f, "a dipath needs at least one arc"),
+            PathError::MissingArc { from, to } => {
+                write!(f, "no arc {from} → {to} exists in the digraph")
+            }
+            PathError::RepeatedVertex(v) => write!(f, "dipath revisits vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            PathError::Empty.to_string(),
+            "a dipath needs at least one arc"
+        );
+        assert!(PathError::MissingArc { from: VertexId(0), to: VertexId(1) }
+            .to_string()
+            .contains("v0 → v1"));
+        assert!(PathError::NotContiguous { prev: ArcId(0), next: ArcId(1) }
+            .to_string()
+            .contains("e0 and e1"));
+        assert!(PathError::RepeatedVertex(VertexId(2))
+            .to_string()
+            .contains("v2"));
+    }
+}

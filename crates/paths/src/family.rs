@@ -1,0 +1,226 @@
+//! Indexed dipath families.
+//!
+//! The paper's `P` is a *family* (multiset) of dipaths: identical dipaths may
+//! appear several times (Theorem 7 replicates each dipath `h` times). Family
+//! members are addressed by dense [`PathId`]s so per-dipath side tables
+//! (colors, conflict adjacency) are plain vectors.
+
+use crate::dipath::Dipath;
+use dagwave_graph::{ArcId, Digraph, VertexId};
+
+/// Dense index of a dipath inside a [`DipathFamily`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The id as a `usize`, for indexing per-dipath tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        PathId(u32::try_from(i).expect("path index exceeds u32"))
+    }
+}
+
+impl std::fmt::Debug for PathId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PathId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A family (multiset) of dipaths.
+#[derive(Clone, Debug, Default)]
+pub struct DipathFamily {
+    paths: Vec<Dipath>,
+}
+
+impl DipathFamily {
+    /// Create an empty family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create from a vector of dipaths.
+    pub fn from_paths(paths: Vec<Dipath>) -> Self {
+        DipathFamily { paths }
+    }
+
+    /// Append a dipath, returning its id.
+    pub fn push(&mut self, p: Dipath) -> PathId {
+        let id = PathId::from_index(self.paths.len());
+        self.paths.push(p);
+        id
+    }
+
+    /// Number of dipaths.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` when the family has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The dipath with the given id.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &Dipath {
+        &self.paths[id.index()]
+    }
+
+    /// Mutable access (used by the replay machinery).
+    #[inline]
+    pub fn path_mut(&mut self, id: PathId) -> &mut Dipath {
+        &mut self.paths[id.index()]
+    }
+
+    /// Iterate over `(PathId, &Dipath)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &Dipath)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId::from_index(i), p))
+    }
+
+    /// Ids only.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        (0..self.paths.len()).map(PathId::from_index)
+    }
+
+    /// All dipaths containing arc `a`.
+    pub fn paths_through(&self, a: ArcId) -> Vec<PathId> {
+        self.iter()
+            .filter(|(_, p)| p.contains_arc(a))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Replicate every dipath `h` times (Theorem 7's `×h` blow-up). The
+    /// original dipaths keep their ids; copies are appended in rounds.
+    pub fn replicate(&self, h: usize) -> DipathFamily {
+        assert!(h >= 1, "replication factor must be positive");
+        let mut paths = self.paths.clone();
+        for _ in 1..h {
+            paths.extend(self.paths.iter().cloned());
+        }
+        DipathFamily { paths }
+    }
+
+    /// Endpoint pairs `(source, target)` of every dipath.
+    pub fn endpoints(&self, g: &Digraph) -> Vec<(VertexId, VertexId)> {
+        self.paths
+            .iter()
+            .map(|p| (p.source(g), p.target(g)))
+            .collect()
+    }
+
+    /// Total number of arcs over all dipaths (Σ|P|); sizes the arc-bucket
+    /// pass of the conflict-graph builder.
+    pub fn total_arcs(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).sum()
+    }
+}
+
+impl FromIterator<Dipath> for DipathFamily {
+    fn from_iter<I: IntoIterator<Item = Dipath>>(iter: I) -> Self {
+        DipathFamily { paths: iter.into_iter().collect() }
+    }
+}
+
+impl std::ops::Index<PathId> for DipathFamily {
+    type Output = Dipath;
+    fn index(&self, id: PathId) -> &Dipath {
+        self.path(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn sample() -> (Digraph, DipathFamily) {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut f = DipathFamily::new();
+        f.push(Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap());
+        f.push(Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap());
+        (g, f)
+    }
+
+    #[test]
+    fn push_and_index() {
+        let (_, f) = sample();
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        let p0 = PathId::from_index(0);
+        assert_eq!(f[p0].len(), 2);
+        assert_eq!(f.ids().count(), 2);
+    }
+
+    #[test]
+    fn paths_through_arc() {
+        let (g, f) = sample();
+        let a12 = g.find_arc(v(1), v(2)).unwrap();
+        let through = f.paths_through(a12);
+        assert_eq!(through.len(), 2, "both dipaths use 1→2");
+        let a01 = g.find_arc(v(0), v(1)).unwrap();
+        assert_eq!(f.paths_through(a01), vec![PathId(0)]);
+    }
+
+    #[test]
+    fn replicate_multiplies() {
+        let (_, f) = sample();
+        let f3 = f.replicate(3);
+        assert_eq!(f3.len(), 6);
+        // Round structure: ids 0,1 then 2,3 then 4,5 repeat the originals.
+        assert_eq!(f3[PathId(0)], f3[PathId(2)]);
+        assert_eq!(f3[PathId(1)], f3[PathId(5)]);
+        let f1 = f.replicate(1);
+        assert_eq!(f1.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor must be positive")]
+    fn replicate_zero_panics() {
+        let (_, f) = sample();
+        let _ = f.replicate(0);
+    }
+
+    #[test]
+    fn endpoints_and_total_arcs() {
+        let (g, f) = sample();
+        assert_eq!(f.endpoints(&g), vec![(v(0), v(2)), (v(1), v(3))]);
+        assert_eq!(f.total_arcs(), 4);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let (g, f) = sample();
+        let copy: DipathFamily = f.iter().map(|(_, p)| p.clone()).collect();
+        assert_eq!(copy.len(), f.len());
+        assert_eq!(copy.endpoints(&g), f.endpoints(&g));
+    }
+
+    #[test]
+    fn path_id_display() {
+        assert_eq!(PathId(4).to_string(), "p4");
+        assert_eq!(format!("{:?}", PathId(4)), "p4");
+        assert_eq!(PathId::from_index(9).index(), 9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dagwave-paths
+//!
+//! Dipaths, dipath families, arc loads, and conflict graphs — the objects
+//! the paper's statements quantify over.
+//!
+//! * [`Dipath`] — a validated, contiguous arc sequence in a digraph.
+//! * [`DipathFamily`] — an indexed family `P` with front-shrink/extend
+//!   operations (the Theorem-1 peel/replay needs them).
+//! * [`load`] — per-arc load table, `π(G, P)` and its argmax.
+//! * [`conflict`] — the conflict graph (vertices = dipaths, edges = pairs
+//!   sharing an arc), built with the arc-bucket algorithm, plus intersection
+//!   intervals for the UPP Helly structure.
+//!
+//! ```
+//! use dagwave_graph::builder::from_edges;
+//! use dagwave_graph::VertexId;
+//! use dagwave_paths::{Dipath, DipathFamily, load};
+//!
+//! let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let v = |i| VertexId::from_index(i);
+//! let mut family = DipathFamily::new();
+//! family.push(Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap());
+//! family.push(Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap());
+//! let pi = load::max_load(&g, &family);
+//! assert_eq!(pi, 2); // both dipaths use arc 1→2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod dipath;
+pub mod error;
+pub mod family;
+pub mod load;
+pub mod stats;
+
+pub use conflict::ConflictGraph;
+pub use dipath::Dipath;
+pub use error::PathError;
+pub use family::{DipathFamily, PathId};

@@ -1,0 +1,153 @@
+//! Instance statistics: load and length distributions.
+//!
+//! The benchmark harness reports these alongside timings so EXPERIMENTS.md
+//! can characterize the workloads (how concentrated the load is, how long
+//! dipaths are) rather than only quoting `π`.
+
+use crate::family::DipathFamily;
+use crate::load;
+use dagwave_graph::Digraph;
+
+/// Summary statistics of a dipath-family instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Number of dipaths.
+    pub paths: usize,
+    /// Number of arcs in the digraph.
+    pub arcs: usize,
+    /// Maximum arc load `π`.
+    pub max_load: usize,
+    /// Number of arcs attaining `π`.
+    pub argmax_arcs: usize,
+    /// Number of arcs with load 0.
+    pub idle_arcs: usize,
+    /// Total arc traversals `Σ|P|`.
+    pub total_traversals: usize,
+    /// Shortest dipath length.
+    pub min_len: usize,
+    /// Longest dipath length.
+    pub max_len: usize,
+    /// Histogram of loads: `load_histogram[l]` = number of arcs with load `l`.
+    pub load_histogram: Vec<usize>,
+}
+
+impl InstanceStats {
+    /// Compute the statistics of `(g, family)`.
+    pub fn compute(g: &Digraph, family: &DipathFamily) -> Self {
+        let table = load::load_table(g, family);
+        let max_load = table.iter().copied().max().unwrap_or(0);
+        let mut load_histogram = vec![0usize; max_load + 1];
+        for &l in &table {
+            load_histogram[l] += 1;
+        }
+        let lens: Vec<usize> = family.iter().map(|(_, p)| p.len()).collect();
+        InstanceStats {
+            paths: family.len(),
+            arcs: g.arc_count(),
+            max_load,
+            argmax_arcs: table.iter().filter(|&&l| l == max_load && max_load > 0).count(),
+            idle_arcs: table.iter().filter(|&&l| l == 0).count(),
+            total_traversals: family.total_arcs(),
+            min_len: lens.iter().copied().min().unwrap_or(0),
+            max_len: lens.iter().copied().max().unwrap_or(0),
+            load_histogram,
+        }
+    }
+
+    /// Mean arc load over non-idle arcs (0.0 for empty instances).
+    pub fn mean_busy_load(&self) -> f64 {
+        let busy = self.arcs - self.idle_arcs;
+        if busy == 0 {
+            return 0.0;
+        }
+        self.total_traversals as f64 / busy as f64
+    }
+
+    /// Mean dipath length (0.0 for empty families).
+    pub fn mean_len(&self) -> f64 {
+        if self.paths == 0 {
+            return 0.0;
+        }
+        self.total_traversals as f64 / self.paths as f64
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} dipaths over {} arcs: π={} (on {} arcs), len {}..{} (mean {:.2}), busy-load mean {:.2}",
+            self.paths,
+            self.arcs,
+            self.max_load,
+            self.argmax_arcs,
+            self.min_len,
+            self.max_len,
+            self.mean_len(),
+            self.mean_busy_load()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dipath::Dipath;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let f = DipathFamily::from_paths(vec![
+            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2)]).unwrap(),
+        ]);
+        (g, f)
+    }
+
+    #[test]
+    fn basic_stats() {
+        let (g, f) = instance();
+        let s = InstanceStats::compute(&g, &f);
+        assert_eq!(s.paths, 3);
+        assert_eq!(s.arcs, 4);
+        assert_eq!(s.max_load, 3, "arc 1→2 carries all three");
+        assert_eq!(s.argmax_arcs, 1);
+        assert_eq!(s.idle_arcs, 1, "3→4 unused");
+        assert_eq!(s.total_traversals, 5);
+        assert_eq!((s.min_len, s.max_len), (1, 2));
+        assert_eq!(s.load_histogram, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn means() {
+        let (g, f) = instance();
+        let s = InstanceStats::compute(&g, &f);
+        assert!((s.mean_len() - 5.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_busy_load() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = from_edges(2, &[(0, 1)]);
+        let s = InstanceStats::compute(&g, &DipathFamily::new());
+        assert_eq!(s.max_load, 0);
+        assert_eq!(s.mean_len(), 0.0);
+        assert_eq!(s.mean_busy_load(), 0.0);
+        assert_eq!(s.load_histogram, vec![1]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let (g, f) = instance();
+        let s = InstanceStats::compute(&g, &f);
+        let text = s.to_string();
+        assert!(text.contains("π=3"));
+        assert!(text.contains("3 dipaths"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for dipaths, loads and conflict graphs.
+
+use dagwave_graph::builder::from_edges;
+use dagwave_graph::VertexId;
+use dagwave_paths::{conflict, load, ConflictGraph, Dipath, DipathFamily, PathId};
+use proptest::prelude::*;
+
+/// A chain digraph of `n` arcs plus a family of random sub-intervals.
+fn interval_family() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let ivs = proptest::collection::vec((0usize..n, 1usize..=n), 1..40).prop_map(
+            move |raw| {
+                raw.into_iter()
+                    .map(|(s, e)| {
+                        let s = s.min(n - 1);
+                        let e = e.clamp(s + 1, n);
+                        (s, e)
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        (Just(n), ivs)
+    })
+}
+
+fn build(n: usize, ivs: &[(usize, usize)]) -> (dagwave_graph::Digraph, DipathFamily) {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, i + 1)).collect();
+    let g = from_edges(n + 1, &edges);
+    let family: DipathFamily = ivs
+        .iter()
+        .map(|&(s, e)| {
+            let route: Vec<VertexId> = (s..=e).map(VertexId::from_index).collect();
+            Dipath::from_vertices(&g, &route).unwrap()
+        })
+        .collect();
+    (g, family)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Load table equals brute-force membership counting; parallel agrees.
+    #[test]
+    fn load_tables_agree((n, ivs) in interval_family()) {
+        let (g, family) = build(n, &ivs);
+        let table = load::load_table(&g, &family);
+        let par = load::load_table_parallel(&g, &family);
+        prop_assert_eq!(&table, &par);
+        for a in g.arc_ids() {
+            prop_assert_eq!(table[a.index()], load::arc_load(&family, a));
+        }
+        let pi = load::max_load(&g, &family);
+        prop_assert_eq!(pi, table.iter().copied().max().unwrap_or(0));
+        if pi > 0 {
+            let (arc, l) = load::max_load_arc(&g, &family).unwrap();
+            prop_assert_eq!(l, pi);
+            prop_assert_eq!(table[arc.index()], pi);
+        }
+    }
+
+    /// On a chain, dipaths conflict iff their intervals overlap; the
+    /// conflict graph is exactly the interval-overlap graph.
+    #[test]
+    fn conflict_graph_is_interval_graph((n, ivs) in interval_family()) {
+        let (g, family) = build(n, &ivs);
+        let cg = ConflictGraph::build(&g, &family);
+        let par = ConflictGraph::build_parallel(&g, &family);
+        prop_assert_eq!(cg.edge_count(), par.edge_count());
+        for (i, &(s1, e1)) in ivs.iter().enumerate() {
+            for (j, &(s2, e2)) in ivs.iter().enumerate() {
+                if i < j {
+                    let overlap = s1.max(s2) < e1.min(e2);
+                    prop_assert_eq!(
+                        cg.are_adjacent(PathId::from_index(i), PathId::from_index(j)),
+                        overlap,
+                        "intervals ({},{}) vs ({},{})", s1, e1, s2, e2
+                    );
+                }
+            }
+        }
+    }
+
+    /// Intersections on a chain are single intervals of the right size.
+    #[test]
+    fn chain_intersections_are_intervals((n, ivs) in interval_family()) {
+        let (g, family) = build(n, &ivs);
+        let _ = g;
+        for (i, p) in family.iter() {
+            for (j, q) in family.iter() {
+                if i >= j { continue; }
+                let ix = conflict::Intersection::of(p, q);
+                let (s1, e1) = ivs[i.index()];
+                let (s2, e2) = ivs[j.index()];
+                let expected = e1.min(e2).saturating_sub(s1.max(s2));
+                prop_assert_eq!(ix.shared_arc_count(), expected);
+                prop_assert!(ix.is_empty() || ix.is_single_interval());
+            }
+        }
+    }
+
+    /// The chain's conflict graph is an interval graph, so the classic
+    /// left-endpoint greedy colors it with exactly π colors — a
+    /// self-contained confirmation that π = w on paths (the paper's [4]
+    /// setting), independent of dagwave-core.
+    #[test]
+    fn chain_chromatic_equals_load((n, ivs) in interval_family()) {
+        let (g, family) = build(n, &ivs);
+        let pi = load::max_load(&g, &family);
+        // Greedy sweep by left endpoint.
+        let mut order: Vec<usize> = (0..ivs.len()).collect();
+        order.sort_by_key(|&i| ivs[i]);
+        let mut colors = vec![usize::MAX; ivs.len()];
+        let mut used = 0usize;
+        for &i in &order {
+            let (s1, e1) = ivs[i];
+            let mut taken: Vec<usize> = (0..ivs.len())
+                .filter(|&j| colors[j] != usize::MAX)
+                .filter(|&j| {
+                    let (s2, e2) = ivs[j];
+                    s1.max(s2) < e1.min(e2)
+                })
+                .map(|j| colors[j])
+                .collect();
+            taken.sort_unstable();
+            taken.dedup();
+            let mut c = 0;
+            while taken.binary_search(&c).is_ok() { c += 1; }
+            colors[i] = c;
+            used = used.max(c + 1);
+        }
+        prop_assert_eq!(used, pi, "interval greedy achieves the load");
+        // And it is a proper coloring w.r.t. the conflict graph.
+        let cg = ConflictGraph::build(&g, &family);
+        for (a, b) in cg.edge_list() {
+            prop_assert_ne!(colors[a.index()], colors[b.index()]);
+        }
+    }
+
+    /// Replication scales loads linearly and preserves conflicts.
+    #[test]
+    fn replication_scales((n, ivs) in interval_family(), h in 1usize..4) {
+        let (g, family) = build(n, &ivs);
+        let big = family.replicate(h);
+        prop_assert_eq!(big.len(), family.len() * h);
+        prop_assert_eq!(load::max_load(&g, &big), load::max_load(&g, &family) * h);
+    }
+
+    /// Stats are internally consistent.
+    #[test]
+    fn stats_consistency((n, ivs) in interval_family()) {
+        let (g, family) = build(n, &ivs);
+        let s = dagwave_paths::stats::InstanceStats::compute(&g, &family);
+        prop_assert_eq!(s.paths, family.len());
+        prop_assert_eq!(s.total_traversals, family.total_arcs());
+        let hist_sum: usize = s.load_histogram.iter().sum();
+        prop_assert_eq!(hist_sum, g.arc_count());
+        let weighted: usize = s
+            .load_histogram
+            .iter()
+            .enumerate()
+            .map(|(l, &cnt)| l * cnt)
+            .sum();
+        prop_assert_eq!(weighted, s.total_traversals);
+    }
+}

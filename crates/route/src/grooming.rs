@@ -1,0 +1,170 @@
+//! Grooming-style request selection — the paper's concluding remark.
+//!
+//! "Find for a given `w` the maximum number of requests … that can be
+//! satisfied. Our theorem shows that we have only to compute the load":
+//! on an internal-cycle-free DAG, any subfamily with `π ≤ w` is colorable
+//! with `w` wavelengths (Theorem 1), so maximizing satisfied requests under
+//! a wavelength budget is purely a load-capacity selection problem.
+//!
+//! * [`max_dipaths_on_path`] — the path-network case (the setting of the
+//!   paper's groomimg references [3, 4]): dipaths are intervals; greedy by
+//!   right endpoint is exact (maximum `w`-colorable interval subgraph).
+//! * [`select_max_load_bounded`] — general DAGs: greedy selection keeping
+//!   every arc load ≤ `w`, followed by a Theorem-1 coloring certificate
+//!   when the DAG qualifies.
+
+use dagwave_core::theorem1;
+use dagwave_graph::Digraph;
+use dagwave_paths::{load, DipathFamily, PathId};
+
+/// Exact maximum subfamily of intervals on a path network with per-arc
+/// capacity `w`, greedy by right endpoint. Intervals are `(start, end)`
+/// arc positions with `start < end` (half-open over arcs `start..end`).
+/// Returns the selected indices.
+#[allow(clippy::needless_range_loop)] // `a` ranges over arc positions
+pub fn max_dipaths_on_path(intervals: &[(usize, usize)], w: usize) -> Vec<usize> {
+    if w == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].1, intervals[i].0));
+    let max_arc = intervals.iter().map(|&(_, e)| e).max().unwrap_or(0);
+    let mut usage = vec![0usize; max_arc];
+    let mut selected = Vec::new();
+    for i in order {
+        let (s, e) = intervals[i];
+        debug_assert!(s < e, "interval must cover at least one arc");
+        if (s..e).all(|a| usage[a] < w) {
+            for a in s..e {
+                usage[a] += 1;
+            }
+            selected.push(i);
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Outcome of a load-bounded selection on a DAG.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Chosen dipath ids (subset of the input family).
+    pub chosen: Vec<PathId>,
+    /// The resulting load (≤ the budget).
+    pub load: usize,
+    /// A `load ≤ w` wavelength assignment over the chosen subfamily when
+    /// the DAG has no internal cycle (Theorem 1 certificate); `None` when
+    /// the theorem does not apply.
+    pub certificate: Option<dagwave_core::WavelengthAssignment>,
+}
+
+/// Greedily select a maximal subfamily with every arc load ≤ `w` (shorter
+/// dipaths first — they block less capacity). On internal-cycle-free DAGs
+/// the returned certificate proves the selection is servable with `w`
+/// wavelengths, per the paper's concluding remark.
+pub fn select_max_load_bounded(g: &Digraph, family: &DipathFamily, w: usize) -> Selection {
+    let mut order: Vec<PathId> = family.ids().collect();
+    order.sort_by_key(|&id| family.path(id).len());
+    let mut usage = vec![0usize; g.arc_count()];
+    let mut chosen = Vec::new();
+    if w > 0 {
+        for id in order {
+            let p = family.path(id);
+            if p.arcs().iter().all(|a| usage[a.index()] < w) {
+                for a in p.arcs() {
+                    usage[a.index()] += 1;
+                }
+                chosen.push(id);
+            }
+        }
+    }
+    chosen.sort_unstable();
+    let sub: DipathFamily = chosen.iter().map(|&id| family.path(id).clone()).collect();
+    let pi = load::max_load(g, &sub);
+    let certificate = if dagwave_core::internal::is_internal_cycle_free(g) {
+        theorem1::color_optimal(g, &sub).ok().map(|r| r.assignment)
+    } else {
+        None
+    };
+    Selection { chosen, load: pi, certificate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+    use dagwave_paths::Dipath;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn interval_selection_exact_small() {
+        // Three nested intervals, capacity 1: pick the two disjoint-able…
+        // intervals: [0,2), [1,3), [2,4) — capacity 1 admits [0,2) + [2,4).
+        let picked = max_dipaths_on_path(&[(0, 2), (1, 3), (2, 4)], 1);
+        assert_eq!(picked, vec![0, 2]);
+        // Capacity 2 admits all three.
+        let picked = max_dipaths_on_path(&[(0, 2), (1, 3), (2, 4)], 2);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn interval_selection_capacity_zero() {
+        assert!(max_dipaths_on_path(&[(0, 1)], 0).is_empty());
+    }
+
+    #[test]
+    fn interval_selection_greedy_is_optimal_here() {
+        // One long interval vs three short ones, capacity 1: greedy by
+        // right endpoint takes the three short ones.
+        let picked = max_dipaths_on_path(&[(0, 6), (0, 2), (2, 4), (4, 6)], 1);
+        assert_eq!(picked, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dag_selection_respects_budget_and_certifies() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f: DipathFamily = vec![
+            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(2), v(3)]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let sel = select_max_load_bounded(&g, &f, 2);
+        assert!(sel.load <= 2);
+        assert!(sel.chosen.len() >= 3);
+        let cert = sel.certificate.expect("chain has no internal cycle");
+        assert!(cert.num_colors() <= 2, "theorem 1: w = π ≤ budget");
+    }
+
+    #[test]
+    fn dag_selection_zero_budget() {
+        let g = from_edges(2, &[(0, 1)]);
+        let f: DipathFamily =
+            vec![Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap()].into_iter().collect();
+        let sel = select_max_load_bounded(&g, &f, 0);
+        assert!(sel.chosen.is_empty());
+        assert_eq!(sel.load, 0);
+    }
+
+    #[test]
+    fn no_certificate_on_internal_cycle_graphs() {
+        // Guarded diamond has an internal cycle: theorem 1 certificate
+        // does not apply (selection still works).
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
+        let f: DipathFamily = vec![
+            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(3), v(4)]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let sel = select_max_load_bounded(&g, &f, 1);
+        assert_eq!(sel.chosen.len(), 2, "disjoint dipaths both fit");
+        assert!(sel.certificate.is_none());
+    }
+}

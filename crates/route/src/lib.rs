@@ -1,0 +1,27 @@
+//! # dagwave-route
+//!
+//! The RWA (Routing and Wavelength Assignment) layer: from *requests*
+//! (vertex pairs) to routed dipaths to wavelengths — the pipeline the
+//! paper's introduction motivates, split as the literature splits it:
+//! first route minimizing load, then color (where the paper's theorems
+//! make coloring free or near-free).
+//!
+//! * [`request`] — request sets (point-to-point, multicast, all-to-all).
+//! * [`routing`] — shortest-path, unique-path (UPP), and load-aware
+//!   routing.
+//! * [`rwa`] — the end-to-end Route-then-Color pipeline.
+//! * [`grooming`] — the concluding-remarks extension: maximize satisfied
+//!   requests under a wavelength budget `w` (on internal-cycle-free DAGs
+//!   the theorem reduces it to a load question).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grooming;
+pub mod request;
+pub mod routing;
+pub mod rwa;
+
+pub use request::Request;
+pub use routing::{route_all, RoutingStrategy};
+pub use rwa::{RwaPipeline, RwaReport};

@@ -1,0 +1,83 @@
+//! Connection requests.
+
+use dagwave_graph::{Digraph, VertexId};
+
+/// A point-to-point connection request `source → target`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Origin vertex.
+    pub source: VertexId,
+    /// Destination vertex.
+    pub target: VertexId,
+}
+
+impl Request {
+    /// Construct a request.
+    pub fn new(source: VertexId, target: VertexId) -> Self {
+        Request { source, target }
+    }
+}
+
+/// The multicast instance rooted at `origin`: one request to every vertex
+/// reachable from it (the paper cites Beauquier–Hell–Pérennes: for multicast, `w = π` on any
+/// digraph).
+pub fn multicast(g: &Digraph, origin: VertexId) -> Vec<Request> {
+    let reach = dagwave_graph::reach::reachable_from(g, origin);
+    reach
+        .iter()
+        .map(VertexId::from_index)
+        .filter(|&v| v != origin)
+        .map(|v| Request::new(origin, v))
+        .collect()
+}
+
+/// The all-to-all instance restricted to connectable pairs: one request per
+/// ordered pair `(u, v)`, `u ≠ v`, with `v` reachable from `u`.
+pub fn all_to_all(g: &Digraph) -> Vec<Request> {
+    let closure = dagwave_graph::reach::transitive_closure(g);
+    let mut requests = Vec::new();
+    for u in g.vertices() {
+        for vi in closure[u.index()].iter() {
+            let v = VertexId::from_index(vi);
+            if v != u {
+                requests.push(Request::new(u, v));
+            }
+        }
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn multicast_targets_reachable_only() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let reqs = multicast(&g, v(0));
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.contains(&Request::new(v(0), v(1))));
+        assert!(reqs.contains(&Request::new(v(0), v(2))));
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        // Chain 0→1→2: pairs (0,1),(0,2),(1,2).
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let reqs = all_to_all(&g);
+        assert_eq!(reqs.len(), 3);
+    }
+
+    #[test]
+    fn all_to_all_on_tree() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
+        let reqs = all_to_all(&g);
+        // 0→{1,2,3}, 1→3.
+        assert_eq!(reqs.len(), 4);
+    }
+}

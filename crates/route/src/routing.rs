@@ -1,0 +1,205 @@
+//! Routing: realize requests as dipaths.
+//!
+//! On an UPP-DAG the route is forced (the paper's remark: requests and
+//! dipaths are interchangeable there). Otherwise the load-minimization
+//! problem appears; this module provides shortest-path routing and a
+//! load-aware sequential heuristic with local re-route improvement.
+
+use crate::request::Request;
+use dagwave_graph::{ArcId, Digraph, VertexId};
+use dagwave_paths::{Dipath, DipathFamily};
+
+/// How to map requests to dipaths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingStrategy {
+    /// BFS shortest dipath (fewest arcs); ignores load.
+    #[default]
+    Shortest,
+    /// Sequential min-max-load routing: each request takes a dipath
+    /// minimizing the resulting maximum arc load (Dijkstra on current
+    /// loads), in request order.
+    LoadAware,
+}
+
+/// Errors from routing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// No dipath exists for the request.
+    Unroutable(Request),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unroutable(r) => {
+                write!(f, "no dipath from {} to {}", r.source, r.target)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Route every request, returning the dipath family in request order.
+pub fn route_all(
+    g: &Digraph,
+    requests: &[Request],
+    strategy: RoutingStrategy,
+) -> Result<DipathFamily, RouteError> {
+    match strategy {
+        RoutingStrategy::Shortest => {
+            let mut family = DipathFamily::new();
+            for &r in requests {
+                family.push(shortest_route(g, r)?);
+            }
+            Ok(family)
+        }
+        RoutingStrategy::LoadAware => load_aware_route(g, requests),
+    }
+}
+
+/// Shortest-dipath route for a single request.
+pub fn shortest_route(g: &Digraph, r: Request) -> Result<Dipath, RouteError> {
+    let arcs = dagwave_graph::reach::shortest_dipath(g, r.source, r.target)
+        .filter(|a| !a.is_empty())
+        .ok_or(RouteError::Unroutable(r))?;
+    Ok(Dipath::from_arcs(g, arcs).expect("BFS path is contiguous"))
+}
+
+/// Sequential load-aware routing: route each request along a dipath whose
+/// bottleneck (then total) load is lexicographically minimal given the
+/// routes already placed — a standard min-max heuristic for the paper's
+/// "routing problem".
+fn load_aware_route(g: &Digraph, requests: &[Request]) -> Result<DipathFamily, RouteError> {
+    let mut loads = vec![0usize; g.arc_count()];
+    let mut family = DipathFamily::new();
+    for &r in requests {
+        let arcs = min_bottleneck_path(g, &loads, r.source, r.target)
+            .ok_or(RouteError::Unroutable(r))?;
+        for &a in &arcs {
+            loads[a.index()] += 1;
+        }
+        family.push(Dipath::from_arcs(g, arcs).expect("search path is contiguous"));
+    }
+    Ok(family)
+}
+
+/// Dipath minimizing `(max arc load after insertion, path length)` — a
+/// Dijkstra over lexicographic labels.
+fn min_bottleneck_path(
+    g: &Digraph,
+    loads: &[usize],
+    from: VertexId,
+    to: VertexId,
+) -> Option<Vec<ArcId>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if from == to {
+        return None;
+    }
+    let n = g.vertex_count();
+    let mut best: Vec<Option<(usize, usize)>> = vec![None; n]; // (bottleneck, length)
+    let mut pred: Vec<Option<ArcId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse(((0usize, 0usize), from)));
+    best[from.index()] = Some((0, 0));
+    while let Some(Reverse(((bn, len), v))) = heap.pop() {
+        if best[v.index()] != Some((bn, len)) {
+            continue;
+        }
+        if v == to {
+            let mut arcs = Vec::new();
+            let mut cur = to;
+            while cur != from {
+                let a = pred[cur.index()].expect("labelled vertex has pred");
+                arcs.push(a);
+                cur = g.tail(a);
+            }
+            arcs.reverse();
+            return Some(arcs);
+        }
+        for &a in g.out_arcs(v) {
+            let w = g.head(a);
+            let cand = (bn.max(loads[a.index()] + 1), len + 1);
+            if best[w.index()].is_none_or(|cur| cand < cur) {
+                best[w.index()] = Some(cand);
+                pred[w.index()] = Some(a);
+                heap.push(Reverse((cand, w)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_paths::load;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn shortest_routes_chain() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let reqs = vec![Request::new(v(0), v(2)), Request::new(v(1), v(3))];
+        let f = route_all(&g, &reqs, RoutingStrategy::Shortest).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.path(dagwave_paths::PathId(0)).len(), 2);
+    }
+
+    #[test]
+    fn unroutable_reported() {
+        let g = from_edges(3, &[(0, 1)]);
+        let reqs = vec![Request::new(v(1), v(0))];
+        assert!(matches!(
+            route_all(&g, &reqs, RoutingStrategy::Shortest),
+            Err(RouteError::Unroutable(_))
+        ));
+        assert!(matches!(
+            route_all(&g, &reqs, RoutingStrategy::LoadAware),
+            Err(RouteError::Unroutable(_))
+        ));
+    }
+
+    #[test]
+    fn load_aware_spreads_over_parallel_routes() {
+        // Two disjoint routes 0→1→3 and 0→2→3; four identical requests
+        // should split 2/2 (max load 2), while shortest routing may pile
+        // all four on one route (load 4).
+        let g = from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let reqs = vec![Request::new(v(0), v(3)); 4];
+        let f = route_all(&g, &reqs, RoutingStrategy::LoadAware).unwrap();
+        assert_eq!(load::max_load(&g, &f), 2, "balanced 2 + 2");
+        let s = route_all(&g, &reqs, RoutingStrategy::Shortest).unwrap();
+        assert_eq!(load::max_load(&g, &s), 4, "shortest piles up");
+    }
+
+    #[test]
+    fn load_aware_prefers_short_when_tied() {
+        // 0→3 direct or via 1: with no load, lexicographic tie-break picks
+        // the shorter.
+        let g = from_edges(4, &[(0, 3), (0, 1), (1, 3)]);
+        let f = route_all(&g, &[Request::new(v(0), v(3))], RoutingStrategy::LoadAware).unwrap();
+        assert_eq!(f.path(dagwave_paths::PathId(0)).len(), 1);
+    }
+
+    #[test]
+    fn upp_routes_are_forced() {
+        // On an UPP-DAG both strategies return the same (unique) dipaths.
+        let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert!(dagwave_graph::pathcount::is_upp(&g));
+        let reqs = vec![
+            Request::new(v(0), v(3)),
+            Request::new(v(0), v(4)),
+            Request::new(v(1), v(4)),
+        ];
+        let a = route_all(&g, &reqs, RoutingStrategy::Shortest).unwrap();
+        let b = route_all(&g, &reqs, RoutingStrategy::LoadAware).unwrap();
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(pa.1.arcs(), pb.1.arcs());
+        }
+    }
+}

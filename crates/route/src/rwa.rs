@@ -1,0 +1,133 @@
+//! The end-to-end Routing-and-Wavelength-Assignment pipeline.
+//!
+//! The paper's introduction describes the standard decomposition: solve the
+//! routing problem (minimize load), then the wavelength assignment on the
+//! resulting dipaths. [`RwaPipeline`] wires `dagwave-route` routing into the
+//! `dagwave-core` solver and reports both halves.
+
+use crate::request::Request;
+use crate::routing::{route_all, RouteError, RoutingStrategy};
+use dagwave_core::{CoreError, Solution, WavelengthSolver};
+use dagwave_graph::Digraph;
+use dagwave_paths::DipathFamily;
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum RwaError {
+    /// A request could not be routed.
+    Routing(RouteError),
+    /// The coloring stage failed.
+    Coloring(CoreError),
+}
+
+impl std::fmt::Display for RwaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RwaError::Routing(e) => write!(f, "routing: {e}"),
+            RwaError::Coloring(e) => write!(f, "coloring: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RwaError {}
+
+impl From<RouteError> for RwaError {
+    fn from(e: RouteError) -> Self {
+        RwaError::Routing(e)
+    }
+}
+
+impl From<CoreError> for RwaError {
+    fn from(e: CoreError) -> Self {
+        RwaError::Coloring(e)
+    }
+}
+
+/// Full report of an RWA run.
+#[derive(Debug)]
+pub struct RwaReport {
+    /// The routed dipaths, in request order.
+    pub family: DipathFamily,
+    /// The wavelength solution on those dipaths.
+    pub solution: Solution,
+}
+
+/// Route-then-color pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct RwaPipeline {
+    /// Routing strategy for the first stage.
+    pub routing: RoutingStrategy,
+    /// Solver for the second stage.
+    pub solver: WavelengthSolver,
+}
+
+impl RwaPipeline {
+    /// Pipeline with the given routing strategy and a default solver.
+    pub fn new(routing: RoutingStrategy) -> Self {
+        RwaPipeline { routing, solver: WavelengthSolver::new() }
+    }
+
+    /// Satisfy the requests: route, then assign wavelengths.
+    pub fn run(&self, g: &Digraph, requests: &[Request]) -> Result<RwaReport, RwaError> {
+        let family = route_all(g, requests, self.routing)?;
+        let solution = self.solver.solve(g, &family)?;
+        Ok(RwaReport { family, solution })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request;
+    use dagwave_core::Strategy;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn multicast_on_tree_is_optimal() {
+        // Rooted tree + multicast: the paper's always-equal case.
+        let g = from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let reqs = request::multicast(&g, v(0));
+        let report = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
+        assert_eq!(report.solution.strategy, Strategy::Theorem1);
+        assert!(report.solution.optimal);
+        assert_eq!(report.solution.num_colors, report.solution.load);
+        assert!(report
+            .solution
+            .assignment
+            .is_valid(&g, &report.family));
+    }
+
+    #[test]
+    fn all_to_all_on_out_tree() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (2, 3), (2, 4)]);
+        let reqs = request::all_to_all(&g);
+        let report = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
+        assert!(report.solution.optimal);
+        assert_eq!(report.solution.num_colors, report.solution.load, "w = π");
+    }
+
+    #[test]
+    fn load_aware_pipeline_beats_shortest_on_parallel_routes() {
+        let g = from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let reqs = vec![Request::new(v(0), v(3)); 4];
+        let short = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
+        let aware = RwaPipeline::new(RoutingStrategy::LoadAware).run(&g, &reqs).unwrap();
+        assert!(aware.solution.num_colors < short.solution.num_colors);
+        assert_eq!(aware.solution.num_colors, 2);
+    }
+
+    #[test]
+    fn routing_failure_surfaces() {
+        let g = from_edges(2, &[(0, 1)]);
+        let err = RwaPipeline::default()
+            .run(&g, &[Request::new(v(1), v(0))])
+            .unwrap_err();
+        assert!(matches!(err, RwaError::Routing(_)));
+        assert!(err.to_string().contains("routing"));
+    }
+}

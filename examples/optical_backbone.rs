@@ -1,0 +1,69 @@
+//! WDM backbone scenario: route a traffic matrix over a layered optical
+//! core, then assign wavelengths — the paper's motivating application.
+//!
+//! Builds a layered internal-cycle-free backbone (edge routers → two
+//! aggregation tiers → core), routes random requests load-aware, and shows
+//! that the wavelength count equals the routing load (Theorem 1), comparing
+//! against shortest-path routing to show why the routing stage matters.
+//!
+//! Run with: `cargo run --example optical_backbone`
+
+use dagwave_core::WavelengthSolver;
+use dagwave_gen::random;
+use dagwave_route::request::Request;
+use dagwave_route::routing::RoutingStrategy;
+use dagwave_route::rwa::RwaPipeline;
+use rand::prelude::IndexedRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2007);
+
+    // An internal-cycle-free backbone: a random out-tree core with extra
+    // internal-cycle-safe shortcut links (rejection-checked).
+    let g = random::random_internal_cycle_free(&mut rng, 60, 25);
+    assert!(dagwave_core::internal::is_internal_cycle_free(&g));
+    println!(
+        "backbone: {} nodes, {} fibers, internal-cycle-free: yes",
+        g.vertex_count(),
+        g.arc_count()
+    );
+
+    // A random traffic matrix: 80 connectable (source, target) pairs.
+    let closure = dagwave_graph::reach::transitive_closure(&g);
+    let pairs: Vec<Request> = g
+        .vertices()
+        .flat_map(|u| {
+            closure[u.index()]
+                .iter()
+                .map(dagwave_graph::VertexId::from_index)
+                .filter(move |&v| v != u)
+                .map(move |v| Request::new(u, v))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut requests = Vec::new();
+    for _ in 0..80 {
+        requests.push(*pairs.choose(&mut rng).expect("connectable pair"));
+    }
+
+    for strategy in [RoutingStrategy::Shortest, RoutingStrategy::LoadAware] {
+        let pipeline = RwaPipeline { routing: strategy, solver: WavelengthSolver::new() };
+        let report = pipeline.run(&g, &requests).expect("all requests routable");
+        assert!(report.solution.assignment.is_valid(&g, &report.family));
+        assert_eq!(
+            report.solution.num_colors, report.solution.load,
+            "Theorem 1: wavelengths equal load on this backbone"
+        );
+        println!(
+            "{:?} routing: load π = {:>2} → wavelengths w = {:>2} ({:?}, optimal = {})",
+            strategy,
+            report.solution.load,
+            report.solution.num_colors,
+            report.solution.strategy,
+            report.solution.optimal,
+        );
+    }
+    println!("note: w tracks π exactly, so minimizing routing load is the whole game");
+}

@@ -1,0 +1,56 @@
+//! Theorem 6 walk-through: an UPP-DAG with one internal cycle.
+//!
+//! Runs the split/merge algorithm on Havet's instance (Figure 9), printing
+//! the class decomposition `C_p`, the resulting wavelength count, and the
+//! `⌈4π/3⌉` bound, then scales the replication factor to show the tight
+//! ratio of Theorem 7.
+//!
+//! Run with: `cargo run --example upp_ring`
+
+use dagwave_core::{bounds, internal, theorem6, WavelengthSolver};
+use dagwave_gen::havet;
+
+fn main() {
+    let g = havet::havet_graph();
+    println!(
+        "Havet digraph: {} vertices, {} arcs, UPP: {}, internal cycles: {}",
+        g.vertex_count(),
+        g.arc_count(),
+        dagwave_graph::pathcount::is_upp(&g),
+        internal::internal_cycle_count(&g),
+    );
+
+    // Base instance: 8 dipaths, conflict graph = C8 + antipodal chords.
+    let base = havet::havet_base_family(&g);
+    let res = theorem6::color_single_cycle_upp(&g, &base).expect("preconditions hold");
+    println!("\nbase family (h = 1):");
+    println!("  π = {}, bound ⌈4π/3⌉ = {}", res.load, res.bound);
+    println!(
+        "  class profile |C_p| = {:?} (π = Σ p·|C_p|), extra colors = {}",
+        res.class_profile, res.extra_colors
+    );
+    println!(
+        "  wavelengths used = {} (within bound: {})",
+        res.assignment.num_colors(),
+        res.within_bound
+    );
+    assert!(res.assignment.is_valid(&g, &base));
+
+    // Theorem 7: replicate h times; the optimum is ⌈8h/3⌉ = ⌈4π/3⌉.
+    println!("\nTheorem 7 series (replicated family):");
+    println!("{:>3} {:>5} {:>9} {:>7} {:>9}", "h", "π", "w_solved", "⌈8h/3⌉", "ratio w/π");
+    for h in 1..=5 {
+        let family = base.replicate(h);
+        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        assert!(sol.assignment.is_valid(&g, &family));
+        let expected = bounds::havet_wavelengths(h);
+        println!(
+            "{h:>3} {:>5} {:>9} {expected:>7} {:>9.4}",
+            sol.load,
+            sol.num_colors,
+            sol.num_colors as f64 / sol.load as f64
+        );
+        assert_eq!(sol.num_colors, expected, "w = ⌈8h/3⌉ exactly");
+    }
+    println!("\nthe ratio tends to 4/3 — the Theorem 6 bound is tight (Theorem 7)");
+}

@@ -1,0 +1,115 @@
+//! Integration tests for Theorem 6/7: the split/merge solver on
+//! single-internal-cycle UPP-DAGs, bound behavior on distinct vs
+//! replicated families, and the exact Theorem-7 series via the solver.
+
+use dagwave_core::{bounds, theorem6, WavelengthSolver};
+use dagwave_gen::{havet, random};
+use dagwave_paths::load;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Distinct (duplicate-free) families on single-cycle UPP-DAGs respect
+    /// the ⌈4π/3⌉ bound.
+    #[test]
+    fn distinct_families_within_bound(seed in 0u64..5_000, k in 2usize..6, count in 1usize..25) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = random::single_cycle_upp(k);
+        let raw = random::random_family(&mut rng, &g, count, 4);
+        // Deduplicate to stay in the Facts 1–2 regime.
+        let mut seen = std::collections::HashSet::new();
+        let family: dagwave_paths::DipathFamily = raw
+            .iter()
+            .filter(|(_, p)| seen.insert(p.arcs().to_vec()))
+            .map(|(_, p)| p.clone())
+            .collect();
+        let res = theorem6::color_single_cycle_upp(&g, &family).expect("preconditions");
+        prop_assert!(res.assignment.is_valid(&g, &family));
+        prop_assert!(res.within_bound, "distinct family exceeded ⌈4π/3⌉: {} > {}",
+            res.assignment.num_colors(), res.bound);
+        prop_assert!(res.assignment.num_colors() >= res.load.min(1));
+    }
+
+    /// Replicated families stay valid; the solver (weighted path) stays
+    /// within the bound even when the constructive merge overshoots.
+    #[test]
+    fn replicated_families_solver_within_bound(seed in 0u64..2_000, k in 2usize..5, h in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = random::single_cycle_upp(k);
+        let base = random::random_family(&mut rng, &g, 6, 4);
+        let mut seen = std::collections::HashSet::new();
+        let dedup: dagwave_paths::DipathFamily = base
+            .iter()
+            .filter(|(_, p)| seen.insert(p.arcs().to_vec()))
+            .map(|(_, p)| p.clone())
+            .collect();
+        prop_assume!(!dedup.is_empty());
+        let family = dedup.replicate(h);
+        let pi = load::max_load(&g, &family);
+        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        prop_assert!(sol.assignment.is_valid(&g, &family));
+        prop_assert!(
+            sol.num_colors <= bounds::theorem6_bound(pi),
+            "{} > ⌈4π/3⌉ = {}", sol.num_colors, bounds::theorem6_bound(pi)
+        );
+    }
+
+    /// The class profile always satisfies π = Σ p·|C_p|.
+    #[test]
+    fn class_profile_sums_to_pi(seed in 0u64..3_000, k in 2usize..6, count in 1usize..20) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = random::single_cycle_upp(k);
+        let family = random::random_family(&mut rng, &g, count, 4);
+        let res = theorem6::color_single_cycle_upp(&g, &family).expect("preconditions");
+        let total: usize = res
+            .class_profile
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| p * c)
+            .sum();
+        prop_assert_eq!(total, res.load);
+    }
+}
+
+/// Theorem 7 exact series through the solver: w(havet(h)) = ⌈8h/3⌉.
+#[test]
+fn theorem7_series() {
+    for h in 1..=6 {
+        let inst = havet::havet(h);
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
+        assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
+        assert_eq!(sol.num_colors, bounds::havet_wavelengths(h), "h = {h}");
+        assert_eq!(sol.load, 2 * h);
+    }
+}
+
+/// The C5 family replicated gives ⌈5h/2⌉ (the paper's pre-Theorem-7
+/// remark: ratio 5/4 does not reach the bound).
+#[test]
+fn c5_replication_series() {
+    let inst = dagwave_gen::figures::figure3();
+    for h in 1..=5 {
+        let family = inst.family.replicate(h);
+        let sol = WavelengthSolver::new().solve(&inst.graph, &family).unwrap();
+        assert!(sol.assignment.is_valid(&inst.graph, &family));
+        assert_eq!(sol.num_colors, bounds::c5_wavelengths(h), "h = {h}");
+    }
+}
+
+/// Theorem 6's result structure is coherent on the base Havet instance.
+#[test]
+fn theorem6_structure_on_havet() {
+    let g = havet::havet_graph();
+    let family = havet::havet_base_family(&g);
+    let res = theorem6::color_single_cycle_upp(&g, &family).unwrap();
+    assert_eq!(res.load, 2);
+    assert_eq!(res.bound, 3);
+    assert!(res.within_bound);
+    assert!(res.assignment.is_valid(&g, &family));
+    assert_eq!(res.assignment.num_colors(), 3, "χ(V8) = 3 forces the bound");
+}

@@ -1,0 +1,130 @@
+//! Property tests for Section 4: Helly property, clique = load,
+//! `K_{2,3}`-freeness (Corollary 5), and the crossing lemma on random
+//! UPP instances.
+
+use dagwave_color::{clique, forbidden};
+use dagwave_core::{solver, upp};
+use dagwave_gen::random;
+use dagwave_paths::{load, ConflictGraph, PathId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn upp_instance(seed: u64, k: usize, count: usize) -> (dagwave_graph::Digraph, dagwave_paths::DipathFamily) {
+    // Random families on the single-cycle UPP graph and on random out-trees
+    // (both UPP by construction).
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if seed % 2 == 0 {
+        let g = random::single_cycle_upp(k.max(2));
+        let f = random::random_family(&mut rng, &g, count, 4);
+        (g, f)
+    } else {
+        let g = random::random_out_tree(&mut rng, 10 + 3 * k);
+        let f = random::random_family(&mut rng, &g, count, 5);
+        (g, f)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Property 3: load = clique number of the conflict graph on UPP-DAGs.
+    #[test]
+    fn clique_number_equals_load(seed in 0u64..5_000, k in 2usize..6, count in 1usize..25) {
+        let (g, f) = upp_instance(seed, k, count);
+        prop_assume!(dagwave_graph::pathcount::is_upp(&g));
+        let pi = load::max_load(&g, &f);
+        let cg = ConflictGraph::build(&g, &f);
+        let ug = solver::conflict_to_ugraph(&cg);
+        prop_assert_eq!(clique::clique_number(&ug), pi);
+        prop_assert_eq!(upp::clique_number_via_load(&g, &f), pi);
+    }
+
+    /// Corollary 5: UPP conflict graphs are K_{2,3}-free (and exclude K5
+    /// minus two independent edges).
+    #[test]
+    fn conflict_graph_forbidden_subgraphs(seed in 0u64..5_000, k in 2usize..6, count in 1usize..25) {
+        let (g, f) = upp_instance(seed, k, count);
+        prop_assume!(dagwave_graph::pathcount::is_upp(&g));
+        // Deduplicate: copies of a dipath blow cliques up, which creates
+        // K_{2,3}s trivially; Corollary 5 concerns distinct dipaths.
+        let mut seen = std::collections::HashSet::new();
+        let dedup: dagwave_paths::DipathFamily = f
+            .iter()
+            .filter(|(_, p)| seen.insert(p.arcs().to_vec()))
+            .map(|(_, p)| p.clone())
+            .collect();
+        let cg = ConflictGraph::build(&g, &dedup);
+        let ug = solver::conflict_to_ugraph(&cg);
+        prop_assert!(!forbidden::contains_induced_k23(&ug));
+        prop_assert!(!forbidden::contains_k5_minus_two_independent_edges(&ug));
+    }
+
+    /// Property 3 (Helly): every clique of the conflict graph shares a
+    /// common arc.
+    #[test]
+    fn helly_on_maximal_cliques(seed in 0u64..5_000, k in 2usize..5, count in 1usize..18) {
+        let (g, f) = upp_instance(seed, k, count);
+        prop_assume!(dagwave_graph::pathcount::is_upp(&g));
+        let cg = ConflictGraph::build(&g, &f);
+        let ug = solver::conflict_to_ugraph(&cg);
+        let max_clique = clique::max_clique(&ug);
+        let ids: Vec<PathId> = max_clique.iter().map(|&i| PathId::from_index(i)).collect();
+        prop_assert!(upp::helly_holds(&f, &ids), "maximum clique shares an arc");
+    }
+
+    /// Pairwise intersections are single intervals on UPP-DAGs.
+    #[test]
+    fn intersections_are_intervals(seed in 0u64..5_000, k in 2usize..6, count in 2usize..20) {
+        let (g, f) = upp_instance(seed, k, count);
+        prop_assume!(dagwave_graph::pathcount::is_upp(&g));
+        for (i, p) in f.iter() {
+            for (j, q) in f.iter() {
+                if i < j {
+                    let ix = dagwave_paths::conflict::Intersection::of(p, q);
+                    prop_assert!(ix.is_empty() || ix.is_single_interval());
+                }
+            }
+        }
+    }
+
+    /// Lemma 4 (crossing): all 4-tuples of dipaths obey the order rule.
+    #[test]
+    fn crossing_lemma(seed in 0u64..3_000, k in 2usize..5, count in 4usize..14) {
+        let (g, f) = upp_instance(seed, k, count);
+        prop_assume!(dagwave_graph::pathcount::is_upp(&g));
+        let ids: Vec<PathId> = f.ids().collect();
+        for &p1 in &ids {
+            for &p2 in &ids {
+                for &q1 in &ids {
+                    for &q2 in &ids {
+                        if p1 < p2 && q1 < q2 && p1 != q1 && p2 != q2 && p1 != q2 && p2 != q1 {
+                            prop_assert!(
+                                upp::crossing_lemma_holds(&f, p1, p2, q1, q2),
+                                "{p1:?},{p2:?},{q1:?},{q2:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Figure-8 generator satisfies the crossing lemma and is the C4.
+#[test]
+fn figure8_instance() {
+    let inst = dagwave_gen::figures::crossing_c4();
+    assert!(dagwave_graph::pathcount::is_upp(&inst.graph));
+    let cg = ConflictGraph::build(&inst.graph, &inst.family);
+    let ug = solver::conflict_to_ugraph(&cg);
+    assert!(!forbidden::contains_induced_k23(&ug));
+    assert_eq!(cg.edge_count(), 4);
+    assert!(upp::crossing_lemma_holds(
+        &inst.family,
+        PathId(0),
+        PathId(1),
+        PathId(2),
+        PathId(3)
+    ));
+}
