@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
             "A2",
             &format!("{strat:?}"),
             "w=pi for both strategies",
-            &format!("w={}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+            &format!(
+                "w={}, kempe_swaps={}",
+                res.assignment.num_colors(),
+                res.kempe_swaps
+            ),
         );
         group.bench_with_input(
             BenchmarkId::new("strategy", format!("{strat:?}")),

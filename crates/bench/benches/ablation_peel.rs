@@ -19,15 +19,18 @@ fn bench(c: &mut Criterion) {
     let family = random::random_family(&mut rng, &g, 2_000, 6);
     for order in [PeelOrder::Fifo, PeelOrder::Lifo, PeelOrder::MinId] {
         let res =
-            theorem1::color_optimal_with(&g, &family, order, KempeStrategy::ComponentSwap)
-                .unwrap();
+            theorem1::color_optimal_with(&g, &family, order, KempeStrategy::ComponentSwap).unwrap();
         assert!(res.assignment.is_valid(&g, &family));
         assert_eq!(res.assignment.num_colors(), res.load);
         report_row(
             "A1",
             &format!("{order:?}"),
             "w=pi for all orders",
-            &format!("w={}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+            &format!(
+                "w={}, kempe_swaps={}",
+                res.assignment.num_colors(),
+                res.kempe_swaps
+            ),
         );
         group.bench_with_input(
             BenchmarkId::new("order", format!("{order:?}")),

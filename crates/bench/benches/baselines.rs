@@ -37,9 +37,7 @@ fn bench(c: &mut Criterion) {
             "B1",
             &format!("n={n},|P|={paths}"),
             "theorem1 = pi <= heuristics",
-            &format!(
-                "pi={pi} t1={w_t1} greedy={w_greedy} lf={w_lf} sl={w_sl} dsatur={w_ds}"
-            ),
+            &format!("pi={pi} t1={w_t1} greedy={w_greedy} lf={w_lf} sl={w_sl} dsatur={w_ds}"),
         );
 
         group.bench_with_input(BenchmarkId::new("theorem1", paths), &paths, |b, _| {
@@ -62,13 +60,14 @@ fn bench(c: &mut Criterion) {
                 .chromatic()
                 .expect("small graph closes");
             assert_eq!(chi, pi, "exact confirms Theorem 1");
-            report_row("B1/exact", &format!("|P|={paths}"), "chi = pi", &format!("chi={chi}"));
+            report_row(
+                "B1/exact",
+                &format!("|P|={paths}"),
+                "chi = pi",
+                &format!("chi={chi}"),
+            );
             group.bench_with_input(BenchmarkId::new("exact_bnb", paths), &paths, |b, _| {
-                b.iter(|| {
-                    black_box(
-                        exact::chromatic_number(black_box(&ug)).chromatic().unwrap(),
-                    )
-                });
+                b.iter(|| black_box(exact::chromatic_number(black_box(&ug)).chromatic().unwrap()));
             });
         }
     }

@@ -16,7 +16,12 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     assert_eq!(inst.load(), 2);
     assert_eq!(sol.num_colors, 3);
-    report_row("F3", "base", "pi=2, w=3", &format!("pi={}, w={}", inst.load(), sol.num_colors));
+    report_row(
+        "F3",
+        "base",
+        "pi=2, w=3",
+        &format!("pi={}, w={}", inst.load(), sol.num_colors),
+    );
 
     let mut group = c.benchmark_group("fig3_c5");
     for h in [1usize, 2, 4, 8] {

@@ -22,7 +22,11 @@ fn bench(c: &mut Criterion) {
         report_row(
             "F9",
             &format!("h={h}"),
-            &format!("pi={}, w=ceil(8h/3)={}", 2 * h, bounds::havet_wavelengths(h)),
+            &format!(
+                "pi={}, w=ceil(8h/3)={}",
+                2 * h,
+                bounds::havet_wavelengths(h)
+            ),
             &format!(
                 "pi={}, w={} (ratio {:.4}, bound {})",
                 sol.load,
@@ -56,8 +60,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("theorem6_merge", h), &h, |b, _| {
             b.iter(|| {
                 let res =
-                    theorem6::color_single_cycle_upp(black_box(&inst.graph), &inst.family)
-                        .unwrap();
+                    theorem6::color_single_cycle_upp(black_box(&inst.graph), &inst.family).unwrap();
                 black_box(res.assignment.num_colors())
             });
         });

@@ -15,7 +15,13 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm1_scaling");
-    for &(n, paths) in &[(50usize, 100usize), (100, 400), (200, 1200), (400, 3000), (800, 8000)] {
+    for &(n, paths) in &[
+        (50usize, 100usize),
+        (100, 400),
+        (200, 1200),
+        (400, 3000),
+        (800, 8000),
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         let g = random::random_internal_cycle_free(&mut rng, n, n / 4);
         let family = random::random_family(&mut rng, &g, paths, 6);
@@ -27,7 +33,11 @@ fn bench(c: &mut Criterion) {
             "T1",
             &format!("n={n},|P|={paths}"),
             "w=pi",
-            &format!("w={}=pi={pi}, kempe_swaps={}", res.assignment.num_colors(), res.kempe_swaps),
+            &format!(
+                "w={}=pi={pi}, kempe_swaps={}",
+                res.assignment.num_colors(),
+                res.kempe_swaps
+            ),
         );
         group.throughput(Throughput::Elements(paths as u64));
         group.bench_with_input(BenchmarkId::new("color_optimal", paths), &paths, |b, _| {

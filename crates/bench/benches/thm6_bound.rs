@@ -44,8 +44,8 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("split_merge", k), &k, |b, _| {
             b.iter(|| {
-                let res = theorem6::color_single_cycle_upp(black_box(&g), black_box(&family))
-                    .unwrap();
+                let res =
+                    theorem6::color_single_cycle_upp(black_box(&g), black_box(&family)).unwrap();
                 black_box(res.assignment.num_colors())
             });
         });

@@ -23,7 +23,9 @@ fn main() {
     // F1 — Figure 1 staircase.
     for k in [2usize, 4, 8, 12, 16, 24] {
         let inst = figures::staircase(k);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &inst.family).unwrap();
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
         row(
             "F1 staircase",
@@ -56,7 +58,9 @@ fn main() {
     // F3 — Figure 3.
     {
         let inst = figures::figure3();
-        let sol = WavelengthSolver::new().solve(&inst.graph, &inst.family).unwrap();
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
         row(
             "F3 C5 instance",
             "5 dipaths",
@@ -79,14 +83,21 @@ fn main() {
                     internal::find_internal_cycle(&inst.graph).map_or(0, |c| c.len())
                 ),
             ),
-            other => row("F4 recoloring walk", "figure-3 family", "blocked", &format!("{other:?}")),
+            other => row(
+                "F4 recoloring walk",
+                "figure-3 family",
+                "blocked",
+                &format!("{other:?}"),
+            ),
         }
     }
 
     // F5 — Figure 5 / Theorem 2 generalized.
     for k in [2usize, 4, 8, 16] {
         let inst = figures::theorem2_family(k);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &inst.family).unwrap();
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
         row(
             "F5 odd-cycle family",
             &format!("k={k}, 2k+1={} dipaths", 2 * k + 1),
@@ -130,7 +141,9 @@ fn main() {
     // F9 / Theorem 7 — Havet series.
     for h in 1..=6usize {
         let inst = havet::havet(h);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &inst.family).unwrap();
+        let sol = WavelengthSolver::new()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
         row(
             "F9/T7 Havet",
@@ -210,7 +223,10 @@ fn main() {
             "theorem1 = π ≤ heuristics",
             &format!(
                 "π={pi}, t1={}, dsatur={}, greedy-nat={}, greedy-sl={}",
-                theorem1::color_optimal(&g, &family).unwrap().assignment.num_colors(),
+                theorem1::color_optimal(&g, &family)
+                    .unwrap()
+                    .assignment
+                    .num_colors(),
                 dsatur::dsatur_color_count(&ug),
                 greedy::greedy_color_count(&ug, greedy::Order::Natural),
                 greedy::greedy_color_count(&ug, greedy::Order::SmallestLast),
@@ -225,8 +241,9 @@ fn main() {
         let family = random::random_family(&mut rng, &g, 2000, 6);
         for order in [PeelOrder::Fifo, PeelOrder::Lifo, PeelOrder::MinId] {
             let t0 = Instant::now();
-            let res = theorem1::color_optimal_with(&g, &family, order, KempeStrategy::ComponentSwap)
-                .unwrap();
+            let res =
+                theorem1::color_optimal_with(&g, &family, order, KempeStrategy::ComponentSwap)
+                    .unwrap();
             row(
                 "A1 peel order",
                 &format!("{order:?}"),

@@ -66,14 +66,21 @@ fn extract_odd_cycle(parent: &[usize], v: usize, w: usize) -> Vec<usize> {
     let cw = chain(w);
     // Find LCA: deepest common vertex (chains end at the same root).
     let inter: std::collections::HashSet<usize> = cw.iter().copied().collect();
-    let lca = *cv.iter().find(|x| inter.contains(x)).expect("same BFS tree");
+    let lca = *cv
+        .iter()
+        .find(|x| inter.contains(x))
+        .expect("same BFS tree");
     let mut cycle: Vec<usize> = cv.iter().take_while(|&&x| x != lca).copied().collect();
     cycle.push(lca);
     let wside: Vec<usize> = cw.iter().take_while(|&&x| x != lca).copied().collect();
     cycle.extend(wside.iter().rev());
     cycle.push(v);
     debug_assert_eq!(cycle.first(), cycle.last());
-    debug_assert_eq!(cycle.len() % 2, 0, "odd cycle: even vertex-list length with repeat");
+    debug_assert_eq!(
+        cycle.len() % 2,
+        0,
+        "odd cycle: even vertex-list length with repeat"
+    );
     cycle
 }
 

@@ -65,7 +65,10 @@ pub fn chromatic_number(g: &UGraph) -> ExactResult {
 pub fn chromatic_number_budgeted(g: &UGraph, budget: u64) -> ExactResult {
     let n = g.vertex_count();
     if n == 0 {
-        return ExactResult::Optimal { chromatic: 0, coloring: Vec::new() };
+        return ExactResult::Optimal {
+            chromatic: 0,
+            coloring: Vec::new(),
+        };
     }
     // Bounds.
     let clique = greedy_clique(g);
@@ -74,7 +77,10 @@ pub fn chromatic_number_budgeted(g: &UGraph, budget: u64) -> ExactResult {
     let mut best_count = incumbent.iter().copied().max().unwrap_or(0) + 1;
     let mut best = incumbent;
     if best_count == lower {
-        return ExactResult::Optimal { chromatic: best_count, coloring: best };
+        return ExactResult::Optimal {
+            chromatic: best_count,
+            coloring: best,
+        };
     }
 
     // Pre-seed: color the clique first with distinct colors — symmetry
@@ -95,10 +101,17 @@ pub fn chromatic_number_budgeted(g: &UGraph, budget: u64) -> ExactResult {
     let best_count = *state.best_count;
 
     if exhausted {
-        ExactResult::BudgetExceeded { lower, upper: best_count, coloring: best }
+        ExactResult::BudgetExceeded {
+            lower,
+            upper: best_count,
+            coloring: best,
+        }
     } else {
         debug_assert!(is_proper(g, &best));
-        ExactResult::Optimal { chromatic: best_count, coloring: best }
+        ExactResult::Optimal {
+            chromatic: best_count,
+            coloring: best,
+        }
     }
 }
 
@@ -207,7 +220,10 @@ mod tests {
     fn coloring_witness_is_proper_and_tight() {
         let g = cycle_graph(9);
         match chromatic_number(&g) {
-            ExactResult::Optimal { chromatic, coloring } => {
+            ExactResult::Optimal {
+                chromatic,
+                coloring,
+            } => {
                 assert_eq!(chromatic, 3);
                 assert!(is_proper(&g, &coloring));
                 let used = coloring.iter().copied().max().unwrap() + 1;
@@ -269,7 +285,11 @@ mod tests {
                 // Greedy clique == DSATUR here, so it may close instantly.
                 assert_eq!(chromatic, 12);
             }
-            ExactResult::BudgetExceeded { lower, upper, coloring } => {
+            ExactResult::BudgetExceeded {
+                lower,
+                upper,
+                coloring,
+            } => {
                 assert!(lower <= upper);
                 assert!(is_proper(&g, &coloring));
             }

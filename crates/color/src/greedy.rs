@@ -106,7 +106,16 @@ mod tests {
         // Greedy along smallest-last uses ≤ degeneracy + 1 colors.
         let g = UGraph::from_edges(
             7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
         );
         let d = g.degeneracy();
         let used = greedy_color_count(&g, Order::SmallestLast);

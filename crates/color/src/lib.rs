@@ -20,6 +20,22 @@
 //! * [`independent`] — greedy maximal independent sets (Theorem 7's
 //!   lower-bound argument `w ≥ n/α`).
 //! * [`verify`] — proper-coloring validation.
+//!
+//! ## Quick example
+//!
+//! The 5-cycle: clique number 2, chromatic number 3 — the gap the paper's
+//! `w = π` theorem closes for internal-cycle-free instances.
+//!
+//! ```
+//! use dagwave_color::{clique, dsatur, exact, verify, UGraph};
+//!
+//! let c5 = UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+//! assert_eq!(clique::clique_number(&c5), 2);
+//! assert_eq!(exact::chromatic_number(&c5).chromatic(), Some(3));
+//! let coloring = dsatur::dsatur_coloring(&c5);
+//! assert!(verify::is_proper(&c5, &coloring));
+//! assert_eq!(dagwave_color::color_count(&coloring), 3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -69,7 +69,10 @@ pub fn greedy_multicoloring(g: &UGraph, weights: &[usize]) -> Multicoloring {
         }
         next_color += 1;
     }
-    Multicoloring { colors, total: next_color }
+    Multicoloring {
+        colors,
+        total: next_color,
+    }
 }
 
 /// Exact multicoloring by branch and bound over *maximal* independent sets.
@@ -122,7 +125,10 @@ pub fn exact_multicoloring(g: &UGraph, weights: &[usize]) -> Multicoloring {
         }
     }
     debug_assert!(need.iter().all(|&w| w == 0));
-    Multicoloring { colors, total: next_color }
+    Multicoloring {
+        colors,
+        total: next_color,
+    }
 }
 
 fn cover_branch(
@@ -301,7 +307,18 @@ fn branch(
         return;
     };
     if blocked.contains(v) {
-        branch(g, weights, neigh, order, idx + 1, cur_weight, blocked, current, best, best_weight);
+        branch(
+            g,
+            weights,
+            neigh,
+            order,
+            idx + 1,
+            cur_weight,
+            blocked,
+            current,
+            best,
+            best_weight,
+        );
         return;
     }
     // Include v.
@@ -328,7 +345,18 @@ fn branch(
         blocked.remove(w);
     }
     // Exclude v (leave it blocked through this subtree, then restore).
-    branch(g, weights, neigh, order, idx + 1, cur_weight, blocked, current, best, best_weight);
+    branch(
+        g,
+        weights,
+        neigh,
+        order,
+        idx + 1,
+        cur_weight,
+        blocked,
+        current,
+        best,
+        best_weight,
+    );
     blocked.remove(v);
 }
 
@@ -396,7 +424,11 @@ mod tests {
             let mc = exact_multicoloring(&g, &w);
             assert!(mc.is_valid(&g, &w), "h={h}");
             let expected = (8 * h).div_ceil(3);
-            assert_eq!(mc.total, expected, "h={h}: {} vs ⌈8h/3⌉={expected}", mc.total);
+            assert_eq!(
+                mc.total, expected,
+                "h={h}: {} vs ⌈8h/3⌉={expected}",
+                mc.total
+            );
         }
     }
 

@@ -13,7 +13,10 @@ pub struct UGraph {
 impl UGraph {
     /// Empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        UGraph { adj: vec![Vec::new(); n], edges: 0 }
+        UGraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
     }
 
     /// Build from an edge list (duplicates and loops are ignored).
@@ -29,9 +32,7 @@ impl UGraph {
     /// `dagwave_paths::ConflictGraph` without copying through an edge list).
     pub fn from_sorted_adjacency(adj: Vec<Vec<u32>>) -> Self {
         let edges = adj.iter().map(|n| n.len()).sum::<usize>() / 2;
-        debug_assert!(adj
-            .iter()
-            .all(|ns| ns.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(adj.iter().all(|ns| ns.windows(2).all(|w| w[0] < w[1])));
         UGraph { adj, edges }
     }
 

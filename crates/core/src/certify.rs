@@ -133,8 +133,18 @@ mod tests {
         let g = from_edges(
             12,
             &[
-                (0, 2), (1, 3), (8, 2), (9, 3), (2, 4), (2, 5), (3, 4), (3, 5),
-                (4, 6), (5, 7), (4, 10), (5, 11),
+                (0, 2),
+                (1, 3),
+                (8, 2),
+                (9, 3),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (4, 10),
+                (5, 11),
             ],
         );
         let route = |r: &[usize]| {

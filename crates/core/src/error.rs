@@ -66,10 +66,18 @@ mod tests {
     fn display_variants() {
         let e = CoreError::NotADag(vec![VertexId(0), VertexId(1)]);
         assert!(e.to_string().contains("directed cycle"));
-        let e = CoreError::InternalCycleObstruction { chain: vec![PathId(0), PathId(1)] };
+        let e = CoreError::InternalCycleObstruction {
+            chain: vec![PathId(0), PathId(1)],
+        };
         assert!(e.to_string().contains("2 dipaths"));
-        assert!(CoreError::NotUpp(VertexId(1), VertexId(2)).to_string().contains("v1 to v2"));
-        assert!(CoreError::WrongInternalCycleCount(3).to_string().contains('3'));
-        assert!(CoreError::MergeConflict(PathId(0), PathId(9)).to_string().contains("p9"));
+        assert!(CoreError::NotUpp(VertexId(1), VertexId(2))
+            .to_string()
+            .contains("v1 to v2"));
+        assert!(CoreError::WrongInternalCycleCount(3)
+            .to_string()
+            .contains('3'));
+        assert!(CoreError::MergeConflict(PathId(0), PathId(9))
+            .to_string()
+            .contains("p9"));
     }
 }

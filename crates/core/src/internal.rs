@@ -178,8 +178,18 @@ mod tests {
         let g = from_edges(
             12,
             &[
-                (0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5),
-                (6, 7), (7, 8), (8, 10), (7, 9), (9, 10), (10, 11),
+                (0, 1),
+                (1, 2),
+                (2, 4),
+                (1, 3),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (8, 10),
+                (7, 9),
+                (9, 10),
+                (10, 11),
             ],
         );
         assert_eq!(internal_cycle_count(&g), 2);
@@ -201,7 +211,16 @@ mod tests {
         // vertex 3 is internal but each diamond has a non-internal vertex.
         let g = from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         );
         assert!(is_internal_cycle_free(&g));
     }
@@ -211,7 +230,17 @@ mod tests {
         // Same as above plus a guard making the first diamond internal.
         let g = from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (7, 0)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+                (7, 0),
+            ],
         );
         assert!(has_internal_cycle(&g), "0 now has a predecessor");
         assert_eq!(internal_cycle_count(&g), 1);

@@ -61,7 +61,10 @@ pub struct WavelengthSolver {
 
 impl Default for WavelengthSolver {
     fn default() -> Self {
-        WavelengthSolver { exact_limit: 80, exact_budget: exact::DEFAULT_NODE_BUDGET }
+        WavelengthSolver {
+            exact_limit: 80,
+            exact_budget: exact::DEFAULT_NODE_BUDGET,
+        }
     }
 }
 
@@ -214,7 +217,10 @@ impl WavelengthSolver {
         let ug = conflict_to_ugraph(&cg);
         if ug.vertex_count() <= self.exact_limit {
             match exact::chromatic_number_budgeted(&ug, self.exact_budget) {
-                exact::ExactResult::Optimal { chromatic, coloring } => {
+                exact::ExactResult::Optimal {
+                    chromatic,
+                    coloring,
+                } => {
                     let assignment = WavelengthAssignment::new(coloring);
                     debug_assert!(assignment.is_valid(g, family));
                     return Ok(Solution {
@@ -320,7 +326,16 @@ mod tests {
         // Single-arc dipaths over the crossing pattern.
         let g = from_edges(
             8,
-            &[(0, 2), (1, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 6), (5, 7)],
+            &[
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+            ],
         );
         let f = DipathFamily::from_paths(vec![
             path(&g, &[0, 2, 4, 6]),
@@ -382,7 +397,9 @@ mod tests {
     #[test]
     fn empty_family_on_any_class() {
         let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
-        let sol = WavelengthSolver::new().solve(&g, &DipathFamily::new()).unwrap();
+        let sol = WavelengthSolver::new()
+            .solve(&g, &DipathFamily::new())
+            .unwrap();
         assert_eq!(sol.num_colors, 0);
         assert_eq!(sol.load, 0);
         assert!(sol.optimal);
@@ -391,10 +408,7 @@ mod tests {
     #[test]
     fn batch_solving_matches_individual() {
         let g1 = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
-        let f1 = DipathFamily::from_paths(vec![
-            path(&g1, &[0, 1, 2]),
-            path(&g1, &[0, 1, 3]),
-        ]);
+        let f1 = DipathFamily::from_paths(vec![path(&g1, &[0, 1, 2]), path(&g1, &[0, 1, 3])]);
         let g2 = from_edges(3, &[(0, 1), (1, 2)]);
         let f2 = DipathFamily::from_paths(vec![path(&g2, &[0, 1, 2])]).replicate(4);
         let solver = WavelengthSolver::new();

@@ -297,7 +297,11 @@ fn replay(
     debug_assert!(colors.iter().all(|&c| c != UNCOLORED || family.is_empty()));
     let assignment = WavelengthAssignment::new(colors);
     debug_assert!(assignment.is_valid(g, family));
-    Ok(Theorem1Result { assignment, load: pi, kempe_swaps })
+    Ok(Theorem1Result {
+        assignment,
+        load: pi,
+        kempe_swaps,
+    })
 }
 
 /// Flip α↔β on the conflict component of `start`, refusing to touch
@@ -396,7 +400,11 @@ fn kempe_cascade(
                 assert!(!flipped[q.index()], "case B: dipath reflipped");
                 flipped[q.index()] = true;
                 chain_parent[q.index()] = Some(p);
-                colors[q.index()] = if colors[q.index()] == alpha { beta } else { alpha };
+                colors[q.index()] = if colors[q.index()] == alpha {
+                    beta
+                } else {
+                    alpha
+                };
                 next_wave.push(q);
             }
         }
@@ -550,10 +558,7 @@ mod tests {
         // Two levels of sharing that force the replay to actually recolor:
         // dipaths overlap pairwise on different arcs with load 2 everywhere,
         // while a greedy front-assignment would clash.
-        let g = from_edges(
-            7,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
-        );
+        let g = from_edges(7, &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)]);
         // Not internal-cycle-free? 4,5 produce a diamond 3→4→6, 3→5→6 whose
         // vertices: 3 (pred 2 ✓), 4, 5, 6 — 6 is a sink ⇒ not internal. OK.
         assert!(crate::internal::is_internal_cycle_free(&g));
@@ -572,10 +577,7 @@ mod tests {
 
     #[test]
     fn cascade_matches_component_swap_counts() {
-        let g = from_edges(
-            7,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
-        );
+        let g = from_edges(7, &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)]);
         let f = DipathFamily::from_paths(vec![
             path(&g, &[0, 2, 3, 4]),
             path(&g, &[1, 2, 3, 5]),

@@ -264,8 +264,7 @@ pub fn color_single_cycle_upp(
 
     let extra_colors = next_gamma - pi;
     // Drop the padding.
-    let assignment =
-        WavelengthAssignment::new(final_colors[..family.len()].to_vec());
+    let assignment = WavelengthAssignment::new(final_colors[..family.len()].to_vec());
     if let Some((p, q)) = assignment.first_violation(g, family) {
         return Err(CoreError::MergeConflict(p, q));
     }
@@ -291,7 +290,10 @@ fn repair_identity_groups(
     use std::collections::HashMap;
     let mut groups: HashMap<&[dagwave_graph::ArcId], Vec<usize>> = HashMap::new();
     for (j, c) in split.crossings.iter().enumerate() {
-        groups.entry(padded.path(c.orig).arcs()).or_default().push(j);
+        groups
+            .entry(padded.path(c.orig).arcs())
+            .or_default()
+            .push(j);
     }
     for members in groups.values() {
         if members.len() < 2 {
@@ -379,19 +381,26 @@ fn split_instance(g: &Digraph, padded: &DipathFamily, ab: ArcId) -> SplitInstanc
             Some(kpos) => {
                 let mut pre = p.arcs()[..kpos].to_vec();
                 pre.push(ab); // slot of (a, s) in G̃
-                let prefix = family.push(
-                    Dipath::from_arcs(&tilde, pre).expect("prefix + (a,s) is contiguous"),
-                );
+                let prefix = family
+                    .push(Dipath::from_arcs(&tilde, pre).expect("prefix + (a,s) is contiguous"));
                 let mut suf = vec![tb];
                 suf.extend_from_slice(&p.arcs()[kpos + 1..]);
-                let suffix = family.push(
-                    Dipath::from_arcs(&tilde, suf).expect("(t,b) + suffix is contiguous"),
-                );
-                crossings.push(Crossing { orig, prefix, suffix });
+                let suffix = family
+                    .push(Dipath::from_arcs(&tilde, suf).expect("(t,b) + suffix is contiguous"));
+                crossings.push(Crossing {
+                    orig,
+                    prefix,
+                    suffix,
+                });
             }
         }
     }
-    SplitInstance { graph: tilde, family, crossings, noncrossing }
+    SplitInstance {
+        graph: tilde,
+        family,
+        crossings,
+        noncrossing,
+    }
 }
 
 /// Decompose the palette permutation into cycles; each cycle is reported as
@@ -687,10 +696,7 @@ mod tests {
     fn figure3_shape_on_upp_variant() {
         // An UPP single-cycle instance resembling Figure 3's five dipaths:
         // chain a→b→c→d→e with a second route b→m→d.
-        let g = from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 3), (4, 6)],
-        );
+        let g = from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 3), (4, 6)]);
         // b(1) → c(2) → d(3) and b(1) → m(5) → d(3): two dipaths 1→3 — not
         // UPP, so Theorem 6 must refuse.
         assert!(matches!(

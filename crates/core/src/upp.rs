@@ -72,12 +72,8 @@ pub fn helly_holds(family: &DipathFamily, clique: &[PathId]) -> bool {
         return true;
     }
     // Intersect arc sets progressively.
-    let mut common: std::collections::HashSet<ArcId> = family
-        .path(clique[0])
-        .arcs()
-        .iter()
-        .copied()
-        .collect();
+    let mut common: std::collections::HashSet<ArcId> =
+        family.path(clique[0]).arcs().iter().copied().collect();
     for &p in &clique[1..] {
         let arcs: std::collections::HashSet<ArcId> =
             family.path(p).arcs().iter().copied().collect();
@@ -107,14 +103,14 @@ pub fn crossing_lemma_holds(
         return true; // not applicable: the pairs must be disjoint
     }
     let pos = |host: &Dipath, guest: &Dipath| -> Option<usize> {
-        Intersection::of(host, guest).intervals.first().map(|&(s, _)| s)
+        Intersection::of(host, guest)
+            .intervals
+            .first()
+            .map(|&(s, _)| s)
     };
-    let (Some(a11), Some(a12), Some(a21), Some(a22)) = (
-        pos(p1d, q1d),
-        pos(p1d, q2d),
-        pos(p2d, q1d),
-        pos(p2d, q2d),
-    ) else {
+    let (Some(a11), Some(a12), Some(a21), Some(a22)) =
+        (pos(p1d, q1d), pos(p1d, q2d), pos(p2d, q1d), pos(p2d, q2d))
+    else {
         return true; // not applicable: each q must meet each p
     };
     if a11 < a12 {
@@ -201,10 +197,7 @@ mod tests {
     fn helly_fails_on_non_upp_configuration() {
         // Three dipaths pairwise intersecting without a common arc — only
         // possible when UPP fails (a detour around the middle arc).
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 2)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 2)]);
         assert!(!is_upp(&g), "detour 1→5→2 breaks UPP");
         let f = DipathFamily::from_paths(vec![
             path(&g, &[0, 1, 2]),       // arcs {0→1, 1→2}
@@ -230,12 +223,16 @@ mod tests {
         let g = from_edges(
             10,
             &[
-                (0, 1), (1, 2), (2, 3), // P1 spine
-                (4, 5), (5, 6), (6, 7), // P2 spine
-                (8, 0),                  // Q1 feed
-                (1, 6),                  // Q1 bridge: leaves P1 early, joins P2 late
-                (9, 4),                  // Q2 feed
-                (5, 2),                  // Q2 bridge: leaves P2 early, joins P1 late
+                (0, 1),
+                (1, 2),
+                (2, 3), // P1 spine
+                (4, 5),
+                (5, 6),
+                (6, 7), // P2 spine
+                (8, 0), // Q1 feed
+                (1, 6), // Q1 bridge: leaves P1 early, joins P2 late
+                (9, 4), // Q2 feed
+                (5, 2), // Q2 bridge: leaves P2 early, joins P1 late
             ],
         );
         assert!(is_upp(&g));
@@ -245,8 +242,20 @@ mod tests {
             path(&g, &[8, 0, 1, 6, 7]), // Q1: shares 0→1 (P1 pos 0), 6→7 (P2 pos 2)
             path(&g, &[9, 4, 5, 2, 3]), // Q2: shares 4→5 (P2 pos 0), 2→3 (P1 pos 2)
         ]);
-        assert!(crossing_lemma_holds(&f, PathId(0), PathId(1), PathId(2), PathId(3)));
-        assert!(crossing_lemma_holds(&f, PathId(1), PathId(0), PathId(2), PathId(3)));
+        assert!(crossing_lemma_holds(
+            &f,
+            PathId(0),
+            PathId(1),
+            PathId(2),
+            PathId(3)
+        ));
+        assert!(crossing_lemma_holds(
+            &f,
+            PathId(1),
+            PathId(0),
+            PathId(2),
+            PathId(3)
+        ));
         // The conflict graph of {P1, P2, Q1, Q2} is exactly C4 (Figure 8).
         let cg = ConflictGraph::build(&g, &f);
         assert_eq!(cg.edge_count(), 4);
@@ -266,7 +275,13 @@ mod tests {
             path(&g, &[0, 1]),
         ]);
         // p1, p2 conflict ⇒ lemma silent ⇒ holds.
-        assert!(crossing_lemma_holds(&f, PathId(0), PathId(1), PathId(2), PathId(3)));
+        assert!(crossing_lemma_holds(
+            &f,
+            PathId(0),
+            PathId(1),
+            PathId(2),
+            PathId(3)
+        ));
     }
 
     #[test]

@@ -127,9 +127,8 @@ mod tests {
     fn clean_instances_pass_through() {
         let g = from_edges(3, &[(0, 1), (1, 2)]);
         let v = |i: usize| VertexId::from_index(i);
-        let family = DipathFamily::from_paths(vec![
-            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
-        ]);
+        let family =
+            DipathFamily::from_paths(vec![Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap()]);
         let res = explain_obstruction(&g, &family).expect("no obstruction on a chain");
         assert_eq!(res.assignment.num_colors(), 1);
     }

@@ -34,7 +34,11 @@ pub fn staircase(k: usize) -> Instance {
         let b = g.add_vertex();
         let arc = g.add_arc(a, b);
         let family = DipathFamily::from_paths(vec![Dipath::single(arc)]);
-        return Instance { graph: g, family, name: "fig1-staircase-k1".into() };
+        return Instance {
+            graph: g,
+            family,
+            name: "fig1-staircase-k1".into(),
+        };
     }
     // Shared arc per pair (i, j), i < j.
     let mut shared: Vec<Vec<Option<ArcId>>> = vec![vec![None; k]; k];
@@ -80,10 +84,7 @@ pub fn oriented_cycle_demo() -> Digraph {
 /// predecessor above and successor below, making every cycle vertex
 /// internal.
 pub fn internal_cycle_demo() -> Digraph {
-    dagwave_graph::builder::from_edges(
-        6,
-        &[(4, 0), (0, 1), (0, 2), (1, 3), (2, 3), (3, 5)],
-    )
+    dagwave_graph::builder::from_edges(6, &[(4, 0), (0, 1), (0, 2), (1, 3), (2, 3), (3, 5)])
 }
 
 /// Figure 3 — one internal cycle, five dipaths, `π = 2`, `w = 3`.
@@ -101,13 +102,17 @@ pub fn figure3() -> Instance {
     let bd = g.add_arc(b, d);
     let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("figure 3 path");
     let family = DipathFamily::from_paths(vec![
-        p(vec![ab, bc]),     // a b c
-        p(vec![bc, cd]),     // b c d
-        p(vec![cd, de]),     // c d e
-        p(vec![bd, de]),     // b d e  (second dipath b→d)
-        p(vec![ab, bd]),     // a b d  (second dipath b→d)
+        p(vec![ab, bc]), // a b c
+        p(vec![bc, cd]), // b c d
+        p(vec![cd, de]), // c d e
+        p(vec![bd, de]), // b d e  (second dipath b→d)
+        p(vec![ab, bd]), // a b d  (second dipath b→d)
     ]);
-    Instance { graph: g, family, name: "fig3-c5".into() }
+    Instance {
+        graph: g,
+        family,
+        name: "fig3-c5".into(),
+    }
 }
 
 /// Figure 5 / Theorem 2 — the size-`k` internal cycle (`k ≥ 2`) with
@@ -116,7 +121,10 @@ pub fn figure3() -> Instance {
 ///
 /// Arcs: `a_i → b_i`, `b_i → c_i`, `b_i → c_{i-1}` (mod `k`), `c_i → d_i`.
 pub fn theorem2_family(k: usize) -> Instance {
-    assert!(k >= 2, "the cycle construction needs k ≥ 2 (see figure3() for k = 1)");
+    assert!(
+        k >= 2,
+        "the cycle construction needs k ≥ 2 (see figure3() for k = 1)"
+    );
     let mut g = Digraph::new();
     let a: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
     let b: Vec<VertexId> = (0..k).map(|_| g.add_vertex()).collect();
@@ -152,12 +160,16 @@ pub fn crossing_c4() -> Instance {
     let g = dagwave_graph::builder::from_edges(
         10,
         &[
-            (0, 1), (1, 2), (2, 3), // P1 spine
-            (4, 5), (5, 6), (6, 7), // P2 spine
-            (8, 0),                  // Q1 feed
-            (1, 6),                  // Q1 bridge
-            (9, 4),                  // Q2 feed
-            (5, 2),                  // Q2 bridge
+            (0, 1),
+            (1, 2),
+            (2, 3), // P1 spine
+            (4, 5),
+            (5, 6),
+            (6, 7), // P2 spine
+            (8, 0), // Q1 feed
+            (1, 6), // Q1 bridge
+            (9, 4), // Q2 feed
+            (5, 2), // Q2 bridge
         ],
     );
     let v = |i: usize| VertexId::from_index(i);
@@ -171,7 +183,11 @@ pub fn crossing_c4() -> Instance {
         p(&[8, 0, 1, 6, 7]),
         p(&[9, 4, 5, 2, 3]),
     ]);
-    Instance { graph: g, family, name: "fig8-crossing-c4".into() }
+    Instance {
+        graph: g,
+        family,
+        name: "fig8-crossing-c4".into(),
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,11 @@ pub fn havet(h: usize) -> Instance {
     assert!(h >= 1);
     let graph = havet_graph();
     let family = havet_base_family(&graph).replicate(h);
-    Instance { graph, family, name: format!("fig9-havet-h{h}") }
+    Instance {
+        graph,
+        family,
+        name: format!("fig9-havet-h{h}"),
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +97,10 @@ mod tests {
         }
         // C8 backbone: consecutive dipaths conflict.
         for i in 0..8u32 {
-            assert!(cg.are_adjacent(PathId(i), PathId((i + 1) % 8)), "cycle edge {i}");
+            assert!(
+                cg.are_adjacent(PathId(i), PathId((i + 1) % 8)),
+                "cycle edge {i}"
+            );
         }
         // Antipodal chords.
         for i in 0..4u32 {

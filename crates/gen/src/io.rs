@@ -37,7 +37,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialize an instance to the text format.
@@ -84,7 +87,9 @@ pub fn read_instance(text: &str, name: &str) -> Result<Instance, ParseError> {
                 graph = Some(Digraph::with_vertices(n));
             }
             "arc" => {
-                let g = graph.as_mut().ok_or_else(|| err(lineno, "`arc` before `dag`"))?;
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`arc` before `dag`"))?;
                 let mut parse = |what: &str| -> Result<VertexId, ParseError> {
                     let idx: usize = tokens
                         .next()
@@ -102,7 +107,9 @@ pub fn read_instance(text: &str, name: &str) -> Result<Instance, ParseError> {
                     .map_err(|e| err(lineno, e.to_string()))?;
             }
             "path" => {
-                let g = graph.as_ref().ok_or_else(|| err(lineno, "`path` before `dag`"))?;
+                let g = graph
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "`path` before `dag`"))?;
                 let route: Result<Vec<VertexId>, ParseError> = tokens
                     .map(|t| {
                         let idx: usize = t
@@ -115,15 +122,18 @@ pub fn read_instance(text: &str, name: &str) -> Result<Instance, ParseError> {
                     })
                     .collect();
                 let route = route?;
-                let p = Dipath::from_vertices(g, &route)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                let p = Dipath::from_vertices(g, &route).map_err(|e| err(lineno, e.to_string()))?;
                 family.push(p);
             }
             other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
         }
     }
     let graph = graph.ok_or_else(|| err(1, "missing `dag` line"))?;
-    Ok(Instance { graph, family, name: name.to_owned() })
+    Ok(Instance {
+        graph,
+        family,
+        name: name.to_owned(),
+    })
 }
 
 #[cfg(test)]

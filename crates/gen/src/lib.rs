@@ -13,13 +13,28 @@
 //!
 //! All generators return an [`Instance`] bundling the digraph with a dipath
 //! family and the paper-claimed quantities where applicable.
+//!
+//! ## Quick example
+//!
+//! Figure 1's staircase has pairwise-conflicting dipaths but load 2, so
+//! `w = k` while `π = 2` — the gap internal cycles make possible.
+//!
+//! ```
+//! use dagwave_gen::figures;
+//!
+//! let inst = figures::staircase(4);
+//! assert_eq!(inst.family.len(), 4);
+//! assert_eq!(inst.load(), 2); // π = 2 ...
+//! let cg = dagwave_paths::ConflictGraph::build(&inst.graph, &inst.family);
+//! assert_eq!(cg.edge_count(), 4 * 3 / 2); // ... yet all dipaths conflict
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
-pub mod io;
 pub mod havet;
+pub mod io;
 pub mod random;
 pub mod theorem2;
 

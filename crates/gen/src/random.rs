@@ -27,12 +27,7 @@ pub fn random_out_tree<R: Rng>(rng: &mut R, n: usize) -> Digraph {
 /// A random layered DAG: `layers` layers of `width` vertices, each arc
 /// from layer `l` to `l + 1` kept with probability `density`. May contain
 /// internal cycles (it usually does once `density · width > 1`).
-pub fn random_layered<R: Rng>(
-    rng: &mut R,
-    layers: usize,
-    width: usize,
-    density: f64,
-) -> Digraph {
+pub fn random_layered<R: Rng>(rng: &mut R, layers: usize, width: usize, density: f64) -> Digraph {
     let n = layers * width;
     let mut g = Digraph::with_vertices(n);
     let vid = |l: usize, i: usize| VertexId::from_index(l * width + i);

@@ -27,7 +27,10 @@ impl std::fmt::Display for WitnessError {
         match self {
             WitnessError::NoInternalCycle => write!(f, "no internal cycle in the digraph"),
             WitnessError::DegenerateParallelCycle => {
-                write!(f, "internal cycle is two parallel arcs; no odd-cycle family exists")
+                write!(
+                    f,
+                    "internal cycle is two parallel arcs; no odd-cycle family exists"
+                )
             }
             WitnessError::GuardCollision => {
                 write!(f, "could not choose collision-free guard arcs")
@@ -77,11 +80,19 @@ pub fn directed_runs(g: &Digraph, cycle: &OrientedCycle) -> Vec<CycleRun> {
         }
         let run_end = cycle.vertices[(start + j) % k];
         if forward {
-            runs.push(CycleRun { from: run_start, to: run_end, arcs });
+            runs.push(CycleRun {
+                from: run_start,
+                to: run_end,
+                arcs,
+            });
         } else {
             // Walked against the arcs: as a dipath it goes run_end → run_start.
             arcs.reverse();
-            runs.push(CycleRun { from: run_end, to: run_start, arcs });
+            runs.push(CycleRun {
+                from: run_end,
+                to: run_start,
+                arcs,
+            });
         }
         i = j;
     }
@@ -97,10 +108,7 @@ pub fn witness_family(g: &Digraph) -> Result<DipathFamily, WitnessError> {
 }
 
 /// [`witness_family`] on an explicit internal cycle.
-pub fn witness_on_cycle(
-    g: &Digraph,
-    cycle: &OrientedCycle,
-) -> Result<DipathFamily, WitnessError> {
+pub fn witness_on_cycle(g: &Digraph, cycle: &OrientedCycle) -> Result<DipathFamily, WitnessError> {
     let runs = directed_runs(g, cycle);
     debug_assert!(runs.len() % 2 == 0, "even number of alternating runs");
     let k = runs.len() / 2;
@@ -108,8 +116,7 @@ pub fn witness_on_cycle(
     // Guard arcs: a non-cycle in-arc per out-turn, non-cycle out-arc per
     // in-turn. Turn vertices are internal, and the cycle arcs at an
     // out-turn all leave it (resp. enter an in-turn), so guards exist.
-    let cycle_arcs: std::collections::HashSet<ArcId> =
-        cycle.steps.iter().map(|s| s.arc).collect();
+    let cycle_arcs: std::collections::HashSet<ArcId> = cycle.steps.iter().map(|s| s.arc).collect();
     let out_turns: Vec<VertexId> = {
         let mut seen = std::collections::HashSet::new();
         runs.iter()
@@ -166,19 +173,19 @@ pub fn witness_on_cycle(
         let pb = pred[&b];
         let sc = succ[&c];
         return Ok(DipathFamily::from_paths(vec![
-            mk(vec![pb, r_long.arcs[0]]),                       // P1 = pred + R1 start
-            mk(r_long.arcs.clone()),                            // P2 = R1
-            mk(vec![*r_long.arcs.last().unwrap(), sc]),         // P3 = R1 end + succ
+            mk(vec![pb, r_long.arcs[0]]),               // P1 = pred + R1 start
+            mk(r_long.arcs.clone()),                    // P2 = R1
+            mk(vec![*r_long.arcs.last().unwrap(), sc]), // P3 = R1 end + succ
             mk({
                 let mut v = r_short.arcs.clone();
                 v.push(sc);
                 v
-            }),                                                 // P4 = R2 + succ
+            }), // P4 = R2 + succ
             mk({
                 let mut v = vec![pb];
                 v.extend_from_slice(&r_short.arcs);
                 v
-            }),                                                 // P5 = pred + R2
+            }), // P5 = pred + R2
         ]));
     }
 
@@ -243,7 +250,9 @@ mod tests {
             assert_eq!(cg.degree(PathId::from_index(i)), 2, "vertex {i} degree");
         }
         // Connected 2-regular graph of odd order = odd cycle ⇒ χ = 3.
-        let sol = dagwave_core::WavelengthSolver::new().solve(g, family).unwrap();
+        let sol = dagwave_core::WavelengthSolver::new()
+            .solve(g, family)
+            .unwrap();
         assert_eq!(sol.num_colors, 3, "w = 3");
     }
 
@@ -284,7 +293,10 @@ mod tests {
     #[test]
     fn no_internal_cycle_is_rejected() {
         let g = dagwave_graph::builder::from_edges(3, &[(0, 1), (1, 2)]);
-        assert!(matches!(witness_family(&g), Err(WitnessError::NoInternalCycle)));
+        assert!(matches!(
+            witness_family(&g),
+            Err(WitnessError::NoInternalCycle)
+        ));
     }
 
     #[test]

@@ -100,10 +100,7 @@ impl BitSet {
 
     /// `true` if `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// `true` if every element of `self` is in `other`.

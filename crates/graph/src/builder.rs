@@ -55,10 +55,7 @@ impl DigraphBuilder {
     /// Add a chain of arcs through the named vertices, e.g.
     /// `chain(&["a", "b", "c"])` adds `a→b` and `b→c`. Returns the arc ids.
     pub fn chain(&mut self, names: &[&str]) -> Vec<ArcId> {
-        names
-            .windows(2)
-            .map(|w| self.arc(w[0], w[1]))
-            .collect()
+        names.windows(2).map(|w| self.arc(w[0], w[1])).collect()
     }
 
     /// Look up a named vertex without creating it.

@@ -263,7 +263,13 @@ mod tests {
         let a = g.find_arc(vs[0], vs[1]).unwrap();
         assert_eq!(g.tail(a), vs[0]);
         assert_eq!(g.head(a), vs[1]);
-        assert_eq!(g.arc(a), Arc { tail: vs[0], head: vs[1] });
+        assert_eq!(
+            g.arc(a),
+            Arc {
+                tail: vs[0],
+                head: vs[1]
+            }
+        );
     }
 
     #[test]
@@ -299,8 +305,14 @@ mod tests {
         let mut g = Digraph::new();
         let v = g.add_vertex();
         let bogus = VertexId(7);
-        assert_eq!(g.try_add_arc(v, bogus), Err(GraphError::InvalidVertex(bogus)));
-        assert_eq!(g.try_add_arc(bogus, v), Err(GraphError::InvalidVertex(bogus)));
+        assert_eq!(
+            g.try_add_arc(v, bogus),
+            Err(GraphError::InvalidVertex(bogus))
+        );
+        assert_eq!(
+            g.try_add_arc(bogus, v),
+            Err(GraphError::InvalidVertex(bogus))
+        );
     }
 
     #[test]

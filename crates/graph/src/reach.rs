@@ -208,7 +208,16 @@ mod tests {
     fn parallel_closure_agrees_with_sequential() {
         let g = from_edges(
             8,
-            &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6), (5, 7)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (2, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+            ],
         );
         let seq = transitive_closure(&g);
         let par = transitive_closure_parallel(&g);

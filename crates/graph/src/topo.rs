@@ -17,11 +17,10 @@ pub fn is_dag(g: &Digraph) -> bool {
 /// directed cycle if none exists.
 pub fn topological_order(g: &Digraph) -> Result<Vec<VertexId>, GraphError> {
     let n = g.vertex_count();
-    let mut indeg: Vec<usize> = (0..n).map(|i| g.indegree(VertexId::from_index(i))).collect();
-    let mut queue: Vec<VertexId> = g
-        .vertices()
-        .filter(|&v| indeg[v.index()] == 0)
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| g.indegree(VertexId::from_index(i)))
         .collect();
+    let mut queue: Vec<VertexId> = g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut qi = 0;
     while qi < queue.len() {
@@ -38,9 +37,9 @@ pub fn topological_order(g: &Digraph) -> Result<Vec<VertexId>, GraphError> {
     if order.len() == n {
         Ok(order)
     } else {
-        Err(GraphError::NotADag(find_directed_cycle(g).expect(
-            "Kahn reported a cycle, DFS must find one",
-        )))
+        Err(GraphError::NotADag(
+            find_directed_cycle(g).expect("Kahn reported a cycle, DFS must find one"),
+        ))
     }
 }
 
@@ -137,7 +136,10 @@ mod tests {
         let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         assert!(is_dag(&g));
         let ord = topological_order(&g).unwrap();
-        assert_eq!(ord, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            ord,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
     }
 
     #[test]

@@ -303,7 +303,16 @@ mod tests {
         // Two diamonds sharing nothing: 8 vertices, 8 arcs, 2 components.
         let g = from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 7), (6, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (5, 7),
+                (6, 7),
+            ],
         );
         let view = SubgraphView::full(&g);
         assert_eq!(cyclomatic_number(&view), 2);
@@ -346,8 +355,14 @@ mod tests {
         let bad = OrientedCycle {
             vertices: vec![VertexId(0), VertexId(1)],
             steps: vec![
-                OrientedStep { arc: ArcId(0), forward: true },
-                OrientedStep { arc: ArcId(0), forward: false },
+                OrientedStep {
+                    arc: ArcId(0),
+                    forward: true,
+                },
+                OrientedStep {
+                    arc: ArcId(0),
+                    forward: false,
+                },
             ],
         };
         assert!(!bad.validate(&g), "repeated arc must be rejected");

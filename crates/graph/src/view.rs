@@ -32,7 +32,11 @@ impl<'g> SubgraphView<'g> {
         for a in base.arc_ids() {
             arcs.insert(a.index());
         }
-        SubgraphView { base, vertices, arcs }
+        SubgraphView {
+            base,
+            vertices,
+            arcs,
+        }
     }
 
     /// View induced on a vertex set: arcs with both endpoints inside are kept.
@@ -47,7 +51,11 @@ impl<'g> SubgraphView<'g> {
                 arcs.insert(id.index());
             }
         }
-        SubgraphView { base, vertices, arcs }
+        SubgraphView {
+            base,
+            vertices,
+            arcs,
+        }
     }
 
     /// The base graph.
@@ -93,10 +101,7 @@ impl<'g> SubgraphView<'g> {
 
     /// Number of present arcs.
     pub fn arc_count(&self) -> usize {
-        self.base
-            .arc_ids()
-            .filter(|&a| self.has_arc(a))
-            .count()
+        self.base.arc_ids().filter(|&a| self.has_arc(a)).count()
     }
 
     /// Present vertices in id order.
@@ -157,7 +162,10 @@ impl<'g> SubgraphView<'g> {
         let mut amap = vec![None; self.base.arc_count()];
         for a in self.arcs() {
             let arc = self.base.arc(a);
-            let (t, h) = (vmap[arc.tail.index()].unwrap(), vmap[arc.head.index()].unwrap());
+            let (t, h) = (
+                vmap[arc.tail.index()].unwrap(),
+                vmap[arc.head.index()].unwrap(),
+            );
             amap[a.index()] = Some(g.add_arc(t, h));
         }
         (g, vmap, amap)

@@ -9,15 +9,14 @@ use proptest::prelude::*;
 /// acyclic) over `n` vertices.
 fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (3usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..3 * n).prop_map(
-            move |pairs| {
+        let edges =
+            proptest::collection::vec((0usize..n, 0usize..n), 0..3 * n).prop_map(move |pairs| {
                 pairs
                     .into_iter()
                     .filter(|(a, b)| a != b)
                     .map(|(a, b)| (a.min(b), a.max(b)))
                     .collect::<Vec<_>>()
-            },
-        );
+            });
         (Just(n), edges)
     })
 }

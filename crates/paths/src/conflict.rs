@@ -81,7 +81,10 @@ impl ConflictGraph {
             ns.dedup();
             edges += ns.len();
         }
-        ConflictGraph { adj, edges: edges / 2 }
+        ConflictGraph {
+            adj,
+            edges: edges / 2,
+        }
     }
 
     /// Number of vertices (= dipaths).
@@ -222,7 +225,10 @@ mod tests {
         let cg = ConflictGraph::build(&g, &f);
         assert!(cg.are_adjacent(PathId(0), PathId(1)));
         assert!(!cg.are_adjacent(PathId(0), PathId(2)));
-        assert!(!cg.are_adjacent(PathId(1), PathId(2)), "vertex-meet is no conflict");
+        assert!(
+            !cg.are_adjacent(PathId(1), PathId(2)),
+            "vertex-meet is no conflict"
+        );
         assert_eq!(cg.degree(PathId(0)), 1);
         assert_eq!(cg.neighbors(PathId(1)), &[0]);
         assert_eq!(cg.max_degree(), 1);

@@ -27,7 +27,10 @@ impl Dipath {
         }
         for w in arcs.windows(2) {
             if g.head(w[0]) != g.tail(w[1]) {
-                return Err(PathError::NotContiguous { prev: w[0], next: w[1] });
+                return Err(PathError::NotContiguous {
+                    prev: w[0],
+                    next: w[1],
+                });
             }
         }
         // Simplicity: k arcs visit k+1 distinct vertices.
@@ -51,9 +54,10 @@ impl Dipath {
         }
         let mut arcs = Vec::with_capacity(route.len() - 1);
         for w in route.windows(2) {
-            let a = g
-                .find_arc(w[0], w[1])
-                .ok_or(PathError::MissingArc { from: w[0], to: w[1] })?;
+            let a = g.find_arc(w[0], w[1]).ok_or(PathError::MissingArc {
+                from: w[0],
+                to: w[1],
+            })?;
             arcs.push(a);
         }
         Dipath::from_arcs(g, arcs)
@@ -167,7 +171,10 @@ impl Dipath {
     /// Prepend an arc (must satisfy `head(arc) = tail(first)`).
     pub fn extend_front(&mut self, g: &Digraph, arc: ArcId) -> Result<(), PathError> {
         if g.head(arc) != g.tail(self.first_arc()) {
-            return Err(PathError::NotContiguous { prev: arc, next: self.first_arc() });
+            return Err(PathError::NotContiguous {
+                prev: arc,
+                next: self.first_arc(),
+            });
         }
         self.arcs.insert(0, arc);
         Ok(())
@@ -178,7 +185,9 @@ impl Dipath {
         if from >= to || to > self.arcs.len() {
             return None;
         }
-        Some(Dipath { arcs: self.arcs[from..to].to_vec() })
+        Some(Dipath {
+            arcs: self.arcs[from..to].to_vec(),
+        })
     }
 }
 
@@ -210,7 +219,10 @@ mod tests {
         let g = chain4();
         assert_eq!(
             Dipath::from_vertices(&g, &[v(0), v(2)]),
-            Err(PathError::MissingArc { from: v(0), to: v(2) })
+            Err(PathError::MissingArc {
+                from: v(0),
+                to: v(2)
+            })
         );
     }
 
@@ -323,7 +335,14 @@ mod tests {
         let p = Dipath::from_arcs(&g, vec![second]).unwrap();
         assert_eq!(p.first_arc(), second);
         let q = Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap();
-        assert_ne!(p.first_arc(), q.first_arc(), "from_vertices picks first copy");
-        assert!(!p.conflicts_with(&q), "parallel arcs are distinct resources");
+        assert_ne!(
+            p.first_arc(),
+            q.first_arc(),
+            "from_vertices picks first copy"
+        );
+        assert!(
+            !p.conflicts_with(&q),
+            "parallel arcs are distinct resources"
+        );
     }
 }

@@ -54,12 +54,18 @@ mod tests {
             PathError::Empty.to_string(),
             "a dipath needs at least one arc"
         );
-        assert!(PathError::MissingArc { from: VertexId(0), to: VertexId(1) }
-            .to_string()
-            .contains("v0 → v1"));
-        assert!(PathError::NotContiguous { prev: ArcId(0), next: ArcId(1) }
-            .to_string()
-            .contains("e0 and e1"));
+        assert!(PathError::MissingArc {
+            from: VertexId(0),
+            to: VertexId(1)
+        }
+        .to_string()
+        .contains("v0 → v1"));
+        assert!(PathError::NotContiguous {
+            prev: ArcId(0),
+            next: ArcId(1)
+        }
+        .to_string()
+        .contains("e0 and e1"));
         assert!(PathError::RepeatedVertex(VertexId(2))
             .to_string()
             .contains("v2"));

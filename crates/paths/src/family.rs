@@ -135,7 +135,9 @@ impl DipathFamily {
 
 impl FromIterator<Dipath> for DipathFamily {
     fn from_iter<I: IntoIterator<Item = Dipath>>(iter: I) -> Self {
-        DipathFamily { paths: iter.into_iter().collect() }
+        DipathFamily {
+            paths: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -45,7 +45,10 @@ impl InstanceStats {
             paths: family.len(),
             arcs: g.arc_count(),
             max_load,
-            argmax_arcs: table.iter().filter(|&&l| l == max_load && max_load > 0).count(),
+            argmax_arcs: table
+                .iter()
+                .filter(|&&l| l == max_load && max_load > 0)
+                .count(),
             idle_arcs: table.iter().filter(|&&l| l == 0).count(),
             total_traversals: family.total_arcs(),
             min_len: lens.iter().copied().min().unwrap_or(0),

@@ -8,17 +8,15 @@ use proptest::prelude::*;
 /// A chain digraph of `n` arcs plus a family of random sub-intervals.
 fn interval_family() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..30).prop_flat_map(|n| {
-        let ivs = proptest::collection::vec((0usize..n, 1usize..=n), 1..40).prop_map(
-            move |raw| {
-                raw.into_iter()
-                    .map(|(s, e)| {
-                        let s = s.min(n - 1);
-                        let e = e.clamp(s + 1, n);
-                        (s, e)
-                    })
-                    .collect::<Vec<_>>()
-            },
-        );
+        let ivs = proptest::collection::vec((0usize..n, 1usize..=n), 1..40).prop_map(move |raw| {
+            raw.into_iter()
+                .map(|(s, e)| {
+                    let s = s.min(n - 1);
+                    let e = e.clamp(s + 1, n);
+                    (s, e)
+                })
+                .collect::<Vec<_>>()
+        });
         (Just(n), ivs)
     })
 }

@@ -86,7 +86,11 @@ pub fn select_max_load_bounded(g: &Digraph, family: &DipathFamily, w: usize) -> 
     } else {
         None
     };
-    Selection { chosen, load: pi, certificate }
+    Selection {
+        chosen,
+        load: pi,
+        certificate,
+    }
 }
 
 #[cfg(test)]
@@ -145,8 +149,9 @@ mod tests {
     #[test]
     fn dag_selection_zero_budget() {
         let g = from_edges(2, &[(0, 1)]);
-        let f: DipathFamily =
-            vec![Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap()].into_iter().collect();
+        let f: DipathFamily = vec![Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap()]
+            .into_iter()
+            .collect();
         let sel = select_max_load_bounded(&g, &f, 0);
         assert!(sel.chosen.is_empty());
         assert_eq!(sel.load, 0);

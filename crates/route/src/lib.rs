@@ -13,6 +13,22 @@
 //! * [`grooming`] — the concluding-remarks extension: maximize satisfied
 //!   requests under a wavelength budget `w` (on internal-cycle-free DAGs
 //!   the theorem reduces it to a load question).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dagwave_graph::builder::from_edges;
+//! use dagwave_graph::VertexId;
+//! use dagwave_route::{Request, RoutingStrategy, RwaPipeline};
+//!
+//! // A rooted tree; route the hub to every leaf and color the result.
+//! let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+//! let v = |i| VertexId::from_index(i);
+//! let requests = [Request::new(v(0), v(3)), Request::new(v(0), v(4)), Request::new(v(0), v(2))];
+//! let report = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &requests).unwrap();
+//! assert_eq!(report.family.len(), 3);
+//! assert_eq!(report.solution.num_colors, report.solution.load); // Theorem 1
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -74,8 +74,8 @@ fn load_aware_route(g: &Digraph, requests: &[Request]) -> Result<DipathFamily, R
     let mut loads = vec![0usize; g.arc_count()];
     let mut family = DipathFamily::new();
     for &r in requests {
-        let arcs = min_bottleneck_path(g, &loads, r.source, r.target)
-            .ok_or(RouteError::Unroutable(r))?;
+        let arcs =
+            min_bottleneck_path(g, &loads, r.source, r.target).ok_or(RouteError::Unroutable(r))?;
         for &a in &arcs {
             loads[a.index()] += 1;
         }

@@ -64,7 +64,10 @@ pub struct RwaPipeline {
 impl RwaPipeline {
     /// Pipeline with the given routing strategy and a default solver.
     pub fn new(routing: RoutingStrategy) -> Self {
-        RwaPipeline { routing, solver: WavelengthSolver::new() }
+        RwaPipeline {
+            routing,
+            solver: WavelengthSolver::new(),
+        }
     }
 
     /// Satisfy the requests: route, then assign wavelengths.
@@ -92,21 +95,22 @@ mod tests {
         // Rooted tree + multicast: the paper's always-equal case.
         let g = from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
         let reqs = request::multicast(&g, v(0));
-        let report = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
+        let report = RwaPipeline::new(RoutingStrategy::Shortest)
+            .run(&g, &reqs)
+            .unwrap();
         assert_eq!(report.solution.strategy, Strategy::Theorem1);
         assert!(report.solution.optimal);
         assert_eq!(report.solution.num_colors, report.solution.load);
-        assert!(report
-            .solution
-            .assignment
-            .is_valid(&g, &report.family));
+        assert!(report.solution.assignment.is_valid(&g, &report.family));
     }
 
     #[test]
     fn all_to_all_on_out_tree() {
         let g = from_edges(5, &[(0, 1), (0, 2), (2, 3), (2, 4)]);
         let reqs = request::all_to_all(&g);
-        let report = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
+        let report = RwaPipeline::new(RoutingStrategy::Shortest)
+            .run(&g, &reqs)
+            .unwrap();
         assert!(report.solution.optimal);
         assert_eq!(report.solution.num_colors, report.solution.load, "w = π");
     }
@@ -115,8 +119,12 @@ mod tests {
     fn load_aware_pipeline_beats_shortest_on_parallel_routes() {
         let g = from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
         let reqs = vec![Request::new(v(0), v(3)); 4];
-        let short = RwaPipeline::new(RoutingStrategy::Shortest).run(&g, &reqs).unwrap();
-        let aware = RwaPipeline::new(RoutingStrategy::LoadAware).run(&g, &reqs).unwrap();
+        let short = RwaPipeline::new(RoutingStrategy::Shortest)
+            .run(&g, &reqs)
+            .unwrap();
+        let aware = RwaPipeline::new(RoutingStrategy::LoadAware)
+            .run(&g, &reqs)
+            .unwrap();
         assert!(aware.solution.num_colors < short.solution.num_colors);
         assert_eq!(aware.solution.num_colors, 2);
     }

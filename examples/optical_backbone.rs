@@ -49,7 +49,10 @@ fn main() {
     }
 
     for strategy in [RoutingStrategy::Shortest, RoutingStrategy::LoadAware] {
-        let pipeline = RwaPipeline { routing: strategy, solver: WavelengthSolver::new() };
+        let pipeline = RwaPipeline {
+            routing: strategy,
+            solver: WavelengthSolver::new(),
+        };
         let report = pipeline.run(&g, &requests).expect("all requests routable");
         assert!(report.solution.assignment.is_valid(&g, &report.family));
         assert_eq!(

@@ -20,7 +20,14 @@ fn main() {
     // plus taps: parse → audit, enrich → metrics, aggregate → archive.
     let mut g = Digraph::new();
     let names = [
-        "src", "parse", "enrich", "aggregate", "sink", "audit", "metrics", "archive",
+        "src",
+        "parse",
+        "enrich",
+        "aggregate",
+        "sink",
+        "audit",
+        "metrics",
+        "archive",
     ];
     let vs = g.add_vertices(names.len());
     let arc = |g: &mut Digraph, a: usize, b: usize| g.add_arc(vs[a], vs[b]);
@@ -48,7 +55,11 @@ fn main() {
     ]);
 
     let pi = load::max_load(&g, &family);
-    println!("precedence DAG with {} operators, {} streams", names.len(), family.len());
+    println!(
+        "precedence DAG with {} operators, {} streams",
+        names.len(),
+        family.len()
+    );
     println!("busiest channel load π = {pi}");
 
     // Theorem 1 directly (the DAG is internal-cycle-free: every side tap is
@@ -62,7 +73,11 @@ fn main() {
     );
     for (id, p) in family.iter() {
         let ops: Vec<&str> = p.vertices(&g).iter().map(|v| names[v.index()]).collect();
-        println!("  stream {id}: slot {} — {}", t1.assignment.color(id), ops.join(" → "));
+        println!(
+            "  stream {id}: slot {} — {}",
+            t1.assignment.color(id),
+            ops.join(" → ")
+        );
     }
 
     // The facade agrees.

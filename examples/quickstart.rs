@@ -42,7 +42,10 @@ fn main() {
     println!("class:    {:?}", solution.class);
     println!("strategy: {:?}", solution.strategy);
     println!("load π   = {}", solution.load);
-    println!("colors w = {} (optimal: {})", solution.num_colors, solution.optimal);
+    println!(
+        "colors w = {} (optimal: {})",
+        solution.num_colors, solution.optimal
+    );
     for (id, p) in family.iter() {
         let verts: Vec<String> = p.vertices(&g).iter().map(|v| v.to_string()).collect();
         println!(

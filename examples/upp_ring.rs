@@ -38,7 +38,10 @@ fn main() {
 
     // Theorem 7: replicate h times; the optimum is ⌈8h/3⌉ = ⌈4π/3⌉.
     println!("\nTheorem 7 series (replicated family):");
-    println!("{:>3} {:>5} {:>9} {:>7} {:>9}", "h", "π", "w_solved", "⌈8h/3⌉", "ratio w/π");
+    println!(
+        "{:>3} {:>5} {:>9} {:>7} {:>9}",
+        "h", "π", "w_solved", "⌈8h/3⌉", "ratio w/π"
+    );
     for h in 1..=5 {
         let family = base.replicate(h);
         let sol = WavelengthSolver::new().solve(&g, &family).unwrap();

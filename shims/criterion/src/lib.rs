@@ -1,0 +1,384 @@
+//! Offline shim of the `criterion` API surface used by the dagwave benches.
+//! No registry access in this environment, so the workspace vendors a small
+//! wall-clock harness with the same call sites: warm-up, fixed sample count,
+//! mean/min/max per-iteration timing printed per benchmark. No statistical
+//! analysis, HTML reports, or comparison baselines — see `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration (shim of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Parse harness CLI args. The shim honours a positional substring
+    /// filter and ignores the cargo-bench plumbing flags (`--bench`,
+    /// `--exact`, ...), matching how criterion benches are invoked.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.sample_size(n);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self = self.measurement_time(Duration::from_secs_f64(secs));
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self = self.warm_up_time(Duration::from_secs_f64(secs));
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.to_string();
+        if self.matches(&id) {
+            run_one(self, &id, None, &mut f);
+        }
+    }
+
+    /// Print the closing summary line (report-generation no-op in the shim).
+    pub fn final_summary(&mut self) {
+        println!("[criterion-shim] done");
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+/// `sample_size`/`measurement_time` overrides are scoped to the group (as
+/// in real criterion) and do not leak into the parent [`Criterion`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the measurement time for this group only.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// The parent config with this group's overrides applied.
+    fn effective_config(&self) -> Criterion {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        if let Some(t) = self.measurement_time {
+            config.measurement_time = t;
+        }
+        config
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            let config = self.effective_config();
+            run_one(&config, &full, self.throughput.clone(), &mut |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            let config = self.effective_config();
+            run_one(&config, &full, self.throughput.clone(), &mut f);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Units processed per iteration, used for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up pass: single-iteration samples until the warm-up budget is
+    // spent; also calibrates how many iterations fit in one sample.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_budget: 1,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        if b.samples.is_empty() {
+            // Closure never called `iter`; nothing to measure.
+            println!("{id:<60} (no measurement)");
+            return;
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: Vec::new(),
+        sample_budget: config.sample_size,
+    };
+    f(&mut b);
+
+    let per_iter_ns: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().copied().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 * 1e9 / mean),
+        None => String::new(),
+    };
+    println!(
+        "{id:<60} time: [{} {} {}]{rate}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Expand to a function running each target against one shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expand to a `main` that runs the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &_n| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            });
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_into_parent() {
+        let mut c = Criterion::default()
+            .sample_size(50)
+            .measurement_time(Duration::from_millis(700));
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.measurement_time(Duration::from_millis(1));
+            let effective = group.effective_config();
+            assert_eq!(effective.sample_size, 2);
+            assert_eq!(effective.measurement_time, Duration::from_millis(1));
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 50);
+        assert_eq!(c.measurement_time, Duration::from_millis(700));
+    }
+}

@@ -1,0 +1,526 @@
+//! Offline shim of the `proptest` API surface used by the dagwave property
+//! suites. The registry is unreachable in this environment, so the workspace
+//! vendors a minimal deterministic property-test runner (see
+//! `shims/README.md`):
+//!
+//! * [`Strategy`] with `prop_map`/`prop_flat_map`, integer-range and tuple
+//!   strategies, [`Just`], and [`collection::vec`];
+//! * the [`proptest!`] macro (same syntax: `#![proptest_config(..)]`,
+//!   `fn name(pat in strategy, ..) { .. }`);
+//! * `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` (panic on failure,
+//!   so `cargo test` reports the case) and `prop_assume!` (skips the case);
+//! * deterministic per-test seeding plus replay of seeds persisted under
+//!   `proptest-regressions/<file>.txt` (lines `cc <hex-u64>`).
+//!
+//! No shrinking: when a case fails, the runner prints its
+//! `cc <hex-u64>` seed line to stderr alongside the assertion panic, and
+//! adding that line to the suite's regression file pins the case forever.
+//! `prop_assume!` rejections re-draw rather than consume the case budget.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use test_runner::TestRng;
+
+/// A generator of values for property tests (shim: sampling only, no
+/// shrink tree).
+pub trait Strategy {
+    /// Type of values produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each produced value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot sample empty range strategy");
+                (lo + (rng.next_u64() as u128 % (hi - lo) as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot sample empty range strategy");
+                (lo + (rng.next_u64() as u128 % (hi - lo + 1) as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Inclusive-exclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty size range");
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (shim of `test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling and the RNG handed to strategies.
+
+    use rand::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// RNG handed to [`crate::Strategy::sample`].
+    #[derive(Clone, Debug)]
+    pub struct TestRng(Xoshiro256PlusPlus);
+
+    impl TestRng {
+        /// Deterministic RNG for one test case.
+        pub fn new(seed: u64) -> Self {
+            Self(Xoshiro256PlusPlus::seed_from_u64(seed))
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Marker returned (via `Err`) by `prop_assume!` to skip a case.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Rejected;
+
+    /// Prints the failing case's seed when dropped during a panic, so the
+    /// failure can be pinned with a `cc <hex-u64>` regression line.
+    pub struct SeedGuard(pub u64);
+
+    impl Drop for SeedGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest-shim: property failed with case seed cc {:016x} \
+                     (add that line to this suite's proptest-regressions file to pin it)",
+                    self.0
+                );
+            }
+        }
+    }
+
+    /// The seed schedule for one property.
+    pub struct CaseSchedule {
+        /// Persisted regression seeds, replayed first (rejections allowed).
+        pub replay: Vec<u64>,
+        /// Base of the fresh deterministic seed stream (`base + attempt`).
+        pub base: u64,
+        /// Number of *accepted* (non-`prop_assume!`-rejected) fresh cases.
+        pub cases: u32,
+    }
+
+    /// Schedule for one property: any persisted regression seeds from
+    /// `proptest-regressions/<source-file-stem>.txt`, then a fresh seed
+    /// stream derived (stable FNV-1a — no std hasher, whose algorithm may
+    /// change between releases) from the suite file and test name.
+    /// `PROPTEST_CASES` overrides the case count at runtime.
+    pub fn schedule(
+        config: &crate::ProptestConfig,
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+    ) -> CaseSchedule {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(config.cases);
+        let mut base: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for byte in source_file.bytes().chain([0u8]).chain(test_name.bytes()) {
+            base ^= byte as u64;
+            base = base.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+        }
+        CaseSchedule {
+            replay: regression_seeds(manifest_dir, source_file),
+            base,
+            cases,
+        }
+    }
+
+    /// Parse `cc <hex-u64>` lines from the persisted regression file, if any.
+    fn regression_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        let path = std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"));
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let token = rest.split_whitespace().next()?;
+                u64::from_str_radix(token.trim_start_matches("0x"), 16).ok()
+            })
+            .collect()
+    }
+}
+
+pub mod prelude {
+    //! Common re-exports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Define property tests: `proptest! { #![proptest_config(cfg)] #[test] fn
+/// name(pat in strategy, ..) { body } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __schedule = $crate::test_runner::schedule(
+                &__config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+            );
+            let mut __run_case =
+                |__seed: u64| -> ::std::result::Result<(), $crate::test_runner::Rejected> {
+                    let __guard = $crate::test_runner::SeedGuard(__seed);
+                    let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    { $body }
+                    ::std::result::Result::Ok(())
+                };
+            for &__seed in &__schedule.replay {
+                // Persisted regression cases; a prop_assume! reject is fine.
+                let _ = __run_case(__seed);
+            }
+            // Fresh cases: prop_assume! rejections do not consume the case
+            // budget (they re-draw), but runaway assumes must not loop
+            // forever.
+            let __max_attempts = (__schedule.cases as u64) * 20 + 100;
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __accepted < __schedule.cases {
+                assert!(
+                    __attempt < __max_attempts,
+                    "proptest-shim: {} of {} cases ran; prop_assume! rejected \
+                     too many samples ({} attempts)",
+                    __accepted,
+                    __schedule.cases,
+                    __attempt,
+                );
+                let __seed = __schedule.base.wrapping_add(__attempt);
+                __attempt += 1;
+                if __run_case(__seed).is_ok() {
+                    __accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property (shim: plain `assert!`, panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_sample_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let n = (3usize..40).sample(&mut rng);
+            assert!((3..40).contains(&n));
+            let (a, b) = ((0usize..n, 1usize..=n)).sample(&mut rng);
+            assert!(a < n && (1..=n).contains(&b));
+            let v = crate::collection::vec(0usize..n, 0..3 * n).sample(&mut rng);
+            assert!(v.len() < 3 * n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_just_compose() {
+        let strat = (1usize..10).prop_flat_map(|n| (Just(n), (0usize..n).prop_map(move |x| x + n)));
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let (n, x) = strat.sample(&mut rng);
+            assert!((n..2 * n).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_assume_skips(x in 0u64..100, y in 0u64..100) {
+            prop_assume!(x != y);
+            prop_assert_ne!(x, y);
+            prop_assert!(x < 100 && y < 100, "bounds hold for {} {}", x, y);
+            prop_assert_eq!(x.min(y), y.min(x));
+        }
+    }
+
+    #[test]
+    fn regression_seeds_are_replayed_first() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/somesuite.txt"),
+            "# comment line\ncc 00000000deadbeef\ncc 0x2a\nnot a seed line\n",
+        )
+        .unwrap();
+        let config = ProptestConfig::with_cases(4);
+        let schedule = crate::test_runner::schedule(
+            &config,
+            dir.to_str().unwrap(),
+            "tests/somesuite.rs",
+            "some_property",
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(schedule.replay, vec![0xdead_beef, 0x2a]);
+        assert_eq!(schedule.cases, 4);
+        // The fresh-seed base is a fixed FNV-1a hash: stable across runs
+        // *and* toolchains, and distinct per (file, test) pair.
+        let again = crate::test_runner::schedule(
+            &config,
+            "/nonexistent",
+            "tests/somesuite.rs",
+            "some_property",
+        );
+        assert!(again.replay.is_empty());
+        assert_eq!(schedule.base, again.base);
+        let other = crate::test_runner::schedule(
+            &config,
+            "/nonexistent",
+            "tests/somesuite.rs",
+            "other_property",
+        );
+        assert_ne!(schedule.base, other.base);
+    }
+
+    #[test]
+    fn assume_rejections_do_not_consume_the_case_budget() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static ACCEPTED: AtomicU32 = AtomicU32::new(0);
+        static SEEN: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            fn inner(x in 0u64..100) {
+                SEEN.fetch_add(1, Ordering::Relaxed);
+                // Reject roughly half of all samples.
+                prop_assume!(x % 2 == 0);
+                ACCEPTED.fetch_add(1, Ordering::Relaxed);
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+        inner();
+        assert_eq!(
+            ACCEPTED.load(Ordering::Relaxed),
+            8,
+            "all 8 budgeted cases must run"
+        );
+        assert!(
+            SEEN.load(Ordering::Relaxed) >= 8,
+            "rejected samples are re-drawn, not counted"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline shim of the small `rand` 0.9 API surface used by the dagwave
+//! workspace. The build environment has no registry access, so the workspace
+//! vendors a minimal, deterministic implementation (see `shims/README.md`).
+//!
+//! Implemented: [`RngCore`], [`Rng::random_range`]/[`Rng::random_bool`],
+//! [`SeedableRng`] (incl. `seed_from_u64` via SplitMix64), and the slice
+//! helpers [`seq::SliceRandom`]/[`seq::IndexedRandom`]. Uniform sampling uses
+//! simple modulo reduction: statistically fine for tests and generators,
+//! not for cryptography.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can produce a uniform sample (shim of `rand`'s
+/// `distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range. Panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi - lo) as u128;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo + 1) as u128;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded with SplitMix64 like upstream `rand`.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers: random element choice and Fisher–Yates shuffling.
+
+    use super::RngCore;
+
+    /// Choose uniformly from an indexable collection.
+    pub trait IndexedRandom<T> {
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T>;
+    }
+
+    impl<T> IndexedRandom<T> for [T] {
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() as usize) % self.len())
+            }
+        }
+    }
+
+    /// In-place uniform shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Named generators.
+
+    /// Default deterministic generator (xoshiro256++ behind the shim).
+    pub type StdRng = crate::Xoshiro256PlusPlus;
+}
+
+pub mod prelude {
+    //! Common re-exports, mirroring `rand::prelude`.
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+/// xoshiro256++ — the shim's workhorse generator (public so `rand_chacha`
+/// can wrap it).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // Avoid the all-zero fixed point.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Xoshiro256PlusPlus;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_and_choose_cover_elements() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

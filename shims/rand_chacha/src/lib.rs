@@ -1,0 +1,117 @@
+//! Offline shim of `rand_chacha` for the dagwave workspace: provides the
+//! `ChaCha8Rng`/`ChaCha20Rng` names with a real (reduced-round) ChaCha core
+//! so seeded streams are deterministic and well mixed. Not a drop-in
+//! bit-for-bit replacement for upstream `rand_chacha`, and not for
+//! cryptographic use — see `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with `R` double-rounds, exposing a stream of `u64`s.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const R: usize> {
+    state: [u32; 16],
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means "refill".
+    pos: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl<const R: usize> ChaChaRng<R> {
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..R {
+            // Column round.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = working[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.pos = 0;
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        if self.pos + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.pos] as u64;
+        let hi = self.buf[self.pos + 1] as u64;
+        self.pos += 2;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter (12–13) and nonce (14–15) start at zero.
+        Self {
+            state,
+            buf: [0; 16],
+            pos: 16,
+        }
+    }
+}
+
+/// ChaCha reduced to 8 rounds (4 double-rounds).
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with the full 20 rounds (10 double-rounds).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline shim of `rayon` for the dagwave workspace. The registry is not
+//! reachable in this environment, so `par_iter`/`into_par_iter` resolve to a
+//! **sequential** wrapper with rayon's combinator signatures (including the
+//! two-closure `fold`/`reduce` pair): identical results, identical call
+//! sites, no parallel speedup. Swapping back to real rayon is a one-line
+//! Cargo change (see `shims/README.md`).
+
+#![forbid(unsafe_code)]
+
+/// Sequential stand-in for rayon's `ParallelIterator`. Combinators mirror
+/// rayon's signatures; execution order is plain left-to-right.
+pub struct SeqParIter<I>(I);
+
+impl<I: Iterator> SeqParIter<I> {
+    /// Transform each item.
+    pub fn map<O, F: Fn(I::Item) -> O + Send + Sync>(
+        self,
+        f: F,
+    ) -> SeqParIter<std::iter::Map<I, F>> {
+        SeqParIter(self.0.map(f))
+    }
+
+    /// Keep items passing the predicate.
+    pub fn filter<F: Fn(&I::Item) -> bool + Send + Sync>(
+        self,
+        f: F,
+    ) -> SeqParIter<std::iter::Filter<I, F>> {
+        SeqParIter(self.0.filter(f))
+    }
+
+    /// Transform and keep the `Some` results.
+    pub fn filter_map<O, F: Fn(I::Item) -> Option<O> + Send + Sync>(
+        self,
+        f: F,
+    ) -> SeqParIter<std::iter::FilterMap<I, F>> {
+        SeqParIter(self.0.filter_map(f))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: Fn(I::Item) + Send + Sync>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Whether all items satisfy the predicate.
+    pub fn all<F: Fn(I::Item) -> bool + Send + Sync>(mut self, f: F) -> bool {
+        self.0.all(f)
+    }
+
+    /// Whether any item satisfies the predicate.
+    pub fn any<F: Fn(I::Item) -> bool + Send + Sync>(mut self, f: F) -> bool {
+        self.0.any(f)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Gather into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style fold: per-"thread" accumulators seeded by `identity`.
+    /// Sequentially there is exactly one accumulator, so this yields a
+    /// one-item iterator holding the total.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> SeqParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, I::Item) -> T + Send + Sync,
+    {
+        SeqParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce: combine all items starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item + Send + Sync,
+        F: Fn(I::Item, I::Item) -> I::Item + Send + Sync,
+    {
+        self.0.fold(identity(), reduce_op)
+    }
+}
+
+/// `into_par_iter()` for any owned iterable — sequential here.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Sequential stand-in for rayon's parallel iterator.
+    fn into_par_iter(self) -> SeqParIter<Self::IntoIter> {
+        SeqParIter(self.into_iter())
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` for any `&T: IntoIterator` collection — sequential here.
+pub trait IntoParallelRefIterator<'data> {
+    /// Iterator type wrapped by [`IntoParallelRefIterator::par_iter`].
+    type Iter: Iterator;
+    /// Sequential stand-in for rayon's borrowing parallel iterator.
+    fn par_iter(&'data self) -> SeqParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> SeqParIter<Self::Iter> {
+        SeqParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` for any `&mut T: IntoIterator` collection — sequential.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Iterator type wrapped by [`IntoParallelRefMutIterator::par_iter_mut`].
+    type Iter: Iterator;
+    /// Sequential stand-in for rayon's mutable parallel iterator.
+    fn par_iter_mut(&'data mut self) -> SeqParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+{
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> SeqParIter<Self::Iter> {
+        SeqParIter(self.into_iter())
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_match_std() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.clone().into_par_iter().sum();
+        assert_eq!(sum, 10);
+        assert!(v.par_iter().all(|&x| x > 0));
+        assert!(!v.par_iter().any(|&x| x > 4));
+        let odds: Vec<i32> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odds, vec![1, 3]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn fold_reduce_matches_rayon_semantics() {
+        let ids = vec![0usize, 1, 2, 3, 4];
+        let table = ids
+            .par_iter()
+            .fold(
+                || vec![0usize; 5],
+                |mut acc, &id| {
+                    acc[id] += id;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0usize; 5],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(table, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dagwave
+//!
+//! Facade crate re-exporting the whole dagwave workspace — a Rust
+//! reproduction of Bermond & Cosnard, *"Minimum number of wavelengths
+//! equals load in a DAG without internal cycle"* (IPDPS 2007).
+//!
+//! Layer map (each module is a workspace crate):
+//!
+//! * [`graph`] — directed multigraph substrate (topological orders,
+//!   reachability, underlying cycles, UPP counting).
+//! * [`paths`] — dipath families, arc loads, conflict graphs.
+//! * [`color`] — coloring toolbox (greedy, DSATUR, Kempe, exact).
+//! * [`core`] — the paper's theorems and the [`WavelengthSolver`] facade.
+//! * [`gen`] — figure/witness/random instance generators.
+//! * [`route`] — the end-to-end routing-and-wavelength-assignment pipeline.
+//!
+//! ```
+//! use dagwave::{graph::Digraph, paths::{Dipath, DipathFamily}, WavelengthSolver};
+//!
+//! let mut g = Digraph::new();
+//! let (a, b, c) = (g.add_vertex(), g.add_vertex(), g.add_vertex());
+//! let ab = g.add_arc(a, b);
+//! let bc = g.add_arc(b, c);
+//! let mut family = DipathFamily::new();
+//! family.push(Dipath::from_arcs(&g, vec![ab, bc]).unwrap());
+//! let solution = WavelengthSolver::new().solve(&g, &family).unwrap();
+//! assert_eq!(solution.num_colors, solution.load);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dagwave_color as color;
+pub use dagwave_core as core;
+pub use dagwave_gen as gen;
+pub use dagwave_graph as graph;
+pub use dagwave_paths as paths;
+pub use dagwave_route as route;
+
+pub use dagwave_core::{Solution, WavelengthSolver};

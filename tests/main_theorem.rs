@@ -71,7 +71,10 @@ fn guaranteed_bounds_by_class() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let g = random::random_out_tree(&mut rng, 25);
     let f = random::root_to_all_family(&g);
-    assert_eq!(solver.guaranteed_bound(&g, &f), Some(load::max_load(&g, &f)));
+    assert_eq!(
+        solver.guaranteed_bound(&g, &f),
+        Some(load::max_load(&g, &f))
+    );
     // Single-cycle UPP: bound = ⌈4π/3⌉.
     let inst = havet::havet(2);
     assert_eq!(

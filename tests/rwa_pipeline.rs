@@ -121,7 +121,9 @@ fn multicast_equality_on_small_dags() {
         if reqs.is_empty() {
             continue;
         }
-        let report = RwaPipeline::new(RoutingStrategy::LoadAware).run(&g, &reqs).unwrap();
+        let report = RwaPipeline::new(RoutingStrategy::LoadAware)
+            .run(&g, &reqs)
+            .unwrap();
         assert!(report.solution.assignment.is_valid(&g, &report.family));
         // Multicast dipaths from one origin: any two sharing an arc means
         // nested/crossing from the same source; the solver must reach π.

@@ -10,7 +10,11 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn upp_instance(seed: u64, k: usize, count: usize) -> (dagwave_graph::Digraph, dagwave_paths::DipathFamily) {
+fn upp_instance(
+    seed: u64,
+    k: usize,
+    count: usize,
+) -> (dagwave_graph::Digraph, dagwave_paths::DipathFamily) {
     // Random families on the single-cycle UPP graph and on random out-trees
     // (both UPP by construction).
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

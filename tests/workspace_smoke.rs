@@ -1,0 +1,72 @@
+//! Workspace-wiring smoke test: drives the `WavelengthSolver` facade
+//! end-to-end on the quickstart instance (`examples/quickstart.rs`) through
+//! the published crate graph — substrate (`dagwave-graph`) → dipath family
+//! (`dagwave-paths`) → solver (`dagwave-core`) — and checks the paper's
+//! headline equality `w == π` plus assignment validity. If any internal
+//! dependency edge of the Cargo workspace is miswired, this is the test
+//! that fails to compile.
+
+use dagwave_core::{internal, WavelengthSolver};
+use dagwave_graph::{topo, Digraph, VertexId};
+use dagwave_paths::{load, Dipath, DipathFamily};
+
+/// The quickstart instance: a 7-vertex rooted tree with four requests.
+fn quickstart_instance() -> (Digraph, Vec<VertexId>, DipathFamily) {
+    let mut g = Digraph::new();
+    let vs = g.add_vertices(7);
+    for &(a, b) in &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)] {
+        g.add_arc(vs[a], vs[b]);
+    }
+    let route = |g: &Digraph, route: &[usize]| {
+        let r: Vec<VertexId> = route.iter().map(|&i| vs[i]).collect();
+        Dipath::from_vertices(g, &r).expect("route exists")
+    };
+    let family = DipathFamily::from_paths(vec![
+        route(&g, &[0, 1, 3]),
+        route(&g, &[0, 1, 4]),
+        route(&g, &[0, 2, 5]),
+        route(&g, &[1, 4]),
+    ]);
+    (g, vs, family)
+}
+
+#[test]
+fn solver_facade_end_to_end_w_equals_pi() {
+    let (g, _, family) = quickstart_instance();
+
+    // Instance sanity through the graph layer.
+    assert!(topo::is_dag(&g));
+    assert!(
+        !internal::has_internal_cycle(&g),
+        "a rooted tree has no internal cycle, Theorem 1 must apply"
+    );
+
+    // The load π through the paths layer: arc 0→1 carries two dipaths.
+    let pi = load::max_load(&g, &family);
+    assert_eq!(pi, 2);
+
+    // The facade picks the strongest applicable method and must hit w == π.
+    let solution = WavelengthSolver::new()
+        .solve(&g, &family)
+        .expect("instance is a DAG");
+    assert_eq!(solution.load, pi);
+    assert_eq!(solution.num_colors, pi, "Theorem 1: w == π");
+    assert!(solution.optimal, "Theorem 1 certifies optimality");
+    assert!(solution.assignment.is_valid(&g, &family));
+
+    // Every dipath got a wavelength below w.
+    for (id, _) in family.iter() {
+        assert!(solution.assignment.color(id) < solution.num_colors);
+    }
+}
+
+#[test]
+fn solver_facade_is_deterministic() {
+    let (g, _, family) = quickstart_instance();
+    let a = WavelengthSolver::new().solve(&g, &family).unwrap();
+    let b = WavelengthSolver::new().solve(&g, &family).unwrap();
+    assert_eq!(a.num_colors, b.num_colors);
+    for (id, _) in family.iter() {
+        assert_eq!(a.assignment.color(id), b.assignment.color(id));
+    }
+}
