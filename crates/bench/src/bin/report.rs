@@ -1,21 +1,78 @@
 //! Regenerates every paper-vs-measured number (the EXPERIMENTS.md data)
-//! in one run, without Criterion timing overhead.
+//! in one run, without Criterion timing overhead, and maintains the
+//! persistent benchmark record in `EXPERIMENTS.md`.
 //!
-//! Run with: `cargo run -p dagwave-bench --bin report --release`
+//! Modes:
+//!
+//! * (no args) — print the paper-vs-measured table;
+//! * `--speedup` — run the sequential-vs-parallel comparison suite for the
+//!   four pool-backed hot paths and print the ratio table;
+//! * `--experiments [path]` — regenerate the paper table and the speedup
+//!   table, rewrite the corresponding sections of `EXPERIMENTS.md`
+//!   (default path), and append a line to its run history;
+//! * `--baseline [path]` — measure the timing suite and (re)write the
+//!   committed wall-clock baseline section;
+//! * `--check [path]` — re-measure and compare against the committed
+//!   baseline; exits non-zero if any op regressed by more than 20 %
+//!   (override with `DAGWAVE_BENCH_TOLERANCE`, a fraction). Timings are
+//!   normalized by a fixed arithmetic calibration loop measured on both
+//!   sides, which absorbs most machine-speed differences between the
+//!   committing host and CI.
+//!
+//! Run with: `cargo run -p dagwave-bench --bin report --release [-- MODE]`
 
 use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
 use dagwave_core::{bounds, internal, theorem6, WavelengthSolver};
 use dagwave_gen::{figures, havet, random, theorem2};
-use dagwave_paths::load;
+use dagwave_graph::reach;
+use dagwave_paths::{load, ConflictGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
 
+/// Captures every table row so `--experiments` can persist what was printed.
+static SINK: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
 fn row(exp: &str, param: &str, claimed: &str, measured: &str) {
-    println!("| {exp} | {param} | {claimed} | {measured} |");
+    let line = format!("| {exp} | {param} | {claimed} | {measured} |");
+    println!("{line}");
+    SINK.lock().unwrap().push(line);
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = |i: usize| {
+        args.get(i)
+            .cloned()
+            .unwrap_or_else(|| "EXPERIMENTS.md".to_string())
+    };
+    match args.first().map(|s| s.as_str()) {
+        None => paper_report(),
+        Some("--speedup") => {
+            let comps = speedup_suite();
+            print!("{}", speedup_table(&comps));
+        }
+        Some("--experiments") => write_experiments(&path(1)),
+        Some("--baseline") => write_baseline(&path(1)),
+        Some("--check") => {
+            if !check_regression(&path(1)) {
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "unknown mode {other:?}; expected --speedup, --experiments, \
+                 --baseline, or --check"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The paper-vs-measured table (also fills [`SINK`]).
+fn paper_report() {
     println!("# dagwave experiment report\n");
     println!("| experiment | parameters | paper claim | measured |");
     println!("|------------|------------|-------------|----------|");
@@ -274,4 +331,443 @@ fn main() {
     }
 
     println!("\nAll rows verified by assertions during generation.");
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-vs-parallel comparison suite
+// ---------------------------------------------------------------------------
+
+/// One hot path measured both ways. Construction goes through
+/// [`Comparison::checked`], so a row existing implies its sequential and
+/// parallel outputs were verified bit-identical.
+struct Comparison {
+    op: &'static str,
+    size: String,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+impl Comparison {
+    /// Build a row, asserting the identity invariant the table reports.
+    fn checked(op: &'static str, size: String, seq_ms: f64, par_ms: f64, identical: bool) -> Self {
+        assert!(identical, "{op}: parallel/sequential output mismatch");
+        Comparison {
+            op,
+            size,
+            seq_ms,
+            par_ms,
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.seq_ms / self.par_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` wall-clock for `f`, in milliseconds, plus the last run's
+/// result (so callers can verify outputs without recomputing them).
+fn time_ms_with<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(black_box(f()));
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// Best-of-`reps` wall-clock for `f`, in milliseconds.
+fn time_ms<R>(reps: usize, f: impl FnMut() -> R) -> f64 {
+    time_ms_with(reps, f).0
+}
+
+/// Fixed arithmetic loop used to normalize machine speed between the
+/// baseline host and the checking host.
+fn calibration_ms() -> f64 {
+    time_ms(3, || {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        acc
+    })
+}
+
+/// Measure the four pool-backed hot paths sequentially and in parallel on
+/// fixed seeded workloads, asserting the outputs are bit-identical.
+fn speedup_suite() -> Vec<Comparison> {
+    const REPS: usize = 5;
+    let mut comps = Vec::new();
+
+    // 1. Transitive closure on a wide layered DAG (deep level parallelism).
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(101);
+        let g = random::random_layered(&mut rng, 14, 600, 0.05);
+        let (seq_ms, seq) = time_ms_with(REPS, || reach::transitive_closure(&g));
+        let (par_ms, par) = time_ms_with(REPS, || reach::transitive_closure_parallel(&g));
+        let identical =
+            seq.len() == par.len() && seq.iter().zip(&par).all(|(s, p)| s.iter().eq(p.iter()));
+        comps.push(Comparison::checked(
+            "transitive_closure_parallel",
+            format!("n={}, m={}", g.vertex_count(), g.arc_count()),
+            seq_ms,
+            par_ms,
+            identical,
+        ));
+    }
+
+    // 2. Load table on a heavily replicated family.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(202);
+        let g = random::random_internal_cycle_free(&mut rng, 400, 150);
+        let family = random::random_family(&mut rng, &g, 8_000, 8).replicate(250);
+        let (seq_ms, seq) = time_ms_with(REPS, || load::load_table(&g, &family));
+        let (par_ms, par) = time_ms_with(REPS, || load::load_table_parallel(&g, &family));
+        comps.push(Comparison::checked(
+            "load_table_parallel",
+            format!("|P|={}, arcs={}", family.len(), g.arc_count()),
+            seq_ms,
+            par_ms,
+            seq == par,
+        ));
+    }
+
+    // 3. Conflict graph on a large distinct family.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(303);
+        let g = random::random_internal_cycle_free(&mut rng, 500, 200);
+        let family = random::random_family(&mut rng, &g, 12_000, 7);
+        let (seq_ms, seq) = time_ms_with(REPS, || ConflictGraph::build(&g, &family));
+        let (par_ms, par) = time_ms_with(REPS, || ConflictGraph::build_parallel(&g, &family));
+        let identical = seq.vertex_count() == par.vertex_count()
+            && seq.edge_count() == par.edge_count()
+            && (0..seq.vertex_count()).all(|i| {
+                let id = dagwave_paths::PathId::from_index(i);
+                seq.neighbors(id) == par.neighbors(id)
+            });
+        comps.push(Comparison::checked(
+            "ConflictGraph::build_parallel",
+            format!("|P|={}, edges={}", family.len(), seq.edge_count()),
+            seq_ms,
+            par_ms,
+            identical,
+        ));
+    }
+
+    // 4. Batched solving of independent instances.
+    {
+        let instances_owned: Vec<_> = (0..48u64)
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(404 + i);
+                let g = random::random_internal_cycle_free(&mut rng, 150, 40);
+                let family = random::random_family(&mut rng, &g, 1_200, 6);
+                (g, family)
+            })
+            .collect();
+        let instances: Vec<_> = instances_owned.iter().map(|(g, f)| (g, f)).collect();
+        let solver = WavelengthSolver::new();
+        let (seq_ms, seq) = time_ms_with(2, || {
+            instances
+                .iter()
+                .map(|&(g, f)| solver.solve(g, f))
+                .collect::<Vec<_>>()
+        });
+        let (par_ms, par) = time_ms_with(2, || solver.solve_batch(&instances));
+        let identical = seq.len() == par.len()
+            && seq.iter().zip(&par).all(|(s, p)| match (s, p) {
+                (Ok(s), Ok(p)) => {
+                    s.num_colors == p.num_colors && s.assignment.colors() == p.assignment.colors()
+                }
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            });
+        comps.push(Comparison::checked(
+            "solve_batch",
+            format!("{} instances", instances.len()),
+            seq_ms,
+            par_ms,
+            identical,
+        ));
+    }
+
+    comps
+}
+
+fn speedup_table(comps: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "threads = {} (RAYON_NUM_THREADS or available_parallelism), \
+         physical cores visible = {}\n\n",
+        rayon::current_num_threads(),
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    ));
+    out.push_str("| op | workload | sequential ms | parallel ms | ratio | bit-identical |\n");
+    out.push_str("|----|----------|---------------|-------------|-------|---------------|\n");
+    for c in comps {
+        // The bit-identical column is structurally "yes": Comparison rows
+        // can only be constructed through the identity assertion.
+        out.push_str(&format!(
+            "| `{}` | {} | {:.2} | {:.2} | {:.2}x | yes |\n",
+            c.op,
+            c.size,
+            c.seq_ms,
+            c.par_ms,
+            c.ratio(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// EXPERIMENTS.md persistence
+// ---------------------------------------------------------------------------
+
+const EXPERIMENTS_PREAMBLE: &str = "\
+# EXPERIMENTS
+
+Persistent benchmark record for the dagwave workspace, maintained by the
+`report` binary (`crates/bench/src/bin/report.rs`):
+
+* `cargo run --release -p dagwave-bench --bin report -- --experiments`
+  regenerates the paper table and the parallel-speedup table below and
+  appends to the run history;
+* `-- --baseline` rewrites the committed wall-clock baseline;
+* `-- --check` compares a fresh measurement against the baseline and fails
+  on >20 % regression (CI runs this on every push).
+";
+
+/// Replace (or append) the body of `## {header}` in `text`.
+fn replace_section(text: &str, header: &str, body: &str) -> String {
+    let needle = format!("## {header}");
+    let mut out = String::new();
+    let mut lines = text.lines().peekable();
+    let mut replaced = false;
+    while let Some(line) = lines.next() {
+        if line.trim_end() == needle {
+            out.push_str(&needle);
+            out.push_str("\n\n");
+            out.push_str(body.trim_end());
+            out.push('\n');
+            replaced = true;
+            // Skip the old body up to (not including) the next section.
+            while let Some(next) = lines.peek() {
+                if next.starts_with("## ") {
+                    out.push('\n');
+                    break;
+                }
+                lines.next();
+            }
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !replaced {
+        if !out.ends_with("\n\n") {
+            out.push('\n');
+        }
+        out.push_str(&needle);
+        out.push_str("\n\n");
+        out.push_str(body.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Body of the named section, if present.
+fn section_body(text: &str, header: &str) -> Option<String> {
+    let needle = format!("## {header}");
+    let mut body = String::new();
+    let mut inside = false;
+    for line in text.lines() {
+        if line.trim_end() == needle {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if line.starts_with("## ") {
+                break;
+            }
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    inside.then_some(body)
+}
+
+fn read_or_init(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|_| EXPERIMENTS_PREAMBLE.to_string())
+}
+
+fn write_experiments(path: &str) {
+    paper_report();
+    let paper_lines = SINK.lock().unwrap().join("\n");
+    let paper_body = format!(
+        "| experiment | parameters | paper claim | measured |\n\
+         |------------|------------|-------------|----------|\n{paper_lines}\n\n\
+         All rows are verified by assertions while the table is generated."
+    );
+    let comps = speedup_suite();
+    let speedup_body = speedup_table(&comps);
+    println!("\n{speedup_body}");
+
+    let mut text = read_or_init(path);
+    text = replace_section(&text, "Paper-vs-measured", &paper_body);
+    text = replace_section(&text, "Parallel speedup", &speedup_body);
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut history = section_body(&text, "Run history")
+        .unwrap_or_default()
+        .trim_end()
+        .to_string();
+    let ratios = comps
+        .iter()
+        .map(|c| {
+            format!(
+                "{} {:.2}x",
+                c.op.split(':').next_back().unwrap_or(c.op),
+                c.ratio()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    history.push_str(&format!(
+        "\n- unix {ts}: threads={}, {ratios}",
+        rayon::current_num_threads()
+    ));
+    text = replace_section(&text, "Run history", history.trim_start());
+    std::fs::write(path, text).expect("write EXPERIMENTS.md");
+    println!("updated {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock baseline / regression gate
+// ---------------------------------------------------------------------------
+
+/// `(key, ms)` pairs for the baseline block: calibration plus both sides of
+/// every comparison.
+fn timing_suite() -> Vec<(String, f64)> {
+    let mut vals = vec![("calibration_ms".to_string(), calibration_ms())];
+    for c in speedup_suite() {
+        let key =
+            c.op.trim_start_matches("ConflictGraph::")
+                .replace("::", "_");
+        vals.push((format!("{key}_seq_ms"), c.seq_ms));
+        vals.push((format!("{key}_par_ms"), c.par_ms));
+    }
+    vals
+}
+
+/// Per-op minimum over `passes` full suite runs — the gating statistic used
+/// on *both* sides of the regression check. Wall-clock noise is right-skewed
+/// and a minimum over well-separated passes is insensitive to transient
+/// background load, which a single pass's best-of-reps is not.
+fn timing_suite_min(passes: usize) -> Vec<(String, f64)> {
+    let mut vals = timing_suite();
+    for _ in 1..passes.max(1) {
+        for (key, again) in timing_suite() {
+            if let Some(slot) = vals.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = slot.1.min(again);
+            }
+        }
+    }
+    vals
+}
+
+fn baseline_body(vals: &[(String, f64)]) -> String {
+    let mut body = String::from(
+        "Machine-generated by `report --baseline`; wall-clock milliseconds on\n\
+         the committing host. `report --check` compares against these after\n\
+         normalizing by the calibration loop.\n\n```text\n",
+    );
+    for (k, v) in vals {
+        body.push_str(&format!("{k} = {v:.3}\n"));
+    }
+    body.push_str("```");
+    body
+}
+
+fn write_baseline(path: &str) {
+    let vals = timing_suite_min(3);
+    let mut text = read_or_init(path);
+    text = replace_section(&text, "Benchmark baseline", &baseline_body(&vals));
+    std::fs::write(path, text).expect("write baseline");
+    for (k, v) in &vals {
+        println!("{k} = {v:.3}");
+    }
+    println!("baseline written to {path}");
+}
+
+/// Compare fresh timings against the committed baseline. Returns `false`
+/// (and prints the offending rows) when any op regressed beyond tolerance.
+fn check_regression(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let Some(body) = section_body(&text, "Benchmark baseline") else {
+        eprintln!("{path} has no `## Benchmark baseline` section; run --baseline first");
+        return false;
+    };
+    let mut baseline = std::collections::BTreeMap::new();
+    for line in body.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            if let Ok(ms) = v.trim().parse::<f64>() {
+                baseline.insert(k.trim().to_string(), ms);
+            }
+        }
+    }
+    let Some(&cal_base) = baseline.get("calibration_ms") else {
+        eprintln!("baseline lacks calibration_ms; run --baseline first");
+        return false;
+    };
+    let tolerance = std::env::var("DAGWAVE_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.20);
+    let fresh = timing_suite_min(3);
+    let cal_now = fresh
+        .iter()
+        .find(|(k, _)| k == "calibration_ms")
+        .map(|&(_, v)| v)
+        .expect("timing suite includes calibration");
+    let scale = cal_now / cal_base.max(1e-9);
+    println!(
+        "regression check: tolerance {:.0}%, machine scale {scale:.3} \
+         (calibration {cal_base:.1} ms -> {cal_now:.1} ms)",
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    for (key, now_ms) in fresh.iter().filter(|(k, _)| k != "calibration_ms") {
+        let Some(&base_ms) = baseline.get(key) else {
+            println!("  {key}: no baseline entry (new op) — {now_ms:.2} ms");
+            continue;
+        };
+        let allowed = base_ms * scale * (1.0 + tolerance);
+        let verdict = if *now_ms <= allowed {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        println!(
+            "  {key}: {now_ms:.2} ms vs baseline {base_ms:.2} ms \
+             (allowed {allowed:.2} ms) {verdict}"
+        );
+        if *now_ms > allowed {
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("wall-clock regression beyond {:.0}%", tolerance * 100.0);
+    }
+    ok
 }

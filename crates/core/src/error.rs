@@ -26,6 +26,9 @@ pub enum CoreError {
     /// Theorem 6's merge produced a conflict that Facts 1–2 should prevent —
     /// indicates the instance violated a precondition undetected.
     MergeConflict(PathId, PathId),
+    /// The solver panicked while processing one instance of a batch; the
+    /// panic was isolated to that instance and its message captured here.
+    SolverPanic(String),
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +54,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::MergeConflict(p, q) => {
                 write!(f, "merge produced conflicting colors on {p} and {q}")
+            }
+            CoreError::SolverPanic(msg) => {
+                write!(f, "solver panicked on this instance: {msg}")
             }
         }
     }
@@ -79,5 +85,8 @@ mod tests {
         assert!(CoreError::MergeConflict(PathId(0), PathId(9))
             .to_string()
             .contains("p9"));
+        assert!(CoreError::SolverPanic("index out of bounds".into())
+            .to_string()
+            .contains("index out of bounds"));
     }
 }

@@ -132,17 +132,26 @@ impl WavelengthSolver {
         }
     }
 
-    /// Solve many instances in parallel with rayon — the batch entry point
-    /// for parameter sweeps (each instance is independent; errors are
-    /// returned per instance).
+    /// Solve many instances in parallel — the batch entry point for
+    /// parameter sweeps. Each instance becomes its own task on the rayon
+    /// pool (a `scope` spawn, so heterogeneous instance costs load-balance
+    /// across workers), panics are isolated per instance and surfaced as
+    /// [`CoreError::SolverPanic`], and the output order always matches the
+    /// input order regardless of completion order.
     pub fn solve_batch(
         &self,
         instances: &[(&dagwave_graph::Digraph, &DipathFamily)],
     ) -> Vec<Result<Solution, CoreError>> {
-        use rayon::prelude::*;
-        instances
-            .par_iter()
-            .map(|(g, family)| self.solve(g, family))
+        let mut results: Vec<Option<Result<Solution, CoreError>>> =
+            instances.iter().map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, &(g, family)) in results.iter_mut().zip(instances) {
+                s.spawn(move |_| *slot = Some(solve_isolated(self, g, family)));
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("batch task completed"))
             .collect()
     }
 
@@ -275,6 +284,37 @@ impl WavelengthSolver {
             DagClass::UppMultiCycle { cycles } => Some(bounds::multi_cycle_bound(pi, cycles)),
             DagClass::General { .. } => None,
         }
+    }
+}
+
+/// One batch instance with panic isolation: a panic anywhere inside
+/// `solve` is caught and converted to [`CoreError::SolverPanic`] so one
+/// poisoned instance cannot take down the rest of the sweep.
+fn solve_isolated(
+    solver: &WavelengthSolver,
+    g: &dagwave_graph::Digraph,
+    family: &DipathFamily,
+) -> Result<Solution, CoreError> {
+    run_isolated(|| solver.solve(g, family))
+}
+
+/// The catch_unwind-to-[`CoreError::SolverPanic`] conversion, factored out
+/// so the panic path itself is unit-testable.
+fn run_isolated(f: impl FnOnce() -> Result<Solution, CoreError>) -> Result<Solution, CoreError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        // `.as_ref()`, not `&payload`: a `&Box<dyn Any>` would itself
+        // unsize-coerce to `&dyn Any` and hide the real payload.
+        .unwrap_or_else(|payload| Err(CoreError::SolverPanic(panic_message(payload.as_ref()))))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -418,6 +458,47 @@ mod tests {
         let s2 = batch[1].as_ref().unwrap();
         assert_eq!(s1.num_colors, solver.solve(&g1, &f1).unwrap().num_colors);
         assert_eq!(s2.num_colors, 4);
+    }
+
+    #[test]
+    fn batch_isolates_panics_per_instance() {
+        // A healthy instance passes through untouched...
+        let g = from_edges(2, &[(0, 1)]);
+        let f = DipathFamily::new();
+        let solver = WavelengthSolver::new();
+        assert!(super::solve_isolated(&solver, &g, &f).is_ok());
+        // ...and an actually panicking solve is converted to SolverPanic
+        // (the same run_isolated path solve_batch's tasks go through),
+        // for both &str and String payloads.
+        match super::run_isolated(|| panic!("poisoned instance")) {
+            Err(CoreError::SolverPanic(msg)) => assert_eq!(msg, "poisoned instance"),
+            other => panic!("expected SolverPanic, got {other:?}"),
+        }
+        match super::run_isolated(|| panic!("{} of {}", 3, 7)) {
+            Err(CoreError::SolverPanic(msg)) => assert_eq!(msg, "3 of 7"),
+            other => panic!("expected SolverPanic, got {other:?}"),
+        }
+        let payload: Box<dyn std::any::Any + Send> = Box::new(7usize);
+        assert_eq!(
+            super::panic_message(payload.as_ref()),
+            "non-string panic payload"
+        );
+    }
+
+    #[test]
+    fn batch_output_order_matches_input_order() {
+        // Many instances with distinct answers: the result vector must line
+        // up index-for-index with the inputs however tasks were scheduled.
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let solver = WavelengthSolver::new();
+        let families: Vec<DipathFamily> = (1..=12)
+            .map(|h| DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]).replicate(h))
+            .collect();
+        let instances: Vec<_> = families.iter().map(|f| (&g, f)).collect();
+        let batch = solver.solve_batch(&instances);
+        for (i, sol) in batch.iter().enumerate() {
+            assert_eq!(sol.as_ref().unwrap().num_colors, i + 1, "instance {i}");
+        }
     }
 
     #[test]

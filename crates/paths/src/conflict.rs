@@ -37,14 +37,46 @@ impl ConflictGraph {
     }
 
     /// Rayon-parallel build; same output as [`ConflictGraph::build`].
+    ///
+    /// Shard-then-merge, in three pool passes with no shared mutable state:
+    ///
+    /// 1. **Shard pass** — the family's id range is cut into contiguous
+    ///    shards, each accumulating a private arc→dipaths bucket table;
+    /// 2. **Merge pass** — bucket `a` is the in-order concatenation of the
+    ///    shards' buckets for `a` (shards cover increasing id ranges, so
+    ///    entries stay sorted by id exactly as the sequential pass emits
+    ///    them), parallel over arcs;
+    /// 3. **Adjacency pass** — neighbor rows are computed per dipath from
+    ///    the merged buckets, parallel over path ids.
     pub fn build_parallel(g: &Digraph, family: &DipathFamily) -> Self {
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); g.arc_count()];
-        for (id, p) in family.iter() {
-            for &a in p.arcs() {
-                buckets[a.index()].push(id.0);
-            }
-        }
         let n = family.len();
+        let arcs = g.arc_count();
+        let Some(bounds) = crate::shard_bounds(n) else {
+            return Self::build(g, family);
+        };
+        let shard_buckets: Vec<Vec<Vec<u32>>> = bounds
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); arcs];
+                for idx in lo..hi {
+                    let id = PathId::from_index(idx);
+                    for &a in family.path(id).arcs() {
+                        buckets[a.index()].push(id.0);
+                    }
+                }
+                buckets
+            })
+            .collect();
+        let buckets: Vec<Vec<u32>> = (0..arcs)
+            .into_par_iter()
+            .map(|a| {
+                let mut bucket = Vec::new();
+                for shard in &shard_buckets {
+                    bucket.extend_from_slice(&shard[a]);
+                }
+                bucket
+            })
+            .collect();
         let adj: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
             .map(|i| {

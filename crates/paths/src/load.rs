@@ -5,7 +5,7 @@
 //! Section 2). `π` is the universal lower bound on the number of wavelengths
 //! — the whole paper is about when the bound is attained.
 
-use crate::family::DipathFamily;
+use crate::family::{DipathFamily, PathId};
 use dagwave_graph::{ArcId, Digraph};
 use rayon::prelude::*;
 
@@ -20,30 +20,36 @@ pub fn load_table(g: &Digraph, family: &DipathFamily) -> Vec<usize> {
     table
 }
 
-/// Rayon-parallel load table: per-thread partial tables folded together.
-/// Identical output to [`load_table`]; preferable when `Σ|P|` is large.
+/// Rayon-parallel load table, shard-then-merge: the family's id range is cut
+/// into one contiguous shard per pool slot, every shard accumulates a private
+/// partial table (no shared writes, no atomics), and the partials are merged
+/// in shard order. Identical output to [`load_table`] — `usize` addition is
+/// associative and commutative, and the merge order is fixed — and
+/// preferable when `Σ|P|` is large.
 pub fn load_table_parallel(g: &Digraph, family: &DipathFamily) -> Vec<usize> {
     let n = g.arc_count();
-    let ids: Vec<_> = family.ids().collect();
-    ids.par_iter()
-        .fold(
-            || vec![0usize; n],
-            |mut acc, &id| {
-                for &a in family.path(id).arcs() {
+    let Some(bounds) = crate::shard_bounds(family.len()) else {
+        return load_table(g, family);
+    };
+    let partials: Vec<Vec<usize>> = bounds
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut acc = vec![0usize; n];
+            for idx in lo..hi {
+                for &a in family.path(PathId::from_index(idx)).arcs() {
                     acc[a.index()] += 1;
                 }
-                acc
-            },
-        )
-        .reduce(
-            || vec![0usize; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        )
+            }
+            acc
+        })
+        .collect();
+    let mut table = vec![0usize; n];
+    for partial in partials {
+        for (total, part) in table.iter_mut().zip(partial) {
+            *total += part;
+        }
+    }
+    table
 }
 
 /// The load of a single arc.

@@ -1,168 +1,818 @@
-//! Offline shim of `rayon` for the dagwave workspace. The registry is not
-//! reachable in this environment, so `par_iter`/`into_par_iter` resolve to a
-//! **sequential** wrapper with rayon's combinator signatures (including the
-//! two-closure `fold`/`reduce` pair): identical results, identical call
-//! sites, no parallel speedup. Swapping back to real rayon is a one-line
-//! Cargo change (see `shims/README.md`).
+//! Offline shim of `rayon` for the dagwave workspace — now a real parallel
+//! runtime rather than the original sequential façade.
+//!
+//! With the default `parallel` feature, parallel iterators run on a global,
+//! lazily-initialized pool of worker threads:
+//!
+//! * the pool size honors `RAYON_NUM_THREADS` (if set to a positive integer)
+//!   and otherwise falls back to [`std::thread::available_parallelism`];
+//! * sources (`par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks`)
+//!   split their items into contiguous, order-preserving chunks that are
+//!   executed as pool tasks, with the calling thread participating;
+//! * [`join`] and [`scope`] run borrowed closures on the pool for real, with
+//!   panic propagation back to the caller;
+//! * every combinator reassembles chunk results **in source order**, so
+//!   `map`/`filter`/`collect` output is bit-identical to the sequential
+//!   build, and `fold`/`reduce` match for associative operators (the same
+//!   contract real rayon gives).
+//!
+//! Building with `--no-default-features` compiles the sequential fallback:
+//! identical API, identical results, everything inline on the caller.
+//!
+//! Scheduling model: a single shared FIFO injector queue guarded by a mutex,
+//! with idle workers parked on a condvar. Waiting callers *help* — they pop
+//! and execute queued tasks while their own batch drains — so nested
+//! parallel calls from inside pool tasks cannot deadlock. Tasks are
+//! chunk-granular, which keeps queue contention negligible for the workloads
+//! this workspace runs (the hot paths hand the pool a few dozen tasks per
+//! call, each milliseconds long).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
-/// Sequential stand-in for rayon's `ParallelIterator`. Combinators mirror
-/// rayon's signatures; execution order is plain left-to-right.
-pub struct SeqParIter<I>(I);
+use std::sync::atomic::{AtomicBool, Ordering};
 
-impl<I: Iterator> SeqParIter<I> {
+// ---------------------------------------------------------------------------
+// Execution substrate
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "parallel")]
+mod pool {
+    //! The global worker pool and the lifetime-erased batch executor.
+
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// A lifetime-erased task living in the shared queue.
+    type Job = Box<dyn FnOnce() + Send>;
+
+    /// A task borrowed from the submitting stack frame.
+    pub type ScopedJob<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+    struct Shared {
+        queue: Mutex<VecDeque<Job>>,
+        work_ready: Condvar,
+        spawned: AtomicUsize,
+    }
+
+    fn shared() -> &'static Arc<Shared> {
+        static SHARED: OnceLock<Arc<Shared>> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+                spawned: AtomicUsize::new(0),
+            })
+        })
+    }
+
+    /// Process-wide thread budget: `RAYON_NUM_THREADS` (positive integer)
+    /// wins, else `available_parallelism`, else 1. Read once, like rayon's
+    /// global pool.
+    pub fn global_threads() -> usize {
+        static N: OnceLock<usize> = OnceLock::new();
+        *N.get_or_init(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+        })
+    }
+
+    thread_local! {
+        /// Per-thread override installed by [`crate::ThreadPool::install`].
+        static OVERRIDE: std::cell::Cell<Option<usize>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    /// The thread budget in effect on this thread.
+    pub fn current_threads() -> usize {
+        OVERRIDE.with(|o| o.get()).unwrap_or_else(global_threads)
+    }
+
+    /// Run `f` with the thread budget overridden to `n` on this thread.
+    pub fn with_thread_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                OVERRIDE.with(|o| o.set(prev));
+            }
+        }
+        let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+        f()
+    }
+
+    /// Make sure at least `target` worker threads exist.
+    fn ensure_workers(target: usize) {
+        let s = shared();
+        let mut cur = s.spawned.load(Ordering::Relaxed);
+        while cur < target {
+            match s
+                .spawned
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    spawn_worker(cur);
+                    cur += 1;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn spawn_worker(idx: usize) {
+        let s = Arc::clone(shared());
+        std::thread::Builder::new()
+            .name(format!("rayon-shim-{idx}"))
+            .spawn(move || loop {
+                let job = {
+                    let mut q = s.queue.lock().unwrap();
+                    loop {
+                        if let Some(j) = q.pop_front() {
+                            break j;
+                        }
+                        q = s.work_ready.wait(q).unwrap();
+                    }
+                };
+                job();
+            })
+            .expect("failed to spawn rayon-shim worker thread");
+    }
+
+    fn try_pop() -> Option<Job> {
+        shared().queue.lock().unwrap().pop_front()
+    }
+
+    /// Completion latch for one batch/scope: pending count, a condvar for
+    /// the waiter, and the first panic payload raised by a task.
+    pub struct Latch {
+        pending: Mutex<usize>,
+        done: Condvar,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    impl Latch {
+        pub fn new(pending: usize) -> Arc<Self> {
+            Arc::new(Latch {
+                pending: Mutex::new(pending),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            })
+        }
+
+        /// Register `n` more tasks before they are submitted.
+        pub fn add(&self, n: usize) {
+            *self.pending.lock().unwrap() += n;
+        }
+
+        /// Run one task, capturing its panic, and mark it complete.
+        fn run_task(self: &Arc<Self>, job: ScopedJob<'_>) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut left = self.pending.lock().unwrap();
+            *left -= 1;
+            if *left == 0 {
+                self.done.notify_all();
+            }
+        }
+
+        /// Block until every registered task has completed, executing queued
+        /// tasks (this batch's or anyone else's) while waiting. Re-raises
+        /// the first captured panic.
+        pub fn wait_helping(self: &Arc<Self>) {
+            loop {
+                if let Some(job) = try_pop() {
+                    job();
+                    continue;
+                }
+                let left = self.pending.lock().unwrap();
+                if *left == 0 {
+                    break;
+                }
+                // Nothing runnable right now: sleep briefly; either our
+                // batch finishes (notify) or new helpable work arrives
+                // (bounded by the timeout).
+                let _ = self
+                    .done
+                    .wait_timeout(left, Duration::from_micros(200))
+                    .unwrap();
+            }
+            if let Some(payload) = self.panic.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Submit a borrowed task against `latch` (which must already account
+    /// for it via [`Latch::new`]/[`Latch::add`]). The caller is responsible
+    /// for calling [`Latch::wait_helping`] before the borrows expire.
+    #[allow(unsafe_code)]
+    pub fn submit(latch: &Arc<Latch>, job: ScopedJob<'_>) {
+        let latch2 = Arc::clone(latch);
+        let wrapped: ScopedJob<'_> = Box::new(move || latch2.run_task(job));
+        // SAFETY: see `erase`.
+        let erased = unsafe { erase(wrapped) };
+        let s = shared();
+        let mut q = s.queue.lock().unwrap();
+        q.push_back(erased);
+        drop(q);
+        s.work_ready.notify_one();
+    }
+
+    /// Run `jobs` to completion using the pool plus the calling thread.
+    /// Blocks until every job has finished; the first panic raised by a job
+    /// is re-raised here.
+    pub fn run_batch(jobs: Vec<ScopedJob<'_>>) {
+        let threads = current_threads();
+        if threads <= 1 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        ensure_workers(threads - 1);
+        let latch = Latch::new(jobs.len());
+        for job in jobs {
+            submit(&latch, job);
+        }
+        latch.wait_helping();
+    }
+
+    /// Make sure workers exist for an explicit submit/wait pattern (scopes).
+    pub fn ensure_pool() {
+        let threads = current_threads();
+        if threads > 1 {
+            ensure_workers(threads - 1);
+        }
+    }
+
+    #[allow(unsafe_code)]
+    unsafe fn erase(job: ScopedJob<'_>) -> Job {
+        // SAFETY: every erased job is tied to a `Latch`, and the submitting
+        // frame blocks in `wait_helping` until the latch counts the job as
+        // complete — i.e. until the closure (and everything it borrows from
+        // the submitter's stack) has finished executing. The job itself is
+        // consumed by the call, and `run_task` touches only the Arc'd latch
+        // afterwards, so no borrow outlives the wait. `Box<dyn FnOnce() +
+        // Send + 'env>` and `Box<dyn FnOnce() + Send + 'static>` have
+        // identical layout; only the lifetime bound is erased.
+        std::mem::transmute::<ScopedJob<'_>, Job>(job)
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+mod pool {
+    //! Sequential fallback: identical surface, everything runs inline on the
+    //! calling thread in submission order.
+
+    pub type ScopedJob<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+    pub fn global_threads() -> usize {
+        1
+    }
+
+    pub fn current_threads() -> usize {
+        1
+    }
+
+    pub fn with_thread_override<R>(_n: usize, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    pub fn run_batch(jobs: Vec<ScopedJob<'_>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+/// Number of threads the current thread's parallel calls will use (the
+/// global pool size, or the [`ThreadPool::install`] override).
+pub fn current_num_threads() -> usize {
+    pool::current_threads()
+}
+
+// ---------------------------------------------------------------------------
+// join / scope
+// ---------------------------------------------------------------------------
+
+/// Run two closures, potentially in parallel, and return both results.
+/// Panics from either closure propagate after both slots have settled.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let (sa, sb) = (&mut ra, &mut rb);
+        pool::run_batch(vec![
+            Box::new(move || *sa = Some(a())),
+            Box::new(move || *sb = Some(b())),
+        ]);
+    }
+    (
+        ra.expect("join: first closure completed"),
+        rb.expect("join: second closure completed"),
+    )
+}
+
+#[cfg(feature = "parallel")]
+mod scope_impl {
+    use super::pool;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// A scope in which borrowed tasks can be spawned; see [`super::scope`].
+    pub struct Scope<'scope> {
+        latch: Arc<pool::Latch>,
+        // Invariant over 'scope, mirroring rayon.
+        _marker: PhantomData<&'scope mut &'scope ()>,
+    }
+
+    impl<'scope> Scope<'scope> {
+        /// Spawn `f` onto the pool. The closure may borrow from the
+        /// enclosing `scope` call's frame and may spawn further tasks.
+        pub fn spawn<F>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope>) + Send + 'scope,
+        {
+            let handle = Scope {
+                latch: Arc::clone(&self.latch),
+                _marker: PhantomData,
+            };
+            // Honor the thread budget (`ThreadPool::install` override): at
+            // budget 1 the task runs inline, depth-first, exactly like the
+            // sequential build — even if global workers exist from earlier
+            // wider-budget calls.
+            if pool::current_threads() <= 1 {
+                f(&handle);
+                return;
+            }
+            self.latch.add(1);
+            pool::submit(&self.latch, Box::new(move || f(&handle)));
+        }
+    }
+
+    /// Create a scope: tasks spawned inside may borrow anything outliving
+    /// `'env`; `scope` returns only after every spawned task has finished.
+    /// The first panic from any task (or from `f` itself) propagates.
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        pool::ensure_pool();
+        let scope = Scope {
+            latch: pool::Latch::new(0),
+            _marker: PhantomData,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+        // Drain spawned tasks even if `f` panicked, so borrows stay valid.
+        scope.latch.wait_helping();
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+mod scope_impl {
+    use std::marker::PhantomData;
+
+    /// Sequential scope: `spawn` runs the task immediately, depth-first.
+    pub struct Scope<'scope> {
+        _marker: PhantomData<&'scope mut &'scope ()>,
+    }
+
+    impl<'scope> Scope<'scope> {
+        /// Run `f` inline (sequential build).
+        pub fn spawn<F>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope>) + Send + 'scope,
+        {
+            f(self);
+        }
+    }
+
+    /// Sequential scope entry point; tasks run inline inside `f`.
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        f(&Scope {
+            _marker: PhantomData,
+        })
+    }
+}
+
+pub use scope_impl::{scope, Scope};
+
+// ---------------------------------------------------------------------------
+// ThreadPoolBuilder / ThreadPool (scoped thread-budget overrides)
+// ---------------------------------------------------------------------------
+
+/// Error building a [`ThreadPool`] (the shim cannot actually fail; the type
+/// exists for rayon API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rayon-shim thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` threads (0 means "use the global default", as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool handle. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(pool::global_threads),
+        })
+    }
+}
+
+/// A handle selecting a thread budget. The shim keeps one physical global
+/// pool; [`ThreadPool::install`] overrides the *budget* (chunking width and
+/// worker usage) for parallel calls made on the current thread inside `f`.
+/// With the `parallel` feature off, `install` just runs `f` sequentially.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The budget this handle applies.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's thread budget in effect.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        pool::with_thread_override(self.threads, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
+
+/// How many chunks to cut a source of `len` items into.
+fn pieces(len: usize) -> usize {
+    let t = pool::current_threads();
+    if t <= 1 || len <= 1 {
+        1
+    } else {
+        // A few chunks per thread for load balancing; never more chunks
+        // than items.
+        (t * 4).min(len)
+    }
+}
+
+/// Split `items` into `n` contiguous, order-preserving parts whose lengths
+/// differ by at most one.
+fn split_even<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    if n <= 1 || len <= 1 {
+        return vec![items];
+    }
+    let n = n.min(len);
+    let mut parts = Vec::with_capacity(n);
+    // Peel parts off the front; sizes are computed so the remainder is
+    // spread over the leading parts.
+    let mut remaining = len;
+    for k in (1..=n).rev() {
+        let take = remaining.div_ceil(k);
+        let rest = items.split_off(take);
+        parts.push(items);
+        items = rest;
+        remaining -= take;
+    }
+    debug_assert!(items.is_empty());
+    parts
+}
+
+/// Run `op` over each chunk on the pool; results come back in chunk order.
+fn run_ordered<T: Send, R: Send>(chunks: Vec<Vec<T>>, op: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
+    if chunks.len() == 1 {
+        let mut chunks = chunks;
+        return vec![op(chunks.pop().expect("one chunk"))];
+    }
+    let mut slots: Vec<Option<R>> = chunks.iter().map(|_| None).collect();
+    {
+        let op = &op;
+        let jobs: Vec<pool::ScopedJob<'_>> = chunks
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|(chunk, slot)| Box::new(move || *slot = Some(op(chunk))) as pool::ScopedJob<'_>)
+            .collect();
+        pool::run_batch(jobs);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool chunk completed"))
+        .collect()
+}
+
+/// A materialized, order-preserving parallel iterator: combinators execute
+/// chunk-wise on the pool and reassemble results in source order, so every
+/// pipeline is deterministic and bit-identical to its sequential equivalent.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    fn from_items(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    /// Run `op` on each chunk, returning per-chunk results in order.
+    fn exec<R: Send>(self, op: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
+        let n = pieces(self.items.len());
+        run_ordered(split_even(self.items, n), op)
+    }
+
     /// Transform each item.
-    pub fn map<O, F: Fn(I::Item) -> O + Send + Sync>(
-        self,
-        f: F,
-    ) -> SeqParIter<std::iter::Map<I, F>> {
-        SeqParIter(self.0.map(f))
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(T) -> O + Send + Sync,
+    {
+        let parts = self.exec(|chunk| chunk.into_iter().map(&f).collect::<Vec<O>>());
+        ParIter::from_items(parts.into_iter().flatten().collect())
     }
 
     /// Keep items passing the predicate.
-    pub fn filter<F: Fn(&I::Item) -> bool + Send + Sync>(
-        self,
-        f: F,
-    ) -> SeqParIter<std::iter::Filter<I, F>> {
-        SeqParIter(self.0.filter(f))
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        let parts = self.exec(|chunk| chunk.into_iter().filter(&f).collect::<Vec<T>>());
+        ParIter::from_items(parts.into_iter().flatten().collect())
     }
 
     /// Transform and keep the `Some` results.
-    pub fn filter_map<O, F: Fn(I::Item) -> Option<O> + Send + Sync>(
-        self,
-        f: F,
-    ) -> SeqParIter<std::iter::FilterMap<I, F>> {
-        SeqParIter(self.0.filter_map(f))
+    pub fn filter_map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(T) -> Option<O> + Send + Sync,
+    {
+        let parts = self.exec(|chunk| chunk.into_iter().filter_map(&f).collect::<Vec<O>>());
+        ParIter::from_items(parts.into_iter().flatten().collect())
     }
 
     /// Run `f` on every item.
-    pub fn for_each<F: Fn(I::Item) + Send + Sync>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        self.exec(|chunk| chunk.into_iter().for_each(&f));
     }
 
-    /// Whether all items satisfy the predicate.
-    pub fn all<F: Fn(I::Item) -> bool + Send + Sync>(mut self, f: F) -> bool {
-        self.0.all(f)
+    /// Whether all items satisfy the predicate (chunks short-circuit via a
+    /// shared flag once any chunk fails).
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Send + Sync,
+    {
+        let ok = AtomicBool::new(true);
+        self.exec(|chunk| {
+            for item in chunk {
+                if !ok.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !f(item) {
+                    ok.store(false, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        ok.load(Ordering::Relaxed)
     }
 
     /// Whether any item satisfies the predicate.
-    pub fn any<F: Fn(I::Item) -> bool + Send + Sync>(mut self, f: F) -> bool {
-        self.0.any(f)
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Send + Sync,
+    {
+        let found = AtomicBool::new(false);
+        self.exec(|chunk| {
+            for item in chunk {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if f(item) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
     }
 
     /// Number of items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.items.len()
     }
 
-    /// Sum of the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Smallest item.
-    pub fn min(self) -> Option<I::Item>
+    /// Sum of the items (chunk partials combined in order).
+    pub fn sum<S>(self) -> S
     where
-        I::Item: Ord,
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
     {
-        self.0.min()
+        self.exec(|chunk| chunk.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
-    /// Largest item.
-    pub fn max(self) -> Option<I::Item>
+    /// Smallest item (first minimum on ties, matching `Iterator::min`).
+    pub fn min(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.0.max()
+        self.exec(|chunk| chunk.into_iter().min())
+            .into_iter()
+            .flatten()
+            .min()
     }
 
-    /// Gather into any `FromIterator` collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Largest item (last maximum on ties, matching `Iterator::max`).
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.exec(|chunk| chunk.into_iter().max())
+            .into_iter()
+            .flatten()
+            .max()
     }
 
-    /// Rayon-style fold: per-"thread" accumulators seeded by `identity`.
-    /// Sequentially there is exactly one accumulator, so this yields a
-    /// one-item iterator holding the total.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> SeqParIter<std::iter::Once<T>>
+    /// Gather into any `FromIterator` collection, in source order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Rayon-style fold: one accumulator per chunk, seeded by `identity`,
+    /// yielding the per-chunk accumulators (in chunk order) as a new
+    /// parallel iterator.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Send + Sync,
+        F: Fn(A, T) -> A + Send + Sync,
+    {
+        let parts = self.exec(|chunk| chunk.into_iter().fold(identity(), &fold_op));
+        ParIter::from_items(parts)
+    }
+
+    /// Rayon-style reduce: combine chunk partials (in order) starting from
+    /// `identity()`. Equal to the sequential fold for associative `reduce_op`.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> T
     where
         ID: Fn() -> T + Send + Sync,
-        F: Fn(T, I::Item) -> T + Send + Sync,
+        F: Fn(T, T) -> T + Send + Sync,
     {
-        SeqParIter(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// Rayon-style reduce: combine all items starting from `identity()`.
-    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
-    where
-        ID: Fn() -> I::Item + Send + Sync,
-        F: Fn(I::Item, I::Item) -> I::Item + Send + Sync,
-    {
-        self.0.fold(identity(), reduce_op)
+        let parts = self.exec(|chunk| chunk.into_iter().fold(identity(), &reduce_op));
+        parts.into_iter().fold(identity(), reduce_op)
     }
 }
 
-/// `into_par_iter()` for any owned iterable — sequential here.
+/// `into_par_iter()` for any owned iterable.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Sequential stand-in for rayon's parallel iterator.
-    fn into_par_iter(self) -> SeqParIter<Self::IntoIter> {
-        SeqParIter(self.into_iter())
+    /// Materialize the source and hand it to the pool-backed iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>
+    where
+        Self::Item: Send,
+    {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
 
-/// `par_iter()` for any `&T: IntoIterator` collection — sequential here.
+/// `par_iter()` for any `&T: IntoIterator` collection.
 pub trait IntoParallelRefIterator<'data> {
-    /// Iterator type wrapped by [`IntoParallelRefIterator::par_iter`].
-    type Iter: Iterator;
-    /// Sequential stand-in for rayon's borrowing parallel iterator.
-    fn par_iter(&'data self) -> SeqParIter<Self::Iter>;
+    /// Item type produced by the borrowing iterator.
+    type Item: Send;
+    /// Pool-backed parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
 where
     &'data T: IntoIterator,
+    <&'data T as IntoIterator>::Item: Send,
 {
-    type Iter = <&'data T as IntoIterator>::IntoIter;
+    type Item = <&'data T as IntoIterator>::Item;
 
-    fn par_iter(&'data self) -> SeqParIter<Self::Iter> {
-        SeqParIter(self.into_iter())
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// `par_iter_mut()` for any `&mut T: IntoIterator` collection — sequential.
+/// `par_iter_mut()` for any `&mut T: IntoIterator` collection.
 pub trait IntoParallelRefMutIterator<'data> {
-    /// Iterator type wrapped by [`IntoParallelRefMutIterator::par_iter_mut`].
-    type Iter: Iterator;
-    /// Sequential stand-in for rayon's mutable parallel iterator.
-    fn par_iter_mut(&'data mut self) -> SeqParIter<Self::Iter>;
+    /// Item type produced by the mutably-borrowing iterator.
+    type Item: Send;
+    /// Pool-backed parallel iterator over mutably borrowed items.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
 impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
 where
     &'data mut T: IntoIterator,
+    <&'data mut T as IntoIterator>::Item: Send,
 {
-    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+    type Item = <&'data mut T as IntoIterator>::Item;
 
-    fn par_iter_mut(&'data mut self) -> SeqParIter<Self::Iter> {
-        SeqParIter(self.into_iter())
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// Run two closures "in parallel" (sequentially here) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+/// `par_chunks()` over slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous `chunk_size`-sized sub-slices (the
+    /// last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` over slices, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
 }
 
 pub mod prelude {
     //! Mirrors `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -212,5 +862,232 @@ mod tests {
                 },
             );
         assert_eq!(table, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn large_map_is_ordered_and_deterministic() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let squares: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * x).collect();
+            let expect: Vec<u64> = (0u64..10_000).map(|x| x * x).collect();
+            assert_eq!(squares, expect);
+            let kept: Vec<u64> = (0u64..10_000)
+                .into_par_iter()
+                .filter(|x| x % 7 == 0)
+                .collect();
+            let expect: Vec<u64> = (0u64..10_000).filter(|x| x % 7 == 0).collect();
+            assert_eq!(kept, expect);
+        });
+    }
+
+    #[test]
+    fn min_max_tie_semantics_match_std() {
+        // Equal keys: min keeps the first, max keeps the last, as in std.
+        #[derive(Debug, PartialEq, Eq)]
+        struct K(u8, usize);
+        impl Ord for K {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+        impl PartialOrd for K {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let items: Vec<K> = (0..1000).map(|i| K((i % 3) as u8, i)).collect();
+            let min_seq = (0..1000).map(|i| K((i % 3) as u8, i)).min().unwrap();
+            let max_seq = (0..1000).map(|i| K((i % 3) as u8, i)).max().unwrap();
+            assert_eq!(items.into_par_iter().min().unwrap(), min_seq);
+            let items: Vec<K> = (0..1000).map(|i| K((i % 3) as u8, i)).collect();
+            assert_eq!(items.into_par_iter().max().unwrap(), max_seq);
+        });
+    }
+
+    #[test]
+    fn par_chunks_covers_in_order() {
+        let v: Vec<usize> = (0..103).collect();
+        let sums: Vec<usize> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        let expect: Vec<usize> = v.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+        let mut w = vec![1usize; 37];
+        w.par_chunks_mut(5).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert_eq!(w, vec![2usize; 37]);
+    }
+
+    #[test]
+    fn install_overrides_thread_budget() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let outside = crate::current_num_threads();
+        // The sequential build runs `install` without overriding the budget.
+        #[cfg(feature = "parallel")]
+        pool.install(|| assert_eq!(crate::current_num_threads(), 3));
+        assert_eq!(crate::current_num_threads(), outside);
+        // num_threads(0) means "global default", as in rayon.
+        let dflt = crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(dflt.current_num_threads(), outside);
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks_including_nested() {
+        let mut slots = vec![0usize; 8];
+        {
+            let mut parts: Vec<&mut usize> = slots.iter_mut().collect();
+            crate::scope(|s| {
+                for (i, slot) in parts.drain(..).enumerate() {
+                    s.spawn(move |inner| {
+                        *slot = i + 1;
+                        // Nested spawn from inside a task must also finish
+                        // before `scope` returns.
+                        inner.spawn(move |_| {
+                            *slot += 10;
+                        });
+                    });
+                }
+            });
+        }
+        assert_eq!(slots, vec![11, 12, 13, 14, 15, 16, 17, 18]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_budgets() {
+        let input: Vec<u64> = (0..5000).collect();
+        let reference: Vec<u64> = input.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<u64> = pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|x| x.wrapping_mul(2654435761))
+                    .collect()
+            });
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    mod parallel_only {
+        use crate::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Condvar, Mutex};
+        use std::time::Duration;
+
+        #[test]
+        fn join_really_overlaps_execution() {
+            // Two-way rendezvous: each side waits (with a generous timeout)
+            // for the other to start. Succeeds only if both closures run
+            // concurrently on different threads.
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap();
+            let started = Mutex::new(0usize);
+            let both = Condvar::new();
+            let meet = || {
+                let mut n = started.lock().unwrap();
+                *n += 1;
+                both.notify_all();
+                while *n < 2 {
+                    let (guard, timeout) = both.wait_timeout(n, Duration::from_secs(10)).unwrap();
+                    n = guard;
+                    assert!(!timeout.timed_out(), "join did not run in parallel");
+                }
+            };
+            pool.install(|| {
+                crate::join(meet, meet);
+            });
+        }
+
+        #[test]
+        fn scope_budget_one_runs_inline_on_caller() {
+            // Warm the global pool so workers exist from a wider budget...
+            let wide = crate::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .unwrap();
+            wide.install(|| (0..64usize).into_par_iter().for_each(|_| {}));
+            // ...then a budget-1 scope must still run every task inline on
+            // the calling thread, not on those workers.
+            let serial = crate::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let caller = std::thread::current().id();
+            let ids = Mutex::new(Vec::new());
+            serial.install(|| {
+                crate::scope(|s| {
+                    for _ in 0..8 {
+                        s.spawn(|_| ids.lock().unwrap().push(std::thread::current().id()));
+                    }
+                });
+            });
+            let ids = ids.into_inner().unwrap();
+            assert_eq!(ids.len(), 8);
+            assert!(ids.iter().all(|&id| id == caller));
+        }
+
+        #[test]
+        fn panics_propagate_to_the_caller() {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .unwrap();
+            let result = std::panic::catch_unwind(|| {
+                pool.install(|| {
+                    (0..100usize).into_par_iter().for_each(|i| {
+                        if i == 61 {
+                            panic!("boom at {i}");
+                        }
+                    });
+                })
+            });
+            assert!(result.is_err(), "worker panic must reach the caller");
+        }
+
+        #[test]
+        fn remaining_chunks_still_complete_after_a_panic() {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .unwrap();
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(|| {
+                pool.install(|| {
+                    (0..64usize).into_par_iter().for_each(|_| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        panic!("every chunk panics");
+                    });
+                })
+            });
+            assert!(result.is_err());
+            // All chunks ran to their panic; the batch still drained fully
+            // (no abandoned jobs poisoning the queue).
+            assert!(ran.load(Ordering::Relaxed) >= 1);
+            // The pool is still usable afterwards.
+            let sum: usize = pool.install(|| (0..100usize).into_par_iter().sum());
+            assert_eq!(sum, 4950);
+        }
     }
 }

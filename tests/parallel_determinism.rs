@@ -1,0 +1,141 @@
+//! Parallel determinism: every `*_parallel` entry point must produce output
+//! bit-identical to its sequential counterpart, at every thread budget.
+//!
+//! The rayon shim guarantees order-preserving chunk reassembly, so these
+//! properties hold exactly — not just up to reordering. Each property runs
+//! the parallel path under thread budgets 1, 2, and 4 (via
+//! `ThreadPoolBuilder::install`; on the sequential `--no-default-features`
+//! build the override is a no-op and everything degenerates to
+//! sequential-vs-sequential, which must still pass).
+
+use dagwave::core::CoreError;
+use dagwave::graph::reach;
+use dagwave::paths::{load, ConflictGraph, DipathFamily};
+use dagwave::WavelengthSolver;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The thread budgets every property is checked under.
+const BUDGETS: [usize; 3] = [1, 2, 4];
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pools are infallible")
+        .install(f)
+}
+
+fn random_instance(seed: u64, n: usize, paths: usize) -> (dagwave::graph::Digraph, DipathFamily) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = dagwave::gen::random::random_internal_cycle_free(&mut rng, n, n / 3);
+    let family = dagwave::gen::random::random_family(&mut rng, &g, paths, 6);
+    (g, family)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `transitive_closure_parallel` row-for-row equals `transitive_closure`.
+    #[test]
+    fn closure_parallel_matches_sequential(seed in 0u64..10_000, n in 2usize..60) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = dagwave::gen::random::random_internal_cycle_free(&mut rng, n, n / 2);
+        let seq = reach::transitive_closure(&g);
+        for threads in BUDGETS {
+            let par = with_threads(threads, || reach::transitive_closure_parallel(&g));
+            prop_assert_eq!(seq.len(), par.len());
+            for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+                prop_assert_eq!(
+                    s.iter().collect::<Vec<_>>(),
+                    p.iter().collect::<Vec<_>>(),
+                    "row {} at {} threads", i, threads
+                );
+            }
+        }
+    }
+
+    /// `load_table_parallel` equals `load_table` entry-for-entry.
+    #[test]
+    fn load_table_parallel_matches_sequential(seed in 0u64..10_000, paths in 1usize..80) {
+        let (g, family) = random_instance(seed, 30, paths);
+        let seq = load::load_table(&g, &family);
+        for threads in BUDGETS {
+            let par = with_threads(threads, || load::load_table_parallel(&g, &family));
+            prop_assert_eq!(&seq, &par, "{} threads", threads);
+        }
+    }
+
+    /// `ConflictGraph::build_parallel` produces identical adjacency to
+    /// `build` (same neighbor vectors, not just the same edge set).
+    #[test]
+    fn conflict_build_parallel_matches_sequential(seed in 0u64..10_000, paths in 1usize..60) {
+        let (g, family) = random_instance(seed, 25, paths);
+        let seq = ConflictGraph::build(&g, &family);
+        for threads in BUDGETS {
+            let par = with_threads(threads, || ConflictGraph::build_parallel(&g, &family));
+            prop_assert_eq!(seq.vertex_count(), par.vertex_count());
+            prop_assert_eq!(seq.edge_count(), par.edge_count());
+            for i in 0..seq.vertex_count() {
+                let id = dagwave::paths::PathId::from_index(i);
+                prop_assert_eq!(seq.neighbors(id), par.neighbors(id), "{} threads", threads);
+            }
+        }
+    }
+
+    /// `solve_batch` equals instance-by-instance `solve` — same strategy,
+    /// same color count, same assignment vector, same order.
+    #[test]
+    fn solve_batch_matches_individual_solves(seed in 0u64..10_000, count in 1usize..10) {
+        let instances_owned: Vec<_> = (0..count)
+            .map(|i| random_instance(seed.wrapping_add(i as u64), 14, 10))
+            .collect();
+        let instances: Vec<_> = instances_owned.iter().map(|(g, f)| (g, f)).collect();
+        let solver = WavelengthSolver::new();
+        let seq: Vec<Result<_, CoreError>> = instances
+            .iter()
+            .map(|&(g, f)| solver.solve(g, f))
+            .collect();
+        for threads in BUDGETS {
+            let par = with_threads(threads, || solver.solve_batch(&instances));
+            prop_assert_eq!(seq.len(), par.len());
+            for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+                match (s, p) {
+                    (Ok(s), Ok(p)) => {
+                        prop_assert_eq!(s.num_colors, p.num_colors, "instance {}", i);
+                        prop_assert_eq!(s.load, p.load);
+                        prop_assert_eq!(s.optimal, p.optimal);
+                        prop_assert_eq!(s.strategy, p.strategy);
+                        prop_assert_eq!(s.assignment.colors(), p.assignment.colors());
+                    }
+                    (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+                    _ => prop_assert!(false, "Ok/Err mismatch at instance {}", i),
+                }
+            }
+        }
+    }
+}
+
+/// UPP detection (rayon `all`/`filter_map` consumers) agrees across budgets.
+#[test]
+fn upp_detection_identical_across_budgets() {
+    for seed in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = dagwave::gen::random::random_internal_cycle_free(&mut rng, 24, 12);
+        let reference = dagwave::graph::pathcount::is_upp(&g);
+        let witness = dagwave::graph::pathcount::upp_violation(&g);
+        for threads in BUDGETS {
+            assert_eq!(
+                with_threads(threads, || dagwave::graph::pathcount::is_upp(&g)),
+                reference,
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                with_threads(threads, || dagwave::graph::pathcount::upp_violation(&g)),
+                witness,
+                "seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
