@@ -6,7 +6,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use dagwave_bench::{quick_criterion, report_row};
-use dagwave_core::WavelengthSolver;
+use dagwave_core::SolveSession;
 use dagwave_gen::figures;
 use std::hint::black_box;
 
@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 4, 8, 12, 16] {
         let inst = figures::staircase(k);
         let pi = inst.load();
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .expect("staircase is a DAG");
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("solve", k), &k, |b, &k| {
             let inst = figures::staircase(k);
             b.iter(|| {
-                let sol = WavelengthSolver::new()
+                let sol = SolveSession::auto()
                     .solve(black_box(&inst.graph), black_box(&inst.family))
                     .unwrap();
                 black_box(sol.num_colors)

@@ -5,13 +5,13 @@
 
 use criterion::{BenchmarkId, Criterion};
 use dagwave_bench::{quick_criterion, report_row};
-use dagwave_core::{bounds, WavelengthSolver};
+use dagwave_core::{bounds, SolveSession};
 use dagwave_gen::figures;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let inst = figures::figure3();
-    let sol = WavelengthSolver::new()
+    let sol = SolveSession::auto()
         .solve(&inst.graph, &inst.family)
         .unwrap();
     assert_eq!(inst.load(), 2);
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_c5");
     for h in [1usize, 2, 4, 8] {
         let family = inst.family.replicate(h);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &family).unwrap();
+        let sol = SolveSession::auto().solve(&inst.graph, &family).unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &family));
         assert_eq!(sol.num_colors, bounds::c5_wavelengths(h));
         report_row(
@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("solve_replicated", h), &h, |b, _| {
             b.iter(|| {
-                let sol = WavelengthSolver::new()
+                let sol = SolveSession::auto()
                     .solve(black_box(&inst.graph), black_box(&family))
                     .unwrap();
                 black_box(sol.num_colors)

@@ -5,7 +5,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use dagwave_bench::{quick_criterion, report_row};
-use dagwave_core::WavelengthSolver;
+use dagwave_core::SolveSession;
 use dagwave_gen::{figures, theorem2};
 use std::hint::black_box;
 
@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_oddcycle");
     for k in [2usize, 4, 8, 16, 32] {
         let inst = figures::theorem2_family(k);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert_eq!(inst.load(), 2);
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("solve", k), &k, |b, _| {
             b.iter(|| {
-                let sol = WavelengthSolver::new()
+                let sol = SolveSession::auto()
                     .solve(black_box(&inst.graph), black_box(&inst.family))
                     .unwrap();
                 black_box(sol.num_colors)

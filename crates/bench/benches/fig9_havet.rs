@@ -6,7 +6,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use dagwave_bench::{quick_criterion, report_row};
-use dagwave_core::{bounds, theorem6, WavelengthSolver};
+use dagwave_core::{bounds, theorem6, SolveSession};
 use dagwave_gen::havet;
 use std::hint::black_box;
 
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_havet");
     for h in [1usize, 2, 3, 4, 6] {
         let inst = havet::havet(h);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("solver", h), &h, |b, _| {
             b.iter(|| {
-                let sol = WavelengthSolver::new()
+                let sol = SolveSession::auto()
                     .solve(black_box(&inst.graph), black_box(&inst.family))
                     .unwrap();
                 black_box(sol.num_colors)

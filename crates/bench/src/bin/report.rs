@@ -22,7 +22,7 @@
 //! Run with: `cargo run -p dagwave-bench --bin report --release [-- MODE]`
 
 use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
-use dagwave_core::{bounds, internal, theorem6, WavelengthSolver};
+use dagwave_core::{bounds, internal, theorem6, SolveSession, SolverBuilder};
 use dagwave_gen::{figures, havet, random, theorem2};
 use dagwave_graph::reach;
 use dagwave_paths::{load, ConflictGraph};
@@ -80,7 +80,7 @@ fn paper_report() {
     // F1 — Figure 1 staircase.
     for k in [2usize, 4, 8, 12, 16, 24] {
         let inst = figures::staircase(k);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
@@ -115,7 +115,7 @@ fn paper_report() {
     // F3 — Figure 3.
     {
         let inst = figures::figure3();
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         row(
@@ -152,7 +152,7 @@ fn paper_report() {
     // F5 — Figure 5 / Theorem 2 generalized.
     for k in [2usize, 4, 8, 16] {
         let inst = figures::theorem2_family(k);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         row(
@@ -170,7 +170,7 @@ fn paper_report() {
         ("fig-5 k=5 graph", figures::theorem2_family(5).graph),
     ] {
         let fam = theorem2::witness_family(&g).unwrap();
-        let sol = WavelengthSolver::new().solve(&g, &fam).unwrap();
+        let sol = SolveSession::auto().solve(&g, &fam).unwrap();
         row(
             "T2 generic witness",
             name,
@@ -198,7 +198,7 @@ fn paper_report() {
     // F9 / Theorem 7 — Havet series.
     for h in 1..=6usize {
         let inst = havet::havet(h);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
@@ -287,6 +287,35 @@ fn paper_report() {
                 dsatur::dsatur_color_count(&ug),
                 greedy::greedy_color_count(&ug, greedy::Order::Natural),
                 greedy::greedy_color_count(&ug, greedy::Order::SmallestLast),
+            ),
+        );
+    }
+
+    // B2 — solver portfolio over every applicable backend.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(82);
+        let g = random::random_internal_cycle_free(&mut rng, 60, 15);
+        let family = random::random_family(&mut rng, &g, 150, 5);
+        let session = SolverBuilder::new().portfolio(vec![]).build();
+        let sol = session.solve(&g, &family).unwrap();
+        assert!(sol.assignment.is_valid(&g, &family));
+        let attempts: Vec<String> = sol
+            .attempts
+            .iter()
+            .map(|a| {
+                let colors = a.upper_bound.map_or("—".to_string(), |c| c.to_string());
+                format!("{}={colors}", a.backend)
+            })
+            .collect();
+        row(
+            "B2 portfolio",
+            &format!("class {}, |P|={}", sol.class, family.len()),
+            "winner = min over backends",
+            &format!(
+                "winner {} w={} [{}]",
+                sol.strategy,
+                sol.num_colors,
+                attempts.join(", ")
             ),
         );
     }
@@ -470,7 +499,7 @@ fn speedup_suite() -> Vec<Comparison> {
             })
             .collect();
         let instances: Vec<_> = instances_owned.iter().map(|(g, f)| (g, f)).collect();
-        let solver = WavelengthSolver::new();
+        let solver = SolveSession::auto();
         let (seq_ms, seq) = time_ms_with(2, || {
             instances
                 .iter()

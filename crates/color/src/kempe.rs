@@ -77,10 +77,71 @@ pub fn kempe_swap_protected(
     Ok(comp)
 }
 
+/// Deterministic Kempe-chain palette reduction.
+///
+/// Starting from any proper coloring, repeatedly attack the highest color
+/// class: each of its vertices is moved to a smaller color either directly
+/// (when some smaller color is absent from its neighborhood) or by a
+/// [`kempe_swap`] that strictly shrinks the class. When the top class
+/// empties, the palette has lost one color and the next class becomes the
+/// target; when no move makes progress the coloring is returned as-is.
+///
+/// Every step preserves properness, the scan order is fixed (ascending
+/// vertex id, ascending target color), and each accepted move strictly
+/// shrinks the current top class, so the procedure is deterministic and
+/// terminates. This is the refinement stage of the `KempeGreedy` solver
+/// backend in `dagwave-core`.
+pub fn kempe_reduce(g: &UGraph, mut colors: Coloring) -> Coloring {
+    loop {
+        let Some(k) = colors.iter().copied().max().filter(|&k| k > 0) else {
+            return colors;
+        };
+        let mut progress = true;
+        while progress && colors.contains(&k) {
+            progress = false;
+            for v in 0..g.vertex_count() {
+                if colors[v] != k {
+                    continue;
+                }
+                // Direct move: a smaller color missing from the neighborhood.
+                let mut used = vec![false; k];
+                for &w in g.neighbors(v) {
+                    let c = colors[w as usize];
+                    if c < k {
+                        used[c] = true;
+                    }
+                }
+                if let Some(beta) = used.iter().position(|&u| !u) {
+                    colors[v] = beta;
+                    progress = true;
+                    continue;
+                }
+                // Kempe swap accepted only when it strictly shrinks class k
+                // (more k-vertices than beta-vertices in the component).
+                for beta in 0..k {
+                    let comp = kempe_component(g, &colors, v, k, beta);
+                    let k_count = comp.iter().filter(|&&u| colors[u] == k).count();
+                    if comp.len() - k_count < k_count {
+                        for &u in &comp {
+                            colors[u] = if colors[u] == k { beta } else { k };
+                        }
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if colors.contains(&k) {
+            return colors; // top class resisted — no further reduction
+        }
+        // Class k emptied; the palette shrank by one. Attack the next class.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ugraph::{cycle_graph, UGraph};
+    use crate::ugraph::{complete_graph, cycle_graph, UGraph};
     use crate::verify::is_proper;
 
     #[test]
@@ -132,6 +193,46 @@ mod tests {
         assert_eq!(colors[0], 1);
         assert_eq!(colors[3], 1, "protected untouched");
         assert!(is_proper(&g, &colors));
+    }
+
+    #[test]
+    fn reduce_uses_swaps_where_direct_moves_are_blocked() {
+        // u and v (color 2) each see colors 0 and 1, so no direct move
+        // applies; the (2,0)-component {u, w, v} has two 2-vertices and one
+        // 0-vertex, so the swap shrinks class 2 and the coloring collapses
+        // to the bipartite optimum.
+        let g = UGraph::from_edges(5, &[(0, 2), (1, 2), (0, 3), (1, 4)]);
+        let colors = vec![2, 2, 0, 1, 1]; // u=0, v=1, w=2, x=3, y=4
+        assert!(is_proper(&g, &colors));
+        let reduced = kempe_reduce(&g, colors);
+        assert!(is_proper(&g, &reduced));
+        assert_eq!(crate::color_count(&reduced), 2);
+    }
+
+    #[test]
+    fn reduce_never_worsens_and_stays_proper() {
+        for n in 3..9 {
+            let g = cycle_graph(n);
+            let before = crate::greedy::greedy_coloring(&g, crate::greedy::Order::Natural);
+            let reduced = kempe_reduce(&g, before.clone());
+            assert!(is_proper(&g, &reduced), "C{n}");
+            assert!(crate::color_count(&reduced) <= crate::color_count(&before));
+        }
+    }
+
+    #[test]
+    fn reduce_leaves_clique_alone() {
+        let g = complete_graph(5);
+        let colors = vec![0, 1, 2, 3, 4];
+        assert_eq!(kempe_reduce(&g, colors.clone()), colors);
+    }
+
+    #[test]
+    fn reduce_handles_trivial_inputs() {
+        let g = UGraph::new(0);
+        assert!(kempe_reduce(&g, vec![]).is_empty());
+        let g1 = UGraph::new(3);
+        assert_eq!(kempe_reduce(&g1, vec![0, 0, 0]), vec![0, 0, 0]);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   with clique lower bounds (used to *verify* `w` on paper instances).
 //! * [`clique`] — Bron–Kerbosch maximum clique (verifies Property 3).
 //! * [`kempe`] — Kempe-chain component swaps (shared with the Theorem-1
-//!   solver).
+//!   solver) and [`kempe::kempe_reduce`], the palette-reduction refinement
+//!   behind the `KempeGreedy` solver backend.
 //! * [`forbidden`] — `K_{2,3}` detection (Corollary 5 checks).
 //! * [`independent`] — greedy maximal independent sets (Theorem 7's
 //!   lower-bound argument `w ≥ n/α`).

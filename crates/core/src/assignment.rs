@@ -40,18 +40,50 @@ impl WavelengthAssignment {
 
     /// Number of distinct wavelengths used.
     pub fn num_colors(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        for &c in &self.colors {
-            seen.insert(c);
+        let Some(&max) = self.colors.iter().max() else {
+            return 0;
+        };
+        // Colors are almost always dense from 0; a bitmap beats hashing.
+        // The guard keeps pathological sparse palettes from over-allocating.
+        if max < 2 * self.colors.len() {
+            let mut seen = vec![false; max + 1];
+            let mut count = 0;
+            for &c in &self.colors {
+                if !seen[c] {
+                    seen[c] = true;
+                    count += 1;
+                }
+            }
+            count
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            for &c in &self.colors {
+                seen.insert(c);
+            }
+            seen.len()
         }
-        seen.len()
     }
 
     /// Validate against an instance: two dipaths sharing an arc must have
-    /// different wavelengths. Checked per arc (the load buckets), which is
-    /// the cheapest complete check.
+    /// different wavelengths. Checked per arc (the load buckets). This is
+    /// the hot path the solving surface stamps every backend attempt with,
+    /// so it detects duplicates by sorting each bucket's colors —
+    /// `O(Σ L log L)` — instead of the pairwise scan
+    /// [`Self::first_violation`] uses to name the offending dipaths.
     pub fn is_valid(&self, g: &Digraph, family: &DipathFamily) -> bool {
-        self.first_violation(g, family).is_none()
+        if self.colors.len() != family.len() {
+            return false;
+        }
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); g.arc_count()];
+        for (id, p) in family.iter() {
+            for &a in p.arcs() {
+                buckets[a.index()].push(self.colors[id.index()]);
+            }
+        }
+        buckets.iter_mut().all(|b| {
+            b.sort_unstable();
+            b.windows(2).all(|w| w[0] != w[1])
+        })
     }
 
     /// First pair of same-colored conflicting dipaths, if any.

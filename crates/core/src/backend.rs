@@ -1,0 +1,658 @@
+//! Pluggable coloring backends — the named methods behind the solving
+//! surface.
+//!
+//! The paper's taxonomy used to be hard-wired into one `match` inside the
+//! solver facade; this module turns every method into a first-class
+//! [`ColoringBackend`] that can be pinned, raced in a portfolio, or given
+//! its own budgets:
+//!
+//! | backend | source | applicability |
+//! |---------|--------|---------------|
+//! | [`BackendKind::Theorem1`] | peel/replay (`w = π`) | internal-cycle-free |
+//! | [`BackendKind::Theorem6`] | split/merge (`w ≤ ⌈4π/3⌉`) | UPP, one internal cycle |
+//! | [`BackendKind::Weighted`] | dedup + multicoloring | duplicated families |
+//! | [`BackendKind::Exact`] | branch-and-bound chromatic | small conflict graphs |
+//! | [`BackendKind::Dsatur`] | DSATUR heuristic | any |
+//! | [`BackendKind::GreedyNatural`] | first-fit, id order | any |
+//! | [`BackendKind::GreedyLargestFirst`] | first-fit, Welsh–Powell | any |
+//! | [`BackendKind::GreedySmallestLast`] | first-fit, degeneracy order | any |
+//! | [`BackendKind::KempeGreedy`] | greedy + Kempe palette reduction | any |
+//!
+//! Backends receive a shared [`InstanceContext`] (instance, class, load,
+//! budgets, and a lazily-built conflict graph) and return a
+//! [`BackendOutcome`]. The [`crate::solver::SolveSession`] orchestrates them
+//! according to a [`Policy`] and records one [`BackendAttempt`] per backend
+//! consulted, so every `Solution` carries its provenance.
+
+use crate::assignment::WavelengthAssignment;
+use crate::error::CoreError;
+use crate::internal::{self, DagClass};
+use crate::{theorem1, theorem6};
+use dagwave_color::ugraph::UGraph;
+use dagwave_color::{dsatur, exact, greedy, kempe, multicolor};
+use dagwave_graph::Digraph;
+use dagwave_paths::{load, ConflictGraph, DipathFamily, PathId};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Names every coloring backend reachable through the public API.
+///
+/// Also used as the `strategy` tag on a solved instance (the legacy name
+/// `Strategy` is an alias for this type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Theorem 1 (peel/replay): optimal, `w = π`, internal-cycle-free DAGs.
+    Theorem1,
+    /// Theorem 6 (split/merge): `w ≤ ⌈4π/3⌉`, single-cycle UPP-DAGs.
+    Theorem6,
+    /// Weighted coloring (independent-set covering) of the deduplicated
+    /// conflict graph — realizes Theorem 7's `⌈8h/3⌉` on replicated
+    /// families.
+    Weighted,
+    /// Exact branch-and-bound chromatic number of the conflict graph.
+    Exact,
+    /// DSATUR heuristic on the conflict graph.
+    Dsatur,
+    /// First-fit greedy along natural vertex order.
+    GreedyNatural,
+    /// First-fit greedy along decreasing degree (Welsh–Powell).
+    GreedyLargestFirst,
+    /// First-fit greedy along smallest-last / degeneracy order.
+    GreedySmallestLast,
+    /// Smallest-last greedy refined by deterministic Kempe-chain palette
+    /// reduction ([`dagwave_color::kempe::kempe_reduce`]).
+    KempeGreedy,
+}
+
+impl BackendKind {
+    /// Every backend, in the deterministic order portfolios race them.
+    pub const ALL: [BackendKind; 9] = [
+        BackendKind::Theorem1,
+        BackendKind::Theorem6,
+        BackendKind::Weighted,
+        BackendKind::Exact,
+        BackendKind::Dsatur,
+        BackendKind::GreedyNatural,
+        BackendKind::GreedyLargestFirst,
+        BackendKind::GreedySmallestLast,
+        BackendKind::KempeGreedy,
+    ];
+
+    /// Stable kebab-case name (what [`fmt::Display`] prints).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Theorem1 => "theorem1",
+            BackendKind::Theorem6 => "theorem6",
+            BackendKind::Weighted => "weighted",
+            BackendKind::Exact => "exact",
+            BackendKind::Dsatur => "dsatur",
+            BackendKind::GreedyNatural => "greedy-natural",
+            BackendKind::GreedyLargestFirst => "greedy-largest-first",
+            BackendKind::GreedySmallestLast => "greedy-smallest-last",
+            BackendKind::KempeGreedy => "kempe-greedy",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a [`crate::solver::SolveSession`] picks backends.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Classify the instance and dispatch to the strongest applicable
+    /// method (the historical `WavelengthSolver::solve` behavior).
+    #[default]
+    Auto,
+    /// Run exactly this backend; error with
+    /// [`CoreError::BackendUnsupported`] when it does not apply.
+    Pinned(BackendKind),
+    /// Race several backends on the rayon pool and keep the
+    /// fewest-colors result (ties break toward the earlier list entry, so
+    /// the outcome is deterministic regardless of scheduling). An empty
+    /// list means "every backend that supports the instance".
+    Portfolio(Vec<BackendKind>),
+}
+
+/// Every budget and threshold the solving surface consults, lifted out of
+/// the old hard-coded facade. Carried by [`crate::solver::SolveSession`] and
+/// built with [`crate::solver::SolverBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolveRequest {
+    /// Backend-selection policy.
+    pub policy: Policy,
+    /// Largest conflict graph (vertices) handed to the exact solver.
+    pub exact_limit: usize,
+    /// Branch-node budget for the exact solver.
+    pub exact_budget: u64,
+    /// Largest deduplicated base family the weighted backend accepts
+    /// (beyond it the exact independent-set machinery is too expensive).
+    pub weighted_dedup_limit: usize,
+    /// The weighted backend uses *exact* multicoloring when the base has at
+    /// most this many vertices…
+    pub weighted_exact_base_limit: usize,
+    /// …and the family's total weight (original path count) is at most
+    /// this; otherwise it falls back to greedy multicoloring.
+    pub weighted_exact_weight_limit: usize,
+}
+
+impl SolveRequest {
+    /// Default [`SolveRequest::exact_limit`].
+    pub const DEFAULT_EXACT_LIMIT: usize = 80;
+    /// Default [`SolveRequest::weighted_dedup_limit`] (was the hard-coded
+    /// `base_count > 40` guard).
+    pub const DEFAULT_WEIGHTED_DEDUP_LIMIT: usize = 40;
+    /// Default [`SolveRequest::weighted_exact_base_limit`] (was the
+    /// hard-coded `base_count <= 16` guard).
+    pub const DEFAULT_WEIGHTED_EXACT_BASE_LIMIT: usize = 16;
+    /// Default [`SolveRequest::weighted_exact_weight_limit`] (was the
+    /// hard-coded `total_weight <= 64` guard).
+    pub const DEFAULT_WEIGHTED_EXACT_WEIGHT_LIMIT: usize = 64;
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest {
+            policy: Policy::Auto,
+            exact_limit: Self::DEFAULT_EXACT_LIMIT,
+            exact_budget: exact::DEFAULT_NODE_BUDGET,
+            weighted_dedup_limit: Self::DEFAULT_WEIGHTED_DEDUP_LIMIT,
+            weighted_exact_base_limit: Self::DEFAULT_WEIGHTED_EXACT_BASE_LIMIT,
+            weighted_exact_weight_limit: Self::DEFAULT_WEIGHTED_EXACT_WEIGHT_LIMIT,
+        }
+    }
+}
+
+/// Everything a backend may consult about the instance being solved. Built
+/// once per solve and shared (it is `Sync`) across portfolio members; the
+/// conflict graph is constructed lazily on first use so cheap backends
+/// (Theorem 1/6) never pay for it.
+pub struct InstanceContext<'a> {
+    /// The DAG.
+    pub graph: &'a Digraph,
+    /// The dipath family to color.
+    pub family: &'a DipathFamily,
+    /// The instance class per the paper's taxonomy.
+    pub class: DagClass,
+    /// `π(G, P)` — the universal lower bound.
+    pub load: usize,
+    /// Budgets and thresholds.
+    pub request: &'a SolveRequest,
+    ug: OnceLock<UGraph>,
+    dedup: OnceLock<Vec<Vec<PathId>>>,
+}
+
+impl<'a> InstanceContext<'a> {
+    /// Validate the DAG precondition, classify, and compute the load.
+    pub fn new(
+        graph: &'a Digraph,
+        family: &'a DipathFamily,
+        request: &'a SolveRequest,
+    ) -> Result<Self, CoreError> {
+        if let Err(dagwave_graph::GraphError::NotADag(c)) =
+            dagwave_graph::topo::topological_order(graph)
+        {
+            return Err(CoreError::NotADag(c));
+        }
+        Ok(InstanceContext {
+            graph,
+            family,
+            class: internal::classify(graph),
+            load: load::max_load(graph, family),
+            request,
+            ug: OnceLock::new(),
+            dedup: OnceLock::new(),
+        })
+    }
+
+    /// The conflict graph as a [`UGraph`], built on first use and cached.
+    pub fn conflict_ugraph(&self) -> &UGraph {
+        self.ug.get_or_init(|| {
+            crate::solver::conflict_to_ugraph(&ConflictGraph::build(self.graph, self.family))
+        })
+    }
+
+    /// Groups of identical dipaths (by arc sequence), each sorted so the
+    /// smallest member id leads and ordered by that leader — the
+    /// deterministic base the weighted backend colors. Computed on first
+    /// use and cached, so the applicability probe and the run share one
+    /// pass.
+    pub fn dedup_groups(&self) -> &[Vec<PathId>] {
+        self.dedup.get_or_init(|| {
+            use std::collections::HashMap;
+            let mut groups: HashMap<&[dagwave_graph::ArcId], Vec<PathId>> = HashMap::new();
+            for (id, p) in self.family.iter() {
+                groups.entry(p.arcs()).or_default().push(id);
+            }
+            let mut base: Vec<Vec<PathId>> = groups.into_values().collect();
+            base.sort_by_key(|members| members[0]);
+            base
+        })
+    }
+}
+
+/// What a backend produced for one instance.
+#[derive(Clone, Debug)]
+pub struct BackendOutcome {
+    /// The wavelength assignment (proper by contract; the session
+    /// re-validates it through `certify` and records the verdict on the
+    /// corresponding [`BackendAttempt`]).
+    pub assignment: WavelengthAssignment,
+    /// Best lower bound on `w` this backend proved (at least `π`).
+    pub lower_bound: usize,
+    /// `true` when the backend proved its own assignment optimal.
+    pub optimal: bool,
+}
+
+/// Provenance record: one backend consulted during a solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendAttempt {
+    /// Which backend.
+    pub backend: BackendKind,
+    /// Best lower bound on `w` known after this attempt (at least `π`).
+    pub lower_bound: usize,
+    /// Colors used by the produced assignment — `None` when the backend
+    /// declined or failed.
+    pub upper_bound: Option<usize>,
+    /// `certify`-backed validity: the produced assignment was re-checked to
+    /// be conflict-free (`false` also when nothing was produced).
+    pub valid: bool,
+    /// Decline reason or error text, when the backend produced nothing.
+    pub note: Option<String>,
+}
+
+/// A coloring method that can be pinned or raced by the solving surface.
+///
+/// Implementations must be deterministic: the same context always yields
+/// the same assignment, which is what makes portfolio selection and the
+/// parallel batch/stream entry points reproducible across thread budgets.
+pub trait ColoringBackend: Send + Sync {
+    /// The name tag.
+    fn kind(&self) -> BackendKind;
+
+    /// `None` when the backend can run on this instance, otherwise a
+    /// human-readable reason it cannot.
+    fn unsupported(&self, ctx: &InstanceContext<'_>) -> Option<String>;
+
+    /// Produce a coloring. Only called after [`Self::unsupported`]
+    /// returned `None`.
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError>;
+}
+
+/// The static backend for `kind`.
+pub fn backend(kind: BackendKind) -> &'static dyn ColoringBackend {
+    match kind {
+        BackendKind::Theorem1 => &Theorem1Backend,
+        BackendKind::Theorem6 => &Theorem6Backend,
+        BackendKind::Weighted => &WeightedBackend,
+        BackendKind::Exact => &ExactBackend,
+        BackendKind::Dsatur => &DsaturBackend,
+        BackendKind::GreedyNatural => &GreedyBackend(greedy::Order::Natural),
+        BackendKind::GreedyLargestFirst => &GreedyBackend(greedy::Order::LargestFirst),
+        BackendKind::GreedySmallestLast => &GreedyBackend(greedy::Order::SmallestLast),
+        BackendKind::KempeGreedy => &KempeGreedyBackend,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapted backends
+// ---------------------------------------------------------------------------
+
+struct Theorem1Backend;
+
+impl ColoringBackend for Theorem1Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Theorem1
+    }
+
+    fn unsupported(&self, ctx: &InstanceContext<'_>) -> Option<String> {
+        (ctx.class != DagClass::InternalCycleFree).then(|| {
+            format!(
+                "requires an internal-cycle-free DAG, instance is {}",
+                ctx.class
+            )
+        })
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let res = theorem1::color_optimal(ctx.graph, ctx.family)?;
+        Ok(BackendOutcome {
+            assignment: res.assignment,
+            lower_bound: ctx.load,
+            optimal: true,
+        })
+    }
+}
+
+struct Theorem6Backend;
+
+impl ColoringBackend for Theorem6Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Theorem6
+    }
+
+    fn unsupported(&self, ctx: &InstanceContext<'_>) -> Option<String> {
+        (ctx.class != DagClass::UppSingleCycle)
+            .then(|| format!("requires a single-cycle UPP-DAG, instance is {}", ctx.class))
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let res = theorem6::color_single_cycle_upp(ctx.graph, ctx.family)?;
+        let num = res.assignment.num_colors();
+        Ok(BackendOutcome {
+            assignment: res.assignment,
+            lower_bound: ctx.load,
+            // Optimal iff it matched the lower bound π.
+            optimal: num == ctx.load || ctx.load == 0,
+        })
+    }
+}
+
+struct WeightedBackend;
+
+impl ColoringBackend for WeightedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Weighted
+    }
+
+    fn unsupported(&self, ctx: &InstanceContext<'_>) -> Option<String> {
+        let base_count = ctx.dedup_groups().len();
+        if base_count == ctx.family.len() {
+            return Some("family has no duplicated dipaths".to_string());
+        }
+        if base_count > ctx.request.weighted_dedup_limit {
+            return Some(format!(
+                "deduplicated base has {base_count} dipaths, over the weighted_dedup_limit of {}",
+                ctx.request.weighted_dedup_limit
+            ));
+        }
+        None
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let base = ctx.dedup_groups();
+        let base_family: DipathFamily = base
+            .iter()
+            .map(|members| ctx.family.path(members[0]).clone())
+            .collect();
+        let weights: Vec<usize> = base.iter().map(|m| m.len()).collect();
+        let cg = ConflictGraph::build(ctx.graph, &base_family);
+        let ug = crate::solver::conflict_to_ugraph(&cg);
+        // Exact covering only within the configured budget; greedy beyond.
+        let total_weight: usize = weights.iter().sum();
+        let mc = if base.len() <= ctx.request.weighted_exact_base_limit
+            && total_weight <= ctx.request.weighted_exact_weight_limit
+        {
+            multicolor::exact_multicoloring(&ug, &weights)
+        } else {
+            multicolor::greedy_multicoloring(&ug, &weights)
+        };
+        debug_assert!(mc.is_valid(&ug, &weights));
+        let mut colors = vec![usize::MAX; ctx.family.len()];
+        for (members, assigned) in base.iter().zip(&mc.colors) {
+            for (member, &c) in members.iter().zip(assigned) {
+                colors[member.index()] = c;
+            }
+        }
+        let assignment = WavelengthAssignment::new(colors);
+        let num = assignment.num_colors();
+        Ok(BackendOutcome {
+            assignment,
+            lower_bound: ctx.load,
+            optimal: num == ctx.load,
+        })
+    }
+}
+
+struct ExactBackend;
+
+impl ColoringBackend for ExactBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Exact
+    }
+
+    fn unsupported(&self, ctx: &InstanceContext<'_>) -> Option<String> {
+        // The conflict graph has one vertex per dipath, so the probe never
+        // needs to build it — declining stays free on huge families.
+        let n = ctx.family.len();
+        (n > ctx.request.exact_limit).then(|| {
+            format!(
+                "conflict graph has {n} vertices, over the exact_limit of {}",
+                ctx.request.exact_limit
+            )
+        })
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let ug = ctx.conflict_ugraph();
+        match exact::chromatic_number_budgeted(ug, ctx.request.exact_budget) {
+            exact::ExactResult::Optimal {
+                chromatic,
+                coloring,
+            } => Ok(BackendOutcome {
+                assignment: WavelengthAssignment::new(coloring),
+                lower_bound: chromatic.max(ctx.load),
+                optimal: true,
+            }),
+            exact::ExactResult::BudgetExceeded {
+                lower, coloring, ..
+            } => {
+                let assignment = WavelengthAssignment::new(coloring);
+                let lower_bound = lower.max(ctx.load);
+                let optimal = assignment.num_colors() == lower_bound;
+                Ok(BackendOutcome {
+                    assignment,
+                    lower_bound,
+                    optimal,
+                })
+            }
+        }
+    }
+}
+
+struct DsaturBackend;
+
+impl ColoringBackend for DsaturBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Dsatur
+    }
+
+    fn unsupported(&self, _ctx: &InstanceContext<'_>) -> Option<String> {
+        None
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let assignment = WavelengthAssignment::new(dsatur::dsatur_coloring(ctx.conflict_ugraph()));
+        let optimal = assignment.num_colors() == ctx.load;
+        Ok(BackendOutcome {
+            assignment,
+            lower_bound: ctx.load,
+            optimal,
+        })
+    }
+}
+
+struct GreedyBackend(greedy::Order);
+
+impl ColoringBackend for GreedyBackend {
+    fn kind(&self) -> BackendKind {
+        match self.0 {
+            greedy::Order::Natural => BackendKind::GreedyNatural,
+            greedy::Order::LargestFirst => BackendKind::GreedyLargestFirst,
+            greedy::Order::SmallestLast => BackendKind::GreedySmallestLast,
+        }
+    }
+
+    fn unsupported(&self, _ctx: &InstanceContext<'_>) -> Option<String> {
+        None
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let coloring = greedy::greedy_coloring(ctx.conflict_ugraph(), self.0);
+        let assignment = WavelengthAssignment::new(coloring);
+        let optimal = assignment.num_colors() == ctx.load;
+        Ok(BackendOutcome {
+            assignment,
+            lower_bound: ctx.load,
+            optimal,
+        })
+    }
+}
+
+struct KempeGreedyBackend;
+
+impl ColoringBackend for KempeGreedyBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::KempeGreedy
+    }
+
+    fn unsupported(&self, _ctx: &InstanceContext<'_>) -> Option<String> {
+        None
+    }
+
+    fn run(&self, ctx: &InstanceContext<'_>) -> Result<BackendOutcome, CoreError> {
+        let ug = ctx.conflict_ugraph();
+        let coloring =
+            kempe::kempe_reduce(ug, greedy::greedy_coloring(ug, greedy::Order::SmallestLast));
+        let assignment = WavelengthAssignment::new(coloring);
+        let optimal = assignment.num_colors() == ctx.load;
+        Ok(BackendOutcome {
+            assignment,
+            lower_bound: ctx.load,
+            optimal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+    use dagwave_paths::Dipath;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn path(g: &Digraph, route: &[usize]) -> Dipath {
+        let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(g, &route).unwrap()
+    }
+
+    fn tree_instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[0, 1, 3]),
+            path(&g, &[1, 2]),
+        ]);
+        (g, f)
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in BackendKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {kind}");
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(BackendKind::KempeGreedy.to_string(), "kempe-greedy");
+    }
+
+    #[test]
+    fn request_defaults_pin_the_old_magic_numbers() {
+        // The historical hard-coded heuristics, now named configuration:
+        // exact solver limit 80, weighted dedup guard 40, exact
+        // multicoloring guards 16 (base) and 64 (total weight).
+        let req = SolveRequest::default();
+        assert_eq!(req.exact_limit, 80);
+        assert_eq!(req.exact_budget, exact::DEFAULT_NODE_BUDGET);
+        assert_eq!(req.weighted_dedup_limit, 40);
+        assert_eq!(req.weighted_exact_base_limit, 16);
+        assert_eq!(req.weighted_exact_weight_limit, 64);
+        assert_eq!(req.policy, Policy::Auto);
+    }
+
+    #[test]
+    fn context_rejects_cyclic_input() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let f = DipathFamily::new();
+        let req = SolveRequest::default();
+        assert!(matches!(
+            InstanceContext::new(&g, &f, &req),
+            Err(CoreError::NotADag(_))
+        ));
+    }
+
+    #[test]
+    fn theorem_backends_guard_their_class() {
+        let (g, f) = tree_instance();
+        let req = SolveRequest::default();
+        let ctx = InstanceContext::new(&g, &f, &req).unwrap();
+        assert!(backend(BackendKind::Theorem1).unsupported(&ctx).is_none());
+        let reason = backend(BackendKind::Theorem6).unsupported(&ctx).unwrap();
+        assert!(reason.contains("internal-cycle-free"), "{reason}");
+    }
+
+    #[test]
+    fn every_universal_backend_colors_the_tree_properly() {
+        let (g, f) = tree_instance();
+        let req = SolveRequest::default();
+        let ctx = InstanceContext::new(&g, &f, &req).unwrap();
+        for kind in BackendKind::ALL {
+            let b = backend(kind);
+            assert_eq!(b.kind(), kind);
+            if b.unsupported(&ctx).is_some() {
+                continue;
+            }
+            let out = b.run(&ctx).unwrap();
+            assert!(out.assignment.is_valid(&g, &f), "{kind}");
+            assert!(out.assignment.num_colors() >= ctx.load, "{kind}");
+            assert!(out.lower_bound >= ctx.load, "{kind}");
+        }
+    }
+
+    #[test]
+    fn weighted_declines_without_duplicates_and_over_budget() {
+        let (g, f) = tree_instance();
+        let req = SolveRequest::default();
+        let ctx = InstanceContext::new(&g, &f, &req).unwrap();
+        let reason = backend(BackendKind::Weighted).unsupported(&ctx).unwrap();
+        assert!(reason.contains("no duplicated"), "{reason}");
+
+        let replicated = f.replicate(3);
+        let tight = SolveRequest {
+            weighted_dedup_limit: 2,
+            ..SolveRequest::default()
+        };
+        let ctx = InstanceContext::new(&g, &replicated, &tight).unwrap();
+        let reason = backend(BackendKind::Weighted).unsupported(&ctx).unwrap();
+        assert!(reason.contains("weighted_dedup_limit"), "{reason}");
+    }
+
+    #[test]
+    fn exact_declines_over_the_vertex_limit() {
+        let (g, f) = tree_instance();
+        let req = SolveRequest {
+            exact_limit: 1,
+            ..SolveRequest::default()
+        };
+        let ctx = InstanceContext::new(&g, &f, &req).unwrap();
+        let reason = backend(BackendKind::Exact).unsupported(&ctx).unwrap();
+        assert!(reason.contains("exact_limit"), "{reason}");
+    }
+
+    #[test]
+    fn conflict_ugraph_is_cached() {
+        let (g, f) = tree_instance();
+        let req = SolveRequest::default();
+        let ctx = InstanceContext::new(&g, &f, &req).unwrap();
+        let a = ctx.conflict_ugraph() as *const UGraph;
+        let b = ctx.conflict_ugraph() as *const UGraph;
+        assert_eq!(a, b);
+    }
+}

@@ -1,5 +1,20 @@
 //! Bound arithmetic from the paper's statements.
 
+use crate::internal::DagClass;
+
+/// The a-priori bound the paper guarantees for `class` at load `pi`
+/// (`π` / `⌈4π/3⌉` / `⌈(4/3)^C π⌉`), or `None` for non-UPP DAGs with
+/// internal cycles (unbounded ratio, Figure 1). Shared by the solver's
+/// `guaranteed_bound` and the certification audit.
+pub fn class_bound(class: DagClass, pi: usize) -> Option<usize> {
+    match class {
+        DagClass::InternalCycleFree => Some(pi),
+        DagClass::UppSingleCycle => Some(theorem6_bound(pi)),
+        DagClass::UppMultiCycle { cycles } => Some(multi_cycle_bound(pi, cycles)),
+        DagClass::General { .. } => None,
+    }
+}
+
 /// `⌈4π/3⌉` — the Theorem 6 upper bound for UPP-DAGs with one internal
 /// cycle.
 pub fn theorem6_bound(pi: usize) -> usize {
@@ -72,6 +87,17 @@ mod tests {
         for h in [3usize, 6, 9, 30] {
             assert_eq!(havet_wavelengths(h), theorem6_bound(2 * h));
         }
+    }
+
+    #[test]
+    fn class_bound_matches_the_taxonomy() {
+        assert_eq!(class_bound(DagClass::InternalCycleFree, 7), Some(7));
+        assert_eq!(class_bound(DagClass::UppSingleCycle, 6), Some(8));
+        assert_eq!(
+            class_bound(DagClass::UppMultiCycle { cycles: 2 }, 9),
+            Some(16)
+        );
+        assert_eq!(class_bound(DagClass::General { cycles: 1 }, 5), None);
     }
 
     #[test]

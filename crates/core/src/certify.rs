@@ -44,16 +44,22 @@ impl Certificate {
 
 /// Audit `solution` against the instance it claims to solve.
 pub fn certify(g: &Digraph, family: &DipathFamily, solution: &Solution) -> Certificate {
-    let conflict_free = solution.assignment.is_valid(g, family);
+    certify_assignment(g, family, &solution.assignment)
+}
+
+/// Audit a bare assignment against an instance — the same recomputed
+/// checks as [`certify`], usable before a [`Solution`] exists. This is the
+/// validity oracle the solving surface runs on every backend attempt.
+pub fn certify_assignment(
+    g: &Digraph,
+    family: &DipathFamily,
+    assignment: &crate::WavelengthAssignment,
+) -> Certificate {
+    let conflict_free = is_conflict_free(g, family, assignment);
     let pi = load::max_load(g, family);
-    let colors_used = solution.assignment.num_colors();
+    let colors_used = assignment.num_colors();
     let class = internal::classify(g);
-    let guaranteed_bound = match class {
-        DagClass::InternalCycleFree => Some(pi),
-        DagClass::UppSingleCycle => Some(bounds::theorem6_bound(pi)),
-        DagClass::UppMultiCycle { cycles } => Some(bounds::multi_cycle_bound(pi, cycles)),
-        DagClass::General { .. } => None,
-    };
+    let guaranteed_bound = bounds::class_bound(class, pi);
     let within_bound = guaranteed_bound.is_none_or(|b| colors_used <= b);
     Certificate {
         conflict_free,
@@ -66,10 +72,22 @@ pub fn certify(g: &Digraph, family: &DipathFamily, solution: &Solution) -> Certi
     }
 }
 
+/// The conflict-freeness primitive behind [`Certificate::conflict_free`] —
+/// exposed so the solving surface can stamp each backend attempt with the
+/// same audit the full certificate performs, without re-deriving the
+/// instance class and load it already knows.
+pub fn is_conflict_free(
+    g: &Digraph,
+    family: &DipathFamily,
+    assignment: &crate::WavelengthAssignment,
+) -> bool {
+    assignment.is_valid(g, family)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::WavelengthSolver;
+    use crate::solver::SolveSession;
     use dagwave_graph::builder::from_edges;
     use dagwave_graph::VertexId;
     use dagwave_paths::Dipath;
@@ -85,7 +103,7 @@ mod tests {
             Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
             Dipath::from_vertices(&g, &[v(0), v(1), v(3)]).unwrap(),
         ]);
-        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let sol = SolveSession::auto().solve(&g, &family).unwrap();
         let cert = certify(&g, &family, &sol);
         assert!(cert.is_sound());
         assert!(cert.tight);
@@ -101,7 +119,7 @@ mod tests {
             Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
             Dipath::from_vertices(&g, &[v(1), v(2)]).unwrap(),
         ]);
-        let mut sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let mut sol = SolveSession::auto().solve(&g, &family).unwrap();
         // Corrupt: force both dipaths to the same wavelength.
         sol.assignment = crate::WavelengthAssignment::new(vec![0, 0]);
         let cert = certify(&g, &family, &sol);
@@ -120,7 +138,7 @@ mod tests {
             ]);
             (g, family)
         };
-        let sol = WavelengthSolver::new().solve(&inst.0, &inst.1).unwrap();
+        let sol = SolveSession::auto().solve(&inst.0, &inst.1).unwrap();
         let cert = certify(&inst.0, &inst.1, &sol);
         assert_eq!(cert.guaranteed_bound, None);
         assert!(cert.within_bound, "vacuous without a bound");
@@ -161,7 +179,7 @@ mod tests {
             route(&[9, 3, 5, 11]),
             route(&[9, 3, 4, 10]),
         ]);
-        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let sol = SolveSession::auto().solve(&g, &family).unwrap();
         let cert = certify(&g, &family, &sol);
         assert!(cert.is_sound());
         assert_eq!(cert.class, DagClass::UppSingleCycle);

@@ -1,11 +1,13 @@
 //! Error types for the core algorithms.
 
+use crate::backend::BackendKind;
 use dagwave_graph::VertexId;
 use dagwave_paths::PathId;
 use std::fmt;
 
 /// Errors produced by the wavelength-assignment algorithms.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The digraph is not acyclic (every algorithm here requires a DAG).
     NotADag(Vec<VertexId>),
@@ -29,6 +31,24 @@ pub enum CoreError {
     /// The solver panicked while processing one instance of a batch; the
     /// panic was isolated to that instance and its message captured here.
     SolverPanic(String),
+    /// A [`Policy::Pinned`](crate::backend::Policy::Pinned) backend does
+    /// not apply to this instance.
+    BackendUnsupported {
+        /// The pinned backend.
+        backend: BackendKind,
+        /// Why it declined the instance.
+        reason: String,
+    },
+    /// A [`Policy::Portfolio`](crate::backend::Policy::Portfolio) had no
+    /// member that could run on (and properly color) this instance.
+    NoApplicableBackend,
+    /// A backend's coloring failed the `certify` validity re-check — a
+    /// backend contract violation, reported instead of handing back an
+    /// improper assignment.
+    BackendInvalid {
+        /// The backend whose output failed certification.
+        backend: BackendKind,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +77,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::SolverPanic(msg) => {
                 write!(f, "solver panicked on this instance: {msg}")
+            }
+            CoreError::BackendUnsupported { backend, reason } => {
+                write!(f, "pinned backend {backend} does not apply: {reason}")
+            }
+            CoreError::NoApplicableBackend => {
+                write!(f, "no portfolio member applies to this instance")
+            }
+            CoreError::BackendInvalid { backend } => {
+                write!(
+                    f,
+                    "backend {backend} produced a coloring that failed certification"
+                )
             }
         }
     }
@@ -88,5 +120,19 @@ mod tests {
         assert!(CoreError::SolverPanic("index out of bounds".into())
             .to_string()
             .contains("index out of bounds"));
+        let e = CoreError::BackendUnsupported {
+            backend: BackendKind::Theorem6,
+            reason: "not UPP".into(),
+        };
+        assert!(e.to_string().contains("theorem6"));
+        assert!(e.to_string().contains("not UPP"));
+        assert!(CoreError::NoApplicableBackend
+            .to_string()
+            .contains("no portfolio member"));
+        assert!(CoreError::BackendInvalid {
+            backend: BackendKind::Dsatur
+        }
+        .to_string()
+        .contains("dsatur"));
     }
 }

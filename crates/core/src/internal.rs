@@ -71,6 +71,17 @@ pub enum DagClass {
     },
 }
 
+impl std::fmt::Display for DagClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagClass::InternalCycleFree => write!(f, "internal-cycle-free"),
+            DagClass::UppSingleCycle => write!(f, "upp-single-cycle"),
+            DagClass::UppMultiCycle { cycles } => write!(f, "upp-multi-cycle({cycles})"),
+            DagClass::General { cycles } => write!(f, "general({cycles} internal cycles)"),
+        }
+    }
+}
+
 /// Classify `g` (assumed to be a DAG).
 pub fn classify(g: &Digraph) -> DagClass {
     let cycles = internal_cycle_count(g);
@@ -244,5 +255,22 @@ mod tests {
         );
         assert!(has_internal_cycle(&g), "0 now has a predecessor");
         assert_eq!(internal_cycle_count(&g), 1);
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(
+            DagClass::InternalCycleFree.to_string(),
+            "internal-cycle-free"
+        );
+        assert_eq!(DagClass::UppSingleCycle.to_string(), "upp-single-cycle");
+        assert_eq!(
+            DagClass::UppMultiCycle { cycles: 2 }.to_string(),
+            "upp-multi-cycle(2)"
+        );
+        assert_eq!(
+            DagClass::General { cycles: 3 }.to_string(),
+            "general(3 internal cycles)"
+        );
     }
 }

@@ -21,15 +21,19 @@
 //! * **Theorem 6 / 7** — on an UPP-DAG with exactly one internal cycle,
 //!   `w ≤ ⌈4π/3⌉`, and the bound is tight ([`theorem6`]).
 //!
-//! The [`solver::WavelengthSolver`] facade classifies an instance and picks
-//! the strongest applicable method, with exact/heuristic fallbacks from
-//! `dagwave-color` for DAGs outside the theorems' reach.
+//! The solving surface is pluggable: every method above (plus the
+//! exact/heuristic fallbacks from `dagwave-color`) is a named
+//! [`backend::ColoringBackend`], and a [`solver::SolveSession`] — built
+//! with [`solver::SolverBuilder`] — dispatches to them under a
+//! [`backend::Policy`]: `Auto` (classify and pick the strongest method),
+//! `Pinned` (one named backend), or `Portfolio` (race several on the rayon
+//! pool, keep the fewest colors deterministically).
 //!
 //! ```
 //! use dagwave_graph::builder::from_edges;
 //! use dagwave_graph::VertexId;
 //! use dagwave_paths::{Dipath, DipathFamily};
-//! use dagwave_core::solver::WavelengthSolver;
+//! use dagwave_core::SolveSession;
 //!
 //! // A rooted tree (no internal cycle): w must equal π.
 //! let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
@@ -39,14 +43,37 @@
 //! family.push(Dipath::from_vertices(&g, &[v(0), v(1), v(4)]).unwrap());
 //! family.push(Dipath::from_vertices(&g, &[v(0), v(2)]).unwrap());
 //!
-//! let solution = WavelengthSolver::new().solve(&g, &family).unwrap();
+//! let solution = SolveSession::auto().solve(&g, &family).unwrap();
 //! assert_eq!(solution.num_colors, solution.load); // w == π
+//! ```
+//!
+//! A portfolio session races named backends and records per-backend
+//! provenance on the [`Solution`]:
+//!
+//! ```
+//! # use dagwave_graph::builder::from_edges;
+//! # use dagwave_graph::VertexId;
+//! # use dagwave_paths::{Dipath, DipathFamily};
+//! use dagwave_core::{BackendKind, SolverBuilder};
+//!
+//! # let g = from_edges(3, &[(0, 1), (1, 2)]);
+//! # let v = |i| VertexId::from_index(i);
+//! # let family = DipathFamily::from_paths(vec![
+//! #     Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+//! # ]);
+//! let session = SolverBuilder::new()
+//!     .portfolio(vec![BackendKind::Dsatur, BackendKind::KempeGreedy])
+//!     .build();
+//! let solution = session.solve(&g, &family).unwrap();
+//! assert_eq!(solution.attempts.len(), 2);
+//! assert!(solution.attempts.iter().all(|a| a.valid));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assignment;
+pub mod backend;
 pub mod bounds;
 pub mod certify;
 pub mod error;
@@ -58,5 +85,11 @@ pub mod upp;
 pub mod witness;
 
 pub use assignment::WavelengthAssignment;
+pub use backend::{
+    BackendAttempt, BackendKind, BackendOutcome, ColoringBackend, InstanceContext, Policy,
+    SolveRequest,
+};
 pub use error::CoreError;
-pub use solver::{Solution, Strategy, WavelengthSolver};
+#[allow(deprecated)]
+pub use solver::WavelengthSolver;
+pub use solver::{Instance, Solution, SolveSession, SolverBuilder, Strategy};

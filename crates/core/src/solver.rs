@@ -1,39 +1,44 @@
-//! The solver facade: classify the instance, run the strongest method.
+//! The solving surface: sessions, policies, batch and streaming entry
+//! points.
 //!
-//! Mirrors the paper's taxonomy (`internal::classify`):
+//! A [`SolveSession`] (built with [`SolverBuilder`]) carries a
+//! [`SolveRequest`] — every budget and threshold, plus a [`Policy`]:
 //!
-//! | class | method | guarantee |
-//! |-------|--------|-----------|
-//! | no internal cycle | Theorem 1 | `w = π`, polynomial |
-//! | UPP, one internal cycle | Theorem 6 | `w ≤ ⌈4π/3⌉` |
-//! | otherwise | exact B&B (small) or DSATUR | best effort, `w ≥ π` |
+//! * [`Policy::Auto`] — classify the instance and dispatch to the strongest
+//!   applicable method (the paper's taxonomy, the historical behavior):
+//!
+//!   | class | method | guarantee |
+//!   |-------|--------|-----------|
+//!   | no internal cycle | Theorem 1 | `w = π`, polynomial |
+//!   | UPP, one internal cycle | Theorem 6 (+ weighted rescue) | `w ≤ ⌈4π/3⌉` |
+//!   | otherwise | exact B&B (small) or DSATUR (+ weighted rescue) | best effort, `w ≥ π` |
+//!
+//! * [`Policy::Pinned`] — run exactly one named [`BackendKind`].
+//! * [`Policy::Portfolio`] — race several backends on the rayon pool and
+//!   keep the fewest-colors result deterministically.
+//!
+//! Instances can be solved one at a time ([`SolveSession::solve`]), as a
+//! materialized batch ([`SolveSession::solve_batch`]), or from an iterator
+//! that is fed onto the pool incrementally without ever materializing the
+//! whole family ([`SolveSession::solve_stream`]).
 
 use crate::assignment::WavelengthAssignment;
+use crate::backend::{
+    backend, BackendAttempt, BackendKind, BackendOutcome, InstanceContext, Policy, SolveRequest,
+};
 use crate::bounds;
+use crate::certify;
 use crate::error::CoreError;
-use crate::internal::{self, DagClass};
-use crate::{theorem1, theorem6};
-use dagwave_color::{dsatur, exact, ugraph::UGraph};
-use dagwave_paths::{load, ConflictGraph, DipathFamily, PathId};
+use crate::internal::DagClass;
+use dagwave_color::ugraph::UGraph;
+use dagwave_paths::{ConflictGraph, DipathFamily, PathId};
+use std::collections::VecDeque;
 
-/// Which method produced a [`Solution`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Strategy {
-    /// Theorem 1 (peel/replay): optimal, `w = π`.
-    Theorem1,
-    /// Theorem 6 (split/merge): `w ≤ ⌈4π/3⌉`.
-    Theorem6,
-    /// Exact branch-and-bound chromatic number of the conflict graph.
-    Exact,
-    /// DSATUR heuristic on the conflict graph (upper bound only).
-    Dsatur,
-    /// Weighted coloring (independent-set covering) of the deduplicated
-    /// conflict graph — the method that realizes Theorem 7's `⌈8h/3⌉` on
-    /// replicated families.
-    Weighted,
-}
+/// Which backend produced a [`Solution`] — an alias for [`BackendKind`],
+/// kept so pre-portfolio code (`Strategy::Theorem1`, …) reads unchanged.
+pub type Strategy = BackendKind;
 
-/// A solved instance.
+/// A solved instance, with full provenance.
 #[derive(Clone, Debug)]
 pub struct Solution {
     /// The wavelength assignment.
@@ -46,89 +51,149 @@ pub struct Solution {
     pub optimal: bool,
     /// The instance class per the paper's taxonomy.
     pub class: DagClass,
-    /// The method used.
+    /// The backend that produced the kept assignment.
     pub strategy: Strategy,
+    /// Every backend consulted for this solve, in consultation order, with
+    /// its bounds and `certify`-backed validity verdict.
+    pub attempts: Vec<BackendAttempt>,
 }
 
-/// Configurable solver facade.
+/// An owned instance, the item type of [`SolveSession::solve_stream`].
 #[derive(Clone, Debug)]
-pub struct WavelengthSolver {
-    /// Largest conflict graph handed to the exact solver (vertices).
-    pub exact_limit: usize,
-    /// Node budget for the exact solver.
-    pub exact_budget: u64,
+pub struct Instance {
+    /// The DAG.
+    pub graph: dagwave_graph::Digraph,
+    /// The dipath family to color.
+    pub family: DipathFamily,
 }
 
-impl Default for WavelengthSolver {
-    fn default() -> Self {
-        WavelengthSolver {
-            exact_limit: 80,
-            exact_budget: exact::DEFAULT_NODE_BUDGET,
-        }
+impl Instance {
+    /// Bundle a graph and family into a streamable instance.
+    pub fn new(graph: dagwave_graph::Digraph, family: DipathFamily) -> Self {
+        Instance { graph, family }
     }
 }
 
-impl WavelengthSolver {
-    /// Solver with default limits.
+/// Fluent constructor for a [`SolveSession`].
+///
+/// ```
+/// use dagwave_core::{BackendKind, Policy, SolverBuilder};
+///
+/// let session = SolverBuilder::new()
+///     .policy(Policy::Portfolio(vec![
+///         BackendKind::Dsatur,
+///         BackendKind::KempeGreedy,
+///     ]))
+///     .exact_limit(120)
+///     .build();
+/// # let _ = session;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SolverBuilder {
+    request: SolveRequest,
+}
+
+impl SolverBuilder {
+    /// Builder with default budgets and [`Policy::Auto`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Solve the instance, dispatching on its class.
+    /// Set the backend-selection policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.request.policy = policy;
+        self
+    }
+
+    /// Shorthand for [`Policy::Pinned`].
+    pub fn pinned(self, kind: BackendKind) -> Self {
+        self.policy(Policy::Pinned(kind))
+    }
+
+    /// Shorthand for [`Policy::Portfolio`] (empty = all applicable).
+    pub fn portfolio(self, kinds: Vec<BackendKind>) -> Self {
+        self.policy(Policy::Portfolio(kinds))
+    }
+
+    /// Largest conflict graph (vertices) handed to the exact solver.
+    pub fn exact_limit(mut self, limit: usize) -> Self {
+        self.request.exact_limit = limit;
+        self
+    }
+
+    /// Branch-node budget for the exact solver.
+    pub fn exact_budget(mut self, budget: u64) -> Self {
+        self.request.exact_budget = budget;
+        self
+    }
+
+    /// Largest deduplicated base family the weighted backend accepts.
+    pub fn weighted_dedup_limit(mut self, limit: usize) -> Self {
+        self.request.weighted_dedup_limit = limit;
+        self
+    }
+
+    /// Base-size threshold below which weighted coloring is exact.
+    pub fn weighted_exact_base_limit(mut self, limit: usize) -> Self {
+        self.request.weighted_exact_base_limit = limit;
+        self
+    }
+
+    /// Total-weight threshold below which weighted coloring is exact.
+    pub fn weighted_exact_weight_limit(mut self, limit: usize) -> Self {
+        self.request.weighted_exact_weight_limit = limit;
+        self
+    }
+
+    /// Finalize into a session.
+    pub fn build(self) -> SolveSession {
+        SolveSession {
+            request: self.request,
+        }
+    }
+}
+
+/// A configured solving surface: policy + budgets, reusable across any
+/// number of instances (it is `Sync`, so one session can serve a whole
+/// parameter sweep).
+#[derive(Clone, Debug, Default)]
+pub struct SolveSession {
+    request: SolveRequest,
+}
+
+impl SolveSession {
+    /// Session from an explicit request.
+    pub fn new(request: SolveRequest) -> Self {
+        SolveSession { request }
+    }
+
+    /// Session with default budgets and [`Policy::Auto`] — the drop-in
+    /// replacement for the old `WavelengthSolver::new()`.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Start building a customized session.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::new()
+    }
+
+    /// The request this session runs.
+    pub fn request(&self) -> &SolveRequest {
+        &self.request
+    }
+
+    /// Solve one instance under this session's policy.
     pub fn solve(
         &self,
         g: &dagwave_graph::Digraph,
         family: &DipathFamily,
     ) -> Result<Solution, CoreError> {
-        if let Err(dagwave_graph::GraphError::NotADag(c)) =
-            dagwave_graph::topo::topological_order(g)
-        {
-            return Err(CoreError::NotADag(c));
-        }
-        let class = internal::classify(g);
-        match class {
-            DagClass::InternalCycleFree => {
-                let res = theorem1::color_optimal(g, family)?;
-                Ok(Solution {
-                    num_colors: res.assignment.num_colors(),
-                    assignment: res.assignment,
-                    load: res.load,
-                    optimal: true,
-                    class,
-                    strategy: Strategy::Theorem1,
-                })
-            }
-            DagClass::UppSingleCycle => {
-                let res = theorem6::color_single_cycle_upp(g, family)?;
-                let num = res.assignment.num_colors();
-                // Optimal iff it matched the lower bound π.
-                let optimal = num == res.load || res.load == 0;
-                let primary = Solution {
-                    num_colors: num,
-                    assignment: res.assignment,
-                    load: res.load,
-                    optimal,
-                    class,
-                    strategy: Strategy::Theorem6,
-                };
-                // Replicated families sidestep the constructive merge's
-                // duplicate penalty via weighted coloring (Theorem 7's
-                // ⌈8h/3⌉); keep whichever uses fewer wavelengths.
-                Ok(match self.solve_weighted(g, family, class) {
-                    Some(weighted) if weighted.num_colors < primary.num_colors => weighted,
-                    _ => primary,
-                })
-            }
-            DagClass::UppMultiCycle { .. } | DagClass::General { .. } => {
-                let primary = self.solve_general(g, family, class)?;
-                if primary.optimal {
-                    return Ok(primary);
-                }
-                Ok(match self.solve_weighted(g, family, class) {
-                    Some(weighted) if weighted.num_colors < primary.num_colors => weighted,
-                    _ => primary,
-                })
-            }
+        let ctx = InstanceContext::new(g, family, &self.request)?;
+        match &self.request.policy {
+            Policy::Auto => self.solve_auto(&ctx),
+            Policy::Pinned(kind) => self.solve_pinned(*kind, &ctx),
+            Policy::Portfolio(kinds) => self.solve_portfolio(kinds, &ctx),
         }
     }
 
@@ -155,118 +220,26 @@ impl WavelengthSolver {
             .collect()
     }
 
-    /// Weighted-coloring path for families with duplicated dipaths: group
-    /// identical dipaths, multicolor the deduplicated conflict graph, and
-    /// expand the color lists back to the copies. Returns `None` when the
-    /// family has no duplicates or the base graph exceeds the exact-IS
-    /// budget.
-    pub fn solve_weighted(
-        &self,
-        g: &dagwave_graph::Digraph,
-        family: &DipathFamily,
-        class: DagClass,
-    ) -> Option<Solution> {
-        use std::collections::HashMap;
-        let mut groups: HashMap<&[dagwave_graph::ArcId], Vec<PathId>> = HashMap::new();
-        for (id, p) in family.iter() {
-            groups.entry(p.arcs()).or_default().push(id);
+    /// Solve a *stream* of instances: the iterator is pulled one bounded
+    /// window at a time, each window's instances are fanned out onto the
+    /// rayon pool, and results are yielded in input order as windows
+    /// complete. Memory stays bounded by the window (a few multiples of
+    /// the thread count) no matter how many instances the iterator yields —
+    /// the entry point for million-path instance families that must never
+    /// be materialized as a slice.
+    ///
+    /// Output is exactly what [`SolveSession::solve_batch`] would return on
+    /// the materialized slice, including per-instance panic isolation.
+    pub fn solve_stream<I>(&self, instances: I) -> SolveStream<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = Instance>,
+    {
+        SolveStream {
+            session: self,
+            source: instances.into_iter(),
+            window: rayon::current_num_threads().max(1) * 4,
+            ready: VecDeque::new(),
         }
-        let base_count = groups.len();
-        if base_count == family.len() || base_count > 40 {
-            return None; // no duplicates, or base too large for exact IS
-        }
-        // Deterministic base order: by smallest member id.
-        let mut base: Vec<(&[dagwave_graph::ArcId], Vec<PathId>)> = groups.into_iter().collect();
-        base.sort_by_key(|(_, members)| members[0]);
-        let base_family: DipathFamily = base
-            .iter()
-            .map(|(_, members)| family.path(members[0]).clone())
-            .collect();
-        let weights: Vec<usize> = base.iter().map(|(_, m)| m.len()).collect();
-        let cg = ConflictGraph::build(g, &base_family);
-        let ug = conflict_to_ugraph(&cg);
-        // Exact covering only at paper scale; greedy beyond.
-        let total_weight: usize = weights.iter().sum();
-        let mc = if base_count <= 16 && total_weight <= 64 {
-            dagwave_color::multicolor::exact_multicoloring(&ug, &weights)
-        } else {
-            dagwave_color::multicolor::greedy_multicoloring(&ug, &weights)
-        };
-        debug_assert!(mc.is_valid(&ug, &weights));
-        let mut colors = vec![usize::MAX; family.len()];
-        for ((_, members), assigned) in base.iter().zip(&mc.colors) {
-            for (member, &c) in members.iter().zip(assigned) {
-                colors[member.index()] = c;
-            }
-        }
-        let assignment = WavelengthAssignment::new(colors);
-        debug_assert!(assignment.is_valid(g, family));
-        let pi = load::max_load(g, family);
-        let num = assignment.num_colors();
-        Some(Solution {
-            num_colors: num,
-            assignment,
-            load: pi,
-            optimal: num == pi,
-            class,
-            strategy: Strategy::Weighted,
-        })
-    }
-
-    /// Fallback path: exact chromatic on small conflict graphs, DSATUR
-    /// beyond. Also used directly by benches as the baseline.
-    pub fn solve_general(
-        &self,
-        g: &dagwave_graph::Digraph,
-        family: &DipathFamily,
-        class: DagClass,
-    ) -> Result<Solution, CoreError> {
-        let pi = load::max_load(g, family);
-        let cg = ConflictGraph::build(g, family);
-        let ug = conflict_to_ugraph(&cg);
-        if ug.vertex_count() <= self.exact_limit {
-            match exact::chromatic_number_budgeted(&ug, self.exact_budget) {
-                exact::ExactResult::Optimal {
-                    chromatic,
-                    coloring,
-                } => {
-                    let assignment = WavelengthAssignment::new(coloring);
-                    debug_assert!(assignment.is_valid(g, family));
-                    return Ok(Solution {
-                        num_colors: chromatic,
-                        assignment,
-                        load: pi,
-                        optimal: true,
-                        class,
-                        strategy: Strategy::Exact,
-                    });
-                }
-                exact::ExactResult::BudgetExceeded { coloring, .. } => {
-                    let assignment = WavelengthAssignment::new(coloring);
-                    let num = assignment.num_colors();
-                    return Ok(Solution {
-                        num_colors: num,
-                        assignment,
-                        load: pi,
-                        optimal: num == pi,
-                        class,
-                        strategy: Strategy::Exact,
-                    });
-                }
-            }
-        }
-        let coloring = dsatur::dsatur_coloring(&ug);
-        let assignment = WavelengthAssignment::new(coloring);
-        let num = assignment.num_colors();
-        debug_assert!(assignment.is_valid(g, family));
-        Ok(Solution {
-            num_colors: num,
-            assignment,
-            load: pi,
-            optimal: num == pi,
-            class,
-            strategy: Strategy::Dsatur,
-        })
     }
 
     /// The a-priori upper bound the paper guarantees for this instance
@@ -277,25 +250,296 @@ impl WavelengthSolver {
         g: &dagwave_graph::Digraph,
         family: &DipathFamily,
     ) -> Option<usize> {
-        let pi = load::max_load(g, family);
-        match internal::classify(g) {
-            DagClass::InternalCycleFree => Some(pi),
-            DagClass::UppSingleCycle => Some(bounds::theorem6_bound(pi)),
-            DagClass::UppMultiCycle { cycles } => Some(bounds::multi_cycle_bound(pi, cycles)),
-            DagClass::General { .. } => None,
+        let pi = dagwave_paths::load::max_load(g, family);
+        bounds::class_bound(crate::internal::classify(g), pi)
+    }
+
+    /// The historical classify-and-dispatch.
+    fn solve_auto(&self, ctx: &InstanceContext<'_>) -> Result<Solution, CoreError> {
+        match ctx.class {
+            DagClass::InternalCycleFree => {
+                let (attempt, outcome) = run_required(BackendKind::Theorem1, ctx)?;
+                Ok(build_solution(
+                    ctx,
+                    BackendKind::Theorem1,
+                    outcome,
+                    vec![attempt],
+                ))
+            }
+            DagClass::UppSingleCycle => {
+                let (attempt, outcome) = run_required(BackendKind::Theorem6, ctx)?;
+                // Replicated families sidestep the constructive merge's
+                // duplicate penalty via weighted coloring (Theorem 7's
+                // ⌈8h/3⌉); keep whichever uses fewer wavelengths.
+                Ok(self.improve_with_weighted(ctx, BackendKind::Theorem6, attempt, outcome))
+            }
+            DagClass::UppMultiCycle { .. } | DagClass::General { .. } => {
+                let primary = if backend(BackendKind::Exact).unsupported(ctx).is_none() {
+                    BackendKind::Exact
+                } else {
+                    BackendKind::Dsatur
+                };
+                let (attempt, outcome) = run_required(primary, ctx)?;
+                if outcome.optimal {
+                    return Ok(build_solution(ctx, primary, outcome, vec![attempt]));
+                }
+                Ok(self.improve_with_weighted(ctx, primary, attempt, outcome))
+            }
+        }
+    }
+
+    /// Consult the weighted backend and keep whichever of the two outcomes
+    /// uses fewer wavelengths (primary wins ties). The weighted result can
+    /// only displace the primary when its certify verdict passed — an
+    /// uncertified improvement is no improvement.
+    fn improve_with_weighted(
+        &self,
+        ctx: &InstanceContext<'_>,
+        primary_kind: BackendKind,
+        primary_attempt: BackendAttempt,
+        primary: BackendOutcome,
+    ) -> Solution {
+        let weighted = consult(BackendKind::Weighted, ctx);
+        let weighted_valid = weighted.attempt.valid;
+        let attempts = vec![primary_attempt, weighted.attempt];
+        match weighted.outcome {
+            Some(w)
+                if weighted_valid
+                    && w.assignment.num_colors() < primary.assignment.num_colors() =>
+            {
+                build_solution(ctx, BackendKind::Weighted, w, attempts)
+            }
+            _ => build_solution(ctx, primary_kind, primary, attempts),
+        }
+    }
+
+    fn solve_pinned(
+        &self,
+        kind: BackendKind,
+        ctx: &InstanceContext<'_>,
+    ) -> Result<Solution, CoreError> {
+        if let Some(reason) = backend(kind).unsupported(ctx) {
+            return Err(CoreError::BackendUnsupported {
+                backend: kind,
+                reason,
+            });
+        }
+        let (attempt, outcome) = run_required(kind, ctx)?;
+        // Same gate the portfolio applies to its winner: an assignment that
+        // fails certification is an error, not a result.
+        if !attempt.valid {
+            return Err(CoreError::BackendInvalid { backend: kind });
+        }
+        Ok(build_solution(ctx, kind, outcome, vec![attempt]))
+    }
+
+    /// Race the portfolio members on the rayon pool; keep the
+    /// fewest-colors valid result, ties breaking toward the earlier list
+    /// entry — a deterministic choice independent of scheduling.
+    fn solve_portfolio(
+        &self,
+        kinds: &[BackendKind],
+        ctx: &InstanceContext<'_>,
+    ) -> Result<Solution, CoreError> {
+        let kinds: Vec<BackendKind> = if kinds.is_empty() {
+            BackendKind::ALL
+                .into_iter()
+                .filter(|&k| backend(k).unsupported(ctx).is_none())
+                .collect()
+        } else {
+            kinds.to_vec()
+        };
+        if kinds.is_empty() {
+            return Err(CoreError::NoApplicableBackend);
+        }
+        let mut slots: Vec<Option<Attempted>> = kinds.iter().map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, &kind) in slots.iter_mut().zip(&kinds) {
+                s.spawn(move |_| *slot = Some(consult(kind, ctx)));
+            }
+        });
+        let mut attempted: Vec<Attempted> = slots
+            .into_iter()
+            .map(|s| s.expect("portfolio member completed"))
+            .collect();
+        let best = attempted
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.attempt.valid)
+            .filter_map(|(i, a)| a.outcome.as_ref().map(|o| (o.assignment.num_colors(), i)))
+            .min()
+            .map(|(_, i)| i);
+        let attempts: Vec<BackendAttempt> = attempted.iter().map(|a| a.attempt.clone()).collect();
+        match best {
+            Some(i) => {
+                let winner = attempted[i].attempt.backend;
+                let outcome = attempted
+                    .swap_remove(i)
+                    .outcome
+                    .expect("winner has an outcome");
+                Ok(build_solution(ctx, winner, outcome, attempts))
+            }
+            // No member produced a valid coloring: surface the first
+            // runtime error, or report that nothing was applicable.
+            None => Err(attempted
+                .into_iter()
+                .find_map(|a| a.error)
+                .unwrap_or(CoreError::NoApplicableBackend)),
         }
     }
 }
 
-/// One batch instance with panic isolation: a panic anywhere inside
+/// Lazily solving iterator returned by [`SolveSession::solve_stream`].
+pub struct SolveStream<'s, I: Iterator<Item = Instance>> {
+    session: &'s SolveSession,
+    source: I,
+    window: usize,
+    ready: VecDeque<Result<Solution, CoreError>>,
+}
+
+impl<I: Iterator<Item = Instance>> SolveStream<'_, I> {
+    /// Pull one window from the source and fan it out onto the pool.
+    fn refill(&mut self) {
+        let window: Vec<Instance> = self.source.by_ref().take(self.window).collect();
+        if window.is_empty() {
+            return;
+        }
+        let mut slots: Vec<Option<Result<Solution, CoreError>>> =
+            window.iter().map(|_| None).collect();
+        let session = self.session;
+        rayon::scope(|s| {
+            for (slot, inst) in slots.iter_mut().zip(&window) {
+                s.spawn(move |_| *slot = Some(solve_isolated(session, &inst.graph, &inst.family)));
+            }
+        });
+        self.ready
+            .extend(slots.into_iter().map(|r| r.expect("stream task completed")));
+    }
+}
+
+impl<I: Iterator<Item = Instance>> Iterator for SolveStream<'_, I> {
+    type Item = Result<Solution, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        self.ready.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend orchestration internals
+// ---------------------------------------------------------------------------
+
+/// One consulted backend: the provenance record plus (when it ran to
+/// completion) its outcome or (when it failed) its error.
+struct Attempted {
+    attempt: BackendAttempt,
+    outcome: Option<BackendOutcome>,
+    error: Option<CoreError>,
+}
+
+/// Consult a backend with full isolation: declines and failures (including
+/// panics) become provenance records instead of propagating.
+fn consult(kind: BackendKind, ctx: &InstanceContext<'_>) -> Attempted {
+    let b = backend(kind);
+    if let Some(reason) = b.unsupported(ctx) {
+        return Attempted {
+            attempt: BackendAttempt {
+                backend: kind,
+                lower_bound: ctx.load,
+                upper_bound: None,
+                valid: false,
+                note: Some(reason),
+            },
+            outcome: None,
+            error: None,
+        };
+    }
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.run(ctx)))
+        .unwrap_or_else(|payload| Err(CoreError::SolverPanic(panic_message(payload.as_ref()))));
+    match run {
+        Ok(outcome) => Attempted {
+            attempt: record(kind, ctx, &outcome),
+            outcome: Some(outcome),
+            error: None,
+        },
+        Err(e) => Attempted {
+            attempt: BackendAttempt {
+                backend: kind,
+                lower_bound: ctx.load,
+                upper_bound: None,
+                valid: false,
+                note: Some(e.to_string()),
+            },
+            outcome: None,
+            error: Some(e),
+        },
+    }
+}
+
+/// Run a backend whose errors should propagate (Auto / Pinned paths).
+fn run_required(
+    kind: BackendKind,
+    ctx: &InstanceContext<'_>,
+) -> Result<(BackendAttempt, BackendOutcome), CoreError> {
+    let outcome = backend(kind).run(ctx)?;
+    Ok((record(kind, ctx, &outcome), outcome))
+}
+
+/// Provenance record for a completed run, including the `certify`-backed
+/// validity re-check (independent of the backend's own bookkeeping).
+fn record(
+    kind: BackendKind,
+    ctx: &InstanceContext<'_>,
+    outcome: &BackendOutcome,
+) -> BackendAttempt {
+    let valid = certify::is_conflict_free(ctx.graph, ctx.family, &outcome.assignment);
+    BackendAttempt {
+        backend: kind,
+        lower_bound: outcome.lower_bound.max(ctx.load),
+        upper_bound: Some(outcome.assignment.num_colors()),
+        valid,
+        note: None,
+    }
+}
+
+/// Assemble the final [`Solution`], pooling lower bounds across every
+/// attempt (each is a valid bound on `w`, whichever backend proved it).
+fn build_solution(
+    ctx: &InstanceContext<'_>,
+    winner: BackendKind,
+    outcome: BackendOutcome,
+    attempts: Vec<BackendAttempt>,
+) -> Solution {
+    let num_colors = outcome.assignment.num_colors();
+    let best_lower = attempts
+        .iter()
+        .map(|a| a.lower_bound)
+        .chain([outcome.lower_bound, ctx.load])
+        .max()
+        .unwrap_or(ctx.load);
+    Solution {
+        num_colors,
+        assignment: outcome.assignment,
+        load: ctx.load,
+        optimal: outcome.optimal || num_colors == best_lower,
+        class: ctx.class,
+        strategy: winner,
+        attempts,
+    }
+}
+
+/// One batch/stream instance with panic isolation: a panic anywhere inside
 /// `solve` is caught and converted to [`CoreError::SolverPanic`] so one
 /// poisoned instance cannot take down the rest of the sweep.
 fn solve_isolated(
-    solver: &WavelengthSolver,
+    session: &SolveSession,
     g: &dagwave_graph::Digraph,
     family: &DipathFamily,
 ) -> Result<Solution, CoreError> {
-    run_isolated(|| solver.solve(g, family))
+    run_isolated(|| session.solve(g, family))
 }
 
 /// The catch_unwind-to-[`CoreError::SolverPanic`] conversion, factored out
@@ -326,6 +570,129 @@ pub fn conflict_to_ugraph(cg: &ConflictGraph) -> UGraph {
     UGraph::from_sorted_adjacency(adj)
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated facade
+// ---------------------------------------------------------------------------
+
+/// The pre-portfolio solver facade, retained as a thin shim.
+///
+/// `WavelengthSolver::new().solve(..)` behaves exactly like
+/// `SolveSession::auto().solve(..)`; the two public budget fields map to
+/// [`SolverBuilder::exact_limit`] and [`SolverBuilder::exact_budget`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use SolverBuilder/SolveSession (SolveSession::auto() matches the old behavior)"
+)]
+#[derive(Clone, Debug)]
+pub struct WavelengthSolver {
+    /// Largest conflict graph handed to the exact solver (vertices).
+    pub exact_limit: usize,
+    /// Node budget for the exact solver.
+    pub exact_budget: u64,
+}
+
+#[allow(deprecated)]
+impl Default for WavelengthSolver {
+    fn default() -> Self {
+        let req = SolveRequest::default();
+        WavelengthSolver {
+            exact_limit: req.exact_limit,
+            exact_budget: req.exact_budget,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl WavelengthSolver {
+    /// Solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn session(&self) -> SolveSession {
+        SolveSession::new(SolveRequest {
+            exact_limit: self.exact_limit,
+            exact_budget: self.exact_budget,
+            ..SolveRequest::default()
+        })
+    }
+
+    /// Solve the instance, dispatching on its class.
+    pub fn solve(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+    ) -> Result<Solution, CoreError> {
+        self.session().solve(g, family)
+    }
+
+    /// Solve many instances in parallel; see [`SolveSession::solve_batch`].
+    pub fn solve_batch(
+        &self,
+        instances: &[(&dagwave_graph::Digraph, &DipathFamily)],
+    ) -> Vec<Result<Solution, CoreError>> {
+        self.session().solve_batch(instances)
+    }
+
+    /// Weighted-coloring path for families with duplicated dipaths; returns
+    /// `None` when the weighted backend does not apply (no duplicates, or
+    /// base larger than the dedup limit).
+    pub fn solve_weighted(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+        class: DagClass,
+    ) -> Option<Solution> {
+        let request = SolveRequest {
+            exact_limit: self.exact_limit,
+            exact_budget: self.exact_budget,
+            ..SolveRequest::default()
+        };
+        let ctx = InstanceContext::new(g, family, &request).ok()?;
+        if backend(BackendKind::Weighted).unsupported(&ctx).is_some() {
+            return None;
+        }
+        let (attempt, outcome) = run_required(BackendKind::Weighted, &ctx).ok()?;
+        let mut sol = build_solution(&ctx, BackendKind::Weighted, outcome, vec![attempt]);
+        sol.class = class; // historical signature: caller supplies the class
+        Some(sol)
+    }
+
+    /// Fallback path: exact chromatic on small conflict graphs, DSATUR
+    /// beyond. Also used directly by benches as the baseline.
+    pub fn solve_general(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+        class: DagClass,
+    ) -> Result<Solution, CoreError> {
+        let request = SolveRequest {
+            exact_limit: self.exact_limit,
+            exact_budget: self.exact_budget,
+            ..SolveRequest::default()
+        };
+        let ctx = InstanceContext::new(g, family, &request)?;
+        let kind = if backend(BackendKind::Exact).unsupported(&ctx).is_none() {
+            BackendKind::Exact
+        } else {
+            BackendKind::Dsatur
+        };
+        let (attempt, outcome) = run_required(kind, &ctx)?;
+        let mut sol = build_solution(&ctx, kind, outcome, vec![attempt]);
+        sol.class = class;
+        Ok(sol)
+    }
+
+    /// See [`SolveSession::guaranteed_bound`].
+    pub fn guaranteed_bound(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+    ) -> Option<usize> {
+        self.session().guaranteed_bound(g, family)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +709,18 @@ mod tests {
         Dipath::from_vertices(g, &route).unwrap()
     }
 
+    fn general_instance() -> (Digraph, DipathFamily) {
+        // Guarded diamond: internal cycle, not UPP.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2, 4]),
+            path(&g, &[1, 3, 4]),
+            path(&g, &[3, 4, 5]),
+        ]);
+        (g, f)
+    }
+
     #[test]
     fn dispatches_theorem1_on_tree() {
         let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
@@ -350,13 +729,17 @@ mod tests {
             path(&g, &[0, 1, 3]),
             path(&g, &[1, 2]),
         ]);
-        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        let sol = SolveSession::auto().solve(&g, &f).unwrap();
         assert_eq!(sol.strategy, Strategy::Theorem1);
         assert!(sol.optimal);
         assert_eq!(sol.num_colors, sol.load);
         assert!(sol.assignment.is_valid(&g, &f));
+        assert_eq!(sol.attempts.len(), 1);
+        assert_eq!(sol.attempts[0].backend, BackendKind::Theorem1);
+        assert!(sol.attempts[0].valid);
+        assert_eq!(sol.attempts[0].upper_bound, Some(sol.num_colors));
         assert_eq!(
-            WavelengthSolver::new().guaranteed_bound(&g, &f),
+            SolveSession::auto().guaranteed_bound(&g, &f),
             Some(sol.load)
         );
     }
@@ -383,45 +766,135 @@ mod tests {
             path(&g, &[2, 5]),
             path(&g, &[3, 4]),
         ]);
-        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        let sol = SolveSession::auto().solve(&g, &f).unwrap();
         assert_eq!(sol.strategy, Strategy::Theorem6);
         assert!(sol.assignment.is_valid(&g, &f));
-        let bound = WavelengthSolver::new().guaranteed_bound(&g, &f).unwrap();
+        // Provenance: theorem6 ran, weighted was consulted and declined
+        // (no duplicated dipaths in this family).
+        assert_eq!(sol.attempts.len(), 2);
+        assert_eq!(sol.attempts[1].backend, BackendKind::Weighted);
+        assert!(sol.attempts[1].note.is_some());
+        let bound = SolveSession::auto().guaranteed_bound(&g, &f).unwrap();
         assert!(sol.num_colors <= bound);
     }
 
     #[test]
     fn dispatches_exact_on_general_dag() {
-        // Guarded diamond: internal cycle, not UPP.
-        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
-        let f = DipathFamily::from_paths(vec![
-            path(&g, &[0, 1, 2]),
-            path(&g, &[1, 2, 4]),
-            path(&g, &[1, 3, 4]),
-            path(&g, &[3, 4, 5]),
-        ]);
-        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        let (g, f) = general_instance();
+        let sol = SolveSession::auto().solve(&g, &f).unwrap();
         assert_eq!(sol.strategy, Strategy::Exact);
         assert!(sol.optimal);
         assert!(sol.assignment.is_valid(&g, &f));
         assert!(sol.num_colors >= sol.load);
-        assert_eq!(WavelengthSolver::new().guaranteed_bound(&g, &f), None);
+        assert_eq!(SolveSession::auto().guaranteed_bound(&g, &f), None);
     }
 
     #[test]
     fn dsatur_fallback_on_large_conflict_graph() {
-        let g = from_edges(6, &[(0, 1), (1, 2), (2, 4), (1, 3), (3, 4), (4, 5)]);
-        let f = DipathFamily::from_paths(vec![
-            path(&g, &[0, 1, 2]),
-            path(&g, &[1, 2, 4]),
-            path(&g, &[1, 3, 4]),
-            path(&g, &[3, 4, 5]),
-        ])
-        .replicate(30); // 120 paths > exact_limit
-        let sol = WavelengthSolver::new().solve(&g, &f).unwrap();
+        let (g, f) = general_instance();
+        let f = f.replicate(30); // 120 paths > exact_limit
+        let sol = SolveSession::auto().solve(&g, &f).unwrap();
         assert_eq!(sol.strategy, Strategy::Dsatur);
         assert!(sol.assignment.is_valid(&g, &f));
         assert!(sol.num_colors >= sol.load);
+    }
+
+    #[test]
+    fn pinned_runs_exactly_that_backend() {
+        let (g, f) = general_instance();
+        for kind in [
+            BackendKind::Dsatur,
+            BackendKind::GreedyNatural,
+            BackendKind::GreedyLargestFirst,
+            BackendKind::GreedySmallestLast,
+            BackendKind::KempeGreedy,
+            BackendKind::Exact,
+        ] {
+            let sol = SolveSession::builder()
+                .pinned(kind)
+                .build()
+                .solve(&g, &f)
+                .unwrap();
+            assert_eq!(sol.strategy, kind);
+            assert!(sol.assignment.is_valid(&g, &f), "{kind}");
+            assert_eq!(sol.attempts.len(), 1);
+            assert!(sol.attempts[0].valid, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pinned_unsupported_backend_errors() {
+        let (g, f) = general_instance();
+        let err = SolveSession::builder()
+            .pinned(BackendKind::Theorem1)
+            .build()
+            .solve(&g, &f)
+            .unwrap_err();
+        match err {
+            CoreError::BackendUnsupported { backend, reason } => {
+                assert_eq!(backend, BackendKind::Theorem1);
+                assert!(reason.contains("internal-cycle-free"), "{reason}");
+            }
+            other => panic!("expected BackendUnsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_keeps_fewest_colors_deterministically() {
+        let (g, f) = general_instance();
+        let session = SolveSession::builder()
+            .portfolio(vec![
+                BackendKind::GreedyNatural,
+                BackendKind::Dsatur,
+                BackendKind::KempeGreedy,
+                BackendKind::Exact,
+            ])
+            .build();
+        let sol = session.solve(&g, &f).unwrap();
+        assert!(sol.assignment.is_valid(&g, &f));
+        assert_eq!(sol.attempts.len(), 4);
+        // The winner's color count is the minimum over every attempt.
+        let min = sol
+            .attempts
+            .iter()
+            .filter_map(|a| a.upper_bound)
+            .min()
+            .unwrap();
+        assert_eq!(sol.num_colors, min);
+        // Every member of this portfolio produced a certified coloring.
+        assert!(sol.attempts.iter().all(|a| a.valid));
+        // Deterministic: repeated runs pick the same winner & assignment.
+        let again = session.solve(&g, &f).unwrap();
+        assert_eq!(again.strategy, sol.strategy);
+        assert_eq!(again.assignment.colors(), sol.assignment.colors());
+    }
+
+    #[test]
+    fn empty_portfolio_races_all_applicable_backends() {
+        let (g, f) = general_instance();
+        let sol = SolveSession::builder()
+            .portfolio(vec![])
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(sol.assignment.is_valid(&g, &f));
+        // Theorem1/Theorem6/Weighted don't apply here; the six others do.
+        assert_eq!(sol.attempts.len(), 6);
+        assert!(
+            sol.optimal,
+            "exact is in the pool, so the result is optimal"
+        );
+    }
+
+    #[test]
+    fn portfolio_of_unsupported_members_reports_no_applicable_backend() {
+        let (g, f) = general_instance();
+        let err = SolveSession::builder()
+            .portfolio(vec![BackendKind::Theorem1, BackendKind::Theorem6])
+            .build()
+            .solve(&g, &f)
+            .unwrap_err();
+        assert_eq!(err, CoreError::NoApplicableBackend);
     }
 
     #[test]
@@ -429,7 +902,7 @@ mod tests {
         let g = from_edges(2, &[(0, 1), (1, 0)]);
         let f = DipathFamily::new();
         assert!(matches!(
-            WavelengthSolver::new().solve(&g, &f),
+            SolveSession::auto().solve(&g, &f),
             Err(CoreError::NotADag(_))
         ));
     }
@@ -437,7 +910,7 @@ mod tests {
     #[test]
     fn empty_family_on_any_class() {
         let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&g, &DipathFamily::new())
             .unwrap();
         assert_eq!(sol.num_colors, 0);
@@ -451,12 +924,12 @@ mod tests {
         let f1 = DipathFamily::from_paths(vec![path(&g1, &[0, 1, 2]), path(&g1, &[0, 1, 3])]);
         let g2 = from_edges(3, &[(0, 1), (1, 2)]);
         let f2 = DipathFamily::from_paths(vec![path(&g2, &[0, 1, 2])]).replicate(4);
-        let solver = WavelengthSolver::new();
-        let batch = solver.solve_batch(&[(&g1, &f1), (&g2, &f2)]);
+        let session = SolveSession::auto();
+        let batch = session.solve_batch(&[(&g1, &f1), (&g2, &f2)]);
         assert_eq!(batch.len(), 2);
         let s1 = batch[0].as_ref().unwrap();
         let s2 = batch[1].as_ref().unwrap();
-        assert_eq!(s1.num_colors, solver.solve(&g1, &f1).unwrap().num_colors);
+        assert_eq!(s1.num_colors, session.solve(&g1, &f1).unwrap().num_colors);
         assert_eq!(s2.num_colors, 4);
     }
 
@@ -465,8 +938,8 @@ mod tests {
         // A healthy instance passes through untouched...
         let g = from_edges(2, &[(0, 1)]);
         let f = DipathFamily::new();
-        let solver = WavelengthSolver::new();
-        assert!(super::solve_isolated(&solver, &g, &f).is_ok());
+        let session = SolveSession::auto();
+        assert!(super::solve_isolated(&session, &g, &f).is_ok());
         // ...and an actually panicking solve is converted to SolverPanic
         // (the same run_isolated path solve_batch's tasks go through),
         // for both &str and String payloads.
@@ -490,12 +963,12 @@ mod tests {
         // Many instances with distinct answers: the result vector must line
         // up index-for-index with the inputs however tasks were scheduled.
         let g = from_edges(3, &[(0, 1), (1, 2)]);
-        let solver = WavelengthSolver::new();
+        let session = SolveSession::auto();
         let families: Vec<DipathFamily> = (1..=12)
             .map(|h| DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]).replicate(h))
             .collect();
         let instances: Vec<_> = families.iter().map(|f| (&g, f)).collect();
-        let batch = solver.solve_batch(&instances);
+        let batch = session.solve_batch(&instances);
         for (i, sol) in batch.iter().enumerate() {
             assert_eq!(sol.as_ref().unwrap().num_colors, i + 1, "instance {i}");
         }
@@ -506,9 +979,74 @@ mod tests {
         let good = from_edges(2, &[(0, 1)]);
         let bad = from_edges(2, &[(0, 1), (1, 0)]);
         let f = DipathFamily::new();
-        let batch = WavelengthSolver::new().solve_batch(&[(&good, &f), (&bad, &f)]);
+        let batch = SolveSession::auto().solve_batch(&[(&good, &f), (&bad, &f)]);
         assert!(batch[0].is_ok());
         assert!(matches!(batch[1], Err(CoreError::NotADag(_))));
+    }
+
+    #[test]
+    fn stream_matches_batch_and_is_windowed() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let session = SolveSession::auto();
+        let families: Vec<DipathFamily> = (1..=25)
+            .map(|h| DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]).replicate(h))
+            .collect();
+        let slice: Vec<_> = families.iter().map(|f| (&g, f)).collect();
+        let batch = session.solve_batch(&slice);
+        let streamed: Vec<_> = session
+            .solve_stream(families.iter().map(|f| Instance::new(g.clone(), f.clone())))
+            .collect();
+        assert_eq!(streamed.len(), batch.len());
+        for (i, (s, b)) in streamed.iter().zip(&batch).enumerate() {
+            let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(s.num_colors, b.num_colors, "instance {i}");
+            assert_eq!(s.assignment.colors(), b.assignment.colors());
+        }
+    }
+
+    #[test]
+    fn stream_is_lazy() {
+        // The source iterator must not be exhausted up-front: pulling one
+        // result consumes at most one window.
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let session = SolveSession::auto();
+        let pulled = std::cell::Cell::new(0usize);
+        let source = (0..1_000_000).map(|_| {
+            pulled.set(pulled.get() + 1);
+            Instance::new(
+                g.clone(),
+                DipathFamily::from_paths(vec![path(&g, &[0, 1, 2])]),
+            )
+        });
+        let mut stream = session.solve_stream(source);
+        assert!(stream.next().unwrap().is_ok());
+        let window = rayon::current_num_threads().max(1) * 4;
+        assert!(
+            pulled.get() <= window,
+            "pulled {} instances for one result (window {window})",
+            pulled.get()
+        );
+    }
+
+    #[test]
+    fn deprecated_facade_still_matches_the_session() {
+        #[allow(deprecated)]
+        let old = WavelengthSolver::new();
+        let (g, f) = general_instance();
+        #[allow(deprecated)]
+        let a = old.solve(&g, &f).unwrap();
+        let b = SolveSession::auto().solve(&g, &f).unwrap();
+        assert_eq!(a.num_colors, b.num_colors);
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.assignment.colors(), b.assignment.colors());
+        #[allow(deprecated)]
+        let w = old
+            .solve_general(&g, &f, crate::internal::classify(&g))
+            .unwrap();
+        assert!(w.assignment.is_valid(&g, &f));
+        #[allow(deprecated)]
+        let none = old.solve_weighted(&g, &f, crate::internal::classify(&g));
+        assert!(none.is_none(), "family has no duplicates");
     }
 
     #[test]

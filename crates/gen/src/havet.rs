@@ -129,7 +129,7 @@ mod tests {
         // w(havet(h)) = ⌈8h/3⌉, exactly the Theorem 6 bound ⌈4π/3⌉.
         for h in [1usize, 2, 3] {
             let inst = havet(h);
-            let sol = dagwave_core::WavelengthSolver::new()
+            let sol = dagwave_core::SolveSession::auto()
                 .solve(&inst.graph, &inst.family)
                 .unwrap();
             assert!(sol.assignment.is_valid(&inst.graph, &inst.family));

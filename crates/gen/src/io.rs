@@ -150,7 +150,7 @@ mod tests {
         assert_eq!(back.family.len(), inst.family.len());
         assert_eq!(back.load(), inst.load());
         // Solving the roundtripped instance gives the same answer.
-        let sol = dagwave_core::WavelengthSolver::new()
+        let sol = dagwave_core::SolveSession::auto()
             .solve(&back.graph, &back.family)
             .unwrap();
         assert_eq!(sol.num_colors, 3);

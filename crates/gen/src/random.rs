@@ -226,7 +226,7 @@ mod tests {
         assert_eq!(f.len(), 19, "one dipath per non-root vertex");
         // Load of the root's out-arcs equals subtree sizes; the instance is
         // Theorem-1 solvable at w = π.
-        let sol = dagwave_core::WavelengthSolver::new().solve(&g, &f).unwrap();
+        let sol = dagwave_core::SolveSession::auto().solve(&g, &f).unwrap();
         assert!(sol.optimal);
         assert_eq!(sol.num_colors, sol.load);
     }
@@ -245,7 +245,7 @@ mod tests {
         let inst = random_cycle_family(&mut rng(6), 3, 3);
         assert!(inst.family.len() >= 7, "at least the base family");
         assert!(inst.load() >= 1);
-        let sol = dagwave_core::WavelengthSolver::new()
+        let sol = dagwave_core::SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));

@@ -250,9 +250,7 @@ mod tests {
             assert_eq!(cg.degree(PathId::from_index(i)), 2, "vertex {i} degree");
         }
         // Connected 2-regular graph of odd order = odd cycle ⇒ χ = 3.
-        let sol = dagwave_core::WavelengthSolver::new()
-            .solve(g, family)
-            .unwrap();
+        let sol = dagwave_core::SolveSession::auto().solve(g, family).unwrap();
         assert_eq!(sol.num_colors, 3, "w = 3");
     }
 

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors produced by graph construction and algorithms.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// A vertex id referenced a vertex that does not exist.
     InvalidVertex(VertexId),

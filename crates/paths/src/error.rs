@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors produced when building or manipulating dipaths.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PathError {
     /// The arc sequence is not contiguous: `first.head != second.tail`.
     NotContiguous {

@@ -23,6 +23,7 @@ pub enum RoutingStrategy {
 
 /// Errors from routing.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RouteError {
     /// No dipath exists for the request.
     Unroutable(Request),

@@ -7,12 +7,13 @@
 
 use crate::request::Request;
 use crate::routing::{route_all, RouteError, RoutingStrategy};
-use dagwave_core::{CoreError, Solution, WavelengthSolver};
+use dagwave_core::{CoreError, Solution, SolveSession};
 use dagwave_graph::Digraph;
 use dagwave_paths::DipathFamily;
 
 /// Errors from the pipeline.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RwaError {
     /// A request could not be routed.
     Routing(RouteError),
@@ -57,16 +58,18 @@ pub struct RwaReport {
 pub struct RwaPipeline {
     /// Routing strategy for the first stage.
     pub routing: RoutingStrategy,
-    /// Solver for the second stage.
-    pub solver: WavelengthSolver,
+    /// Solving session for the second stage (policy + budgets; see
+    /// `dagwave_core::SolverBuilder` for portfolio/pinned configurations).
+    pub solver: SolveSession,
 }
 
 impl RwaPipeline {
-    /// Pipeline with the given routing strategy and a default solver.
+    /// Pipeline with the given routing strategy and a default auto-policy
+    /// session.
     pub fn new(routing: RoutingStrategy) -> Self {
         RwaPipeline {
             routing,
-            solver: WavelengthSolver::new(),
+            solver: SolveSession::auto(),
         }
     }
 

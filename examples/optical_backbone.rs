@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example optical_backbone`
 
-use dagwave_core::WavelengthSolver;
+use dagwave_core::SolveSession;
 use dagwave_gen::random;
 use dagwave_route::request::Request;
 use dagwave_route::routing::RoutingStrategy;
@@ -51,7 +51,7 @@ fn main() {
     for strategy in [RoutingStrategy::Shortest, RoutingStrategy::LoadAware] {
         let pipeline = RwaPipeline {
             routing: strategy,
-            solver: WavelengthSolver::new(),
+            solver: SolveSession::auto(),
         };
         let report = pipeline.run(&g, &requests).expect("all requests routable");
         assert!(report.solution.assignment.is_valid(&g, &report.family));
@@ -60,7 +60,7 @@ fn main() {
             "Theorem 1: wavelengths equal load on this backbone"
         );
         println!(
-            "{:?} routing: load π = {:>2} → wavelengths w = {:>2} ({:?}, optimal = {})",
+            "{:?} routing: load π = {:>2} → wavelengths w = {:>2} ({}, optimal = {})",
             strategy,
             report.solution.load,
             report.solution.num_colors,

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example precedence_pipeline`
 
-use dagwave_core::{theorem1, WavelengthSolver};
+use dagwave_core::{theorem1, SolveSession};
 use dagwave_graph::{Digraph, VertexId};
 use dagwave_paths::{load, Dipath, DipathFamily};
 
@@ -81,7 +81,7 @@ fn main() {
     }
 
     // The facade agrees.
-    let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+    let sol = SolveSession::auto().solve(&g, &family).unwrap();
     assert_eq!(sol.num_colors, pi);
     println!("slot schedule verified: conflict-free and tight");
 }

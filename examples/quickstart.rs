@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dagwave_core::WavelengthSolver;
+use dagwave_core::SolveSession;
 use dagwave_graph::{Digraph, VertexId};
 use dagwave_paths::{Dipath, DipathFamily};
 
@@ -29,7 +29,7 @@ fn main() {
 
     // Solve. Trees have no internal cycle, so Theorem 1 guarantees the
     // number of wavelengths equals the load — no search needed.
-    let solution = WavelengthSolver::new()
+    let solution = SolveSession::auto()
         .solve(&g, &family)
         .expect("instance is a DAG");
 
@@ -39,8 +39,8 @@ fn main() {
         g.arc_count(),
         family.len()
     );
-    println!("class:    {:?}", solution.class);
-    println!("strategy: {:?}", solution.strategy);
+    println!("class:    {}", solution.class);
+    println!("strategy: {}", solution.strategy);
     println!("load π   = {}", solution.load);
     println!(
         "colors w = {} (optimal: {})",

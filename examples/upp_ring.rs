@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example upp_ring`
 
-use dagwave_core::{bounds, internal, theorem6, WavelengthSolver};
+use dagwave_core::{bounds, internal, theorem6, SolveSession};
 use dagwave_gen::havet;
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
     );
     for h in 1..=5 {
         let family = base.replicate(h);
-        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let sol = SolveSession::auto().solve(&g, &family).unwrap();
         assert!(sol.assignment.is_valid(&g, &family));
         let expected = bounds::havet_wavelengths(h);
         println!(

@@ -183,7 +183,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -351,9 +351,9 @@ pub mod test_runner {
             Ok(Err(Rejected)) => CaseOutcome::Rejected,
             Err(original_panic) => {
                 let minimized = quietly(|| {
-                    (1..=63u32).rev().find(|&shift| {
-                        matches!(catch_unwind(AssertUnwindSafe(|| f(seed, shift))), Err(_))
-                    })
+                    (1..=63u32)
+                        .rev()
+                        .find(|&shift| catch_unwind(AssertUnwindSafe(|| f(seed, shift))).is_err())
                 });
                 match minimized {
                     Some(shift) => {
@@ -562,7 +562,7 @@ mod tests {
         for _ in 0..200 {
             let n = (3usize..40).sample(&mut rng);
             assert!((3..40).contains(&n));
-            let (a, b) = ((0usize..n, 1usize..=n)).sample(&mut rng);
+            let (a, b) = (0usize..n, 1usize..=n).sample(&mut rng);
             assert!(a < n && (1..=n).contains(&b));
             let v = crate::collection::vec(0usize..n, 0..3 * n).sample(&mut rng);
             assert!(v.len() < 3 * n);

@@ -45,8 +45,8 @@ impl<const R: usize> ChaChaRng<R> {
             Self::quarter_round(&mut working, 2, 7, 8, 13);
             Self::quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.buf[i] = working[i].wrapping_add(self.state[i]);
+        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
         }
         // 64-bit block counter in words 12–13.
         let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);

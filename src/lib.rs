@@ -10,12 +10,13 @@
 //!   reachability, underlying cycles, UPP counting).
 //! * [`paths`] — dipath families, arc loads, conflict graphs.
 //! * [`color`] — coloring toolbox (greedy, DSATUR, Kempe, exact).
-//! * [`core`] — the paper's theorems and the [`WavelengthSolver`] facade.
+//! * [`core`] — the paper's theorems and the pluggable solving surface
+//!   ([`SolveSession`], [`SolverBuilder`], [`BackendKind`]).
 //! * [`gen`] — figure/witness/random instance generators.
 //! * [`route`] — the end-to-end routing-and-wavelength-assignment pipeline.
 //!
 //! ```
-//! use dagwave::{graph::Digraph, paths::{Dipath, DipathFamily}, WavelengthSolver};
+//! use dagwave::{graph::Digraph, paths::{Dipath, DipathFamily}, SolveSession};
 //!
 //! let mut g = Digraph::new();
 //! let (a, b, c) = (g.add_vertex(), g.add_vertex(), g.add_vertex());
@@ -23,8 +24,27 @@
 //! let bc = g.add_arc(b, c);
 //! let mut family = DipathFamily::new();
 //! family.push(Dipath::from_arcs(&g, vec![ab, bc]).unwrap());
-//! let solution = WavelengthSolver::new().solve(&g, &family).unwrap();
+//! let solution = SolveSession::auto().solve(&g, &family).unwrap();
 //! assert_eq!(solution.num_colors, solution.load);
+//! ```
+//!
+//! Beyond `Auto`, a session can pin one backend or race a portfolio of
+//! them on the rayon pool, keeping the fewest-colors result:
+//!
+//! ```
+//! use dagwave::{BackendKind, Policy, SolverBuilder};
+//! # use dagwave::{graph::Digraph, paths::{Dipath, DipathFamily}};
+//! # let mut g = Digraph::new();
+//! # let (a, b, c) = (g.add_vertex(), g.add_vertex(), g.add_vertex());
+//! # let ab = g.add_arc(a, b);
+//! # let bc = g.add_arc(b, c);
+//! # let mut family = DipathFamily::new();
+//! # family.push(Dipath::from_arcs(&g, vec![ab, bc]).unwrap());
+//! let portfolio = SolverBuilder::new()
+//!     .portfolio(vec![BackendKind::Dsatur, BackendKind::KempeGreedy])
+//!     .build();
+//! let solution = portfolio.solve(&g, &family).unwrap();
+//! assert!(solution.attempts.iter().all(|a| a.valid));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,4 +57,9 @@ pub use dagwave_graph as graph;
 pub use dagwave_paths as paths;
 pub use dagwave_route as route;
 
-pub use dagwave_core::{Solution, WavelengthSolver};
+#[allow(deprecated)]
+pub use dagwave_core::WavelengthSolver;
+pub use dagwave_core::{
+    BackendAttempt, BackendKind, Instance, Policy, Solution, SolveRequest, SolveSession,
+    SolverBuilder, Strategy,
+};

@@ -3,7 +3,7 @@
 //! * no internal cycle ⇒ `w = π` for every family (Theorem 1);
 //! * an internal cycle ⇒ some family has `π = 2 < 3 = w` (Theorem 2).
 
-use dagwave_core::{internal, WavelengthSolver};
+use dagwave_core::{internal, SolveSession};
 use dagwave_gen::{figures, havet, random, theorem2};
 use dagwave_paths::load;
 use proptest::prelude::*;
@@ -24,7 +24,7 @@ proptest! {
         let g = random::random_internal_cycle_free(&mut rng, n, 12);
         prop_assume!(g.arc_count() > 0);
         let family = random::random_family(&mut rng, &g, count, 5);
-        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let sol = SolveSession::auto().solve(&g, &family).unwrap();
         prop_assert!(sol.optimal);
         prop_assert_eq!(sol.num_colors, load::max_load(&g, &family));
     }
@@ -43,7 +43,7 @@ fn internal_cycle_admits_gap_family() {
         assert!(internal::has_internal_cycle(g));
         let family = theorem2::witness_family(g).expect("witness exists");
         assert_eq!(load::max_load(g, &family), 2, "π = 2");
-        let sol = WavelengthSolver::new().solve(g, &family).unwrap();
+        let sol = SolveSession::auto().solve(g, &family).unwrap();
         assert_eq!(sol.num_colors, 3, "w = 3");
         assert!(sol.assignment.is_valid(g, &family));
     }
@@ -55,7 +55,7 @@ fn staircase_ratio_unbounded() {
     for k in [2usize, 4, 8, 12] {
         let inst = figures::staircase(k);
         assert_eq!(inst.load(), 2, "π = 2 at any k");
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert_eq!(sol.num_colors, k, "conflict graph is K_k, so w = k");
@@ -66,7 +66,7 @@ fn staircase_ratio_unbounded() {
 /// The solver's guaranteed bound matches the dichotomy.
 #[test]
 fn guaranteed_bounds_by_class() {
-    let solver = WavelengthSolver::new();
+    let solver = SolveSession::auto();
     // Internal-cycle-free: bound = π.
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let g = random::random_out_tree(&mut rng, 25);

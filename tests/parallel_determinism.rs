@@ -11,7 +11,7 @@
 use dagwave::core::CoreError;
 use dagwave::graph::reach;
 use dagwave::paths::{load, ConflictGraph, DipathFamily};
-use dagwave::WavelengthSolver;
+use dagwave::{BackendKind, Instance, SolveSession, SolverBuilder};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -92,7 +92,7 @@ proptest! {
             .map(|i| random_instance(seed.wrapping_add(i as u64), 14, 10))
             .collect();
         let instances: Vec<_> = instances_owned.iter().map(|(g, f)| (g, f)).collect();
-        let solver = WavelengthSolver::new();
+        let solver = SolveSession::auto();
         let seq: Vec<Result<_, CoreError>> = instances
             .iter()
             .map(|&(g, f)| solver.solve(g, f))
@@ -112,6 +112,86 @@ proptest! {
                     (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
                     _ => prop_assert!(false, "Ok/Err mismatch at instance {}", i),
                 }
+            }
+        }
+    }
+
+    /// `Policy::Portfolio` (raced on the pool) picks the same winner and
+    /// the same assignment vector at every thread budget.
+    #[test]
+    fn portfolio_identical_across_budgets(seed in 0u64..10_000, paths in 1usize..40) {
+        let (g, family) = random_instance(seed, 20, paths);
+        let session = SolverBuilder::new()
+            .portfolio(vec![
+                BackendKind::Dsatur,
+                BackendKind::GreedyNatural,
+                BackendKind::GreedySmallestLast,
+                BackendKind::KempeGreedy,
+            ])
+            .build();
+        let reference = session.solve(&g, &family).unwrap();
+        for threads in BUDGETS {
+            let par = with_threads(threads, || session.solve(&g, &family)).unwrap();
+            prop_assert_eq!(par.strategy, reference.strategy, "{} threads", threads);
+            prop_assert_eq!(par.num_colors, reference.num_colors);
+            prop_assert_eq!(par.assignment.colors(), reference.assignment.colors());
+            prop_assert_eq!(par.attempts.len(), reference.attempts.len());
+        }
+    }
+
+    /// `solve_stream` yields exactly what `solve_batch` returns, in order,
+    /// at every thread budget.
+    #[test]
+    fn stream_identical_to_batch_across_budgets(seed in 0u64..10_000, count in 1usize..12) {
+        let instances_owned: Vec<_> = (0..count)
+            .map(|i| random_instance(seed.wrapping_add(i as u64), 12, 8))
+            .collect();
+        let slice: Vec<_> = instances_owned.iter().map(|(g, f)| (g, f)).collect();
+        let session = SolveSession::auto();
+        let batch = session.solve_batch(&slice);
+        for threads in BUDGETS {
+            let streamed: Vec<_> = with_threads(threads, || {
+                session
+                    .solve_stream(
+                        instances_owned
+                            .iter()
+                            .map(|(g, f)| Instance::new(g.clone(), f.clone())),
+                    )
+                    .collect()
+            });
+            prop_assert_eq!(streamed.len(), batch.len(), "{} threads", threads);
+            for (i, (s, b)) in streamed.iter().zip(&batch).enumerate() {
+                match (s, b) {
+                    (Ok(s), Ok(b)) => {
+                        prop_assert_eq!(s.num_colors, b.num_colors, "instance {}", i);
+                        prop_assert_eq!(s.strategy, b.strategy);
+                        prop_assert_eq!(s.assignment.colors(), b.assignment.colors());
+                    }
+                    (Err(se), Err(be)) => prop_assert_eq!(se, be),
+                    _ => prop_assert!(false, "Ok/Err mismatch at instance {}", i),
+                }
+            }
+        }
+    }
+
+    /// `Policy::Auto` never uses more colors than the best pinned backend:
+    /// on internal-cycle-free instances Auto runs Theorem 1 (provably `π`
+    /// colors, the universal lower bound), so every pinned backend must use
+    /// at least as many.
+    #[test]
+    fn auto_never_beaten_by_any_pinned_backend(seed in 0u64..10_000, paths in 1usize..30) {
+        let (g, family) = random_instance(seed, 16, paths);
+        let auto = SolveSession::auto().solve(&g, &family).unwrap();
+        for kind in BackendKind::ALL {
+            let session = SolverBuilder::new().pinned(kind).build();
+            match session.solve(&g, &family) {
+                Ok(pinned) => prop_assert!(
+                    auto.num_colors <= pinned.num_colors,
+                    "auto used {} colors but pinned {} used {}",
+                    auto.num_colors, kind, pinned.num_colors
+                ),
+                Err(CoreError::BackendUnsupported { .. }) => {} // fine: not applicable
+                Err(other) => prop_assert!(false, "pinned {} failed: {}", kind, other),
             }
         }
     }

@@ -2,7 +2,7 @@
 //! single-internal-cycle UPP-DAGs, bound behavior on distinct vs
 //! replicated families, and the exact Theorem-7 series via the solver.
 
-use dagwave_core::{bounds, theorem6, WavelengthSolver};
+use dagwave_core::{bounds, theorem6, SolveSession};
 use dagwave_gen::{havet, random};
 use dagwave_paths::load;
 use proptest::prelude::*;
@@ -49,7 +49,7 @@ proptest! {
         prop_assume!(!dedup.is_empty());
         let family = dedup.replicate(h);
         let pi = load::max_load(&g, &family);
-        let sol = WavelengthSolver::new().solve(&g, &family).unwrap();
+        let sol = SolveSession::auto().solve(&g, &family).unwrap();
         prop_assert!(sol.assignment.is_valid(&g, &family));
         prop_assert!(
             sol.num_colors <= bounds::theorem6_bound(pi),
@@ -79,7 +79,7 @@ proptest! {
 fn theorem7_series() {
     for h in 1..=6 {
         let inst = havet::havet(h);
-        let sol = WavelengthSolver::new()
+        let sol = SolveSession::auto()
             .solve(&inst.graph, &inst.family)
             .unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
@@ -98,7 +98,7 @@ fn c5_replication_series() {
     let inst = dagwave_gen::figures::figure3();
     for h in 1..=3 {
         let family = inst.family.replicate(h);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &family).unwrap();
+        let sol = SolveSession::auto().solve(&inst.graph, &family).unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &family));
         assert_eq!(sol.num_colors, bounds::c5_wavelengths(h), "h = {h}");
     }
@@ -113,7 +113,7 @@ fn c5_replication_series_stress() {
     let inst = dagwave_gen::figures::figure3();
     for h in 4..=5 {
         let family = inst.family.replicate(h);
-        let sol = WavelengthSolver::new().solve(&inst.graph, &family).unwrap();
+        let sol = SolveSession::auto().solve(&inst.graph, &family).unwrap();
         assert!(sol.assignment.is_valid(&inst.graph, &family));
         assert_eq!(sol.num_colors, bounds::c5_wavelengths(h), "h = {h}");
     }

@@ -1,4 +1,4 @@
-//! Workspace-wiring smoke test: drives the `WavelengthSolver` facade
+//! Workspace-wiring smoke test: drives the `SolveSession` facade
 //! end-to-end on the quickstart instance (`examples/quickstart.rs`) through
 //! the published crate graph — substrate (`dagwave-graph`) → dipath family
 //! (`dagwave-paths`) → solver (`dagwave-core`) — and checks the paper's
@@ -6,7 +6,7 @@
 //! dependency edge of the Cargo workspace is miswired, this is the test
 //! that fails to compile.
 
-use dagwave_core::{internal, WavelengthSolver};
+use dagwave_core::{internal, SolveSession};
 use dagwave_graph::{topo, Digraph, VertexId};
 use dagwave_paths::{load, Dipath, DipathFamily};
 
@@ -46,7 +46,7 @@ fn solver_facade_end_to_end_w_equals_pi() {
     assert_eq!(pi, 2);
 
     // The facade picks the strongest applicable method and must hit w == π.
-    let solution = WavelengthSolver::new()
+    let solution = SolveSession::auto()
         .solve(&g, &family)
         .expect("instance is a DAG");
     assert_eq!(solution.load, pi);
@@ -63,8 +63,8 @@ fn solver_facade_end_to_end_w_equals_pi() {
 #[test]
 fn solver_facade_is_deterministic() {
     let (g, _, family) = quickstart_instance();
-    let a = WavelengthSolver::new().solve(&g, &family).unwrap();
-    let b = WavelengthSolver::new().solve(&g, &family).unwrap();
+    let a = SolveSession::auto().solve(&g, &family).unwrap();
+    let b = SolveSession::auto().solve(&g, &family).unwrap();
     assert_eq!(a.num_colors, b.num_colors);
     for (id, _) in family.iter() {
         assert_eq!(a.assignment.color(id), b.assignment.color(id));
