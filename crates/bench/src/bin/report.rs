@@ -5,8 +5,9 @@
 //! Modes:
 //!
 //! * (no args) — print the paper-vs-measured table;
-//! * `--speedup` — run the sequential-vs-parallel comparison suite for the
-//!   four pool-backed hot paths and print the ratio table;
+//! * `--speedup` — run the comparison suite (the four pool-backed hot
+//!   paths sequential-vs-parallel, plus decomposed-vs-monolithic solving
+//!   on the federated multi-component family) and print the ratio table;
 //! * `--experiments [path]` — regenerate the paper table and the speedup
 //!   table, rewrite the corresponding sections of `EXPERIMENTS.md`
 //!   (default path), and append a line to its run history;
@@ -22,8 +23,8 @@
 //! Run with: `cargo run -p dagwave-bench --bin report --release [-- MODE]`
 
 use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
-use dagwave_core::{bounds, internal, theorem6, SolveSession, SolverBuilder};
-use dagwave_gen::{figures, havet, random, theorem2};
+use dagwave_core::{bounds, internal, theorem6, DecomposePolicy, SolveSession, SolverBuilder};
+use dagwave_gen::{compose, figures, havet, random, theorem2};
 use dagwave_graph::reach;
 use dagwave_paths::{load, ConflictGraph};
 use rand::SeedableRng;
@@ -320,6 +321,39 @@ fn paper_report() {
         );
     }
 
+    // D1 — decompose-solve-merge on the federated (multi-component) family.
+    for k in [4usize, 16, 48] {
+        let inst = compose::federated(k);
+        let sol = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
+        assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
+        let d = sol.decomposition.as_ref().expect("federated solve shards");
+        assert_eq!(d.shard_count(), k, "one shard per glued figure");
+        let max_shard = d.shards.iter().map(|s| s.num_colors).max().unwrap();
+        assert_eq!(sol.num_colors, max_shard, "merged span = max over shards");
+        let classes: Vec<String> = d
+            .class_histogram()
+            .iter()
+            .map(|(c, n)| format!("{c}×{n}"))
+            .collect();
+        row(
+            "D1 federated decomposition",
+            &format!("k={k}, |P|={}", inst.family.len()),
+            "shards=k, span=max shard",
+            &format!(
+                "shards={}, largest={}, w={}, optimal={}, classes[{}]",
+                d.shard_count(),
+                d.largest_shard(),
+                sol.num_colors,
+                sol.optimal,
+                classes.join(", ")
+            ),
+        );
+    }
+
     // A1/A2 — ablations.
     {
         let mut rng = ChaCha8Rng::seed_from_u64(41);
@@ -367,24 +401,39 @@ fn paper_report() {
 // ---------------------------------------------------------------------------
 
 /// One hot path measured both ways. Construction goes through
-/// [`Comparison::checked`], so a row existing implies its sequential and
-/// parallel outputs were verified bit-identical.
+/// [`Comparison::checked`], so a row existing implies its stated invariant
+/// (bit-identical outputs for the seq-vs-par rows; span-and-certification
+/// for the decomposition row) was verified during measurement.
 struct Comparison {
     op: &'static str,
     size: String,
     seq_ms: f64,
     par_ms: f64,
+    invariant: &'static str,
 }
 
 impl Comparison {
-    /// Build a row, asserting the identity invariant the table reports.
+    /// Build a bit-identity row, asserting the invariant the table reports.
     fn checked(op: &'static str, size: String, seq_ms: f64, par_ms: f64, identical: bool) -> Self {
-        assert!(identical, "{op}: parallel/sequential output mismatch");
+        Self::invariant_checked(op, size, seq_ms, par_ms, identical, "bit-identical")
+    }
+
+    /// Build a row with an arbitrary verified invariant.
+    fn invariant_checked(
+        op: &'static str,
+        size: String,
+        seq_ms: f64,
+        par_ms: f64,
+        holds: bool,
+        invariant: &'static str,
+    ) -> Self {
+        assert!(holds, "{op}: invariant `{invariant}` violated");
         Comparison {
             op,
             size,
             seq_ms,
             par_ms,
+            invariant,
         }
     }
 
@@ -428,7 +477,9 @@ fn calibration_ms() -> f64 {
 }
 
 /// Measure the four pool-backed hot paths sequentially and in parallel on
-/// fixed seeded workloads, asserting the outputs are bit-identical.
+/// fixed seeded workloads (asserting bit-identical outputs), plus the
+/// decompose-solve-merge path against the monolithic solve (asserting its
+/// span/certification invariant).
 fn speedup_suite() -> Vec<Comparison> {
     const REPS: usize = 5;
     let mut comps = Vec::new();
@@ -524,6 +575,44 @@ fn speedup_suite() -> Vec<Comparison> {
         ));
     }
 
+    // 5. Decompose-solve-merge vs monolithic on the federated family:
+    //    the intra-instance sharding hot path. "seq" is the monolithic
+    //    Auto solve, "par" the decomposed solve, so the ratio is the
+    //    decomposition speedup on one giant multi-component instance.
+    {
+        let inst = compose::federated(256);
+        let mono_session = SolverBuilder::new().decompose(DecomposePolicy::Off).build();
+        let dec_session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+        let (seq_ms, mono) = time_ms_with(REPS, || {
+            mono_session.solve(&inst.graph, &inst.family).unwrap()
+        });
+        let (par_ms, dec) = time_ms_with(REPS, || {
+            dec_session.solve(&inst.graph, &inst.family).unwrap()
+        });
+        let holds = dec.num_colors <= mono.num_colors
+            && dec.num_colors
+                == dec
+                    .decomposition
+                    .as_ref()
+                    .map(|d| d.shards.iter().map(|s| s.num_colors).max().unwrap_or(0))
+                    .unwrap_or(usize::MAX)
+            && dec.assignment.is_valid(&inst.graph, &inst.family);
+        comps.push(Comparison::invariant_checked(
+            "decompose_solve",
+            format!(
+                "federated k=256, |P|={}, shards={}",
+                inst.family.len(),
+                dec.decomposition.as_ref().map_or(0, |d| d.shard_count())
+            ),
+            seq_ms,
+            par_ms,
+            holds,
+            "span ≤ monolithic, = max shard, certified",
+        ));
+    }
+
     comps
 }
 
@@ -535,18 +624,19 @@ fn speedup_table(comps: &[Comparison]) -> String {
         rayon::current_num_threads(),
         std::thread::available_parallelism().map_or(0, |n| n.get()),
     ));
-    out.push_str("| op | workload | sequential ms | parallel ms | ratio | bit-identical |\n");
-    out.push_str("|----|----------|---------------|-------------|-------|---------------|\n");
+    out.push_str("| op | workload | sequential ms | parallel ms | ratio | verified invariant |\n");
+    out.push_str("|----|----------|---------------|-------------|-------|--------------------|\n");
     for c in comps {
-        // The bit-identical column is structurally "yes": Comparison rows
-        // can only be constructed through the identity assertion.
+        // The invariant column is structurally truthful: Comparison rows
+        // can only be constructed through the invariant assertion.
         out.push_str(&format!(
-            "| `{}` | {} | {:.2} | {:.2} | {:.2}x | yes |\n",
+            "| `{}` | {} | {:.2} | {:.2} | {:.2}x | {} |\n",
             c.op,
             c.size,
             c.seq_ms,
             c.par_ms,
             c.ratio(),
+            c.invariant,
         ));
     }
     out

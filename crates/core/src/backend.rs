@@ -124,6 +124,9 @@ pub enum Policy {
 pub struct SolveRequest {
     /// Backend-selection policy.
     pub policy: Policy,
+    /// When to shard the instance by conflict-graph components before
+    /// solving (decompose-solve-merge; see [`crate::DecomposePolicy`]).
+    pub decompose: crate::decompose::DecomposePolicy,
     /// Largest conflict graph (vertices) handed to the exact solver.
     pub exact_limit: usize,
     /// Branch-node budget for the exact solver.
@@ -157,6 +160,7 @@ impl Default for SolveRequest {
     fn default() -> Self {
         SolveRequest {
             policy: Policy::Auto,
+            decompose: crate::decompose::DecomposePolicy::default(),
             exact_limit: Self::DEFAULT_EXACT_LIMIT,
             exact_budget: exact::DEFAULT_NODE_BUDGET,
             weighted_dedup_limit: Self::DEFAULT_WEIGHTED_DEDUP_LIMIT,
@@ -575,6 +579,11 @@ mod tests {
         assert_eq!(req.weighted_exact_base_limit, 16);
         assert_eq!(req.weighted_exact_weight_limit, 64);
         assert_eq!(req.policy, Policy::Auto);
+        assert_eq!(
+            req.decompose,
+            crate::decompose::DecomposePolicy::default(),
+            "decomposition defaults to Auto above the size threshold"
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod assignment;
 pub mod backend;
 pub mod bounds;
 pub mod certify;
+pub mod decompose;
 pub mod error;
 pub mod internal;
 pub mod solver;
@@ -89,6 +90,7 @@ pub use backend::{
     BackendAttempt, BackendKind, BackendOutcome, ColoringBackend, InstanceContext, Policy,
     SolveRequest,
 };
+pub use decompose::{DecomposePolicy, Decomposition, ShardOutcome};
 pub use error::CoreError;
 #[allow(deprecated)]
 pub use solver::WavelengthSolver;

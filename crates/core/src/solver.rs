@@ -28,15 +28,20 @@ use crate::backend::{
 };
 use crate::bounds;
 use crate::certify;
+use crate::decompose::{DecomposePolicy, Decomposition, ShardOutcome};
 use crate::error::CoreError;
 use crate::internal::DagClass;
 use dagwave_color::ugraph::UGraph;
-use dagwave_paths::{ConflictGraph, DipathFamily, PathId};
+use dagwave_paths::{conflict_components, ConflictGraph, DipathFamily, PathId, SubInstance};
 use std::collections::VecDeque;
 
 /// Which backend produced a [`Solution`] — an alias for [`BackendKind`],
 /// kept so pre-portfolio code (`Strategy::Theorem1`, …) reads unchanged.
 pub type Strategy = BackendKind;
+
+/// One shard result awaiting merge: the shard's original path ids plus its
+/// solution (or the error that shard produced).
+type ShardSlot = Option<Result<(Vec<PathId>, Solution), CoreError>>;
 
 /// A solved instance, with full provenance.
 #[derive(Clone, Debug)]
@@ -51,11 +56,19 @@ pub struct Solution {
     pub optimal: bool,
     /// The instance class per the paper's taxonomy.
     pub class: DagClass,
-    /// The backend that produced the kept assignment.
+    /// The backend that produced the kept assignment. For a decomposed
+    /// solve this is the winning backend of the shard that determined the
+    /// merged span (the first shard attaining the maximum).
     pub strategy: Strategy,
     /// Every backend consulted for this solve, in consultation order, with
-    /// its bounds and `certify`-backed validity verdict.
+    /// its bounds and `certify`-backed validity verdict. For a decomposed
+    /// solve: the shards' attempts concatenated in shard order (the
+    /// per-shard split lives in [`Solution::decomposition`]).
     pub attempts: Vec<BackendAttempt>,
+    /// Present when the instance was sharded by conflict-graph components
+    /// (decompose-solve-merge): one [`ShardOutcome`] per component, in
+    /// deterministic shard order. `None` for monolithic solves.
+    pub decomposition: Option<Decomposition>,
 }
 
 /// An owned instance, the item type of [`SolveSession::solve_stream`].
@@ -115,6 +128,14 @@ impl SolverBuilder {
         self.policy(Policy::Portfolio(kinds))
     }
 
+    /// Set the decompose-solve-merge policy: when to shard the instance by
+    /// conflict-graph connected components and solve the shards
+    /// concurrently (see [`DecomposePolicy`]).
+    pub fn decompose(mut self, policy: DecomposePolicy) -> Self {
+        self.request.decompose = policy;
+        self
+    }
+
     /// Largest conflict graph (vertices) handed to the exact solver.
     pub fn exact_limit(mut self, limit: usize) -> Self {
         self.request.exact_limit = limit;
@@ -168,7 +189,10 @@ impl SolveSession {
     }
 
     /// Session with default budgets and [`Policy::Auto`] — the drop-in
-    /// replacement for the old `WavelengthSolver::new()`.
+    /// replacement for the old `WavelengthSolver::new()`, except that the
+    /// default [`DecomposePolicy::Auto`] additionally shards large
+    /// multi-component instances (the deprecated shim itself keeps
+    /// decomposition pinned off).
     pub fn auto() -> Self {
         Self::default()
     }
@@ -184,17 +208,128 @@ impl SolveSession {
     }
 
     /// Solve one instance under this session's policy.
+    ///
+    /// Runs the decompose-solve-merge pipeline when the session's
+    /// [`DecomposePolicy`] elects to shard (the instance is cut by
+    /// conflict-graph connected components, each shard is classified and
+    /// solved independently on the rayon pool, and the shard colorings are
+    /// merged with a shared palette); otherwise solves monolithically.
     pub fn solve(
         &self,
         g: &dagwave_graph::Digraph,
         family: &DipathFamily,
     ) -> Result<Solution, CoreError> {
+        // One context serves both paths: DAG validation, classification,
+        // and the load are computed exactly once per solve, whether the
+        // decompose stage elects to shard or falls through.
         let ctx = InstanceContext::new(g, family, &self.request)?;
-        match &self.request.policy {
-            Policy::Auto => self.solve_auto(&ctx),
-            Policy::Pinned(kind) => self.solve_pinned(*kind, &ctx),
-            Policy::Portfolio(kinds) => self.solve_portfolio(kinds, &ctx),
+        match self.decomposition_plan(&ctx) {
+            Some(components) => self.solve_decomposed(&ctx, components),
+            None => self.dispatch(&ctx),
         }
+    }
+
+    /// One undecomposed solve — the per-shard engine of the decomposed
+    /// path (shards build their own shard-local contexts).
+    fn solve_monolithic(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+    ) -> Result<Solution, CoreError> {
+        let ctx = InstanceContext::new(g, family, &self.request)?;
+        self.dispatch(&ctx)
+    }
+
+    /// Route one instance context to the configured backend policy.
+    fn dispatch(&self, ctx: &InstanceContext<'_>) -> Result<Solution, CoreError> {
+        match &self.request.policy {
+            Policy::Auto => self.solve_auto(ctx),
+            Policy::Pinned(kind) => self.solve_pinned(*kind, ctx),
+            Policy::Portfolio(kinds) => self.solve_portfolio(kinds, ctx),
+        }
+    }
+
+    /// The decompose stage: decide whether to shard and, if so, return the
+    /// conflict-graph components in deterministic shard order.
+    ///
+    /// The component scan never builds the conflict graph — dipaths are
+    /// unioned through the arc buckets directly
+    /// ([`dagwave_paths::conflict_components`]), so deciding costs
+    /// `O(Σ|P| · α)` even when the conflict graph would be enormous.
+    /// Checks run cheapest-first against the already-validated context
+    /// (no graph pass is duplicated on the fall-through).
+    fn decomposition_plan(&self, ctx: &InstanceContext<'_>) -> Option<Vec<Vec<PathId>>> {
+        let auto = match self.request.decompose {
+            DecomposePolicy::Off => return None,
+            DecomposePolicy::Auto { min_paths } => {
+                if ctx.family.len() < min_paths.max(1) {
+                    return None;
+                }
+                true
+            }
+            DecomposePolicy::Always => {
+                if ctx.family.is_empty() {
+                    return None;
+                }
+                false
+            }
+        };
+        // Auto declines when the Auto backend policy would take the
+        // Theorem 1 fast path anyway: on an internal-cycle-free host the
+        // monolithic solve is already optimal (`w = π`) in near-linear
+        // time, so sharding could only add overhead, never save colors.
+        // Pinned/Portfolio policies still shard (smaller per-shard graphs
+        // genuinely help heuristic and exact backends), as does `Always`.
+        if auto && self.request.policy == Policy::Auto && ctx.class == DagClass::InternalCycleFree {
+            return None;
+        }
+        let components = conflict_components(ctx.graph, ctx.family);
+        if auto && components.len() <= 1 {
+            // Auto only pays the shard machinery when it actually splits.
+            return None;
+        }
+        Some(components)
+    }
+
+    /// Solve the shards concurrently and merge with a shared palette.
+    ///
+    /// Each component is extracted into a [`SubInstance`] (dense local ids,
+    /// host graph restricted to the arcs the shard uses) and solved with
+    /// this session's policy and budgets — but with decomposition off, a
+    /// shard is never re-sharded. Shard tasks run on the rayon pool;
+    /// results are merged in deterministic shard order regardless of
+    /// completion order, so the output is bit-identical at every thread
+    /// budget.
+    fn solve_decomposed(
+        &self,
+        ctx: &InstanceContext<'_>,
+        components: Vec<Vec<PathId>>,
+    ) -> Result<Solution, CoreError> {
+        let (g, family) = (ctx.graph, ctx.family);
+        let shard_session = SolveSession::new(SolveRequest {
+            decompose: DecomposePolicy::Off,
+            ..self.request.clone()
+        });
+        let mut slots: Vec<ShardSlot> = components.iter().map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, members) in slots.iter_mut().zip(&components) {
+                let shard_session = &shard_session;
+                s.spawn(move |_| {
+                    let sub = SubInstance::extract(g, family, members);
+                    *slot = Some(
+                        shard_session
+                            .solve_monolithic(&sub.graph, &sub.family)
+                            .map(|sol| (sub.original_ids().to_vec(), sol)),
+                    );
+                });
+            }
+        });
+        // First shard error wins, in shard order — deterministic.
+        let shards: Vec<(Vec<PathId>, Solution)> = slots
+            .into_iter()
+            .map(|r| r.expect("shard task completed"))
+            .collect::<Result<_, _>>()?;
+        Ok(merge_shards(ctx, shards))
     }
 
     /// Solve many instances in parallel — the batch entry point for
@@ -528,6 +663,74 @@ fn build_solution(
         class: ctx.class,
         strategy: winner,
         attempts,
+        decomposition: None,
+    }
+}
+
+/// Merge per-shard solutions into one whole-instance [`Solution`] with a
+/// shared palette.
+///
+/// Shard palettes are normalized to dense `0..k` before writing back, so
+/// the merged span is exactly the maximum over shard spans (the chromatic
+/// number of a disjoint union is the max over its components — merging
+/// loses nothing). Properness is structural: colors can only collide
+/// across shards, and cross-shard dipaths never conflict.
+fn merge_shards(ctx: &InstanceContext<'_>, shards: Vec<(Vec<PathId>, Solution)>) -> Solution {
+    let mut colors = vec![usize::MAX; ctx.family.len()];
+    let mut span = 0usize;
+    let mut best_lower = 0usize;
+    let mut strategy: Option<Strategy> = None;
+    let mut all_optimal = true;
+    let mut attempts = Vec::new();
+    let mut reports = Vec::with_capacity(shards.len());
+    for (original_ids, sol) in shards {
+        let normalized = sol.assignment.normalized();
+        for (local, &orig) in original_ids.iter().enumerate() {
+            colors[orig.index()] = normalized.color(PathId::from_index(local));
+        }
+        // The merged strategy tag: winner of the first shard attaining the
+        // merged span (strictly-greater update keeps the earliest).
+        if strategy.is_none() || sol.num_colors > span {
+            strategy = Some(sol.strategy);
+        }
+        span = span.max(sol.num_colors);
+        // Each shard's lower bound is a bound on the whole chromatic
+        // number (the union contains the shard as an induced subgraph).
+        let shard_lower = sol
+            .attempts
+            .iter()
+            .map(|a| a.lower_bound)
+            .max()
+            .unwrap_or(sol.load);
+        best_lower = best_lower.max(shard_lower);
+        all_optimal &= sol.optimal;
+        attempts.extend(sol.attempts.iter().cloned());
+        reports.push(ShardOutcome {
+            paths: original_ids.len(),
+            class: sol.class,
+            strategy: sol.strategy,
+            num_colors: sol.num_colors,
+            load: sol.load,
+            optimal: sol.optimal,
+            attempts: sol.attempts,
+        });
+    }
+    debug_assert!(
+        colors.iter().all(|&c| c != usize::MAX),
+        "components partition the family"
+    );
+    Solution {
+        assignment: WavelengthAssignment::new(colors),
+        num_colors: span,
+        // Every arc's users live in exactly one shard, so the whole-
+        // instance load (already on the context) is the max shard load.
+        load: ctx.load,
+        // Max of per-shard optima is the optimum of the union.
+        optimal: all_optimal || span == best_lower,
+        class: ctx.class,
+        strategy: strategy.expect("decomposed solve has at least one shard"),
+        attempts,
+        decomposition: Some(Decomposition { shards: reports }),
     }
 }
 
@@ -610,11 +813,19 @@ impl WavelengthSolver {
     }
 
     fn session(&self) -> SolveSession {
-        SolveSession::new(SolveRequest {
+        SolveSession::new(self.request())
+    }
+
+    /// The shim's request: the old facade predates decompose-solve-merge,
+    /// so decomposition is pinned off to honor the "identical behavior"
+    /// contract above.
+    fn request(&self) -> SolveRequest {
+        SolveRequest {
             exact_limit: self.exact_limit,
             exact_budget: self.exact_budget,
+            decompose: DecomposePolicy::Off,
             ..SolveRequest::default()
-        })
+        }
     }
 
     /// Solve the instance, dispatching on its class.
@@ -643,11 +854,7 @@ impl WavelengthSolver {
         family: &DipathFamily,
         class: DagClass,
     ) -> Option<Solution> {
-        let request = SolveRequest {
-            exact_limit: self.exact_limit,
-            exact_budget: self.exact_budget,
-            ..SolveRequest::default()
-        };
+        let request = self.request();
         let ctx = InstanceContext::new(g, family, &request).ok()?;
         if backend(BackendKind::Weighted).unsupported(&ctx).is_some() {
             return None;
@@ -666,11 +873,7 @@ impl WavelengthSolver {
         family: &DipathFamily,
         class: DagClass,
     ) -> Result<Solution, CoreError> {
-        let request = SolveRequest {
-            exact_limit: self.exact_limit,
-            exact_budget: self.exact_budget,
-            ..SolveRequest::default()
-        };
+        let request = self.request();
         let ctx = InstanceContext::new(g, family, &request)?;
         let kind = if backend(BackendKind::Exact).unsupported(&ctx).is_none() {
             BackendKind::Exact
@@ -1047,6 +1250,220 @@ mod tests {
         #[allow(deprecated)]
         let none = old.solve_weighted(&g, &f, crate::internal::classify(&g));
         assert!(none.is_none(), "family has no duplicates");
+    }
+
+    /// Three conflict components: the guarded diamond family splits in two
+    /// ({p0,p1} and {p2,p3} share no arc) and a disjoint chain part adds a
+    /// third. Every shard's restricted graph is internal-cycle-free even
+    /// though the whole DAG is general — the reclassification win the
+    /// decompose stage exists for.
+    fn three_component_instance() -> (Digraph, DipathFamily) {
+        let (d, df) = general_instance(); // vertices 0..6, arcs 0..6
+        let mut g = d.clone();
+        // Second part: disjoint chain 6→7→8 with three overlapping paths.
+        let v6 = g.add_vertex();
+        let v7 = g.add_vertex();
+        let v8 = g.add_vertex();
+        let a67 = g.add_arc(v6, v7);
+        let a78 = g.add_arc(v7, v8);
+        let mut paths: Vec<Dipath> = df.iter().map(|(_, p)| p.clone()).collect();
+        paths.push(Dipath::from_arcs(&g, vec![a67, a78]).unwrap());
+        paths.push(Dipath::from_arcs(&g, vec![a67]).unwrap());
+        paths.push(Dipath::from_arcs(&g, vec![a78]).unwrap());
+        (g, DipathFamily::from_paths(paths))
+    }
+
+    #[test]
+    fn decomposed_solve_merges_with_shared_palette() {
+        let (g, f) = three_component_instance();
+        let session = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build();
+        let sol = session.solve(&g, &f).unwrap();
+        assert!(sol.assignment.is_valid(&g, &f));
+        let d = sol.decomposition.as_ref().expect("decomposed solve");
+        assert_eq!(d.shard_count(), 3);
+        // Merged span = max over shards (shared palette).
+        let max_shard = d.shards.iter().map(|s| s.num_colors).max().unwrap();
+        assert_eq!(sol.num_colors, max_shard);
+        assert_eq!(sol.num_colors, sol.assignment.num_colors());
+        // Every shard's restricted graph drops the arcs that made the
+        // whole DAG general: all three reclassify as internal-cycle-free
+        // and solve via Theorem 1, so the merged solve is provably optimal.
+        assert_eq!(d.class_histogram(), vec![(DagClass::InternalCycleFree, 3)]);
+        assert!(d
+            .shards
+            .iter()
+            .all(|s| s.strategy == Strategy::Theorem1 && s.optimal));
+        assert!(sol.optimal);
+        // Whole-instance stats survive the merge.
+        assert_eq!(sol.load, dagwave_paths::load::max_load(&g, &f));
+        assert_eq!(sol.class, crate::internal::classify(&g));
+        // Flattened provenance matches the per-shard records.
+        let flat: usize = d.shards.iter().map(|s| s.attempts.len()).sum();
+        assert_eq!(sol.attempts.len(), flat);
+        assert_eq!(d.largest_shard(), 3);
+    }
+
+    #[test]
+    fn decomposed_never_worse_than_monolithic_auto() {
+        let (g, f) = three_component_instance();
+        let mono = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Off)
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(mono.decomposition.is_none());
+        let dec = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(dec.num_colors <= mono.num_colors);
+    }
+
+    #[test]
+    fn decomposition_composes_with_pinned_and_portfolio() {
+        let (g, f) = three_component_instance();
+        for policy in [
+            Policy::Pinned(BackendKind::Dsatur),
+            Policy::Portfolio(vec![BackendKind::Dsatur, BackendKind::KempeGreedy]),
+        ] {
+            let sol = SolveSession::builder()
+                .policy(policy)
+                .decompose(crate::DecomposePolicy::Always)
+                .build()
+                .solve(&g, &f)
+                .unwrap();
+            assert!(sol.assignment.is_valid(&g, &f));
+            assert_eq!(sol.decomposition.unwrap().shard_count(), 3);
+        }
+    }
+
+    #[test]
+    fn auto_decompose_respects_threshold_and_split() {
+        let (g, f) = three_component_instance();
+        // Above the threshold and split: decomposes.
+        let on = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Auto { min_paths: 2 })
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(on.decomposition.is_some());
+        // Threshold above the family size: monolithic.
+        let off = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Auto { min_paths: 100 })
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(off.decomposition.is_none());
+        // Single-component instance: Auto stays monolithic at any size.
+        let g1 = from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let f1 = DipathFamily::from_paths(vec![
+            path(&g1, &[0, 1, 2]),
+            path(&g1, &[0, 1, 3]),
+            path(&g1, &[1, 2]),
+        ]);
+        let single = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Auto { min_paths: 1 })
+            .build()
+            .solve(&g1, &f1)
+            .unwrap();
+        assert!(single.decomposition.is_none());
+        // ...but Always shards even a single component.
+        let forced = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build()
+            .solve(&g1, &f1)
+            .unwrap();
+        assert_eq!(forced.decomposition.unwrap().shard_count(), 1);
+        assert_eq!(forced.num_colors, single.num_colors);
+    }
+
+    #[test]
+    fn auto_decompose_skips_the_theorem1_fast_path() {
+        // Two disjoint chains: multi-component but internal-cycle-free, so
+        // the monolithic Auto solve is already optimal and near-linear.
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2]),
+            path(&g, &[3, 4, 5]),
+            path(&g, &[4, 5]),
+        ]);
+        // Auto backend policy: stays monolithic despite the split.
+        let auto = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Auto { min_paths: 1 })
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert!(auto.decomposition.is_none());
+        assert_eq!(auto.strategy, Strategy::Theorem1);
+        // A pinned heuristic backend still shards (smaller graphs help it).
+        let pinned = SolveSession::builder()
+            .pinned(BackendKind::Dsatur)
+            .decompose(crate::DecomposePolicy::Auto { min_paths: 1 })
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert_eq!(pinned.decomposition.unwrap().shard_count(), 2);
+        // And Always overrides the fast-path skip.
+        let always = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build()
+            .solve(&g, &f)
+            .unwrap();
+        assert_eq!(always.decomposition.unwrap().shard_count(), 2);
+        assert_eq!(always.num_colors, auto.num_colors, "both hit π");
+    }
+
+    #[test]
+    fn decomposed_solve_rejects_cyclic_input_like_monolithic() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let f = DipathFamily::from_paths(vec![Dipath::single(g.find_arc(v(0), v(1)).unwrap())]);
+        let err = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build()
+            .solve(&g, &f)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotADag(_)));
+    }
+
+    #[test]
+    fn decomposed_empty_family_falls_back_to_monolithic() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let sol = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build()
+            .solve(&g, &DipathFamily::new())
+            .unwrap();
+        assert_eq!(sol.num_colors, 0);
+        assert!(sol.decomposition.is_none());
+    }
+
+    #[test]
+    fn decomposition_flows_through_batch_and_stream() {
+        let (g, f) = three_component_instance();
+        let session = SolveSession::builder()
+            .decompose(crate::DecomposePolicy::Always)
+            .build();
+        let single = session.solve(&g, &f).unwrap();
+        let batch = session.solve_batch(&[(&g, &f), (&g, &f)]);
+        let streamed: Vec<_> = session
+            .solve_stream([
+                Instance::new(g.clone(), f.clone()),
+                Instance::new(g.clone(), f.clone()),
+            ])
+            .collect();
+        for sol in batch.iter().chain(&streamed) {
+            let sol = sol.as_ref().unwrap();
+            assert_eq!(sol.num_colors, single.num_colors);
+            assert_eq!(sol.assignment.colors(), single.assignment.colors());
+            assert_eq!(
+                sol.decomposition.as_ref().unwrap().shard_count(),
+                single.decomposition.as_ref().unwrap().shard_count()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Instance combinators: glue instances into larger multi-component ones.
+//!
+//! The decompose-solve-merge pipeline shards an instance by conflict-graph
+//! connected components; these combinators build instances with a *known*
+//! component structure so the pipeline can be exercised at any scale:
+//! [`disjoint_union`] relabels instances side by side into one DAG (no
+//! shared vertices or arcs, so their families never conflict across
+//! parts), and [`federated`] builds the standard stress workload — `k`
+//! copies of the paper's figure instances glued into one giant
+//! multi-component instance.
+
+use crate::{figures, Instance};
+use dagwave_graph::{ArcId, VertexId};
+use dagwave_paths::{Dipath, DipathFamily};
+
+/// Glue `instances` into one instance on the disjoint union of their
+/// graphs.
+///
+/// Vertices and arcs of part `i` are relabeled by the cumulative offsets of
+/// parts `0..i` (dense ids, allocation order preserved — parallel arcs
+/// survive), and the families are concatenated in part order, so path
+/// `j` of part `i` becomes path `offset_i + j` of the union. Dipaths from
+/// different parts share no arc, which makes every part (at least) one
+/// connected component of the union's conflict graph.
+///
+/// An empty slice yields the empty instance.
+pub fn disjoint_union(instances: &[Instance]) -> Instance {
+    let mut graph = dagwave_graph::Digraph::new();
+    let mut paths: Vec<Dipath> = Vec::new();
+    for inst in instances {
+        let vertex_offset = graph.vertex_count() as u32;
+        let arc_offset = graph.arc_count() as u32;
+        graph.add_vertices(inst.graph.vertex_count());
+        for (_, arc) in inst.graph.arcs() {
+            graph.add_arc(
+                VertexId(arc.tail.0 + vertex_offset),
+                VertexId(arc.head.0 + vertex_offset),
+            );
+        }
+        for (_, p) in inst.family.iter() {
+            let arcs = p.arcs().iter().map(|a| ArcId(a.0 + arc_offset)).collect();
+            paths.push(Dipath::from_arcs(&graph, arcs).expect("relabeled dipath stays contiguous"));
+        }
+    }
+    let name = format!(
+        "union[{}]",
+        instances
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+    Instance {
+        graph,
+        family: DipathFamily::from_paths(paths),
+        name,
+    }
+}
+
+/// The federated stress family: `k` copies of the paper's figure instances
+/// glued into one multi-component instance.
+///
+/// Copy `i` cycles through Figure 3 (`C5`, general class), Figure 5's
+/// odd-cycle family (`k = 2 + i mod 3`), Figure 8's crossing `C4`
+/// (UPP single cycle), and Figure 1's staircase (`k = 3`) — so the union
+/// mixes every class the per-shard classifier can encounter. Each copy is
+/// arc-disjoint from the rest, hence the conflict graph has at least `k`
+/// components (figure instances themselves are connected, so exactly `k`).
+///
+/// ```
+/// use dagwave_gen::compose::federated;
+///
+/// let inst = federated(6);
+/// let comps = dagwave_paths::conflict_components(&inst.graph, &inst.family);
+/// assert_eq!(comps.len(), 6);
+/// ```
+pub fn federated(k: usize) -> Instance {
+    let parts: Vec<Instance> = (0..k).map(federated_part).collect();
+    let mut inst = disjoint_union(&parts);
+    inst.name = format!("federated-k{k}");
+    inst
+}
+
+/// The `i`-th part of the federated family.
+fn federated_part(i: usize) -> Instance {
+    match i % 4 {
+        0 => figures::figure3(),
+        1 => figures::theorem2_family(2 + i % 3),
+        2 => figures::crossing_c4(),
+        _ => figures::staircase(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_paths::{conflict_components, load, ConflictGraph};
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let u = disjoint_union(&[]);
+        assert_eq!(u.graph.vertex_count(), 0);
+        assert!(u.family.is_empty());
+    }
+
+    #[test]
+    fn union_concatenates_sizes_and_keeps_loads() {
+        let a = figures::figure3();
+        let b = figures::crossing_c4();
+        let u = disjoint_union(&[a.clone(), b.clone()]);
+        assert_eq!(
+            u.graph.vertex_count(),
+            a.graph.vertex_count() + b.graph.vertex_count()
+        );
+        assert_eq!(
+            u.graph.arc_count(),
+            a.graph.arc_count() + b.graph.arc_count()
+        );
+        assert_eq!(u.family.len(), a.family.len() + b.family.len());
+        // Load of a disjoint union is the max over parts.
+        assert_eq!(u.load(), a.load().max(b.load()));
+        assert!(dagwave_graph::topo::is_dag(&u.graph));
+    }
+
+    #[test]
+    fn union_parts_never_conflict_across() {
+        let a = figures::figure3();
+        let b = figures::theorem2_family(2);
+        let u = disjoint_union(&[a.clone(), b.clone()]);
+        let cg = ConflictGraph::build(&u.graph, &u.family);
+        let cut = a.family.len() as u32;
+        for (p, q) in cg.edges() {
+            assert_eq!(
+                p.0 < cut,
+                q.0 < cut,
+                "edge {p}-{q} crosses the part boundary"
+            );
+        }
+        // Per-part conflict structure is preserved exactly.
+        let cg_a = ConflictGraph::build(&a.graph, &a.family);
+        let cg_b = ConflictGraph::build(&b.graph, &b.family);
+        assert_eq!(cg.edge_count(), cg_a.edge_count() + cg_b.edge_count());
+    }
+
+    #[test]
+    fn federated_has_k_components() {
+        for k in [1usize, 2, 5, 9] {
+            let inst = federated(k);
+            assert!(dagwave_graph::topo::is_dag(&inst.graph), "k={k}");
+            let comps = conflict_components(&inst.graph, &inst.family);
+            assert_eq!(comps.len(), k, "k={k}");
+            let total: usize = comps.iter().map(|c| c.len()).sum();
+            assert_eq!(total, inst.family.len(), "components partition, k={k}");
+        }
+    }
+
+    #[test]
+    fn federated_load_is_max_over_parts() {
+        let inst = federated(8);
+        let per_part_max = (0..8).map(|i| federated_part(i).load()).max().unwrap();
+        assert_eq!(load::max_load(&inst.graph, &inst.family), per_part_max);
+    }
+}

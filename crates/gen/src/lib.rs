@@ -10,6 +10,10 @@
 //!   internal cycle of any DAG.
 //! * [`random`] — seeded random DAGs (layered, out-trees, fans,
 //!   single-cycle UPP) and random dipath families.
+//! * [`compose`] — instance combinators: [`compose::disjoint_union`] glues
+//!   instances into one multi-component DAG, and [`compose::federated`]
+//!   builds the k-copies-of-figures stress workload for the
+//!   decompose-solve-merge pipeline.
 //!
 //! All generators return an [`Instance`] bundling the digraph with a dipath
 //! family and the paper-claimed quantities where applicable.
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod figures;
 pub mod havet;
 pub mod io;

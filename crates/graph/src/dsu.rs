@@ -73,6 +73,27 @@ impl UnionFind {
     pub fn connected(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
     }
+
+    /// The disjoint sets as explicit member lists, in a canonical order:
+    /// members ascend within each set and sets are ordered by their smallest
+    /// member. The output is therefore independent of the union sequence
+    /// that produced the partition — callers (e.g. conflict-graph
+    /// decomposition) can rely on it as a deterministic shard order.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        // slot[root] = position of that root's set in the output.
+        let mut slot = vec![usize::MAX; n];
+        let mut sets: Vec<Vec<usize>> = Vec::with_capacity(self.components);
+        for x in 0..n {
+            let r = self.find(x);
+            if slot[r] == usize::MAX {
+                slot[r] = sets.len();
+                sets.push(Vec::new());
+            }
+            sets[slot[r]].push(x);
+        }
+        sets
+    }
 }
 
 #[cfg(test)]
@@ -125,9 +146,52 @@ mod tests {
 
     #[test]
     fn empty_structure() {
-        let uf = UnionFind::new(0);
+        let mut uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.len(), 0);
         assert_eq!(uf.component_count(), 0);
+        assert!(uf.components().is_empty());
+    }
+
+    #[test]
+    fn components_of_singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.components(), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn components_single_element() {
+        let mut uf = UnionFind::new(1);
+        assert_eq!(uf.components(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn components_are_canonical_regardless_of_union_order() {
+        // The same partition {0,3,4} {1,2} built two different ways.
+        let mut a = UnionFind::new(5);
+        a.union(3, 0);
+        a.union(4, 3);
+        a.union(2, 1);
+        let mut b = UnionFind::new(5);
+        b.union(1, 2);
+        b.union(0, 4);
+        b.union(4, 3);
+        let expected = vec![vec![0, 3, 4], vec![1, 2]];
+        assert_eq!(a.components(), expected);
+        assert_eq!(b.components(), expected);
+        assert_eq!(a.component_count(), 2);
+    }
+
+    #[test]
+    fn components_match_component_count() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 7);
+        uf.union(2, 5);
+        uf.union(5, 6);
+        let comps = uf.components();
+        assert_eq!(comps.len(), uf.component_count());
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, uf.len());
     }
 }

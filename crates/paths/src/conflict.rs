@@ -12,7 +12,7 @@
 
 use crate::dipath::Dipath;
 use crate::family::{DipathFamily, PathId};
-use dagwave_graph::{ArcId, Digraph};
+use dagwave_graph::{ArcId, Digraph, UnionFind};
 use rayon::prelude::*;
 
 /// The conflict graph: a simple undirected graph over [`PathId`]s.
@@ -149,18 +149,76 @@ impl ConflictGraph {
         self.adj.iter().map(|ns| ns.len()).max().unwrap_or(0)
     }
 
-    /// Edge list `(i, j)` with `i < j`.
-    pub fn edge_list(&self) -> Vec<(PathId, PathId)> {
-        let mut edges = Vec::with_capacity(self.edges);
-        for (i, ns) in self.adj.iter().enumerate() {
-            for &j in ns {
-                if (i as u32) < j {
-                    edges.push((PathId::from_index(i), PathId(j)));
-                }
-            }
-        }
-        edges
+    /// Iterate over the edges `(i, j)` with `i < j`, in canonical order
+    /// (lexicographic by endpoints), without allocating an edge vector.
+    pub fn edges(&self) -> impl Iterator<Item = (PathId, PathId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, ns)| {
+            ns.iter()
+                .copied()
+                .filter(move |&j| (i as u32) < j)
+                .map(move |j| (PathId::from_index(i), PathId(j)))
+        })
     }
+
+    /// Edge list `(i, j)` with `i < j` — the allocated form of
+    /// [`ConflictGraph::edges`], kept for callers that need a materialized
+    /// `Vec`.
+    pub fn edge_list(&self) -> Vec<(PathId, PathId)> {
+        self.edges().collect()
+    }
+
+    /// Connected components of the conflict graph, via union-find over the
+    /// adjacency lists: the members of one component are exactly the dipaths
+    /// that must share a coloring sub-problem (no edge crosses components,
+    /// so disjoint components can be colored with a shared palette).
+    ///
+    /// Canonical order: members ascend within a component and components
+    /// are ordered by their smallest member — the deterministic shard order
+    /// the decompose-solve-merge pipeline relies on.
+    pub fn components(&self) -> Vec<Vec<PathId>> {
+        let mut uf = UnionFind::new(self.adj.len());
+        for (a, b) in self.edges() {
+            uf.union(a.index(), b.index());
+        }
+        path_components(uf)
+    }
+}
+
+/// Map a union-find partition onto [`PathId`] member lists, preserving the
+/// canonical order of [`UnionFind::components`].
+fn path_components(mut uf: UnionFind) -> Vec<Vec<PathId>> {
+    uf.components()
+        .into_iter()
+        .map(|members| members.into_iter().map(PathId::from_index).collect())
+        .collect()
+}
+
+/// Connected components of the conflict graph of `family` over `g`,
+/// **without building the conflict graph**: dipaths sharing an arc are
+/// unioned directly through the arc buckets, so the cost is
+/// `O(Σ|P| · α)` instead of the output-sensitive adjacency cost. This is
+/// what makes the decompose stage affordable on instances whose conflict
+/// graph would be enormous.
+///
+/// Output is identical to
+/// [`ConflictGraph::components`]` of ConflictGraph::build(g, family)`:
+/// members ascend within a component, components are ordered by smallest
+/// member.
+pub fn conflict_components(g: &Digraph, family: &DipathFamily) -> Vec<Vec<PathId>> {
+    let mut uf = UnionFind::new(family.len());
+    // last_user[a] = most recent dipath seen using arc a; union chains the
+    // users of each arc together without materializing the buckets.
+    let mut last_user: Vec<u32> = vec![u32::MAX; g.arc_count()];
+    for (id, p) in family.iter() {
+        for &a in p.arcs() {
+            let prev = last_user[a.index()];
+            if prev != u32::MAX {
+                uf.union(prev as usize, id.index());
+            }
+            last_user[a.index()] = id.0;
+        }
+    }
+    path_components(uf)
 }
 
 /// The shared-arc structure of two conflicting dipaths.
@@ -303,10 +361,13 @@ mod tests {
         let cg = ConflictGraph::build(&g, &f);
         let edges = cg.edge_list();
         assert_eq!(edges.len(), cg.edge_count());
-        for (a, b) in edges {
+        for (a, b) in &edges {
             assert!(a < b);
-            assert!(cg.are_adjacent(a, b));
+            assert!(cg.are_adjacent(*a, *b));
         }
+        // The non-allocating iterator yields exactly the allocated list.
+        assert_eq!(cg.edges().collect::<Vec<_>>(), edges);
+        assert_eq!(cg.edges().count(), cg.edge_count());
     }
 
     #[test]
@@ -316,7 +377,57 @@ mod tests {
         assert_eq!(cg.vertex_count(), 0);
         assert_eq!(cg.edge_count(), 0);
         assert_eq!(cg.max_degree(), 0);
-        assert!(cg.edge_list().is_empty());
+        assert!(cg.edges().next().is_none());
+        assert!(cg.components().is_empty());
+        assert!(conflict_components(&g, &DipathFamily::new()).is_empty());
+    }
+
+    #[test]
+    fn components_of_chain_family() {
+        // p0–p1 conflict (share 1→2); p2 is isolated.
+        let (g, f) = chain_family();
+        let cg = ConflictGraph::build(&g, &f);
+        let comps = cg.components();
+        assert_eq!(comps, vec![vec![PathId(0), PathId(1)], vec![PathId(2)]]);
+        assert_eq!(comps, conflict_components(&g, &f));
+    }
+
+    #[test]
+    fn components_single_path() {
+        let g = from_edges(2, &[(0, 1)]);
+        let f = DipathFamily::from_paths(vec![Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap()]);
+        let cg = ConflictGraph::build(&g, &f);
+        assert_eq!(cg.components(), vec![vec![PathId(0)]]);
+        assert_eq!(conflict_components(&g, &f), vec![vec![PathId(0)]]);
+    }
+
+    #[test]
+    fn components_all_isolated_paths() {
+        // Three arc-disjoint dipaths: every path is its own component.
+        let g = from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            Dipath::from_vertices(&g, &[v(0), v(1)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(2), v(3)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(4), v(5)]).unwrap(),
+        ]);
+        let cg = ConflictGraph::build(&g, &f);
+        let comps = cg.components();
+        assert_eq!(
+            comps,
+            vec![vec![PathId(0)], vec![PathId(1)], vec![PathId(2)]]
+        );
+        assert_eq!(comps, conflict_components(&g, &f));
+    }
+
+    #[test]
+    fn fast_components_match_graph_components_on_replicated_family() {
+        let (g, f) = chain_family();
+        let big = f.replicate(7);
+        let cg = ConflictGraph::build(&g, &big);
+        assert_eq!(cg.components(), conflict_components(&g, &big));
+        // Replication keeps every copy in the original's component: copies
+        // of p0/p1 share arcs with their originals, copies of p2 with p2.
+        assert_eq!(cg.components().len(), 2);
     }
 
     #[test]

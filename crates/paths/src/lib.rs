@@ -9,7 +9,12 @@
 //! * [`load`] — per-arc load table, `π(G, P)` and its argmax.
 //! * [`conflict`] — the conflict graph (vertices = dipaths, edges = pairs
 //!   sharing an arc), built with the arc-bucket algorithm, plus intersection
-//!   intervals for the UPP Helly structure.
+//!   intervals for the UPP Helly structure and connected components
+//!   ([`ConflictGraph::components`], [`conflict_components`]).
+//! * [`subinstance`] — [`SubInstance`] extraction: one conflict-graph
+//!   component as a standalone instance with a dense local family, a
+//!   restricted host graph, and the inverse id map (the decompose half of
+//!   decompose-solve-merge).
 //!
 //! ```
 //! use dagwave_graph::builder::from_edges;
@@ -34,6 +39,7 @@ pub mod error;
 pub mod family;
 pub mod load;
 pub mod stats;
+pub mod subinstance;
 
 /// Contiguous shard bounds `(lo, hi)` covering `0..n`, one shard per rayon
 /// pool slot — the shared scaffolding of the crate's shard-then-merge
@@ -52,7 +58,8 @@ pub(crate) fn shard_bounds(n: usize) -> Option<Vec<(usize, usize)>> {
     )
 }
 
-pub use conflict::ConflictGraph;
+pub use conflict::{conflict_components, ConflictGraph};
 pub use dipath::Dipath;
 pub use error::PathError;
 pub use family::{DipathFamily, PathId};
+pub use subinstance::SubInstance;

@@ -1,0 +1,204 @@
+//! Shard-local sub-instances for decompose-solve-merge.
+//!
+//! Wavelength assignment on a disjoint conflict graph decomposes exactly:
+//! two dipaths in different connected components share no arc, so coloring
+//! each component independently with a shared palette is a proper coloring
+//! of the whole family, and the merged span is the maximum over components.
+//!
+//! A [`SubInstance`] materializes one component as a standalone instance:
+//! the member dipaths are remapped into a dense shard-local
+//! [`DipathFamily`] (local ids `0..members.len()`), the host digraph is
+//! restricted to the vertices and arcs the members actually traverse, and
+//! the inverse id map is recorded so shard-local colors can be written back
+//! to original [`PathId`]s. Restricting the graph matters beyond size: a
+//! shard frequently lands in a friendlier class than the whole instance
+//! (e.g. the component never touches the internal cycle that forced the
+//! whole DAG into the general class), unlocking the stronger theorem-backed
+//! solvers per shard.
+
+use crate::dipath::Dipath;
+use crate::family::{DipathFamily, PathId};
+use dagwave_graph::{ArcId, Digraph, VertexId};
+
+/// One shard of an instance: a dense local family over a restricted graph,
+/// plus the map back to the original ids.
+///
+/// Built by [`SubInstance::extract`]; local ids follow the order of the
+/// member list handed in (ascending original id when the members come from
+/// [`crate::conflict::ConflictGraph::components`] /
+/// [`crate::conflict::conflict_components`], which keeps the whole
+/// decomposition deterministic).
+#[derive(Clone, Debug)]
+pub struct SubInstance {
+    /// The host graph restricted to the vertices/arcs the members use.
+    pub graph: Digraph,
+    /// The members as a dense shard-local family (`PathId(0)..`).
+    pub family: DipathFamily,
+    /// `original[local.index()]` = the member's id in the source family.
+    original: Vec<PathId>,
+}
+
+impl SubInstance {
+    /// Extract the sub-instance induced by `members` of `family` over `g`.
+    ///
+    /// The restricted graph keeps exactly the vertices and arcs traversed
+    /// by some member, renumbered densely in ascending original-id order
+    /// (so extraction is deterministic). Parallel arcs survive: arcs are
+    /// remapped individually by [`ArcId`], not by endpoint pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member id is out of bounds for `family`.
+    pub fn extract(g: &Digraph, family: &DipathFamily, members: &[PathId]) -> SubInstance {
+        // Arcs and vertices used by the shard, in ascending original order.
+        let mut used_arcs: Vec<ArcId> = members
+            .iter()
+            .flat_map(|&id| family.path(id).arcs().iter().copied())
+            .collect();
+        used_arcs.sort_unstable();
+        used_arcs.dedup();
+        let mut used_vertices: Vec<VertexId> = used_arcs
+            .iter()
+            .flat_map(|&a| [g.tail(a), g.head(a)])
+            .collect();
+        used_vertices.sort_unstable();
+        used_vertices.dedup();
+
+        // Renumbering is binary search into the sorted used-lists, so the
+        // scratch space and per-shard cost stay proportional to the shard
+        // (never the host graph) — extraction of all shards of an instance
+        // is near-linear overall, however many components it splits into.
+        let new_vertex = |old: VertexId| {
+            VertexId(used_vertices.binary_search(&old).expect("used vertex") as u32)
+        };
+        let new_arc = |old: ArcId| ArcId(used_arcs.binary_search(&old).expect("used arc") as u32);
+        let mut graph = Digraph::with_vertices(used_vertices.len());
+        for (new, &old) in used_arcs.iter().enumerate() {
+            let added = graph.add_arc(new_vertex(g.tail(old)), new_vertex(g.head(old)));
+            debug_assert_eq!(added.index(), new);
+        }
+
+        let family: DipathFamily = members
+            .iter()
+            .map(|&id| {
+                let arcs = family.path(id).arcs().iter().map(|&a| new_arc(a)).collect();
+                Dipath::from_arcs(&graph, arcs)
+                    .expect("remapped shard dipath stays contiguous and simple")
+            })
+            .collect();
+        SubInstance {
+            graph,
+            family,
+            original: members.to_vec(),
+        }
+    }
+
+    /// Number of member dipaths.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// `true` when the shard holds no dipaths.
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// The original id of shard-local path `local`.
+    pub fn original_id(&self, local: PathId) -> PathId {
+        self.original[local.index()]
+    }
+
+    /// The inverse map: original ids in shard-local order.
+    pub fn original_ids(&self) -> &[PathId] {
+        &self.original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{conflict_components, ConflictGraph};
+    use crate::load;
+    use dagwave_graph::builder::from_edges;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    /// Two arc-disjoint chains: paths 0/1 on the first, path 2 on the second.
+    fn two_component_instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]);
+        let f = DipathFamily::from_paths(vec![
+            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(4), v(5), v(6)]).unwrap(),
+        ]);
+        (g, f)
+    }
+
+    #[test]
+    fn extract_restricts_graph_and_remaps_ids() {
+        let (g, f) = two_component_instance();
+        let comps = conflict_components(&g, &f);
+        assert_eq!(comps.len(), 2);
+
+        let first = SubInstance::extract(&g, &f, &comps[0]);
+        assert_eq!(first.len(), 2);
+        assert!(!first.is_empty());
+        assert_eq!(first.graph.vertex_count(), 4); // vertices 0..=3
+        assert_eq!(first.graph.arc_count(), 3);
+        assert_eq!(first.original_ids(), &[PathId(0), PathId(1)]);
+        assert_eq!(first.original_id(PathId(1)), PathId(1));
+
+        let second = SubInstance::extract(&g, &f, &comps[1]);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.graph.vertex_count(), 3); // vertices 4..=6
+        assert_eq!(second.graph.arc_count(), 2);
+        assert_eq!(second.original_id(PathId(0)), PathId(2));
+    }
+
+    #[test]
+    fn extraction_preserves_loads_and_conflicts() {
+        let (g, f) = two_component_instance();
+        for members in conflict_components(&g, &f) {
+            let sub = SubInstance::extract(&g, &f, &members);
+            // Per-path arc counts survive the remap.
+            for (local, p) in sub.family.iter() {
+                assert_eq!(p.len(), f.path(sub.original_id(local)).len());
+            }
+            // Conflict structure inside the shard is untouched.
+            let whole = ConflictGraph::build(&g, &f);
+            let shard = ConflictGraph::build(&sub.graph, &sub.family);
+            for (a, b) in shard.edges() {
+                assert!(whole.are_adjacent(sub.original_id(a), sub.original_id(b)));
+            }
+            // Shard load equals the max load over the shard's own arcs.
+            assert!(load::max_load(&sub.graph, &sub.family) <= load::max_load(&g, &f));
+        }
+    }
+
+    #[test]
+    fn parallel_arcs_survive_extraction() {
+        // Two parallel arcs 0→1; each path takes a different copy.
+        let mut g = Digraph::with_vertices(2);
+        let a0 = g.add_arc(v(0), v(1));
+        let a1 = g.add_arc(v(0), v(1));
+        let f = DipathFamily::from_paths(vec![Dipath::single(a0), Dipath::single(a1)]);
+        let sub = SubInstance::extract(&g, &f, &[PathId(0), PathId(1)]);
+        assert_eq!(sub.graph.arc_count(), 2, "both parallel copies kept");
+        assert_ne!(
+            sub.family.path(PathId(0)).arcs(),
+            sub.family.path(PathId(1)).arcs(),
+            "paths still take distinct copies"
+        );
+    }
+
+    #[test]
+    fn empty_member_list_yields_empty_shard() {
+        let (g, f) = two_component_instance();
+        let sub = SubInstance::extract(&g, &f, &[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.graph.vertex_count(), 0);
+        assert_eq!(sub.family.len(), 0);
+    }
+}

@@ -129,7 +129,7 @@ proptest! {
         prop_assert_eq!(used, pi, "interval greedy achieves the load");
         // And it is a proper coloring w.r.t. the conflict graph.
         let cg = ConflictGraph::build(&g, &family);
-        for (a, b) in cg.edge_list() {
+        for (a, b) in cg.edges() {
             prop_assert_ne!(colors[a.index()], colors[b.index()]);
         }
     }

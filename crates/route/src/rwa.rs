@@ -58,8 +58,9 @@ pub struct RwaReport {
 pub struct RwaPipeline {
     /// Routing strategy for the first stage.
     pub routing: RoutingStrategy,
-    /// Solving session for the second stage (policy + budgets; see
-    /// `dagwave_core::SolverBuilder` for portfolio/pinned configurations).
+    /// Solving session for the second stage (policy + budgets +
+    /// decomposition; see `dagwave_core::SolverBuilder` for
+    /// portfolio/pinned/sharded configurations).
     pub solver: SolveSession,
 }
 
@@ -71,6 +72,16 @@ impl RwaPipeline {
             routing,
             solver: SolveSession::auto(),
         }
+    }
+
+    /// Pipeline with an explicit solving session — the hook for portfolio,
+    /// pinned-backend, or decompose-solve-merge configurations. Requests
+    /// for disjoint regions of the network route into arc-disjoint dipaths,
+    /// which a sharding session then colors as independent components (the
+    /// per-shard classes and winners land in
+    /// `dagwave_core::Solution::decomposition`).
+    pub fn with_session(routing: RoutingStrategy, solver: SolveSession) -> Self {
+        RwaPipeline { routing, solver }
     }
 
     /// Satisfy the requests: route, then assign wavelengths.
@@ -130,6 +141,36 @@ mod tests {
             .unwrap();
         assert!(aware.solution.num_colors < short.solution.num_colors);
         assert_eq!(aware.solution.num_colors, 2);
+    }
+
+    #[test]
+    fn sharded_pipeline_decomposes_disjoint_regions() {
+        use dagwave_core::{DecomposePolicy, SolverBuilder};
+        // Two disjoint rooted trees in one network: requests in each region
+        // route into arc-disjoint dipaths, i.e. two conflict components.
+        let g = from_edges(8, &[(0, 1), (0, 2), (1, 3), (4, 5), (4, 6), (5, 7)]);
+        let mut reqs = request::multicast(&g, v(0));
+        reqs.extend(request::multicast(&g, v(4)));
+        let pipeline = RwaPipeline::with_session(
+            RoutingStrategy::Shortest,
+            SolverBuilder::new()
+                .decompose(DecomposePolicy::Always)
+                .build(),
+        );
+        let report = pipeline.run(&g, &reqs).unwrap();
+        assert!(report.solution.assignment.is_valid(&g, &report.family));
+        let d = report.solution.decomposition.as_ref().expect("sharded");
+        // Per region: {0→1, 0→3} share the first arc, {0→2} is isolated —
+        // two components each, four overall.
+        assert_eq!(d.shard_count(), 4);
+        assert_eq!(d.largest_shard(), 2);
+        assert!(report.solution.optimal, "both shards are trees");
+        // Same span as the monolithic pipeline — decomposition only splits.
+        let mono = RwaPipeline::new(RoutingStrategy::Shortest)
+            .run(&g, &reqs)
+            .unwrap();
+        assert_eq!(report.solution.num_colors, mono.solution.num_colors);
+        assert!(mono.solution.decomposition.is_none());
     }
 
     #[test]

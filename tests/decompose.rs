@@ -1,0 +1,165 @@
+//! Decompose-solve-merge acceptance: on federated (multi-component)
+//! instances, `DecomposePolicy::Always` must produce a certified coloring
+//! whose span equals the max over per-shard spans, bit-identical across
+//! thread budgets 1/2/4, and never worse than the monolithic Auto solve.
+
+use dagwave::core::certify;
+use dagwave::gen::compose::{disjoint_union, federated};
+use dagwave::paths::conflict_components;
+use dagwave::{DecomposePolicy, SolveSession, SolverBuilder};
+
+/// The thread budgets every check runs under (no-op on the sequential
+/// `--no-default-features` build).
+const BUDGETS: [usize; 3] = [1, 2, 4];
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pools are infallible")
+        .install(f)
+}
+
+fn sharded() -> SolveSession {
+    SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .build()
+}
+
+#[test]
+fn federated_span_is_max_over_shards_and_certified() {
+    for k in [1usize, 3, 6, 10] {
+        let inst = federated(k);
+        let sol = sharded().solve(&inst.graph, &inst.family).unwrap();
+        let d = sol.decomposition.as_ref().expect("federated solve shards");
+        assert_eq!(d.shard_count(), k, "one shard per glued figure, k={k}");
+        let max_shard = d.shards.iter().map(|s| s.num_colors).max().unwrap_or(0);
+        assert_eq!(sol.num_colors, max_shard, "merged span = max over shards");
+        assert_eq!(sol.num_colors, sol.assignment.num_colors());
+        // Certified, not just structurally merged.
+        assert!(certify::is_conflict_free(
+            &inst.graph,
+            &inst.family,
+            &sol.assignment
+        ));
+        // The shard partition matches the conflict components.
+        let sizes: Vec<usize> = conflict_components(&inst.graph, &inst.family)
+            .iter()
+            .map(|c| c.len())
+            .collect();
+        assert_eq!(d.shards.iter().map(|s| s.paths).collect::<Vec<_>>(), sizes);
+    }
+}
+
+#[test]
+fn federated_decomposed_never_uses_more_colors_than_monolithic_auto() {
+    for k in [2usize, 4, 8, 12] {
+        let inst = federated(k);
+        let mono = SolveSession::auto()
+            .solve(&inst.graph, &inst.family)
+            .unwrap();
+        let dec = sharded().solve(&inst.graph, &inst.family).unwrap();
+        assert!(
+            dec.num_colors <= mono.num_colors,
+            "k={k}: decomposed used {} colors, monolithic Auto {}",
+            dec.num_colors,
+            mono.num_colors
+        );
+        // Per-shard exact/theorem solvers certify every figure shard, so
+        // the merged federated solve is provably optimal.
+        assert!(dec.optimal, "k={k}");
+    }
+}
+
+#[test]
+fn federated_bit_identical_across_thread_budgets() {
+    let inst = federated(9);
+    let session = sharded();
+    let reference = session.solve(&inst.graph, &inst.family).unwrap();
+    for threads in BUDGETS {
+        let sol = with_threads(threads, || {
+            session.solve(&inst.graph, &inst.family).unwrap()
+        });
+        assert_eq!(
+            sol.assignment.colors(),
+            reference.assignment.colors(),
+            "{threads} threads"
+        );
+        assert_eq!(sol.num_colors, reference.num_colors);
+        assert_eq!(sol.strategy, reference.strategy);
+        let (d, rd) = (
+            sol.decomposition.as_ref().unwrap(),
+            reference.decomposition.as_ref().unwrap(),
+        );
+        assert_eq!(d.shard_count(), rd.shard_count());
+        for (s, r) in d.shards.iter().zip(&rd.shards) {
+            assert_eq!(s.strategy, r.strategy, "{threads} threads");
+            assert_eq!(s.num_colors, r.num_colors);
+            assert_eq!(s.class, r.class);
+        }
+    }
+}
+
+#[test]
+fn decomposition_reclassifies_shards() {
+    // The federated family mixes classes: the whole union is general, but
+    // the crossing-C4 shard classifies as UPP single-cycle and gets the
+    // theorem-backed treatment its class deserves.
+    let inst = federated(8);
+    let sol = sharded().solve(&inst.graph, &inst.family).unwrap();
+    let d = sol.decomposition.unwrap();
+    let hist = d.class_histogram();
+    assert!(
+        hist.len() >= 2,
+        "multiple classes in the histogram: {hist:?}"
+    );
+    assert!(
+        d.shards
+            .iter()
+            .any(|s| s.class == dagwave::core::internal::DagClass::UppSingleCycle),
+        "crossing-C4 shards reclassify as UPP single-cycle"
+    );
+}
+
+#[test]
+fn auto_threshold_shards_large_federated_instances() {
+    // Enough copies to cross the default Auto threshold: the default
+    // session decomposes without being asked.
+    let copies = DecomposePolicy::DEFAULT_MIN_PATHS / 5 + 1; // figure3 = 5 paths
+    let inst = disjoint_union(&vec![dagwave::gen::figures::figure3(); copies]);
+    assert!(inst.family.len() >= DecomposePolicy::DEFAULT_MIN_PATHS);
+    let sol = SolveSession::auto()
+        .solve(&inst.graph, &inst.family)
+        .unwrap();
+    let d = sol
+        .decomposition
+        .expect("default Auto shards big instances");
+    assert_eq!(d.shard_count(), copies);
+    assert_eq!(sol.num_colors, 3, "every C5 shard colors with 3");
+    assert!(sol.optimal, "per-shard exact certifies the merged optimum");
+}
+
+#[test]
+fn decomposition_composes_with_stream_and_batch() {
+    let instances: Vec<_> = (1..=4usize).map(federated).collect();
+    let session = sharded();
+    let slice: Vec<_> = instances.iter().map(|i| (&i.graph, &i.family)).collect();
+    let batch = session.solve_batch(&slice);
+    let streamed: Vec<_> = session
+        .solve_stream(
+            instances
+                .iter()
+                .map(|i| dagwave::Instance::new(i.graph.clone(), i.family.clone())),
+        )
+        .collect();
+    for (k, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+        let (b, s) = (b.as_ref().unwrap(), s.as_ref().unwrap());
+        assert_eq!(b.assignment.colors(), s.assignment.colors(), "instance {k}");
+        assert_eq!(
+            b.decomposition.as_ref().unwrap().shard_count(),
+            k + 1,
+            "federated(k) has k shards"
+        );
+        assert_eq!(s.decomposition.as_ref().unwrap().shard_count(), k + 1);
+    }
+}

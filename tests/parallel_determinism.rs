@@ -11,7 +11,7 @@
 use dagwave::core::CoreError;
 use dagwave::graph::reach;
 use dagwave::paths::{load, ConflictGraph, DipathFamily};
-use dagwave::{BackendKind, Instance, SolveSession, SolverBuilder};
+use dagwave::{BackendKind, DecomposePolicy, Instance, SolveSession, SolverBuilder};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -170,6 +170,53 @@ proptest! {
                     (Err(se), Err(be)) => prop_assert_eq!(se, be),
                     _ => prop_assert!(false, "Ok/Err mismatch at instance {}", i),
                 }
+            }
+        }
+    }
+
+    /// Decompose-solve-merge is deterministic and lossless: on a known
+    /// multi-component instance (a disjoint union of random
+    /// internal-cycle-free parts) the decomposed solve is bit-identical
+    /// across thread budgets, equals the whole-instance solve's span
+    /// (both hit the lower bound `π` on this class), and never uses more
+    /// colors than monolithic Auto.
+    #[test]
+    fn decomposed_solve_identical_across_budgets(seed in 0u64..10_000, parts in 2usize..5) {
+        let parts: Vec<dagwave::gen::Instance> = (0..parts)
+            .map(|i| {
+                let (graph, family) = random_instance(seed.wrapping_add(i as u64), 12, 8);
+                dagwave::gen::Instance { graph, family, name: format!("part{i}") }
+            })
+            .collect();
+        let union = dagwave::gen::compose::disjoint_union(&parts);
+        let session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+        let reference = session.solve(&union.graph, &union.family).unwrap();
+        let mono = SolveSession::builder()
+            .decompose(DecomposePolicy::Off)
+            .build()
+            .solve(&union.graph, &union.family)
+            .unwrap();
+        prop_assert!(reference.num_colors <= mono.num_colors);
+        prop_assert_eq!(
+            reference.num_colors, mono.num_colors,
+            "internal-cycle-free: both sides must hit π"
+        );
+        prop_assert!(reference.decomposition.is_some());
+        for threads in BUDGETS {
+            let par = with_threads(threads, || session.solve(&union.graph, &union.family)).unwrap();
+            prop_assert_eq!(par.num_colors, reference.num_colors, "{} threads", threads);
+            prop_assert_eq!(par.strategy, reference.strategy);
+            prop_assert_eq!(par.assignment.colors(), reference.assignment.colors());
+            let (d, rd) = (
+                par.decomposition.as_ref().unwrap(),
+                reference.decomposition.as_ref().unwrap(),
+            );
+            prop_assert_eq!(d.shard_count(), rd.shard_count(), "{} threads", threads);
+            for (s, r) in d.shards.iter().zip(&rd.shards) {
+                prop_assert_eq!(s.num_colors, r.num_colors);
+                prop_assert_eq!(s.strategy, r.strategy);
             }
         }
     }
