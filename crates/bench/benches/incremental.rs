@@ -1,0 +1,95 @@
+//! Incremental re-solve: a persistent `Workspace` driven through the
+//! churn mutation script versus a from-scratch solve after every step.
+//!
+//! Claim: only the shards a mutation touches are *recolored* (the
+//! dominant cost), while the assignments stay bit-identical. Each step
+//! still pays one linear pass over the instance (dense-family
+//! materialization + context validation) — see the ROADMAP note on
+//! caching the dense view — so the ratio grows with how much coloring
+//! work the cache avoids, not unboundedly.
+
+use criterion::{BenchmarkId, Criterion};
+use dagwave_bench::{quick_criterion, report_row};
+use dagwave_core::{DecomposePolicy, Mutation, SolverBuilder, Workspace};
+use dagwave_gen::compose;
+use dagwave_paths::PathFamily;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    for k in [16usize, 64] {
+        let work = compose::churn(3, k, 8);
+        let session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+
+        // Invariant before timing: the workspace final state equals the
+        // from-scratch solve on the mutated instance.
+        let mut ws = Workspace::new(
+            session.clone(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        )
+        .unwrap();
+        ws.apply(work.script.iter().cloned()).unwrap();
+        let incremental = ws.solution().unwrap();
+        let (dense, _) = ws.family().to_dense();
+        let scratch = session.solve(&work.instance.graph, &dense).unwrap();
+        assert_eq!(incremental.assignment.colors(), scratch.assignment.colors());
+        let resolve = incremental.resolve.unwrap();
+        report_row(
+            "INC",
+            &format!("k={k}"),
+            "workspace == from-scratch",
+            &format!(
+                "w={}, reused={}, resolved={}",
+                incremental.num_colors, resolve.shards_reused, resolve.shards_resolved
+            ),
+        );
+
+        group.bench_with_input(BenchmarkId::new("workspace_churn", k), &k, |b, _| {
+            b.iter(|| {
+                let mut ws = Workspace::new(
+                    session.clone(),
+                    work.instance.graph.clone(),
+                    work.instance.family.clone(),
+                )
+                .unwrap();
+                ws.solution().unwrap();
+                for op in &work.script {
+                    ws.apply([op.clone()]).unwrap();
+                    black_box(ws.solution().unwrap().num_colors);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch_churn", k), &k, |b, _| {
+            b.iter(|| {
+                let mut mirror = PathFamily::from_family(&work.instance.family);
+                for op in &work.script {
+                    match op {
+                        Mutation::Remove(id) => {
+                            mirror.remove(*id).unwrap();
+                        }
+                        Mutation::Add(p) => {
+                            mirror.insert(p.clone());
+                        }
+                    }
+                    let (dense, _) = mirror.to_dense();
+                    black_box(
+                        session
+                            .solve(&work.instance.graph, &dense)
+                            .unwrap()
+                            .num_colors,
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

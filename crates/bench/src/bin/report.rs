@@ -23,10 +23,12 @@
 //! Run with: `cargo run -p dagwave-bench --bin report --release [-- MODE]`
 
 use dagwave_core::theorem1::{self, KempeStrategy, PeelOrder};
-use dagwave_core::{bounds, internal, theorem6, DecomposePolicy, SolveSession, SolverBuilder};
+use dagwave_core::{
+    bounds, internal, theorem6, DecomposePolicy, Mutation, SolveSession, SolverBuilder, Workspace,
+};
 use dagwave_gen::{compose, figures, havet, random, theorem2};
 use dagwave_graph::reach;
-use dagwave_paths::{load, ConflictGraph};
+use dagwave_paths::{load, ConflictGraph, PathFamily};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -354,6 +356,49 @@ fn paper_report() {
         );
     }
 
+    // D2 — incremental re-solve on the churn workload: a persistent
+    // Workspace applies the mutation script one step at a time, and only
+    // the shards each mutation touches are recomputed.
+    {
+        let work = compose::churn(7, 16, 12);
+        let session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+        let mut ws = Workspace::new(
+            session.clone(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        )
+        .expect("churn instance is a DAG");
+        ws.solution().unwrap();
+        let (mut reused, mut resolved) = (0usize, 0usize);
+        let mut final_w = 0usize;
+        for op in &work.script {
+            ws.apply([op.clone()]).unwrap();
+            let sol = ws.solution().unwrap();
+            let r = sol.resolve.expect("workspace stamps resolve");
+            reused += r.shards_reused;
+            resolved += r.shards_resolved;
+            final_w = sol.num_colors;
+        }
+        // The headline invariant, asserted while the row is generated.
+        let (dense, _) = ws.family().to_dense();
+        let scratch = session.solve(ws.graph(), &dense).unwrap();
+        assert_eq!(
+            ws.solution().unwrap().assignment.colors(),
+            scratch.assignment.colors(),
+            "workspace must be bit-identical to from-scratch"
+        );
+        row(
+            "D2 incremental churn",
+            &format!("churn(16), {} steps", work.script.len()),
+            "mutations recolor only touched shards",
+            &format!(
+                "shards reused Σ={reused}, resolved Σ={resolved}, w={final_w}, = from-scratch"
+            ),
+        );
+    }
+
     // A1/A2 — ablations.
     {
         let mut rng = ChaCha8Rng::seed_from_u64(41);
@@ -610,6 +655,87 @@ fn speedup_suite() -> Vec<Comparison> {
             par_ms,
             holds,
             "span ≤ monolithic, = max shard, certified",
+        ));
+    }
+
+    // 6. Incremental re-solve on the churn workload: "seq" re-solves the
+    //    mutated instance from scratch after every step, "par" drives one
+    //    persistent Workspace through the same script (including its
+    //    initial full solve), so the ratio is the steady-state win of
+    //    shard-level caching under single-lightpath churn.
+    {
+        let work = compose::churn(11, 256, 32);
+        let session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+
+        // Verify the invariant once, untimed: per-step bit-identity plus
+        // actual shard reuse.
+        let mut ws = Workspace::new(
+            session.clone(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        )
+        .expect("churn instance is a DAG");
+        ws.solution().unwrap();
+        let (mut reused, mut identical) = (0usize, true);
+        for op in &work.script {
+            ws.apply([op.clone()]).unwrap();
+            let inc = ws.solution().unwrap();
+            reused += inc.resolve.expect("workspace stamps resolve").shards_reused;
+            let (dense, _) = ws.family().to_dense();
+            let scratch = session.solve(&work.instance.graph, &dense).unwrap();
+            identical &= inc.assignment.colors() == scratch.assignment.colors()
+                && inc.num_colors == scratch.num_colors;
+        }
+
+        let (seq_ms, _) = time_ms_with(3, || {
+            let mut mirror = PathFamily::from_family(&work.instance.family);
+            let mut spans = Vec::with_capacity(work.script.len());
+            for op in &work.script {
+                match op {
+                    Mutation::Remove(id) => {
+                        mirror.remove(*id).expect("script ids are live");
+                    }
+                    Mutation::Add(p) => {
+                        mirror.insert(p.clone());
+                    }
+                }
+                let (dense, _) = mirror.to_dense();
+                spans.push(
+                    session
+                        .solve(&work.instance.graph, &dense)
+                        .unwrap()
+                        .num_colors,
+                );
+            }
+            spans
+        });
+        let (par_ms, _) = time_ms_with(3, || {
+            let mut ws = Workspace::new(
+                session.clone(),
+                work.instance.graph.clone(),
+                work.instance.family.clone(),
+            )
+            .expect("churn instance is a DAG");
+            ws.solution().unwrap();
+            let mut spans = Vec::with_capacity(work.script.len());
+            for op in &work.script {
+                ws.apply([op.clone()]).unwrap();
+                spans.push(ws.solution().unwrap().num_colors);
+            }
+            spans
+        });
+        comps.push(Comparison::invariant_checked(
+            "incremental_resolve",
+            format!(
+                "churn(federated 256), {} steps, reused Σ={reused}",
+                work.script.len()
+            ),
+            seq_ms,
+            par_ms,
+            identical && reused > 0,
+            "per-step bit-identical, shards_reused > 0",
         ));
     }
 

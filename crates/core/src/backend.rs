@@ -127,6 +127,16 @@ pub struct SolveRequest {
     /// When to shard the instance by conflict-graph components before
     /// solving (decompose-solve-merge; see [`crate::DecomposePolicy`]).
     pub decompose: crate::decompose::DecomposePolicy,
+    /// Per-shard backend *selection*: when `true` and the policy is
+    /// [`Policy::Auto`], each shard of a decomposed solve is dispatched to
+    /// the single backend its own class pins (Theorem 1 for
+    /// internal-cycle-free shards, Theorem 6 for single-cycle UPP shards,
+    /// exact-or-DSATUR otherwise) instead of re-running the full Auto
+    /// dispatch — in particular the weighted-rescue consult is skipped per
+    /// shard. Off by default (full Auto per shard, the historical
+    /// behavior); ignored for pinned/portfolio policies and monolithic
+    /// solves.
+    pub per_shard_backend: bool,
     /// Largest conflict graph (vertices) handed to the exact solver.
     pub exact_limit: usize,
     /// Branch-node budget for the exact solver.
@@ -161,6 +171,7 @@ impl Default for SolveRequest {
         SolveRequest {
             policy: Policy::Auto,
             decompose: crate::decompose::DecomposePolicy::default(),
+            per_shard_backend: false,
             exact_limit: Self::DEFAULT_EXACT_LIMIT,
             exact_budget: exact::DEFAULT_NODE_BUDGET,
             weighted_dedup_limit: Self::DEFAULT_WEIGHTED_DEDUP_LIMIT,
@@ -579,6 +590,10 @@ mod tests {
         assert_eq!(req.weighted_exact_base_limit, 16);
         assert_eq!(req.weighted_exact_weight_limit, 64);
         assert_eq!(req.policy, Policy::Auto);
+        assert!(
+            !req.per_shard_backend,
+            "per-shard backend selection is opt-in"
+        );
         assert_eq!(
             req.decompose,
             crate::decompose::DecomposePolicy::default(),

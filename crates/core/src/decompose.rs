@@ -23,6 +23,7 @@
 use crate::backend::BackendAttempt;
 use crate::internal::DagClass;
 use crate::solver::Strategy;
+use dagwave_paths::PathId;
 
 /// When the solving surface shards an instance by conflict-graph
 /// components before solving.
@@ -89,6 +90,11 @@ impl Default for DecomposePolicy {
 pub struct ShardOutcome {
     /// Number of dipaths in the shard.
     pub paths: usize,
+    /// The shard's members — the [`PathId`]s (in the solved instance's id
+    /// space) this shard colored, in ascending order. This is the
+    /// shard→path attribution callers (and the incremental engine) need
+    /// without re-running the component union-find.
+    pub members: Vec<PathId>,
     /// The shard's own class (often friendlier than the whole instance's).
     pub class: DagClass,
     /// The backend that produced the kept shard coloring.
@@ -125,6 +131,15 @@ impl Decomposition {
         self.shards.iter().map(|s| s.paths).max().unwrap_or(0)
     }
 
+    /// The shard containing dipath `p`, if any — a linear scan over the
+    /// recorded memberships (shards partition the family, so the first hit
+    /// is the only hit).
+    pub fn shard_of(&self, p: PathId) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.members.binary_search(&p).is_ok())
+    }
+
     /// Histogram of shard classes, ordered by first appearance: how many
     /// shards landed in each [`DagClass`].
     pub fn class_histogram(&self) -> Vec<(DagClass, usize)> {
@@ -147,6 +162,7 @@ mod tests {
     fn shard(paths: usize, class: DagClass, num_colors: usize) -> ShardOutcome {
         ShardOutcome {
             paths,
+            members: (0..paths).map(PathId::from_index).collect(),
             class,
             strategy: BackendKind::Dsatur,
             num_colors,
@@ -172,6 +188,18 @@ mod tests {
         assert_eq!(d.shard_count(), 0);
         assert_eq!(d.largest_shard(), 0);
         assert!(d.class_histogram().is_empty());
+    }
+
+    #[test]
+    fn shard_of_attributes_paths_to_shards() {
+        let mut a = shard(2, DagClass::InternalCycleFree, 1);
+        a.members = vec![PathId(0), PathId(3)];
+        let mut b = shard(2, DagClass::InternalCycleFree, 1);
+        b.members = vec![PathId(1), PathId(2)];
+        let d = Decomposition { shards: vec![a, b] };
+        assert_eq!(d.shard_of(PathId(3)), Some(0));
+        assert_eq!(d.shard_of(PathId(1)), Some(1));
+        assert_eq!(d.shard_of(PathId(7)), None);
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum CoreError {
         /// The backend whose output failed certification.
         backend: BackendKind,
     },
+    /// A workspace mutation named a path id that is not live (never
+    /// allocated, or already removed).
+    UnknownPath(PathId),
+    /// A workspace mutation tried to add a dipath that is not valid on the
+    /// workspace's graph (out-of-range arcs, or a non-contiguous arc
+    /// sequence); carries the path-layer rejection.
+    InvalidPath(String),
 }
 
 impl fmt::Display for CoreError {
@@ -89,6 +96,12 @@ impl fmt::Display for CoreError {
                     f,
                     "backend {backend} produced a coloring that failed certification"
                 )
+            }
+            CoreError::UnknownPath(id) => {
+                write!(f, "no live dipath with id {id} in this workspace")
+            }
+            CoreError::InvalidPath(reason) => {
+                write!(f, "dipath is not valid on the workspace graph: {reason}")
             }
         }
     }
@@ -134,5 +147,9 @@ mod tests {
         }
         .to_string()
         .contains("dsatur"));
+        assert!(CoreError::UnknownPath(PathId(6)).to_string().contains("p6"));
+        assert!(CoreError::InvalidPath("arc e9 out of range".into())
+            .to_string()
+            .contains("e9"));
     }
 }

@@ -84,6 +84,7 @@ pub mod theorem1;
 pub mod theorem6;
 pub mod upp;
 pub mod witness;
+pub mod workspace;
 
 pub use assignment::WavelengthAssignment;
 pub use backend::{
@@ -95,3 +96,4 @@ pub use error::CoreError;
 #[allow(deprecated)]
 pub use solver::WavelengthSolver;
 pub use solver::{Instance, Solution, SolveSession, SolverBuilder, Strategy};
+pub use workspace::{Mutation, Resolve, Workspace};

@@ -69,6 +69,12 @@ pub struct Solution {
     /// (decompose-solve-merge): one [`ShardOutcome`] per component, in
     /// deterministic shard order. `None` for monolithic solves.
     pub decomposition: Option<Decomposition>,
+    /// Present when this solution came out of an incremental
+    /// [`crate::workspace::Workspace`] re-solve: how many shards were
+    /// served from cache vs. actually recomputed. Always `None` for the
+    /// one-shot entry points — the assignment itself is bit-identical
+    /// either way, this field only records how it was obtained.
+    pub resolve: Option<crate::workspace::Resolve>,
 }
 
 /// An owned instance, the item type of [`SolveSession::solve_stream`].
@@ -133,6 +139,16 @@ impl SolverBuilder {
     /// concurrently (see [`DecomposePolicy`]).
     pub fn decompose(mut self, policy: DecomposePolicy) -> Self {
         self.request.decompose = policy;
+        self
+    }
+
+    /// Enable per-shard backend *selection*: under [`Policy::Auto`], each
+    /// shard of a decomposed solve is dispatched straight to the one
+    /// backend its own class pins (Theorem 1 / Theorem 6 /
+    /// exact-or-DSATUR) instead of re-running the full Auto dispatch —
+    /// see [`SolveRequest::per_shard_backend`].
+    pub fn per_shard_backend(mut self, enabled: bool) -> Self {
+        self.request.per_shard_backend = enabled;
         self
     }
 
@@ -231,17 +247,27 @@ impl SolveSession {
 
     /// One undecomposed solve — the per-shard engine of the decomposed
     /// path (shards build their own shard-local contexts).
+    ///
+    /// When [`SolveRequest::per_shard_backend`] is set and the policy is
+    /// [`Policy::Auto`], the shard is dispatched straight to the one
+    /// backend its class pins (Theorem 1 / Theorem 6 /
+    /// exact-or-DSATUR) instead of the full Auto dispatch with its
+    /// weighted-rescue consult — shards re-classify independently, so the
+    /// class decides the backend once and for all.
     fn solve_monolithic(
         &self,
         g: &dagwave_graph::Digraph,
         family: &DipathFamily,
     ) -> Result<Solution, CoreError> {
         let ctx = InstanceContext::new(g, family, &self.request)?;
+        if self.request.per_shard_backend && self.request.policy == Policy::Auto {
+            return self.solve_pinned(auto_shard_backend(&ctx), &ctx);
+        }
         self.dispatch(&ctx)
     }
 
     /// Route one instance context to the configured backend policy.
-    fn dispatch(&self, ctx: &InstanceContext<'_>) -> Result<Solution, CoreError> {
+    pub(crate) fn dispatch(&self, ctx: &InstanceContext<'_>) -> Result<Solution, CoreError> {
         match &self.request.policy {
             Policy::Auto => self.solve_auto(ctx),
             Policy::Pinned(kind) => self.solve_pinned(*kind, ctx),
@@ -259,6 +285,22 @@ impl SolveSession {
     /// Checks run cheapest-first against the already-validated context
     /// (no graph pass is duplicated on the fall-through).
     fn decomposition_plan(&self, ctx: &InstanceContext<'_>) -> Option<Vec<Vec<PathId>>> {
+        self.decomposition_plan_with(ctx, || conflict_components(ctx.graph, ctx.family))
+    }
+
+    /// [`SolveSession::decomposition_plan`] with the component scan
+    /// injected: the one-shot path scans from scratch, the incremental
+    /// [`crate::workspace::Workspace`] supplies its cached components —
+    /// both run through this one gate, so the shard/monolithic decision
+    /// can never diverge between the two paths.
+    pub(crate) fn decomposition_plan_with<F>(
+        &self,
+        ctx: &InstanceContext<'_>,
+        components: F,
+    ) -> Option<Vec<Vec<PathId>>>
+    where
+        F: FnOnce() -> Vec<Vec<PathId>>,
+    {
         let auto = match self.request.decompose {
             DecomposePolicy::Off => return None,
             DecomposePolicy::Auto { min_paths } => {
@@ -283,7 +325,7 @@ impl SolveSession {
         if auto && self.request.policy == Policy::Auto && ctx.class == DagClass::InternalCycleFree {
             return None;
         }
-        let components = conflict_components(ctx.graph, ctx.family);
+        let components = components();
         if auto && components.len() <= 1 {
             // Auto only pays the shard machinery when it actually splits.
             return None;
@@ -305,31 +347,54 @@ impl SolveSession {
         ctx: &InstanceContext<'_>,
         components: Vec<Vec<PathId>>,
     ) -> Result<Solution, CoreError> {
-        let (g, family) = (ctx.graph, ctx.family);
-        let shard_session = SolveSession::new(SolveRequest {
+        // First shard error wins, in shard order — deterministic.
+        let shards: Vec<(Vec<PathId>, Solution)> = self
+            .shard_session()
+            .solve_components(ctx.graph, ctx.family, &components)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        Ok(merge_shards(ctx, shards))
+    }
+
+    /// The session a shard is solved under: same policy and budgets, but
+    /// with decomposition pinned off — a shard is never re-sharded.
+    pub(crate) fn shard_session(&self) -> SolveSession {
+        SolveSession::new(SolveRequest {
             decompose: DecomposePolicy::Off,
             ..self.request.clone()
-        });
+        })
+    }
+
+    /// Solve each component of `family` as an independent shard on the
+    /// rayon pool under this session (callers pass the
+    /// [`SolveSession::shard_session`]). Each shard is extracted into a
+    /// [`SubInstance`] and solved with its original ids recorded; results
+    /// come back in component order regardless of completion order, so the
+    /// caller's merge is bit-identical at every thread budget. Shared by
+    /// the one-shot decomposed solve and the incremental workspace (which
+    /// passes only its dirty components).
+    pub(crate) fn solve_components(
+        &self,
+        g: &dagwave_graph::Digraph,
+        family: &DipathFamily,
+        components: &[Vec<PathId>],
+    ) -> Vec<Result<(Vec<PathId>, Solution), CoreError>> {
         let mut slots: Vec<ShardSlot> = components.iter().map(|_| None).collect();
         rayon::scope(|s| {
-            for (slot, members) in slots.iter_mut().zip(&components) {
-                let shard_session = &shard_session;
+            for (slot, members) in slots.iter_mut().zip(components) {
                 s.spawn(move |_| {
                     let sub = SubInstance::extract(g, family, members);
                     *slot = Some(
-                        shard_session
-                            .solve_monolithic(&sub.graph, &sub.family)
+                        self.solve_monolithic(&sub.graph, &sub.family)
                             .map(|sol| (sub.original_ids().to_vec(), sol)),
                     );
                 });
             }
         });
-        // First shard error wins, in shard order — deterministic.
-        let shards: Vec<(Vec<PathId>, Solution)> = slots
+        slots
             .into_iter()
             .map(|r| r.expect("shard task completed"))
-            .collect::<Result<_, _>>()?;
-        Ok(merge_shards(ctx, shards))
+            .collect()
     }
 
     /// Solve many instances in parallel — the batch entry point for
@@ -664,6 +729,25 @@ fn build_solution(
         strategy: winner,
         attempts,
         decomposition: None,
+        resolve: None,
+    }
+}
+
+/// The single backend [`Policy::Auto`] would lead with for this context's
+/// class — the per-shard-selection shortcut
+/// ([`SolveRequest::per_shard_backend`]): a shard's class pins its backend
+/// directly, skipping the full Auto dispatch.
+fn auto_shard_backend(ctx: &InstanceContext<'_>) -> BackendKind {
+    match ctx.class {
+        DagClass::InternalCycleFree => BackendKind::Theorem1,
+        DagClass::UppSingleCycle => BackendKind::Theorem6,
+        DagClass::UppMultiCycle { .. } | DagClass::General { .. } => {
+            if backend(BackendKind::Exact).unsupported(ctx).is_none() {
+                BackendKind::Exact
+            } else {
+                BackendKind::Dsatur
+            }
+        }
     }
 }
 
@@ -675,7 +759,10 @@ fn build_solution(
 /// number of a disjoint union is the max over its components — merging
 /// loses nothing). Properness is structural: colors can only collide
 /// across shards, and cross-shard dipaths never conflict.
-fn merge_shards(ctx: &InstanceContext<'_>, shards: Vec<(Vec<PathId>, Solution)>) -> Solution {
+pub(crate) fn merge_shards(
+    ctx: &InstanceContext<'_>,
+    shards: Vec<(Vec<PathId>, Solution)>,
+) -> Solution {
     let mut colors = vec![usize::MAX; ctx.family.len()];
     let mut span = 0usize;
     let mut best_lower = 0usize;
@@ -713,6 +800,7 @@ fn merge_shards(ctx: &InstanceContext<'_>, shards: Vec<(Vec<PathId>, Solution)>)
             load: sol.load,
             optimal: sol.optimal,
             attempts: sol.attempts,
+            members: original_ids,
         });
     }
     debug_assert!(
@@ -731,6 +819,7 @@ fn merge_shards(ctx: &InstanceContext<'_>, shards: Vec<(Vec<PathId>, Solution)>)
         strategy: strategy.expect("decomposed solve has at least one shard"),
         attempts,
         decomposition: Some(Decomposition { shards: reports }),
+        resolve: None,
     }
 }
 

@@ -1,0 +1,644 @@
+//! Incremental re-solve: a persistent [`Workspace`] with shard-level
+//! caching and a mutation API.
+//!
+//! The one-shot entry points rebuild everything per call, but a production
+//! RWA service sees *churn*: lightpaths arrive and depart while most of
+//! the instance is unchanged. Because wavelength assignment decomposes
+//! exactly over conflict-graph components (the decompose-solve-merge
+//! invariant), a mutation can only affect the components it touches — a
+//! removed dipath dirties its own component (which may split), an added
+//! dipath dirties every component it shares an arc with (which it may
+//! bridge) — and every other shard's cached coloring stays valid verbatim.
+//!
+//! A [`Workspace`] owns the instance (graph + an editable
+//! [`PathFamily`] with stable ids), tracks the component partition
+//! incrementally, and caches one solved [`Solution`] per shard. The
+//! mutation API ([`Workspace::add_path`], [`Workspace::remove_path`],
+//! [`Workspace::apply`] with [`Mutation`] batches) re-derives components
+//! only over the dirty member pool
+//! ([`dagwave_paths::conflict_components_among`], scoped to the dirty arc
+//! buckets); [`Workspace::solution`] then re-solves only the unsolved
+//! shards and re-merges with the shared normalized palette.
+//!
+//! **Invariant:** after any mutation sequence, [`Workspace::solution`] is
+//! bit-identical to a from-scratch [`SolveSession::solve`] on the mutated
+//! instance (the live members in ascending stable-id order), at every
+//! thread budget. This holds by construction, not by luck: the workspace
+//! runs the *same* decompose gate ([`SolveSession`]'s plan), the same
+//! per-shard solver, and the same merge as the one-shot path — only the
+//! component scan and the already-solved shards are served from cache. The
+//! [`Resolve`] record on the returned solution says how much was reused.
+//!
+//! ```
+//! use dagwave_core::{DecomposePolicy, Mutation, SolverBuilder, Workspace};
+//! use dagwave_graph::builder::from_edges;
+//! use dagwave_graph::VertexId;
+//! use dagwave_paths::{Dipath, DipathFamily};
+//!
+//! // Two arc-disjoint chains — two conflict components.
+//! let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+//! let v = |i| VertexId::from_index(i);
+//! let p = |route: &[usize]| {
+//!     let r: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+//!     Dipath::from_vertices(&g, &r).unwrap()
+//! };
+//! let family = DipathFamily::from_paths(vec![
+//!     p(&[0, 1, 2]),
+//!     p(&[1, 2]),
+//!     p(&[3, 4, 5]),
+//!     p(&[4, 5]),
+//! ]);
+//! let session = SolverBuilder::new()
+//!     .decompose(DecomposePolicy::Always)
+//!     .build();
+//! let mut ws = Workspace::new(session, g.clone(), family.clone()).unwrap();
+//! let first = ws.solution().unwrap();
+//! assert_eq!(first.num_colors, 2);
+//!
+//! // Admit one more dipath on the second chain: only that shard recolors.
+//! ws.apply([Mutation::Add(p(&[3, 4, 5]))]).unwrap();
+//! let second = ws.solution().unwrap();
+//! let resolve = second.resolve.unwrap();
+//! assert_eq!(resolve.shards_reused, 1);
+//! assert_eq!(resolve.shards_resolved, 1);
+//! assert_eq!(second.num_colors, 3, "arc 4→5 now carries load 3");
+//! ```
+
+use crate::backend::InstanceContext;
+use crate::error::CoreError;
+use crate::solver::{merge_shards, Solution, SolveSession};
+use dagwave_graph::Digraph;
+use dagwave_paths::{conflict_components_among, Dipath, DipathFamily, PathFamily, PathId};
+use std::collections::BTreeSet;
+
+/// One instance mutation: admit or retire a dipath.
+///
+/// Batched through [`Workspace::apply`]; a batch is invalidation-minimal —
+/// components are re-derived once for the whole batch, not per op.
+#[derive(Clone, Debug)]
+pub enum Mutation {
+    /// Add this dipath to the family (it gets the smallest free stable id;
+    /// see [`PathFamily::insert`]).
+    Add(Dipath),
+    /// Remove the live dipath with this stable id.
+    Remove(PathId),
+}
+
+/// How an incremental re-solve was obtained: shards served from cache vs.
+/// actually recomputed. Attached to [`Solution::resolve`] by
+/// [`Workspace::solution`] (monolithic re-solves count as one shard).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resolve {
+    /// Shards whose cached coloring was reused verbatim.
+    pub shards_reused: usize,
+    /// Shards (or the single monolithic solve) recomputed this call.
+    pub shards_resolved: usize,
+}
+
+/// One tracked component: its live members (stable ids, ascending) and,
+/// once solved, the cached shard-local solution.
+#[derive(Clone, Debug)]
+struct CachedShard {
+    /// Stable member ids, ascending.
+    members: Vec<PathId>,
+    /// The shard-local solve result; `None` while dirty. Colors are indexed
+    /// by the member's *rank* within the shard, which removals elsewhere in
+    /// the family never change — that is what makes the cache survive id
+    /// compaction in the dense view.
+    solved: Option<Result<Solution, CoreError>>,
+}
+
+/// A persistent solving surface over one mutable instance.
+///
+/// See the [module docs](self) for the caching model and the bit-identity
+/// invariant. The workspace is deliberately *not* `Sync`-shared — it is the
+/// single writer a service front-end funnels admissions/retirements
+/// through; concurrency lives inside each re-solve (dirty shards still fan
+/// out onto the rayon pool).
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    session: SolveSession,
+    graph: Digraph,
+    family: PathFamily,
+    /// arc index → live stable path ids using that arc, ascending.
+    arc_users: Vec<Vec<u32>>,
+    /// The component partition, canonical order (smallest member first).
+    shards: Vec<CachedShard>,
+    /// Cached merged solution of the current state (drop on any mutation).
+    merged: Option<Result<Solution, CoreError>>,
+    /// The [`Resolve`] of the last recomputation (reused verbatim while the
+    /// merged cache stands, with everything counted as reused).
+    last_resolve: Resolve,
+}
+
+impl Workspace {
+    /// Open a workspace over an instance, validating the DAG precondition
+    /// once (mutations never touch the graph, so it never re-fails).
+    ///
+    /// The initial family is adopted as slots `0..len` of the editable
+    /// [`PathFamily`]; nothing is solved until the first
+    /// [`Workspace::solution`] call.
+    pub fn new(
+        session: SolveSession,
+        graph: Digraph,
+        family: DipathFamily,
+    ) -> Result<Self, CoreError> {
+        // Same rejection the one-shot path performs, hoisted to open time.
+        InstanceContext::new(&graph, &family, session.request())?;
+        let editable = PathFamily::from_family(&family);
+        let mut arc_users: Vec<Vec<u32>> = vec![Vec::new(); graph.arc_count()];
+        for (id, p) in editable.iter() {
+            for &a in p.arcs() {
+                arc_users[a.index()].push(id.0);
+            }
+        }
+        let shards = conflict_components_among(editable.iter())
+            .into_iter()
+            .map(|members| CachedShard {
+                members,
+                solved: None,
+            })
+            .collect();
+        Ok(Workspace {
+            session,
+            graph,
+            family: editable,
+            arc_users,
+            shards,
+            merged: None,
+            last_resolve: Resolve::default(),
+        })
+    }
+
+    /// The session this workspace solves under.
+    pub fn session(&self) -> &SolveSession {
+        &self.session
+    }
+
+    /// The (immutable) host graph.
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The editable family: live members under their stable ids.
+    pub fn family(&self) -> &PathFamily {
+        &self.family
+    }
+
+    /// Number of tracked conflict components in the current state.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current component partition: stable member ids per shard, in
+    /// canonical order (ascending within a shard, shards by smallest
+    /// member) — without solving anything.
+    pub fn components(&self) -> Vec<Vec<PathId>> {
+        self.shards.iter().map(|s| s.members.clone()).collect()
+    }
+
+    /// The index [`Workspace::solution`]'s assignment uses for the live
+    /// member `id` in the current state: its rank among the live stable
+    /// ids (the dense view skips tombstones). `None` when `id` is not
+    /// live.
+    pub fn dense_index_of(&self, id: PathId) -> Option<usize> {
+        self.family
+            .contains(id)
+            .then(|| self.family.ids().take_while(|&other| other < id).count())
+    }
+
+    /// Admit one dipath. Returns its stable id.
+    pub fn add_path(&mut self, p: Dipath) -> Result<PathId, CoreError> {
+        let mut added = self.apply([Mutation::Add(p)])?;
+        Ok(added.pop().expect("one add yields one id"))
+    }
+
+    /// Retire the dipath with this stable id.
+    pub fn remove_path(&mut self, id: PathId) -> Result<(), CoreError> {
+        self.apply([Mutation::Remove(id)]).map(|_| ())
+    }
+
+    /// Apply a mutation batch atomically with one invalidation pass:
+    /// the components touched by any removal or addition are re-derived
+    /// over the dirty member pool only, every other shard keeps its cached
+    /// solution. Returns the stable ids assigned to the batch's additions,
+    /// in batch order (an addition the same batch later removes still
+    /// reports its id).
+    ///
+    /// A removal may name an id assigned by an earlier addition *in the
+    /// same batch* — id assignment is deterministic (smallest free slot),
+    /// so script generators can predict it (see
+    /// [`PathFamily::next_id`]).
+    ///
+    /// On error (unknown id, dipath invalid on this graph) the workspace is
+    /// left exactly as before the batch — validation happens up front,
+    /// before any state changes.
+    pub fn apply(
+        &mut self,
+        batch: impl IntoIterator<Item = Mutation>,
+    ) -> Result<Vec<PathId>, CoreError> {
+        let batch: Vec<Mutation> = batch.into_iter().collect();
+        // ---- Validate the whole batch against a simulated id state (the
+        // exact free-list discipline of `PathFamily`), so a failing batch
+        // mutates nothing.
+        let mut live: BTreeSet<PathId> = self.family.ids().collect();
+        let mut free: BTreeSet<u32> = (0..self.family.slot_count() as u32)
+            .filter(|&slot| !live.contains(&PathId(slot)))
+            .collect();
+        let mut slots = self.family.slot_count() as u32;
+        for m in &batch {
+            match m {
+                Mutation::Remove(id) => {
+                    if !live.remove(id) {
+                        return Err(CoreError::UnknownPath(*id));
+                    }
+                    free.insert(id.0);
+                }
+                Mutation::Add(p) => {
+                    // Re-derive the dipath against *this* graph: catches
+                    // out-of-range arcs and non-contiguous sequences from
+                    // paths built elsewhere. (Bounds first — the contiguity
+                    // check indexes the graph's arc tables.)
+                    if let Some(&a) = p
+                        .arcs()
+                        .iter()
+                        .find(|a| a.index() >= self.graph.arc_count())
+                    {
+                        return Err(CoreError::InvalidPath(format!(
+                            "arc {a} out of range for this graph ({} arcs)",
+                            self.graph.arc_count()
+                        )));
+                    }
+                    Dipath::from_arcs(&self.graph, p.arcs().to_vec())
+                        .map_err(|e| CoreError::InvalidPath(e.to_string()))?;
+                    // Mirror the insert: smallest free slot, else growth.
+                    let id = match free.iter().next().copied() {
+                        Some(slot) => {
+                            free.remove(&slot);
+                            PathId(slot)
+                        }
+                        None => {
+                            slots += 1;
+                            PathId(slots - 1)
+                        }
+                    };
+                    live.insert(id);
+                }
+            }
+        }
+
+        // ---- Execute, accumulating the dirty shard set and the added ids.
+        let mut dirty_shards: BTreeSet<usize> = BTreeSet::new();
+        let mut added: Vec<PathId> = Vec::new();
+        for m in batch {
+            match m {
+                Mutation::Remove(id) => {
+                    let p = self.family.remove(id).expect("validated live");
+                    if let Some(s) = self.shard_containing(id) {
+                        dirty_shards.insert(s);
+                    }
+                    for &a in p.arcs() {
+                        let users = &mut self.arc_users[a.index()];
+                        if let Ok(pos) = users.binary_search(&id.0) {
+                            users.remove(pos);
+                        }
+                    }
+                }
+                Mutation::Add(p) => {
+                    // Every component sharing an arc with the new dipath is
+                    // dirtied — the addition may bridge several. Dedup the
+                    // touched users first: a congested arc lists many
+                    // dipaths, and each shard lookup is a scan.
+                    let touched: BTreeSet<u32> = p
+                        .arcs()
+                        .iter()
+                        .flat_map(|&a| self.arc_users[a.index()].iter().copied())
+                        .collect();
+                    for &user in &touched {
+                        if let Some(s) = self.shard_containing(PathId(user)) {
+                            dirty_shards.insert(s);
+                        }
+                    }
+                    let id = self.family.insert(p);
+                    let p = self.family.get(id).expect("just inserted");
+                    for &a in p.arcs() {
+                        let users = &mut self.arc_users[a.index()];
+                        if let Err(pos) = users.binary_search(&id.0) {
+                            users.insert(pos, id.0);
+                        }
+                    }
+                    added.push(id);
+                }
+            }
+        }
+
+        // ---- Re-derive components over the dirty pool only: members of
+        // dirtied shards that are still live, plus the additions (some of
+        // which may already be counted via a dirtied shard, or removed
+        // again by the same batch).
+        let mut pool: BTreeSet<PathId> = added
+            .iter()
+            .copied()
+            .filter(|&id| self.family.contains(id))
+            .collect();
+        for &s in &dirty_shards {
+            pool.extend(
+                self.shards[s]
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.family.contains(id)),
+            );
+        }
+        // Additions may have landed in a reused slot of a dirtied shard;
+        // the BTreeSet above already deduplicates. Drop the dirty shards…
+        for &s in dirty_shards.iter().rev() {
+            self.shards.remove(s);
+        }
+        // …and re-insert the freshly derived (unsolved) components.
+        let fresh = conflict_components_among(
+            pool.iter()
+                .map(|&id| (id, self.family.get(id).expect("pool is live"))),
+        );
+        self.shards
+            .extend(fresh.into_iter().map(|members| CachedShard {
+                members,
+                solved: None,
+            }));
+        // Canonical shard order: by smallest (stable) member. Dense ranks
+        // are monotone in stable ids, so this is exactly the order the
+        // from-scratch component scan would produce.
+        self.shards.sort_by_key(|s| s.members[0]);
+        self.merged = None;
+        Ok(added)
+    }
+
+    /// The current solution, recomputing only what the mutations since the
+    /// last call dirtied. Bit-identical to
+    /// `self.session().solve(graph, dense_family)` on the current live
+    /// members (ascending stable-id order), with [`Solution::resolve`]
+    /// additionally recording the cache split.
+    ///
+    /// Repeated calls without intervening mutations return the cached
+    /// merged solution (everything counted as reused).
+    pub fn solution(&mut self) -> Result<Solution, CoreError> {
+        if self.merged.is_none() {
+            let computed = self.recompute();
+            self.merged = Some(computed);
+        }
+        let mut out = self.merged.clone().expect("just computed");
+        if let Ok(sol) = &mut out {
+            sol.resolve = Some(self.last_resolve);
+        }
+        // Subsequent cache hits report a fully reused resolve.
+        self.last_resolve = Resolve {
+            shards_reused: self.last_resolve.shards_reused + self.last_resolve.shards_resolved,
+            shards_resolved: 0,
+        };
+        out
+    }
+
+    /// The full recomputation behind a [`Workspace::solution`] cache miss.
+    fn recompute(&mut self) -> Result<Solution, CoreError> {
+        let (dense, dense_of) = self.family.to_dense();
+        let ctx = InstanceContext::new(&self.graph, &dense, self.session.request())?;
+        // stable slot → dense rank.
+        let mut dense_index: Vec<u32> = vec![u32::MAX; self.family.slot_count()];
+        for (rank, id) in dense_of.iter().enumerate() {
+            dense_index[id.index()] = rank as u32;
+        }
+        let to_dense = |members: &[PathId]| -> Vec<PathId> {
+            members
+                .iter()
+                .map(|id| PathId(dense_index[id.index()]))
+                .collect()
+        };
+
+        // The shared decompose gate, fed by the cached component partition
+        // instead of a from-scratch scan.
+        let shards_ref = &self.shards;
+        let plan = self.session.decomposition_plan_with(&ctx, || {
+            shards_ref.iter().map(|s| to_dense(&s.members)).collect()
+        });
+        let Some(components) = plan else {
+            // Monolithic path (small instance, no split, or the Theorem-1
+            // fast-path skip): same dispatch the one-shot path runs.
+            self.last_resolve = Resolve {
+                shards_reused: 0,
+                shards_resolved: 1,
+            };
+            return self.session.dispatch(&ctx);
+        };
+
+        // Solve only the dirty shards, concurrently, through the same
+        // per-shard engine as the one-shot decomposed path.
+        let shard_session = self.session.shard_session();
+        let dirty: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| self.shards[i].solved.is_none())
+            .collect();
+        let dirty_components: Vec<Vec<PathId>> = dirty
+            .iter()
+            .map(|&i| to_dense(&self.shards[i].members))
+            .collect();
+        let results = shard_session.solve_components(&self.graph, &dense, &dirty_components);
+        for (&i, result) in dirty.iter().zip(results) {
+            // Cache the shard-local solution only — the dense ids it was
+            // solved under are recomputed per merge, so later removals
+            // elsewhere cannot stale the cache.
+            self.shards[i].solved = Some(result.map(|(_, sol)| sol));
+        }
+        self.last_resolve = Resolve {
+            shards_reused: self.shards.len() - dirty.len(),
+            shards_resolved: dirty.len(),
+        };
+
+        // Merge every shard (cached + fresh) in canonical order — the same
+        // merge, and the same first-error-wins rule, as the one-shot path.
+        debug_assert_eq!(components.len(), self.shards.len());
+        let shards: Vec<(Vec<PathId>, Solution)> = self
+            .shards
+            .iter()
+            .zip(components)
+            .map(|(shard, dense_members)| {
+                shard
+                    .solved
+                    .clone()
+                    .expect("every shard solved above")
+                    .map(|sol| (dense_members, sol))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(merge_shards(&ctx, shards))
+    }
+
+    /// Index of the shard whose member list contains `id`.
+    fn shard_containing(&self, id: PathId) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.members.binary_search(&id).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::DecomposePolicy;
+    use crate::solver::SolverBuilder;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::VertexId;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn path(g: &Digraph, route: &[usize]) -> Dipath {
+        let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+        Dipath::from_vertices(g, &route).unwrap()
+    }
+
+    /// Two arc-disjoint chains (0→1→2 and 3→4→5), two paths each.
+    fn two_chain_instance() -> (Digraph, DipathFamily) {
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let f = DipathFamily::from_paths(vec![
+            path(&g, &[0, 1, 2]),
+            path(&g, &[1, 2]),
+            path(&g, &[3, 4, 5]),
+            path(&g, &[4, 5]),
+        ]);
+        (g, f)
+    }
+
+    fn sharded_session() -> SolveSession {
+        SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build()
+    }
+
+    /// From-scratch reference on the workspace's current live members.
+    fn from_scratch(ws: &Workspace) -> Result<Solution, CoreError> {
+        let (dense, _) = ws.family().to_dense();
+        ws.session().solve(ws.graph(), &dense)
+    }
+
+    fn assert_matches_scratch(ws: &mut Workspace) {
+        let incremental = ws.solution();
+        let scratch = from_scratch(ws);
+        match (incremental, scratch) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.assignment.colors(), b.assignment.colors());
+                assert_eq!(a.num_colors, b.num_colors);
+                assert_eq!(a.strategy, b.strategy);
+                assert_eq!(a.optimal, b.optimal);
+                assert_eq!(a.attempts, b.attempts);
+                match (&a.decomposition, &b.decomposition) {
+                    (Some(da), Some(db)) => {
+                        assert_eq!(da.shard_count(), db.shard_count());
+                        for (sa, sb) in da.shards.iter().zip(&db.shards) {
+                            assert_eq!(sa.members, sb.members);
+                            assert_eq!(sa.num_colors, sb.num_colors);
+                            assert_eq!(sa.strategy, sb.strategy);
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("decomposition presence diverged: {other:?}"),
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            other => panic!("incremental vs from-scratch diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_workspace_matches_from_scratch() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g, f).unwrap();
+        assert_eq!(ws.shard_count(), 2);
+        let sol = ws.solution().unwrap();
+        let r = sol.resolve.unwrap();
+        assert_eq!(r.shards_resolved, 2, "first solve computes everything");
+        assert_eq!(r.shards_reused, 0);
+        assert_matches_scratch(&mut ws);
+    }
+
+    #[test]
+    fn cache_hit_reports_fully_reused() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g, f).unwrap();
+        ws.solution().unwrap();
+        let again = ws.solution().unwrap().resolve.unwrap();
+        assert_eq!(again.shards_resolved, 0);
+        assert_eq!(again.shards_reused, 2);
+    }
+
+    #[test]
+    fn add_touches_only_its_shard() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        ws.solution().unwrap();
+        ws.add_path(path(&g, &[3, 4])).unwrap();
+        let sol = ws.solution().unwrap();
+        let r = sol.resolve.unwrap();
+        assert_eq!(r.shards_reused, 1, "first chain untouched");
+        assert_eq!(r.shards_resolved, 1);
+        assert_matches_scratch(&mut ws);
+    }
+
+    #[test]
+    fn remove_unknown_id_is_an_error_and_mutates_nothing() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let before = ws.components();
+        let err = ws.remove_path(PathId(9)).unwrap_err();
+        assert_eq!(err, CoreError::UnknownPath(PathId(9)));
+        // A failing batch leaves the workspace untouched, even when a valid
+        // op precedes the invalid one.
+        let err = ws
+            .apply([
+                Mutation::Remove(PathId(0)),
+                Mutation::Remove(PathId(0)), // second removal of the same id
+            ])
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnknownPath(PathId(0)));
+        assert_eq!(ws.components(), before);
+        assert_eq!(ws.family().len(), 4);
+    }
+
+    #[test]
+    fn foreign_path_is_rejected() {
+        let (g, f) = two_chain_instance();
+        // A dipath whose arc ids exceed the workspace graph's arc count —
+        // the revalidation must catch it (arc ids are dense indices, so
+        // only out-of-range or non-contiguous foreign paths can fail).
+        let other = from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+        );
+        let foreign = path(&other, &[6, 7, 8]);
+        let mut ws = Workspace::new(sharded_session(), g, f).unwrap();
+        match ws.add_path(foreign) {
+            Err(CoreError::InvalidPath(_)) => {}
+            other => panic!("expected InvalidPath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stable_ids_survive_removal_and_slots_are_reused() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        ws.remove_path(PathId(1)).unwrap();
+        assert!(ws.family().contains(PathId(0)));
+        assert!(!ws.family().contains(PathId(1)));
+        assert!(ws.family().contains(PathId(3)));
+        let id = ws.add_path(path(&g, &[0, 1])).unwrap();
+        assert_eq!(id, PathId(1), "smallest tombstone reused");
+        assert_matches_scratch(&mut ws);
+    }
+}

@@ -10,8 +10,11 @@
 //! multi-component instance.
 
 use crate::{figures, Instance};
+use dagwave_core::Mutation;
 use dagwave_graph::{ArcId, VertexId};
-use dagwave_paths::{Dipath, DipathFamily};
+use dagwave_paths::{Dipath, DipathFamily, PathFamily, PathId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Glue `instances` into one instance on the disjoint union of their
 /// graphs.
@@ -91,6 +94,73 @@ fn federated_part(i: usize) -> Instance {
     }
 }
 
+/// A churn workload: a federated multi-component instance plus a
+/// deterministic mutation script against it.
+///
+/// Script ops are [`dagwave_core::Mutation`]s, directly feedable to
+/// `dagwave_core::Workspace::apply` one per step. Removal ids follow the
+/// stable-id contract of [`PathFamily`] (removals name live stable ids,
+/// additions reuse the smallest free slot), so a consumer that mirrors
+/// the script through a `PathFamily` — or a workspace built on one — sees
+/// exactly the ids the generator predicted.
+#[derive(Clone, Debug)]
+pub struct ChurnWorkload {
+    /// The starting instance ([`federated`]`(k)`).
+    pub instance: Instance,
+    /// The mutation script, in application order.
+    pub script: Vec<Mutation>,
+}
+
+/// The standard incremental-re-solve stress family: [`federated`]`(k)`
+/// plus a seeded script of `steps` single-lightpath mutations.
+///
+/// Steps alternate retirements (a uniformly random live lightpath) and
+/// admissions (a duplicate of a uniformly random live lightpath — always
+/// valid, and it lands inside the donor's conflict component), so the
+/// family size stays within ±1 of the start and each step dirties few
+/// components of the many. Everything is derived from `seed` via
+/// `ChaCha8Rng`, and id assignment is mirrored through a
+/// [`PathFamily`], so the same `(seed, k, steps)` always yields the same
+/// instance-and-script — the property the incremental-vs-from-scratch
+/// equivalence tests and the `report` bin's churn comparison rely on.
+///
+/// ```
+/// use dagwave_core::Mutation;
+/// use dagwave_gen::compose::churn;
+///
+/// let a = churn(7, 4, 6);
+/// let b = churn(7, 4, 6);
+/// assert_eq!(a.script.len(), 6);
+/// match (&a.script[0], &b.script[0]) {
+///     (Mutation::Remove(x), Mutation::Remove(y)) => assert_eq!(x, y),
+///     other => panic!("scripts diverged: {other:?}"),
+/// }
+/// ```
+pub fn churn(seed: u64, k: usize, steps: usize) -> ChurnWorkload {
+    let instance = federated(k);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut mirror = PathFamily::from_family(&instance.family);
+    let mut script = Vec::with_capacity(steps);
+    for step in 0..steps {
+        // Alternate remove/add; never drain the family below two members
+        // (a removal step with nothing sensible to remove adds instead).
+        let remove = step % 2 == 0 && mirror.len() > 1;
+        if remove {
+            let live: Vec<PathId> = mirror.ids().collect();
+            let id = live[rng.random_range(0..live.len())];
+            mirror.remove(id).expect("picked a live id");
+            script.push(Mutation::Remove(id));
+        } else {
+            let live: Vec<PathId> = mirror.ids().collect();
+            let donor = live[rng.random_range(0..live.len())];
+            let copy = mirror.get(donor).expect("donor is live").clone();
+            mirror.insert(copy.clone());
+            script.push(Mutation::Add(copy));
+        }
+    }
+    ChurnWorkload { instance, script }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +229,46 @@ mod tests {
         let inst = federated(8);
         let per_part_max = (0..8).map(|i| federated_part(i).load()).max().unwrap();
         assert_eq!(load::max_load(&inst.graph, &inst.family), per_part_max);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_replayable() {
+        let a = churn(42, 6, 12);
+        let b = churn(42, 6, 12);
+        assert_eq!(a.script.len(), 12);
+        assert_eq!(a.instance.family.len(), b.instance.family.len());
+        for (x, y) in a.script.iter().zip(&b.script) {
+            match (x, y) {
+                (Mutation::Remove(p), Mutation::Remove(q)) => assert_eq!(p, q),
+                (Mutation::Add(p), Mutation::Add(q)) => assert_eq!(p, q),
+                other => panic!("scripts diverged: {other:?}"),
+            }
+        }
+        // Replaying through a fresh PathFamily mirror is always legal, and
+        // every added dipath is valid on the instance graph.
+        let mut mirror = dagwave_paths::PathFamily::from_family(&a.instance.family);
+        let start = mirror.len();
+        for op in &a.script {
+            match op {
+                Mutation::Remove(id) => {
+                    mirror.remove(*id).expect("script removals name live ids");
+                }
+                Mutation::Add(p) => {
+                    dagwave_paths::Dipath::from_arcs(&a.instance.graph, p.arcs().to_vec())
+                        .expect("script additions are valid on the instance graph");
+                    mirror.insert(p.clone());
+                }
+            }
+        }
+        // Alternating remove/add keeps the size within one of the start.
+        assert!(mirror.len().abs_diff(start) <= 1);
+        // Different seeds diverge (overwhelmingly likely over 12 steps).
+        let c = churn(43, 6, 12);
+        let same = a.script.iter().zip(&c.script).all(|(x, y)| match (x, y) {
+            (Mutation::Remove(p), Mutation::Remove(q)) => p == q,
+            (Mutation::Add(p), Mutation::Add(q)) => p == q,
+            _ => false,
+        });
+        assert!(!same, "seed 42 and 43 produced identical scripts");
     }
 }

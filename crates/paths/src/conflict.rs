@@ -221,6 +221,50 @@ pub fn conflict_components(g: &Digraph, family: &DipathFamily) -> Vec<Vec<PathId
     path_components(uf)
 }
 
+/// Connected components among only the given `(id, dipath)` members — the
+/// delta half of the decompose stage.
+///
+/// After a mutation batch, components untouched by any added or removed
+/// dipath cannot have changed (conflicts depend only on member arcs), so an
+/// incremental engine re-derives components **only over the dirty member
+/// pool**, scoped to the arc buckets those members actually use: arcs are
+/// tracked in a hash map keyed by [`ArcId`] (never a host-graph-sized
+/// table), and the union-find is sized by the pool, so the cost is
+/// `O(Σ|P_dirty| · α)` however large the instance around it is.
+///
+/// Members may arrive in any order and with duplicates (deduplicated by
+/// id). The output follows the same canonical order as
+/// [`conflict_components`] — members ascend within a component, components
+/// are ordered by their smallest member — and, when the pool is a union of
+/// whole components of a larger family, it equals the corresponding subset
+/// of `conflict_components` on that family.
+pub fn conflict_components_among<'a, I>(members: I) -> Vec<Vec<PathId>>
+where
+    I: IntoIterator<Item = (PathId, &'a Dipath)>,
+{
+    let mut members: Vec<(PathId, &Dipath)> = members.into_iter().collect();
+    members.sort_unstable_by_key(|&(id, _)| id);
+    members.dedup_by_key(|&mut (id, _)| id);
+    let mut uf = UnionFind::new(members.len());
+    // last_user[a] = most recent pool member seen using arc a, as in
+    // `conflict_components` — but sparse, touching only dirty buckets.
+    let mut last_user: std::collections::HashMap<ArcId, usize> = std::collections::HashMap::new();
+    for (k, &(_, p)) in members.iter().enumerate() {
+        for &a in p.arcs() {
+            if let Some(&prev) = last_user.get(&a) {
+                uf.union(prev, k);
+            }
+            last_user.insert(a, k);
+        }
+    }
+    // The universe *is* the pool (members were renumbered densely above),
+    // so the unrestricted canonical grouping applies directly.
+    uf.components()
+        .into_iter()
+        .map(|c| c.into_iter().map(|k| members[k].0).collect())
+        .collect()
+}
+
 /// The shared-arc structure of two conflicting dipaths.
 ///
 /// For UPP-DAGs the intersection of two conflicting dipaths is a single
@@ -428,6 +472,41 @@ mod tests {
         // Replication keeps every copy in the original's component: copies
         // of p0/p1 share arcs with their originals, copies of p2 with p2.
         assert_eq!(cg.components().len(), 2);
+    }
+
+    #[test]
+    fn components_among_matches_full_on_whole_components() {
+        let (g, f) = chain_family();
+        let full = conflict_components(&g, &f);
+        // The whole family as a pool reproduces the full decomposition.
+        assert_eq!(conflict_components_among(f.iter()), full);
+        // A pool made of one whole component yields exactly that component.
+        for comp in &full {
+            let pool = comp.iter().map(|&id| (id, f.path(id)));
+            assert_eq!(conflict_components_among(pool), vec![comp.clone()]);
+        }
+        // Order-insensitive and duplicate-tolerant.
+        let reversed: Vec<_> = f.iter().collect();
+        let mut shuffled = reversed.clone();
+        shuffled.reverse();
+        shuffled.extend(reversed);
+        assert_eq!(conflict_components_among(shuffled), full);
+        // Empty pool: no components.
+        assert!(conflict_components_among(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn components_among_sees_merges_inside_the_pool() {
+        // p0 (0→1→2) and p2 (2→3→4) are disjoint; p1 (1→2→3) bridges them.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p0 = Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap();
+        let p1 = Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap();
+        let p2 = Dipath::from_vertices(&g, &[v(2), v(3), v(4)]).unwrap();
+        let without = conflict_components_among(vec![(PathId(0), &p0), (PathId(2), &p2)]);
+        assert_eq!(without, vec![vec![PathId(0)], vec![PathId(2)]]);
+        let with =
+            conflict_components_among(vec![(PathId(0), &p0), (PathId(1), &p1), (PathId(2), &p2)]);
+        assert_eq!(with, vec![vec![PathId(0), PathId(1), PathId(2)]]);
     }
 
     #[test]

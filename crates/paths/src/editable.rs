@@ -1,0 +1,261 @@
+//! An editable dipath family with stable ids — the substrate of
+//! incremental re-solving.
+//!
+//! [`DipathFamily`] is a dense, append-only family: removing a member would
+//! shift every later [`PathId`], invalidating cached per-shard state. A
+//! [`PathFamily`] instead keeps one *slot* per id: removal tombstones the
+//! slot (the id is never reinterpreted as a different dipath while live
+//! references exist), and insertion reuses the **smallest** free slot
+//! before growing — a deterministic contract that mutation-script
+//! generators (e.g. `dagwave-gen`'s churn workload) can mirror exactly.
+//!
+//! The dense view needed by the one-shot solving surface is recovered with
+//! [`PathFamily::to_dense`], which also returns the dense→stable id map.
+//! Because slots are scanned in ascending id order, the dense ranks of the
+//! live paths are *monotone* in their stable ids — the property that keeps
+//! component orderings (and therefore merged colorings) identical between
+//! the incremental and from-scratch solve paths.
+
+use crate::dipath::Dipath;
+use crate::family::{DipathFamily, PathId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A mutable dipath family with stable [`PathId`]s.
+///
+/// Removals tombstone their slot; insertions reuse the smallest free slot
+/// first ([`PathFamily::insert`]). `len()` counts live members only.
+///
+/// ```
+/// use dagwave_graph::builder::from_edges;
+/// use dagwave_graph::VertexId;
+/// use dagwave_paths::{Dipath, PathFamily, PathId};
+///
+/// let g = from_edges(3, &[(0, 1), (1, 2)]);
+/// let v = |i| VertexId::from_index(i);
+/// let p = Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap();
+///
+/// let mut family = PathFamily::new();
+/// let a = family.insert(p.clone());
+/// let b = family.insert(p.clone());
+/// family.remove(a).unwrap();
+/// assert_eq!(family.len(), 1);
+/// // The freed slot is reused, smallest first — `b` keeps its id.
+/// assert_eq!(family.insert(p), a);
+/// assert_eq!(b, PathId(1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PathFamily {
+    slots: Vec<Option<Dipath>>,
+    /// Min-heap of tombstoned slot indices (smallest reused first).
+    free: BinaryHeap<Reverse<u32>>,
+    live: usize,
+}
+
+impl PathFamily {
+    /// An empty editable family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt a dense family: member `i` becomes slot `i`, all live.
+    pub fn from_family(family: &DipathFamily) -> Self {
+        PathFamily {
+            slots: family.iter().map(|(_, p)| Some(p.clone())).collect(),
+            free: BinaryHeap::new(),
+            live: family.len(),
+        }
+    }
+
+    /// Number of live members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no member is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots ever allocated (live + tombstoned); stable ids are
+    /// always below this bound.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The id the next [`PathFamily::insert`] will assign: the smallest
+    /// tombstoned slot, or a fresh slot past the end. Mutation-script
+    /// generators use this to mirror id assignment without inserting.
+    pub fn next_id(&self) -> PathId {
+        match self.free.peek() {
+            Some(&Reverse(slot)) => PathId(slot),
+            None => PathId::from_index(self.slots.len()),
+        }
+    }
+
+    /// Insert a dipath, reusing the smallest free slot (tombstone first,
+    /// growth second), and return its stable id.
+    pub fn insert(&mut self, p: Dipath) -> PathId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(Reverse(slot)) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "slot was free");
+                self.slots[slot as usize] = Some(p);
+                PathId(slot)
+            }
+            None => {
+                let id = PathId::from_index(self.slots.len());
+                self.slots.push(Some(p));
+                id
+            }
+        }
+    }
+
+    /// Remove a live member, tombstoning its slot. Returns the dipath, or
+    /// `None` when the id is unknown or already removed.
+    pub fn remove(&mut self, id: PathId) -> Option<Dipath> {
+        let slot = self.slots.get_mut(id.index())?;
+        let p = slot.take()?;
+        self.free.push(Reverse(id.0));
+        self.live -= 1;
+        Some(p)
+    }
+
+    /// The live dipath at `id`, if any.
+    pub fn get(&self, id: PathId) -> Option<&Dipath> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    /// `true` when `id` names a live member.
+    pub fn contains(&self, id: PathId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterate over the live members as `(stable id, dipath)`, in ascending
+    /// id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &Dipath)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PathId::from_index(i), p)))
+    }
+
+    /// Live ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Materialize the live members as a dense [`DipathFamily`] plus the
+    /// dense→stable id map (`map[dense.index()]` is the stable id). Live
+    /// members are emitted in ascending stable-id order, so dense ranks are
+    /// monotone in stable ids.
+    pub fn to_dense(&self) -> (DipathFamily, Vec<PathId>) {
+        let mut map = Vec::with_capacity(self.live);
+        let dense: DipathFamily = self
+            .iter()
+            .map(|(id, p)| {
+                map.push(id);
+                p.clone()
+            })
+            .collect();
+        (dense, map)
+    }
+}
+
+impl From<DipathFamily> for PathFamily {
+    fn from(family: DipathFamily) -> Self {
+        PathFamily::from_family(&family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_graph::{Digraph, VertexId};
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    fn chain() -> (Digraph, Vec<Dipath>) {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let paths = vec![
+            Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(1), v(2), v(3)]).unwrap(),
+            Dipath::from_vertices(&g, &[v(2), v(3)]).unwrap(),
+        ];
+        (g, paths)
+    }
+
+    #[test]
+    fn insert_assigns_dense_then_reuses_smallest_free() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::new();
+        assert!(f.is_empty());
+        let ids: Vec<PathId> = paths.iter().cloned().map(|p| f.insert(p)).collect();
+        assert_eq!(ids, vec![PathId(0), PathId(1), PathId(2)]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.slot_count(), 3);
+
+        // Free two slots out of order; the smallest comes back first.
+        f.remove(PathId(2)).unwrap();
+        f.remove(PathId(0)).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.next_id(), PathId(0));
+        assert_eq!(f.insert(paths[0].clone()), PathId(0));
+        assert_eq!(f.next_id(), PathId(2));
+        assert_eq!(f.insert(paths[2].clone()), PathId(2));
+        // Free list drained: growth resumes past the end.
+        assert_eq!(f.next_id(), PathId(3));
+        assert_eq!(f.insert(paths[1].clone()), PathId(3));
+        assert_eq!(f.slot_count(), 4);
+    }
+
+    #[test]
+    fn remove_tombstones_and_rejects_double_removal() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths.clone()));
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(PathId(1)));
+        let removed = f.remove(PathId(1)).unwrap();
+        assert_eq!(&removed, &paths[1]);
+        assert!(!f.contains(PathId(1)));
+        assert!(f.get(PathId(1)).is_none());
+        assert!(f.remove(PathId(1)).is_none(), "already tombstoned");
+        assert!(f.remove(PathId(9)).is_none(), "never allocated");
+        // Stable ids: the other members are untouched.
+        assert_eq!(f.get(PathId(0)), Some(&paths[0]));
+        assert_eq!(f.get(PathId(2)), Some(&paths[2]));
+        assert_eq!(f.ids().collect::<Vec<_>>(), vec![PathId(0), PathId(2)]);
+    }
+
+    #[test]
+    fn to_dense_skips_tombstones_and_maps_back() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths.clone()));
+        f.remove(PathId(0)).unwrap();
+        let (dense, map) = f.to_dense();
+        assert_eq!(dense.len(), 2);
+        assert_eq!(map, vec![PathId(1), PathId(2)]);
+        assert_eq!(dense.path(PathId(0)), &paths[1]);
+        assert_eq!(dense.path(PathId(1)), &paths[2]);
+        // Dense ranks are monotone in stable ids by construction.
+        assert!(map.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_conversion_matches_from_family() {
+        let (_, paths) = chain();
+        let dense = DipathFamily::from_paths(paths);
+        let a = PathFamily::from_family(&dense);
+        let b: PathFamily = dense.clone().into();
+        assert_eq!(a.len(), b.len());
+        let (ra, ma) = a.to_dense();
+        assert_eq!(ra.len(), dense.len());
+        assert_eq!(ma, dense.ids().collect::<Vec<_>>());
+    }
+}

@@ -11,6 +11,11 @@
 //!   sharing an arc), built with the arc-bucket algorithm, plus intersection
 //!   intervals for the UPP Helly structure and connected components
 //!   ([`ConflictGraph::components`], [`conflict_components`]).
+//! * [`editable`] — [`PathFamily`], the mutable family with *stable* ids
+//!   (removals tombstone their slot, insertions reuse the smallest free
+//!   slot) that the incremental re-solve engine edits in place, plus
+//!   [`conflict_components_among`] for recomputing components over only a
+//!   dirty member pool.
 //! * [`subinstance`] — [`SubInstance`] extraction: one conflict-graph
 //!   component as a standalone instance with a dense local family, a
 //!   restricted host graph, and the inverse id map (the decompose half of
@@ -35,6 +40,7 @@
 
 pub mod conflict;
 pub mod dipath;
+pub mod editable;
 pub mod error;
 pub mod family;
 pub mod load;
@@ -58,8 +64,9 @@ pub(crate) fn shard_bounds(n: usize) -> Option<Vec<(usize, usize)>> {
     )
 }
 
-pub use conflict::{conflict_components, ConflictGraph};
+pub use conflict::{conflict_components, conflict_components_among, ConflictGraph};
 pub use dipath::Dipath;
+pub use editable::PathFamily;
 pub use error::PathError;
 pub use family::{DipathFamily, PathId};
 pub use subinstance::SubInstance;

@@ -7,9 +7,9 @@
 
 use crate::request::Request;
 use crate::routing::{route_all, RouteError, RoutingStrategy};
-use dagwave_core::{CoreError, Solution, SolveSession};
+use dagwave_core::{CoreError, Solution, SolveSession, Workspace};
 use dagwave_graph::Digraph;
-use dagwave_paths::DipathFamily;
+use dagwave_paths::{DipathFamily, PathId};
 
 /// Errors from the pipeline.
 #[derive(Debug)]
@@ -89,6 +89,68 @@ impl RwaPipeline {
         let family = route_all(g, requests, self.routing)?;
         let solution = self.solver.solve(g, &family)?;
         Ok(RwaReport { family, solution })
+    }
+
+    /// Open a persistent, incrementally re-solvable workspace over the
+    /// routed requests: the running pipeline can then
+    /// [`admit`](RwaWorkspace::admit) and [`retire`](RwaWorkspace::retire)
+    /// lightpaths without a full re-solve — only the conflict components a
+    /// mutation touches are recolored
+    /// (see [`dagwave_core::workspace::Workspace`]).
+    pub fn workspace(&self, g: &Digraph, requests: &[Request]) -> Result<RwaWorkspace, RwaError> {
+        let family = route_all(g, requests, self.routing)?;
+        let workspace =
+            Workspace::new(self.solver.clone(), g.clone(), family).map_err(RwaError::Coloring)?;
+        Ok(RwaWorkspace {
+            routing: self.routing,
+            workspace,
+        })
+    }
+}
+
+/// A long-lived RWA session: routed lightpaths come and go, and the
+/// wavelength assignment is incrementally re-solved after each change.
+///
+/// Produced by [`RwaPipeline::workspace`]. Each admitted request is routed
+/// *individually* under the pipeline's [`RoutingStrategy`] (admission-order
+/// routing — unlike the batch [`RwaPipeline::run`], a load-aware strategy
+/// only sees the requests admitted so far), then added to the underlying
+/// [`Workspace`], which recolors only the shards the new lightpath touches.
+#[derive(Clone, Debug)]
+pub struct RwaWorkspace {
+    routing: RoutingStrategy,
+    workspace: Workspace,
+}
+
+impl RwaWorkspace {
+    /// Route one new request and admit its lightpath. Returns the stable
+    /// [`PathId`] to later [`retire`](RwaWorkspace::retire) it by.
+    pub fn admit(&mut self, request: Request) -> Result<PathId, RwaError> {
+        let routed = route_all(self.workspace.graph(), &[request], self.routing)?;
+        let path = routed
+            .iter()
+            .next()
+            .map(|(_, p)| p.clone())
+            .expect("one request routes to one dipath");
+        self.workspace.add_path(path).map_err(RwaError::Coloring)
+    }
+
+    /// Retire a previously admitted (or initially routed) lightpath.
+    pub fn retire(&mut self, id: PathId) -> Result<(), RwaError> {
+        self.workspace.remove_path(id).map_err(RwaError::Coloring)
+    }
+
+    /// The current wavelength solution, re-solving only what changed since
+    /// the last call ([`dagwave_core::Solution::resolve`] records the
+    /// reused/recomputed shard split).
+    pub fn solution(&mut self) -> Result<Solution, RwaError> {
+        self.workspace.solution().map_err(RwaError::Coloring)
+    }
+
+    /// The underlying incremental solving workspace (graph, live family,
+    /// component partition).
+    pub fn inner(&self) -> &Workspace {
+        &self.workspace
     }
 }
 
@@ -171,6 +233,57 @@ mod tests {
             .unwrap();
         assert_eq!(report.solution.num_colors, mono.solution.num_colors);
         assert!(mono.solution.decomposition.is_none());
+    }
+
+    #[test]
+    fn workspace_admits_and_retires_without_full_resolve() {
+        use dagwave_core::{DecomposePolicy, SolverBuilder};
+        // Two disjoint rooted trees, as in the sharded-pipeline test.
+        let g = from_edges(8, &[(0, 1), (0, 2), (1, 3), (4, 5), (4, 6), (5, 7)]);
+        let mut reqs = request::multicast(&g, v(0));
+        reqs.extend(request::multicast(&g, v(4)));
+        let pipeline = RwaPipeline::with_session(
+            RoutingStrategy::Shortest,
+            SolverBuilder::new()
+                .decompose(DecomposePolicy::Always)
+                .build(),
+        );
+        let mut ws = pipeline.workspace(&g, &reqs).unwrap();
+        let initial = ws.solution().unwrap();
+        let shard_count = initial.decomposition.as_ref().unwrap().shard_count();
+        assert_eq!(shard_count, 4);
+
+        // Admit one more request in the second region: only the shards it
+        // touches recolor, everything else is served from cache.
+        let id = ws.admit(Request::new(v(4), v(7))).unwrap();
+        let after = ws.solution().unwrap();
+        let resolve = after.resolve.unwrap();
+        assert!(resolve.shards_reused > 0, "{resolve:?}");
+        assert!(resolve.shards_resolved >= 1, "{resolve:?}");
+        // The incremental solution matches a from-scratch pipeline run on
+        // the same requests.
+        let mut all = reqs.clone();
+        all.push(Request::new(v(4), v(7)));
+        let scratch = pipeline.run(&g, &all).unwrap();
+        assert_eq!(after.num_colors, scratch.solution.num_colors);
+        // The admitted lightpath has a wavelength in the merged palette.
+        let dense = ws.inner().dense_index_of(id).unwrap();
+        assert!(after.assignment.colors()[dense] < after.num_colors);
+
+        // Retire it again: back to the original span.
+        ws.retire(id).unwrap();
+        let back = ws.solution().unwrap();
+        assert_eq!(back.num_colors, initial.num_colors);
+        assert_eq!(back.assignment.colors(), initial.assignment.colors());
+    }
+
+    #[test]
+    fn workspace_surfaces_routing_failures_on_admit() {
+        let g = from_edges(2, &[(0, 1)]);
+        let pipeline = RwaPipeline::default();
+        let mut ws = pipeline.workspace(&g, &[Request::new(v(0), v(1))]).unwrap();
+        let err = ws.admit(Request::new(v(1), v(0))).unwrap_err();
+        assert!(matches!(err, RwaError::Routing(_)));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use dagwave_route as route;
 #[allow(deprecated)]
 pub use dagwave_core::WavelengthSolver;
 pub use dagwave_core::{
-    BackendAttempt, BackendKind, DecomposePolicy, Decomposition, Instance, Policy, ShardOutcome,
-    Solution, SolveRequest, SolveSession, SolverBuilder, Strategy,
+    BackendAttempt, BackendKind, DecomposePolicy, Decomposition, Instance, Mutation, Policy,
+    Resolve, ShardOutcome, Solution, SolveRequest, SolveSession, SolverBuilder, Strategy,
+    Workspace,
 };

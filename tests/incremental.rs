@@ -1,0 +1,317 @@
+//! Incremental re-solve acceptance: after ANY mutation sequence, a
+//! `Workspace`'s solution must be bit-identical to a from-scratch
+//! `SolveSession::solve` on the mutated instance (live members in
+//! ascending stable-id order), across thread budgets 1/2/4 — with
+//! `Resolve` provenance showing that untouched shards were actually served
+//! from cache, not recomputed.
+
+use dagwave::core::certify;
+use dagwave::gen::compose::churn;
+use dagwave::paths::{Dipath, DipathFamily};
+use dagwave::{DecomposePolicy, Solution, SolveSession, SolverBuilder, Strategy, Workspace};
+use dagwave_graph::builder::from_edges;
+use dagwave_graph::{Digraph, VertexId};
+use proptest::prelude::*;
+
+/// The thread budgets every check runs under (no-op on the sequential
+/// `--no-default-features` build).
+const BUDGETS: [usize; 3] = [1, 2, 4];
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pools are infallible")
+        .install(f)
+}
+
+fn v(i: usize) -> VertexId {
+    VertexId::from_index(i)
+}
+
+fn path(g: &Digraph, route: &[usize]) -> Dipath {
+    let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+    Dipath::from_vertices(g, &route).unwrap()
+}
+
+fn sharded() -> SolveSession {
+    SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .build()
+}
+
+/// From-scratch reference on the workspace's current live members.
+fn from_scratch(ws: &Workspace) -> Solution {
+    let (dense, _) = ws.family().to_dense();
+    ws.session()
+        .solve(ws.graph(), &dense)
+        .expect("reference solve succeeds")
+}
+
+/// Bit-identity: assignment, span, strategy, provenance, and (when
+/// decomposed) the per-shard records — everything except the
+/// workspace-only `resolve` field.
+fn assert_identical(incremental: &Solution, scratch: &Solution) {
+    assert_eq!(incremental.assignment.colors(), scratch.assignment.colors());
+    assert_eq!(incremental.num_colors, scratch.num_colors);
+    assert_eq!(incremental.load, scratch.load);
+    assert_eq!(incremental.optimal, scratch.optimal);
+    assert_eq!(incremental.class, scratch.class);
+    assert_eq!(incremental.strategy, scratch.strategy);
+    assert_eq!(incremental.attempts, scratch.attempts);
+    match (&incremental.decomposition, &scratch.decomposition) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.shard_count(), b.shard_count());
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                assert_eq!(x.members, y.members);
+                assert_eq!(x.paths, y.paths);
+                assert_eq!(x.class, y.class);
+                assert_eq!(x.strategy, y.strategy);
+                assert_eq!(x.num_colors, y.num_colors);
+                assert_eq!(x.optimal, y.optimal);
+                assert_eq!(x.attempts, y.attempts);
+            }
+        }
+        (None, None) => {}
+        other => panic!("decomposition presence diverged: {other:?}"),
+    }
+    assert!(
+        scratch.resolve.is_none(),
+        "one-shot solves carry no resolve"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random churn scripts keep the workspace bit-identical to the
+    /// from-scratch solve after every step, and the final state matches at
+    /// every thread budget.
+    #[test]
+    fn random_mutation_sequences_match_from_scratch(
+        seed in 0u64..10_000,
+        k in 2usize..5,
+        steps in 1usize..12,
+    ) {
+        let work = churn(seed, k, steps);
+        let mut ws = Workspace::new(
+            sharded(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        ).unwrap();
+        let mut saw_reuse = false;
+        for (i, op) in work.script.iter().enumerate() {
+            ws.apply([op.clone()]).unwrap();
+            let incremental = ws.solution().unwrap();
+            let scratch = from_scratch(&ws);
+            assert_identical(&incremental, &scratch);
+            prop_assert!(certify::is_conflict_free(
+                ws.graph(),
+                &ws.family().to_dense().0,
+                &incremental.assignment,
+            ), "step {i} not certified");
+            let r = incremental.resolve.expect("workspace stamps resolve");
+            saw_reuse |= r.shards_reused > 0;
+        }
+        // Multi-component instances must actually reuse shards under
+        // single-lightpath churn.
+        if k >= 2 && !work.script.is_empty() {
+            prop_assert!(saw_reuse, "no step reused a shard on {k} components");
+        }
+
+        // The final state is bit-identical across thread budgets: replay
+        // the whole script under each pool size.
+        let reference = ws.solution().unwrap();
+        for threads in BUDGETS {
+            let colors = with_threads(threads, || {
+                let mut ws = Workspace::new(
+                    sharded(),
+                    work.instance.graph.clone(),
+                    work.instance.family.clone(),
+                ).unwrap();
+                ws.apply(work.script.iter().cloned()).unwrap();
+                ws.solution().unwrap().assignment.colors().to_vec()
+            });
+            prop_assert_eq!(
+                colors,
+                reference.assignment.colors().to_vec(),
+                "{} threads", threads
+            );
+        }
+    }
+
+    /// The decompose gate is shared: under the *default* Auto policy
+    /// (threshold 512, fast-path skips) the workspace and the one-shot
+    /// path must make the same shard/monolithic decision and agree
+    /// bit-for-bit.
+    #[test]
+    fn default_session_gate_parity(seed in 0u64..1_000, steps in 1usize..8) {
+        let work = churn(seed, 3, steps);
+        let mut ws = Workspace::new(
+            SolveSession::auto(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        ).unwrap();
+        ws.apply(work.script.iter().cloned()).unwrap();
+        let incremental = ws.solution().unwrap();
+        let scratch = from_scratch(&ws);
+        assert_identical(&incremental, &scratch);
+    }
+}
+
+/// Chain 0→1→2→3→4 with two arc-disjoint paths; the bridge [1,2,3] merges
+/// them into one component, and removing it splits them again.
+fn bridge_instance() -> (Digraph, DipathFamily) {
+    let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let f = DipathFamily::from_paths(vec![path(&g, &[0, 1, 2]), path(&g, &[2, 3, 4])]);
+    (g, f)
+}
+
+#[test]
+fn mutation_that_merges_two_shards() {
+    let (g, f) = bridge_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    assert_eq!(ws.shard_count(), 2);
+    ws.solution().unwrap();
+
+    let bridge = ws.add_path(path(&g, &[1, 2, 3])).unwrap();
+    assert_eq!(ws.shard_count(), 1, "bridge merged both components");
+    let merged = ws.solution().unwrap();
+    let r = merged.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 1);
+    assert_eq!(r.shards_reused, 0, "both old shards were consumed");
+    assert_identical(&merged, &from_scratch(&ws));
+    assert_eq!(merged.num_colors, 2, "bridge conflicts with both chains");
+
+    // And the inverse mutation splits the shard again.
+    ws.remove_path(bridge).unwrap();
+    assert_eq!(ws.shard_count(), 2);
+    let split = ws.solution().unwrap();
+    assert_identical(&split, &from_scratch(&ws));
+    assert_eq!(split.num_colors, 1, "disjoint chains need one wavelength");
+}
+
+#[test]
+fn mutation_that_splits_a_shard_keeps_others_cached() {
+    // Two regions: the bridge-chain (vertices 0..5) and a disjoint chain
+    // 5→6→7 whose shard must stay cached through the split.
+    let g = from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)]);
+    let f = DipathFamily::from_paths(vec![
+        path(&g, &[0, 1, 2]),
+        path(&g, &[2, 3, 4]),
+        path(&g, &[1, 2, 3]), // the bridge: one merged component
+        path(&g, &[5, 6, 7]),
+        path(&g, &[6, 7]),
+    ]);
+    let mut ws = Workspace::new(sharded(), g, f).unwrap();
+    assert_eq!(ws.shard_count(), 2);
+    ws.solution().unwrap();
+
+    ws.remove_path(dagwave::paths::PathId(2)).unwrap();
+    assert_eq!(ws.shard_count(), 3, "bridge removal splits the region");
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 2, "both split halves recompute");
+    assert_eq!(
+        r.shards_reused, 1,
+        "the disjoint chain is served from cache"
+    );
+    assert_identical(&sol, &from_scratch(&ws));
+}
+
+#[test]
+fn remove_to_empty_shard_and_to_empty_family() {
+    let (g, f) = bridge_instance();
+    let mut ws = Workspace::new(sharded(), g, f).unwrap();
+    ws.solution().unwrap();
+
+    // Empty out the second component entirely: its shard disappears.
+    ws.remove_path(dagwave::paths::PathId(1)).unwrap();
+    assert_eq!(ws.shard_count(), 1);
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(
+        (r.shards_reused, r.shards_resolved),
+        (1, 0),
+        "survivor cached"
+    );
+    assert_identical(&sol, &from_scratch(&ws));
+
+    // Empty family: the decompose gate falls back to the monolithic path,
+    // exactly as from-scratch does.
+    ws.remove_path(dagwave::paths::PathId(0)).unwrap();
+    assert_eq!(ws.shard_count(), 0);
+    let empty = ws.solution().unwrap();
+    assert_eq!(empty.num_colors, 0);
+    assert!(empty.decomposition.is_none());
+    assert_identical(&empty, &from_scratch(&ws));
+
+    // And the instance can repopulate afterwards.
+    let g = ws.graph().clone();
+    ws.add_path(path(&g, &[0, 1, 2])).unwrap();
+    assert_identical(&ws.solution().unwrap(), &from_scratch(&ws));
+}
+
+#[test]
+fn per_shard_backend_selection_pins_by_class() {
+    // Federated mixes classes; with per-shard selection every shard's
+    // strategy is exactly the backend its class pins.
+    let inst = dagwave::gen::compose::federated(8);
+    let session = SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .per_shard_backend(true)
+        .build();
+    let sol = session.solve(&inst.graph, &inst.family).unwrap();
+    assert!(sol.assignment.is_valid(&inst.graph, &inst.family));
+    let d = sol.decomposition.as_ref().expect("sharded");
+    assert_eq!(d.shard_count(), 8);
+    for s in &d.shards {
+        let expected = match s.class {
+            dagwave::core::internal::DagClass::InternalCycleFree => Strategy::Theorem1,
+            dagwave::core::internal::DagClass::UppSingleCycle => Strategy::Theorem6,
+            _ => Strategy::Exact, // figure shards are small enough for exact
+        };
+        assert_eq!(s.strategy, expected, "shard class {}", s.class);
+        // Exactly one backend consulted per shard — no weighted rescue.
+        assert_eq!(s.attempts.len(), 1, "class {}", s.class);
+    }
+    // Same span as the full Auto dispatch on this family (no shard here
+    // depends on the weighted rescue).
+    let auto = SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .build()
+        .solve(&inst.graph, &inst.family)
+        .unwrap();
+    assert_eq!(sol.num_colors, auto.num_colors);
+    // And the incremental invariant holds under the knob too.
+    let per_shard_session = SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .per_shard_backend(true)
+        .build();
+    let mut ws =
+        Workspace::new(per_shard_session, inst.graph.clone(), inst.family.clone()).unwrap();
+    let work = churn(5, 8, 6);
+    ws.apply(work.script.iter().cloned()).unwrap();
+    assert_identical(&ws.solution().unwrap(), &from_scratch(&ws));
+}
+
+#[test]
+fn shard_members_attribute_paths_without_union_find() {
+    // The small-fix satellite: Solution::decomposition now carries the
+    // shard→PathId membership, consistent with conflict_components.
+    let inst = dagwave::gen::compose::federated(5);
+    let sol = sharded().solve(&inst.graph, &inst.family).unwrap();
+    let d = sol.decomposition.as_ref().unwrap();
+    let comps = dagwave::paths::conflict_components(&inst.graph, &inst.family);
+    assert_eq!(d.shard_count(), comps.len());
+    for (s, c) in d.shards.iter().zip(&comps) {
+        assert_eq!(&s.members, c);
+        assert_eq!(s.paths, c.len());
+    }
+    // shard_of agrees with the recorded membership.
+    for (i, c) in comps.iter().enumerate() {
+        for &p in c {
+            assert_eq!(d.shard_of(p), Some(i));
+        }
+    }
+}
