@@ -1,0 +1,13 @@
+// Planted violation: unnamed budget literal in dispatch code
+// (named-budgets), plus a wall-clock read in a deterministic path
+// (no-wallclock).
+use std::time::Instant;
+
+pub fn stream_window(threads: usize) -> usize {
+    threads.max(1) * 4
+}
+
+pub fn timed_solve() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+// Planted violation: pub error enum without `#[non_exhaustive]`
+// (non-exhaustive-errors), plus a `panic!` in library code (no-panic).
+#[derive(Debug)]
+pub enum WitnessError {
+    Malformed,
+}
+
+pub fn check(ok: bool) {
+    if !ok {
+        panic!("witness rejected");
+    }
+}

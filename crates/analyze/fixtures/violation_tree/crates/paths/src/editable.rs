@@ -1,0 +1,8 @@
+// Planted violation: raw synchronization primitives outside `shims/`
+// (no-raw-sync), both a `Mutex` type and a `std::thread::spawn` call.
+use std::sync::Mutex;
+
+pub fn share(v: Vec<u32>) -> Mutex<Vec<u32>> {
+    std::thread::spawn(|| {});
+    Mutex::new(v)
+}

@@ -1,0 +1,8 @@
+// Planted violation: `.unwrap()` in non-test facade code (no-panic).
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+// Planted violation: allow comment that suppresses nothing (unused-allow).
+// lint: allow(no-panic): stale justification left behind after a refactor
+pub fn second() {}

@@ -1,0 +1,594 @@
+//! A hand-rolled token-level scanner for Rust source.
+//!
+//! This is deliberately *not* a full Rust lexer: the lint rules only need a
+//! faithful token stream with source positions, which means getting the
+//! hard parts right — comments (line, nested block, doc), string literals
+//! (plain, raw, byte, C), char literals vs. lifetimes, and numeric
+//! literals — so that rule patterns never fire inside a comment or a
+//! string. Everything else is emitted as single-character punctuation
+//! tokens, which is all the sequence-matching rules require.
+//!
+//! Two side channels ride along with the token stream:
+//!
+//! * `// lint: allow(<rule>): <reason>` comments are collected as
+//!   [`Allow`] records (the escape hatch the rules consult);
+//! * a post-pass marks every token inside a `#[cfg(test)]` / `#[test]`
+//!   item as test code, so rules that only govern library code can skip
+//!   them structurally instead of by heuristic.
+
+/// Token classification, as coarse as the rules allow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (suffix and underscores kept in the text).
+    Int,
+    /// Float literal.
+    Float,
+    /// String literal of any flavor (text not retained).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for [`TokKind::Str`]/[`TokKind::Char`] a placeholder).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// `true` when the token sits inside a `#[cfg(test)]` or `#[test]`
+    /// item (set by the test-region post-pass).
+    pub in_test: bool,
+}
+
+/// One `// lint: allow(<rule>): <reason>` escape-hatch comment.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Line the comment sits on (1-based). The allow covers findings on
+    /// this line and the next (so it can trail the offending expression or
+    /// sit on its own line directly above it).
+    pub line: u32,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The justification after the closing `:`; must be non-empty.
+    pub reason: String,
+}
+
+/// The scan result: tokens plus the allow-comment side channel.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Token stream in source order, test regions marked.
+    pub tokens: Vec<Token>,
+    /// Allow comments in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Scan `src` into tokens and allow records, then mark test regions.
+pub fn scan(src: &str) -> Scanned {
+    let mut lx = Lexer::new(src);
+    lx.run();
+    let mut out = Scanned {
+        tokens: lx.tokens,
+        allows: lx.allows,
+    };
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    allows: Vec<Allow>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            allows: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line, col),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => self.raw_or_byte_literal(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if let Some(allow) = parse_allow(&text, line) {
+            self.allows.push(allow);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume `/*`; block comments nest in Rust.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::from("\"…\""), line, col);
+    }
+
+    /// Does the cursor sit on a raw/byte/C string prefix (`r"`, `r#"`,
+    /// `b"`, `br#"`, `c"`, …)? If not, the leading letter is an ordinary
+    /// identifier start.
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut j = 0usize;
+        // Up to two prefix letters (e.g. `br`), then `#`* then `"`, or a
+        // byte-char `b'…'`.
+        while j < 2 {
+            match self.peek(j) {
+                Some('r' | 'b' | 'c') => j += 1,
+                _ => break,
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        if self.peek(j) == Some('\'') {
+            // b'x' byte literal.
+            return self.peek(0) == Some('b') && j == 1;
+        }
+        let mut k = j;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        // `r#ident` (raw identifier) has hashes but no quote: not a string.
+        self.peek(k) == Some('"') && (k > j || self.peek(j) == Some('"'))
+    }
+
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) {
+        // Consume prefix letters.
+        while matches!(self.peek(0), Some('r' | 'b' | 'c')) {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            // b'x' — treat like a char literal.
+            self.char_body();
+            self.push(TokKind::Char, String::from("b'…'"), line, col);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        if hashes == 0 {
+            // Raw string without hashes still has no escapes.
+            while let Some(c) = self.bump() {
+                if c == '"' {
+                    break;
+                }
+            }
+        } else {
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    let mut seen = 0usize;
+                    while seen < hashes {
+                        if self.peek(0) == Some('#') {
+                            self.bump();
+                            seen += 1;
+                        } else {
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, String::from("r\"…\""), line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a` followed by a non-quote is a lifetime; `'a'` is a char.
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime =
+            matches!(one, Some(c) if c.is_alphabetic() || c == '_') && two != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.char_body();
+            self.push(TokKind::Char, String::from("'…'"), line, col);
+        }
+    }
+
+    fn char_body(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` is a float; `0..n` is a range; `4.max(x)` is a
+                // method call. Only consume the dot when a digit follows.
+                if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+/// Parse a `lint: allow(<rule>): <reason>` body out of a line comment.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim()
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Allow { line, rule, reason })
+}
+
+/// Mark every token belonging to a `#[cfg(test)]` / `#[test]` item (and
+/// `#![cfg(test)]` files wholesale) as test code.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Punct && tokens[i].text == "#" {
+            let inner = matches!(tokens.get(i + 1), Some(t) if t.text == "!");
+            let open = i + 1 + usize::from(inner);
+            if matches!(tokens.get(open), Some(t) if t.text == "[") {
+                let (close, is_test) = scan_attribute(tokens, open);
+                if is_test && inner {
+                    // `#![cfg(test)]`: the whole file is test code.
+                    for t in tokens.iter_mut() {
+                        t.in_test = true;
+                    }
+                    return;
+                }
+                if is_test {
+                    let end = item_end(tokens, close + 1);
+                    for t in &mut tokens[i..end] {
+                        t.in_test = true;
+                    }
+                    i = end;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Scan the attribute starting at the `[` token; returns the index of its
+/// matching `]` and whether the attribute gates test code (`#[test]`, or a
+/// `cfg(...)` whose arguments mention `test`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut first_ident: Option<&str> = None;
+    let mut mentions_test = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            (TokKind::Ident, text) => {
+                if first_ident.is_none() {
+                    first_ident = Some(text);
+                }
+                if text == "test" {
+                    mentions_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = match first_ident {
+        Some("test") => true,
+        Some("cfg") => mentions_test,
+        _ => false,
+    };
+    (j, is_test)
+}
+
+/// Find the end (exclusive token index) of the item starting after an
+/// attribute: skip any further attributes, then run to the matching `}` of
+/// the item's first brace block, or to the first `;` for braceless items.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while i < tokens.len() && tokens[i].kind == TokKind::Punct && tokens[i].text == "#" {
+        if matches!(tokens.get(i + 1), Some(t) if t.text == "[") {
+            let (close, _) = scan_attribute(tokens, i + 1);
+            i = close + 1;
+        } else {
+            break;
+        }
+    }
+    let mut j = i;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ";" => return j + 1,
+                "{" => {
+                    let mut depth = 0usize;
+                    while j < tokens.len() {
+                        let u = &tokens[j];
+                        if u.kind == TokKind::Punct {
+                            match u.text.as_str() {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        return j + 1;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    return tokens.len();
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_rule_tokens() {
+        let src = r##"
+            // a.unwrap() in a comment
+            /* panic!() in /* nested */ block */
+            let s = "x.unwrap()";
+            let r = r#"panic!()"#;
+            let c = 'u';
+        "##;
+        let toks = texts(src);
+        assert!(!toks.iter().any(|t| t == "unwrap"));
+        assert!(!toks.iter().any(|t| t == "panic"));
+        assert!(toks.iter().any(|t| t == "let"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let toks = texts("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(toks.iter().any(|t| t == "'a"));
+        assert!(toks.iter().any(|t| t == "trim"));
+    }
+
+    #[test]
+    fn numbers_split_from_ranges_and_method_calls() {
+        let s = scan("let a = 0..10; let b = 1.5; let c = 40usize.max(2);");
+        let ints: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0", "10", "40usize", "2"]);
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Float && t.text == "1.5"));
+    }
+
+    #[test]
+    fn allow_comments_are_collected() {
+        let s = scan("let x = y.unwrap(); // lint: allow(no-panic): y is checked above\n");
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].rule, "no-panic");
+        assert!(s.allows[0].reason.contains("checked"));
+        assert_eq!(s.allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_recorded_empty() {
+        let s = scan("// lint: allow(no-panic)\n");
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let s = scan(src);
+        let unwrap = s.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert!(unwrap.in_test);
+        let lib = s.tokens.iter().find(|t| t.text == "lib").unwrap();
+        assert!(!lib.in_test);
+        let tail = s.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert!(!tail.in_test);
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes_is_marked() {
+        let src = "#[test]\n#[ignore]\nfn stress() { helper(); }\nfn lib() {}";
+        let s = scan(src);
+        let helper = s.tokens.iter().find(|t| t.text == "helper").unwrap();
+        assert!(helper.in_test);
+        let lib = s.tokens.iter().find(|t| t.text == "lib").unwrap();
+        assert!(!lib.in_test);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_marked() {
+        let src = "#[cfg(feature = \"parallel\")]\nmod pool { fn inner() {} }";
+        let s = scan(src);
+        let inner = s.tokens.iter().find(|t| t.text == "inner").unwrap();
+        assert!(!inner.in_test);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let s = scan("ab\n  cd");
+        assert_eq!((s.tokens[0].line, s.tokens[0].col), (1, 1));
+        assert_eq!((s.tokens[1].line, s.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,137 @@
+//! dagwave-analyze: the workspace's project lint engine.
+//!
+//! A dependency-free, token-level scanner (see [`lexer`]) feeding a small
+//! set of project-specific rules (see [`rules`]) that defend conventions
+//! rustc and clippy cannot know about: panic-free library crates, all
+//! concurrency routed through the `shims/rayon` pool, `#[non_exhaustive]`
+//! error surfaces, named tuning budgets in solver dispatch, and no
+//! wall-clock reads in deterministic paths.
+//!
+//! Two entry points share the engine:
+//! * the `dagwave-analyze` binary (CI's `analyze` job, and humans);
+//! * the `workspace_is_lint_clean` integration test, so plain
+//!   `cargo test` — the tier-1 gate — enforces the rules too.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Finding;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory file. `rel_path` must be workspace-relative with
+/// forward slashes — rule scoping matches on it textually.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    rules::lint_file(rel_path, &lexer::scan(src))
+}
+
+/// Walk the workspace rooted at `root` and lint every governed file.
+///
+/// Scanned: `src/**/*.rs` (the facade crate) and `crates/*/src/**/*.rs`.
+/// Skipped: `shims/` (implements the primitives the rules ban), `target/`,
+/// and any `fixtures/` directory (lint-violation corpora must not fail the
+/// clean run). Findings come back sorted by path, then line, then column,
+/// so output and exit codes are deterministic.
+pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for e in entries {
+            collect_rs(&e.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        let rel = match file.strip_prefix(root) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(file)?;
+        findings.extend(lint_source(&rel_str, &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `fixtures/` and
+/// `target/` subtrees. Missing directories are fine (not every crate-like
+/// path exists).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("fixtures") | Some("target")) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render findings in rustc style:
+///
+/// ```text
+/// error[no-panic]: `.unwrap()` in library code; …
+///   --> crates/core/src/solver.rs:441:17
+/// ```
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            f.rule, f.message, f.file, f.line, f.col
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("dagwave-analyze: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "dagwave-analyze: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,73 @@
+//! The `dagwave-analyze` binary: lint the workspace, print rustc-style
+//! diagnostics, exit nonzero when anything fires.
+//!
+//! Usage: `dagwave-analyze [--root <dir>]`. Without `--root` the workspace
+//! is located by walking up from the current directory to the first
+//! `Cargo.toml` with a `[workspace]` table, so `cargo run -p
+//! dagwave-analyze` works from anywhere inside the repo.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("dagwave-analyze: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: dagwave-analyze [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dagwave-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dagwave-analyze: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match dagwave_analyze::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dagwave-analyze: no workspace Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match dagwave_analyze::run(&root) {
+        Ok(findings) => {
+            print!("{}", dagwave_analyze::render(&findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dagwave-analyze: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

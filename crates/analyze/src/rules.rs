@@ -1,0 +1,538 @@
+//! The project lint rules.
+//!
+//! Each rule is a pure function over the scanned token stream of one file;
+//! scoping (which files a rule governs) lives in [`rule_applies`] so the
+//! catalog in `README.md` and the code agree in one place. Findings are
+//! matched against `// lint: allow(<rule>): <reason>` records afterwards —
+//! rules themselves never consult the escape hatch.
+
+use crate::lexer::{Scanned, TokKind, Token};
+
+/// One diagnostic produced by a rule (before allow-filtering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// All rule names, in catalog order.
+pub const RULES: [&str; 6] = [
+    NO_PANIC,
+    NO_RAW_SYNC,
+    NON_EXHAUSTIVE_ERRORS,
+    NAMED_BUDGETS,
+    NO_WALLCLOCK,
+    UNUSED_ALLOW,
+];
+
+/// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test library code.
+pub const NO_PANIC: &str = "no-panic";
+/// Raw `std::thread` / `Mutex` / `Condvar` / atomics outside `shims/`.
+pub const NO_RAW_SYNC: &str = "no-raw-sync";
+/// `pub enum *Error` without `#[non_exhaustive]`.
+pub const NON_EXHAUSTIVE_ERRORS: &str = "non-exhaustive-errors";
+/// Unnamed numeric budget literals in solver/backend dispatch.
+pub const NAMED_BUDGETS: &str = "named-budgets";
+/// `Instant::now` / `SystemTime` in deterministic solver paths.
+pub const NO_WALLCLOCK: &str = "no-wallclock";
+/// An allow comment that suppressed nothing (or lacks a reason).
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Does `rule` govern the file at workspace-relative `path`?
+///
+/// Scoping policy (mirrored in the README catalog):
+/// * `shims/**` is never scanned at all (the shims *implement* the
+///   synchronization layer) — enforced by the walker, restated here.
+/// * `crates/bench` is a measurement harness: it legitimately reads the
+///   wall clock and may unwrap in throwaway report code, so only the
+///   error-surface rule applies there.
+/// * `named-budgets` is intentionally narrow: solver/backend dispatch in
+///   `crates/core`, where an unnamed `* 4` is a tuning decision that must
+///   carry a name.
+pub fn rule_applies(rule: &str, path: &str) -> bool {
+    if path.starts_with("shims/") {
+        return false;
+    }
+    let bench = path.starts_with("crates/bench/");
+    match rule {
+        NO_PANIC | NO_RAW_SYNC | NO_WALLCLOCK => !bench,
+        NON_EXHAUSTIVE_ERRORS => true,
+        NAMED_BUDGETS => {
+            path == "crates/core/src/solver.rs" || path == "crates/core/src/backend.rs"
+        }
+        _ => false,
+    }
+}
+
+/// Run every applicable rule over one scanned file, then apply the
+/// allow-comment escape hatch. Unconsumed or reason-less allows become
+/// [`UNUSED_ALLOW`] findings so the escape hatch cannot rot silently.
+pub fn lint_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let mut raw: Vec<Finding> = Vec::new();
+    if rule_applies(NO_PANIC, path) {
+        no_panic(path, toks, &mut raw);
+    }
+    if rule_applies(NO_RAW_SYNC, path) {
+        no_raw_sync(path, toks, &mut raw);
+    }
+    if rule_applies(NON_EXHAUSTIVE_ERRORS, path) {
+        non_exhaustive_errors(path, toks, &mut raw);
+    }
+    if rule_applies(NAMED_BUDGETS, path) {
+        named_budgets(path, toks, &mut raw);
+    }
+    if rule_applies(NO_WALLCLOCK, path) {
+        no_wallclock(path, toks, &mut raw);
+    }
+
+    // An allow on line L covers findings for its rule on line L (trailing
+    // comment) and line L+1 (comment on its own line above the code).
+    let mut used = vec![false; scanned.allows.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for (ai, a) in scanned.allows.iter().enumerate() {
+            if a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                used[ai] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for (ai, a) in scanned.allows.iter().enumerate() {
+        if !used[ai] {
+            out.push(Finding {
+                rule: UNUSED_ALLOW,
+                file: path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "`lint: allow({})` suppresses nothing on this or the next line; delete it",
+                    a.rule
+                ),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Finding {
+                rule: UNUSED_ALLOW,
+                file: path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "`lint: allow({})` needs a `: <reason>` justification",
+                    a.rule
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn finding(rule: &'static str, path: &str, t: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        file: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` outside
+/// tests. Method-position is required for `unwrap`/`expect` (a preceding
+/// `.`) so that e.g. a local `fn expect_header` does not trip it.
+fn no_panic(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" | "unwrap_unchecked" => {
+                let dotted = i > 0 && is_punct(&toks[i - 1], ".");
+                let called = matches!(toks.get(i + 1), Some(n) if is_punct(n, "("));
+                if dotted && called {
+                    out.push(finding(
+                        NO_PANIC,
+                        path,
+                        t,
+                        format!(
+                            "`.{}()` in library code; return a typed error or justify with \
+                             `// lint: allow(no-panic): <reason>`",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                let bang = matches!(toks.get(i + 1), Some(n) if is_punct(n, "!"));
+                // `core::panic::Location`-style paths have `::` before.
+                let pathy = i > 0 && is_punct(&toks[i - 1], ":");
+                if bang && !pathy {
+                    out.push(finding(
+                        NO_PANIC,
+                        path,
+                        t,
+                        format!(
+                            "`{}!` in library code; return a typed error instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Raw synchronization primitives belong in `shims/` only; library crates
+/// go through the rayon shim's pool. `OnceLock`/`Arc` are allowed — they
+/// are initialization/sharing tools, not scheduling tools.
+fn no_raw_sync(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    const BANNED: [&str; 12] = [
+        "Mutex",
+        "RwLock",
+        "Condvar",
+        "Barrier",
+        "AtomicBool",
+        "AtomicUsize",
+        "AtomicIsize",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicI32",
+        "AtomicI64",
+        "AtomicPtr",
+    ];
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if BANNED.contains(&t.text.as_str()) {
+            out.push(finding(
+                NO_RAW_SYNC,
+                path,
+                t,
+                format!(
+                    "raw `{}` outside `shims/`; route concurrency through the pool shim",
+                    t.text
+                ),
+            ));
+        }
+        // `std :: thread` or a bare `thread :: spawn`.
+        if t.text == "thread" {
+            let followed = matches!(toks.get(i + 1), Some(n) if is_punct(n, ":"))
+                && matches!(toks.get(i + 3), Some(n) if n.text == "spawn" || n.text == "sleep" || n.text == "Builder");
+            if followed {
+                out.push(finding(
+                    NO_RAW_SYNC,
+                    path,
+                    t,
+                    "raw `std::thread` outside `shims/`; spawn through the pool shim".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Every `pub enum <Name>Error` must carry `#[non_exhaustive]` so adding a
+/// variant is not a breaking change for downstream matchers.
+fn non_exhaustive_errors(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || t.text != "enum" {
+            continue;
+        }
+        let public = i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "pub";
+        if !public {
+            continue;
+        }
+        let name = match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Ident => n,
+            _ => continue,
+        };
+        if !name.text.ends_with("Error") {
+            continue;
+        }
+        if !has_preceding_attr(toks, i - 1, "non_exhaustive") {
+            out.push(finding(
+                NON_EXHAUSTIVE_ERRORS,
+                path,
+                name,
+                format!(
+                    "pub error enum `{}` is missing `#[non_exhaustive]`",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Walk backwards over the attribute stack preceding token `before`
+/// (exclusive) looking for `needle` as any ident inside any attribute.
+fn has_preceding_attr(toks: &[Token], mut before: usize, needle: &str) -> bool {
+    loop {
+        // Expect ... `#` `[` idents `]` ending right at `before`.
+        if before == 0 || !is_punct(&toks[before - 1], "]") {
+            return false;
+        }
+        let close = before - 1;
+        let mut depth = 1usize;
+        let mut j = close;
+        let mut found = false;
+        while j > 0 {
+            j -= 1;
+            let u = &toks[j];
+            if is_punct(u, "]") {
+                depth += 1;
+            } else if is_punct(u, "[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if u.kind == TokKind::Ident && u.text == needle {
+                found = true;
+            }
+        }
+        if j == 0 || !is_punct(&toks[j - 1], "#") {
+            return false;
+        }
+        if found {
+            return true;
+        }
+        before = j - 1;
+    }
+}
+
+/// In solver/backend dispatch, every tuning constant must have a name.
+/// Exemptions keep the rule honest instead of noisy:
+/// * `0`, `1`, `2` — structural values (identity, halving, tuple indexes);
+/// * a literal on a `const` declaration line (that *is* the name);
+/// * an array length (literal directly after `;`);
+/// * a literal directly after `:` (struct-field init forwarding a value,
+///   e.g. `min_paths: 512` where the policy field is itself the name) or
+///   after `=` in an attribute-ish position is *not* exempt — budgets in
+///   field position still need a named const.
+fn named_budgets(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    // Lines that declare a const: the literal there is the definition.
+    let mut const_lines: Vec<u32> = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "const" {
+            const_lines.push(t.line);
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Int {
+            continue;
+        }
+        let digits: String = t.chars_before_suffix().filter(|c| *c != '_').collect();
+        let value: u128 = match digits.parse() {
+            Ok(v) => v,
+            Err(_) => continue, // hex/binary literals are bit patterns, not budgets
+        };
+        if value <= 2 {
+            continue;
+        }
+        if const_lines.contains(&t.line) {
+            continue;
+        }
+        if i > 0 && is_punct(&toks[i - 1], ";") {
+            continue; // array length `[T; N]`
+        }
+        out.push(finding(
+            NAMED_BUDGETS,
+            path,
+            t,
+            format!(
+                "unnamed budget literal `{}` in dispatch code; bind it to a named const",
+                t.text
+            ),
+        ));
+    }
+}
+
+impl Token {
+    /// The leading numeric characters of an int literal, before any type
+    /// suffix (`40usize` → `40`). Base-prefixed literals (`0x…`) yield a
+    /// non-numeric tail and fail the caller's parse, which is intended.
+    fn chars_before_suffix(&self) -> impl Iterator<Item = char> + '_ {
+        let text = &self.text;
+        let end = if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+            0
+        } else {
+            text.find(|c: char| c != '_' && !c.is_ascii_digit())
+                .unwrap_or(text.len())
+        };
+        text[..end].chars()
+    }
+}
+
+/// Deterministic solver paths must not read the wall clock: timing belongs
+/// to `crates/bench` and CI, not to anything that influences a solve.
+fn no_wallclock(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(finding(
+                NO_WALLCLOCK,
+                path,
+                t,
+                format!(
+                    "`{}` in a deterministic code path; wall-clock reads belong in crates/bench",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(path, &scan(src))
+    }
+
+    const LIB: &str = "crates/core/src/solver.rs";
+
+    #[test]
+    fn unwrap_in_library_code_fires() {
+        let f = lint(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_PANIC);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_ignored() {
+        let f = lint(LIB, "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_is_consumed() {
+        let f = lint(
+            LIB,
+            "fn f() { x.unwrap(); // lint: allow(no-panic): x was validated by caller\n }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_on_previous_line_suppresses() {
+        let f = lint(
+            LIB,
+            "// lint: allow(no-panic): x was validated by caller\nfn f() { x.unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_itself_a_finding() {
+        let f = lint(LIB, "// lint: allow(no-panic): nothing here\nfn f() {}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNUSED_ALLOW);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let f = lint(LIB, "fn f() { x.unwrap() } // lint: allow(no-panic)");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNUSED_ALLOW);
+        assert!(f[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn panic_macro_fires_but_identifier_use_does_not() {
+        let f = lint(LIB, "fn f() { panic!(\"boom\") }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_PANIC);
+        let f = lint(LIB, "use std::panic::catch_unwind;");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn raw_sync_fires_outside_shims_only() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }";
+        let f = lint("crates/paths/src/editable.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == NO_RAW_SYNC));
+        assert!(lint("shims/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn once_lock_is_not_raw_sync() {
+        let f = lint(LIB, "use std::sync::{Arc, OnceLock};");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn error_enum_without_non_exhaustive_fires() {
+        let f = lint(
+            "crates/gen/src/theorem2.rs",
+            "#[derive(Debug)]\npub enum WitnessError { Bad }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NON_EXHAUSTIVE_ERRORS);
+    }
+
+    #[test]
+    fn error_enum_with_non_exhaustive_passes() {
+        let f = lint(
+            "crates/gen/src/theorem2.rs",
+            "#[derive(Debug)]\n#[non_exhaustive]\npub enum WitnessError { Bad }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn private_and_non_error_enums_are_ignored() {
+        let f = lint(LIB, "enum SolverError { A }\npub enum Mode { A }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn named_budgets_fires_on_bare_multiplier() {
+        let src = "fn w() -> usize { rayon::current_num_threads().max(1) * 4 }";
+        let f = lint("crates/core/src/solver.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, NAMED_BUDGETS);
+        // Same code outside the dispatch files is out of scope.
+        assert!(lint("crates/paths/src/editable.rs", src).is_empty());
+    }
+
+    #[test]
+    fn named_budgets_exemptions_hold() {
+        let src = "const WINDOW: usize = 4;\n\
+                   fn f() -> [u8; 9] { [0; 9] }\n\
+                   fn g(x: usize) -> usize { x.max(1) + 0 }";
+        let f = lint("crates/core/src/backend.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wallclock_fires_in_lib_but_not_bench() {
+        let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }";
+        let f = lint("crates/core/src/solver.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == NO_WALLCLOCK));
+        assert!(lint("crates/bench/src/bin/report.rs", src).is_empty());
+    }
+}

@@ -69,7 +69,7 @@ fn extract_odd_cycle(parent: &[usize], v: usize, w: usize) -> Vec<usize> {
     let lca = *cv
         .iter()
         .find(|x| inter.contains(x))
-        .expect("same BFS tree");
+        .expect("same BFS tree"); // lint: allow(no-panic): both endpoints lie in one BFS tree, so the layer intersection is non-empty
     let mut cycle: Vec<usize> = cv.iter().take_while(|&&x| x != lca).copied().collect();
     cycle.push(lca);
     let wside: Vec<usize> = cw.iter().take_while(|&&x| x != lca).copied().collect();

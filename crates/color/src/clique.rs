@@ -64,8 +64,8 @@ fn bron_kerbosch(
             t.intersect_with(&neigh[u]);
             t.count()
         })
-        .expect("P ∪ X non-empty");
-    // Branch on P \ N(pivot).
+        .expect("P ∪ X non-empty"); // lint: allow(no-panic): the caller only recurses with P ∪ X non-empty, so a candidate exists
+                                    // Branch on P \ N(pivot).
     let mut candidates = p.clone();
     candidates.difference_with(&neigh[pivot]);
     let mut p = p;

@@ -28,8 +28,8 @@ pub fn dsatur_coloring(g: &UGraph) -> Coloring {
         let v = (0..n)
             .filter(|&v| colors[v] == usize::MAX)
             .max_by_key(|&v| (sat_deg[v], g.degree(v)))
-            .expect("uncolored vertex exists");
-        let c = sat[v].first_absent().expect("palette large enough");
+            .expect("uncolored vertex exists"); // lint: allow(no-panic): the loop condition guarantees an uncolored vertex remains
+        let c = sat[v].first_absent().expect("palette large enough"); // lint: allow(no-panic): the palette is sized to max degree + 1, so a color is free
         colors[v] = c;
         colored += 1;
         for &w in g.neighbors(v) {

@@ -151,6 +151,7 @@ impl Search<'_> {
                 }
             }
             let key = (sat, self.g.degree(v), v);
+            // lint: allow(no-panic): short-circuit: pick.is_none() is checked first
             if pick.is_none() || key > pick.unwrap() {
                 pick = Some(key);
             }

@@ -49,7 +49,7 @@ pub fn greedy_along(g: &UGraph, seq: &[usize]) -> Coloring {
                 used.insert(c);
             }
         }
-        colors[v] = used.first_absent().expect("palette large enough");
+        colors[v] = used.first_absent().expect("palette large enough"); // lint: allow(no-panic): the palette is sized to max degree + 1, so a color is free
     }
     colors
 }

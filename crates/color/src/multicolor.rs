@@ -226,7 +226,7 @@ fn bk_all(
             t.intersect_with(&non_neigh[u]);
             t.count()
         })
-        .expect("P ∪ X non-empty");
+        .expect("P ∪ X non-empty"); // lint: allow(no-panic): the caller only recurses with P ∪ X non-empty, so a candidate exists
     let mut candidates = p.clone();
     candidates.difference_with(&non_neigh[pivot]);
     let mut p = p;

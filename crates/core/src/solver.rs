@@ -35,6 +35,12 @@ use dagwave_color::ugraph::UGraph;
 use dagwave_paths::{conflict_components, ConflictGraph, DipathFamily, PathId, SubInstance};
 use std::collections::VecDeque;
 
+/// How many in-flight instances [`SolveSession::solve_stream`] keeps per
+/// pool thread. A few windows of slack keep every worker busy across the
+/// tail of one window and the head of the next without materializing an
+/// unbounded prefix of the source iterator.
+const STREAM_WINDOW_PER_THREAD: usize = 4;
+
 /// Which backend produced a [`Solution`] — an alias for [`BackendKind`],
 /// kept so pre-portfolio code (`Strategy::Theorem1`, …) reads unchanged.
 pub type Strategy = BackendKind;
@@ -393,7 +399,7 @@ impl SolveSession {
         });
         slots
             .into_iter()
-            .map(|r| r.expect("shard task completed"))
+            .map(|r| r.expect("shard task completed")) // lint: allow(no-panic): the scope barrier filled every shard slot
             .collect()
     }
 
@@ -416,7 +422,7 @@ impl SolveSession {
         });
         results
             .into_iter()
-            .map(|r| r.expect("batch task completed"))
+            .map(|r| r.expect("batch task completed")) // lint: allow(no-panic): the scope barrier filled every batch slot
             .collect()
     }
 
@@ -437,7 +443,7 @@ impl SolveSession {
         SolveStream {
             session: self,
             source: instances.into_iter(),
-            window: rayon::current_num_threads().max(1) * 4,
+            window: rayon::current_num_threads().max(1) * STREAM_WINDOW_PER_THREAD,
             ready: VecDeque::new(),
         }
     }
@@ -560,7 +566,7 @@ impl SolveSession {
         });
         let mut attempted: Vec<Attempted> = slots
             .into_iter()
-            .map(|s| s.expect("portfolio member completed"))
+            .map(|s| s.expect("portfolio member completed")) // lint: allow(no-panic): the scope barrier filled every portfolio slot
             .collect();
         let best = attempted
             .iter()
@@ -576,7 +582,7 @@ impl SolveSession {
                 let outcome = attempted
                     .swap_remove(i)
                     .outcome
-                    .expect("winner has an outcome");
+                    .expect("winner has an outcome"); // lint: allow(no-panic): the winner was selected among attempts that all carry outcomes
                 Ok(build_solution(ctx, winner, outcome, attempts))
             }
             // No member produced a valid coloring: surface the first
@@ -613,6 +619,7 @@ impl<I: Iterator<Item = Instance>> SolveStream<'_, I> {
             }
         });
         self.ready
+            // lint: allow(no-panic): the scope barrier filled every stream slot
             .extend(slots.into_iter().map(|r| r.expect("stream task completed")));
     }
 }
@@ -807,8 +814,25 @@ pub(crate) fn merge_shards(
         colors.iter().all(|&c| c != usize::MAX),
         "components partition the family"
     );
+    let assignment = WavelengthAssignment::new(colors);
+    // Shadow re-certification (debug builds only): audit the *merged*
+    // assignment with the same independent oracle tests use, so a bad
+    // merge (palette collision across shards, rank/id mix-up) dies here
+    // with a certificate instead of surfacing as a wrong answer later.
+    // `cfg!` keeps the block type-checked; release builds compile it out.
+    if cfg!(debug_assertions) {
+        let cert = crate::certify::certify_assignment(ctx.graph, ctx.family, &assignment);
+        debug_assert!(
+            cert.conflict_free,
+            "merged assignment has an arc conflict: {cert:?}"
+        );
+        debug_assert_eq!(
+            cert.colors_used, span,
+            "merged span diverged from max shard span: {cert:?}"
+        );
+    }
     Solution {
-        assignment: WavelengthAssignment::new(colors),
+        assignment,
         num_colors: span,
         // Every arc's users live in exactly one shard, so the whole-
         // instance load (already on the context) is the max shard load.
@@ -816,7 +840,7 @@ pub(crate) fn merge_shards(
         // Max of per-shard optima is the optimum of the union.
         optimal: all_optimal || span == best_lower,
         class: ctx.class,
-        strategy: strategy.expect("decomposed solve has at least one shard"),
+        strategy: strategy.expect("decomposed solve has at least one shard"), // lint: allow(no-panic): decomposition plans always contain at least one shard
         attempts,
         decomposition: Some(Decomposition { shards: reports }),
         resolve: None,

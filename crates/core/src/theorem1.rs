@@ -134,7 +134,7 @@ pub fn peel(g: &Digraph, family: &DipathFamily, order: PeelOrder) -> Result<Peel
                     ready.pop_back();
                 }
                 PeelOrder::MinId => {
-                    let pos = ready.iter().position(|&v| v == x0).expect("x0 in pool");
+                    let pos = ready.iter().position(|&v| v == x0).expect("x0 in pool"); // lint: allow(no-panic): x0 was taken from `ready` above
                     ready.remove(pos);
                 }
             }
@@ -253,7 +253,7 @@ fn replay(
             let Some((keeper, flip)) = dup else { break };
             // β: a palette color unused by P0. Exists because P0 shows at
             // most |P0| − 1 < π distinct colors (the duplication).
-            let beta = used.first_absent().expect("palette has a free color");
+            let beta = used.first_absent().expect("palette has a free color"); // lint: allow(no-panic): P0 shows at most π − 1 distinct colors, so one is absent
             let alpha = colors[flip.index()];
             let swapped = match kempe {
                 KempeStrategy::ComponentSwap => {
@@ -277,7 +277,7 @@ fn replay(
         }
         for &(id, was_last) in &step.affected {
             if was_last {
-                let c = used.first_absent().expect("π bounds the arc's clique");
+                let c = used.first_absent().expect("π bounds the arc's clique"); // lint: allow(no-panic): π bounds the clique at this arc, so a color is free
                 used.insert(c);
                 colors[id.index()] = c;
             }

@@ -88,14 +88,14 @@ pub fn color_single_cycle_upp(
     }
 
     // 1. Max-load arc on the unique internal cycle, padded to load π.
-    let cycle = internal::find_internal_cycle(g).expect("count said one cycle");
+    let cycle = internal::find_internal_cycle(g).expect("count said one cycle"); // lint: allow(no-panic): classify() counted exactly one internal cycle before this call
     let table = load::load_table(g, family);
     let ab = cycle
         .steps
         .iter()
         .map(|s| s.arc)
         .max_by_key(|a| table[a.index()])
-        .expect("internal cycle has arcs");
+        .expect("internal cycle has arcs"); // lint: allow(no-panic): a cycle is non-empty by construction
     let padding = pi - table[ab.index()];
     let mut padded = family.clone();
     for _ in 0..padding {
@@ -325,8 +325,8 @@ fn repair_identity_groups(
                 sigma[j] = c;
                 tau[j] = c;
             } else {
-                sigma[j] = rest_s.pop().expect("σ/τ counts match");
-                tau[j] = rest_t.pop().expect("σ/τ counts match");
+                sigma[j] = rest_s.pop().expect("σ/τ counts match"); // lint: allow(no-panic): rest_s holds exactly the deficit counted above
+                tau[j] = rest_t.pop().expect("σ/τ counts match"); // lint: allow(no-panic): rest_t holds exactly the deficit counted above
             }
         }
     }
@@ -375,18 +375,18 @@ fn split_instance(g: &Digraph, padded: &DipathFamily, ab: ArcId) -> SplitInstanc
         match p.arc_position(ab) {
             None => {
                 let q = Dipath::from_arcs(&tilde, p.arcs().to_vec())
-                    .expect("id-preserving split keeps contiguity");
+                    .expect("id-preserving split keeps contiguity"); // lint: allow(no-panic): the id-preserving split keeps arcs consecutive
                 noncrossing.push((orig, family.push(q)));
             }
             Some(kpos) => {
                 let mut pre = p.arcs()[..kpos].to_vec();
                 pre.push(ab); // slot of (a, s) in G̃
                 let prefix = family
-                    .push(Dipath::from_arcs(&tilde, pre).expect("prefix + (a,s) is contiguous"));
+                    .push(Dipath::from_arcs(&tilde, pre).expect("prefix + (a,s) is contiguous")); // lint: allow(no-panic): prefix + (a,s) is consecutive by construction
                 let mut suf = vec![tb];
                 suf.extend_from_slice(&p.arcs()[kpos + 1..]);
                 let suffix = family
-                    .push(Dipath::from_arcs(&tilde, suf).expect("(t,b) + suffix is contiguous"));
+                    .push(Dipath::from_arcs(&tilde, suf).expect("(t,b) + suffix is contiguous")); // lint: allow(no-panic): (t,b) + suffix is consecutive by construction
                 crossings.push(Crossing {
                     orig,
                     prefix,

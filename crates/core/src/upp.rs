@@ -33,7 +33,7 @@ pub fn unique_dipath(g: &Digraph, u: VertexId, v: VertexId) -> Option<Dipath> {
     if arcs.is_empty() {
         return None;
     }
-    Some(Dipath::from_arcs(g, arcs).expect("BFS output is contiguous"))
+    Some(Dipath::from_arcs(g, arcs).expect("BFS output is contiguous")) // lint: allow(no-panic): BFS emits consecutive arcs, so the dipath is contiguous
 }
 
 /// Property 3, first step: the intersection of two conflicting dipaths in an

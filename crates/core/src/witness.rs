@@ -59,10 +59,10 @@ pub fn explain_obstruction(
         Err(crate::CoreError::InternalCycleObstruction { chain }) => {
             let cycle = internal_cycle_from_chain(g, family, &chain)
                 .or_else(|| crate::internal::find_internal_cycle(g))
-                .expect("case C implies an internal cycle exists");
+                .expect("case C implies an internal cycle exists"); // lint: allow(no-panic): case C of Theorem 1 only arises when an internal cycle exists
             Err(Box::new(cycle))
         }
-        Err(other) => panic!("unexpected theorem-1 error: {other}"),
+        Err(other) => panic!("unexpected theorem-1 error: {other}"), // lint: allow(no-panic): color_optimal's only failure mode is the cycle obstruction; anything else is a logic bug worth a loud stop
     }
 }
 

@@ -210,7 +210,7 @@ impl Workspace {
     /// Admit one dipath. Returns its stable id.
     pub fn add_path(&mut self, p: Dipath) -> Result<PathId, CoreError> {
         let mut added = self.apply([Mutation::Add(p)])?;
-        Ok(added.pop().expect("one add yields one id"))
+        Ok(added.pop().expect("one add yields one id")) // lint: allow(no-panic): apply() of one Add returns exactly one id
     }
 
     /// Retire the dipath with this stable id.
@@ -293,7 +293,7 @@ impl Workspace {
         for m in batch {
             match m {
                 Mutation::Remove(id) => {
-                    let p = self.family.remove(id).expect("validated live");
+                    let p = self.family.remove(id).expect("validated live"); // lint: allow(no-panic): the validation pass above confirmed the id is live
                     if let Some(s) = self.shard_containing(id) {
                         dirty_shards.insert(s);
                     }
@@ -320,7 +320,7 @@ impl Workspace {
                         }
                     }
                     let id = self.family.insert(p);
-                    let p = self.family.get(id).expect("just inserted");
+                    let p = self.family.get(id).expect("just inserted"); // lint: allow(no-panic): the id was inserted on the previous line
                     for &a in p.arcs() {
                         let users = &mut self.arc_users[a.index()];
                         if let Err(pos) = users.binary_search(&id.0) {
@@ -358,7 +358,7 @@ impl Workspace {
         // …and re-insert the freshly derived (unsolved) components.
         let fresh = conflict_components_among(
             pool.iter()
-                .map(|&id| (id, self.family.get(id).expect("pool is live"))),
+                .map(|&id| (id, self.family.get(id).expect("pool is live"))), // lint: allow(no-panic): shard pools only hold live ids by construction
         );
         self.shards
             .extend(fresh.into_iter().map(|members| CachedShard {
@@ -386,7 +386,7 @@ impl Workspace {
             let computed = self.recompute();
             self.merged = Some(computed);
         }
-        let mut out = self.merged.clone().expect("just computed");
+        let mut out = self.merged.clone().expect("just computed"); // lint: allow(no-panic): the branch above just populated self.merged
         if let Ok(sol) = &mut out {
             sol.resolve = Some(self.last_resolve);
         }
@@ -463,7 +463,7 @@ impl Workspace {
                 shard
                     .solved
                     .clone()
-                    .expect("every shard solved above")
+                    .expect("every shard solved above") // lint: allow(no-panic): the loop above solved every shard in the plan
                     .map(|sol| (dense_members, sol))
             })
             .collect::<Result<_, _>>()?;

@@ -1,0 +1,245 @@
+//! Concurrency suite for the incremental-solve surface, gated behind the
+//! `pool-check` feature: [`Workspace::apply`] batch atomicity and
+//! [`dagwave_paths::PathFamily`] free-list edge cases, replayed under the
+//! shim pool's seeded adversarial scheduler across thread budgets 1/2/4.
+//!
+//! Every solve inside these tests runs with the pool's event log armed;
+//! after each scenario the log is drained and checked with
+//! [`rayon::check::verify`] (run-exactly-once, no lost jobs,
+//! join-both-sides-complete, panic propagation). The event log and the
+//! adversary are process-global, so every test serializes on `TEST_LOCK`
+//! and drains the log before its section under test.
+#![cfg(feature = "pool-check")]
+
+use dagwave_core::{CoreError, DecomposePolicy, Mutation, SolverBuilder, Workspace};
+use dagwave_graph::builder::from_edges;
+use dagwave_graph::{Digraph, VertexId};
+use dagwave_paths::{Dipath, DipathFamily, PathId};
+use rayon::check::{drain, render, verify, with_adversary};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+}
+
+fn path(g: &Digraph, route: &[usize]) -> Dipath {
+    let route: Vec<VertexId> = route.iter().map(|&i| VertexId::from_index(i)).collect();
+    Dipath::from_vertices(g, &route).unwrap()
+}
+
+/// Three arc-disjoint chains — three conflict components, so the
+/// decomposed solve fans real shard tasks onto the pool.
+fn three_chain_instance() -> (Digraph, DipathFamily) {
+    let g = from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)]);
+    let f = DipathFamily::from_paths(vec![
+        path(&g, &[0, 1, 2]),
+        path(&g, &[1, 2]),
+        path(&g, &[3, 4, 5]),
+        path(&g, &[4, 5]),
+        path(&g, &[6, 7, 8]),
+        path(&g, &[7, 8]),
+    ]);
+    (g, f)
+}
+
+fn workspace(g: &Digraph, f: &DipathFamily) -> Workspace {
+    let session = SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .build();
+    Workspace::new(session, g.clone(), f.clone()).unwrap()
+}
+
+/// From-scratch reference colors on the workspace's current live members.
+fn scratch_colors(ws: &Workspace) -> Vec<usize> {
+    let (dense, _) = ws.family().to_dense();
+    ws.session()
+        .solve(ws.graph(), &dense)
+        .unwrap()
+        .assignment
+        .colors()
+        .to_vec()
+}
+
+fn checked_verify(label: &str) {
+    let events = drain();
+    verify(&events).unwrap_or_else(|errs| panic!("{label}: {errs:?}\n{}", render(&events)));
+}
+
+#[test]
+fn workspace_apply_is_atomic_and_schedule_independent() {
+    let _guard = locked();
+    let (g, f) = three_chain_instance();
+    // The reference run: no adversary, default budget.
+    drain();
+    let reference = {
+        let mut ws = workspace(&g, &f);
+        ws.solution().unwrap();
+        let added = ws
+            .apply([
+                Mutation::Add(path(&g, &[3, 4])),
+                Mutation::Remove(PathId(1)),
+                Mutation::Add(path(&g, &[0, 1])),
+            ])
+            .unwrap();
+        (added, ws.solution().unwrap().assignment.colors().to_vec())
+    };
+    checked_verify("reference");
+
+    for seed in [2u64, 19, 77] {
+        for threads in [1usize, 2, 4] {
+            drain();
+            let (added, colors, scratch, resolve) = with_adversary(seed, || {
+                pool(threads).install(|| {
+                    let mut ws = workspace(&g, &f);
+                    ws.solution().unwrap();
+                    let added = ws
+                        .apply([
+                            Mutation::Add(path(&g, &[3, 4])),
+                            Mutation::Remove(PathId(1)),
+                            Mutation::Add(path(&g, &[0, 1])),
+                        ])
+                        .unwrap();
+                    let sol = ws.solution().unwrap();
+                    let resolve = sol.resolve.unwrap();
+                    (
+                        added,
+                        sol.assignment.colors().to_vec(),
+                        scratch_colors(&ws),
+                        resolve,
+                    )
+                })
+            });
+            // Id assignment and the merged coloring are bit-identical to
+            // the unpermuted reference at every budget and seed.
+            assert_eq!(added, reference.0, "seed={seed} threads={threads}");
+            assert_eq!(colors, reference.1, "seed={seed} threads={threads}");
+            // And identical to a from-scratch solve of the mutated state.
+            assert_eq!(colors, scratch, "seed={seed} threads={threads}");
+            // The untouched chain's shard survived the batch in cache.
+            assert!(
+                resolve.shards_reused >= 1,
+                "seed={seed} threads={threads}: {resolve:?}"
+            );
+            checked_verify(&format!("seed={seed} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn failing_batch_mutates_nothing_even_mid_adversarial_run() {
+    let _guard = locked();
+    let (g, f) = three_chain_instance();
+    for seed in [4u64, 31] {
+        for threads in [1usize, 2, 4] {
+            drain();
+            with_adversary(seed, || {
+                pool(threads).install(|| {
+                    let mut ws = workspace(&g, &f);
+                    ws.solution().unwrap();
+                    let before_components = ws.components();
+                    let before_colors = ws.solution().unwrap().assignment.colors().to_vec();
+                    // Valid ops precede the invalid one: the whole batch
+                    // must be rejected up front, before any state changes.
+                    let err = ws
+                        .apply([
+                            Mutation::Remove(PathId(0)),
+                            Mutation::Add(path(&g, &[6, 7])),
+                            Mutation::Remove(PathId(42)),
+                        ])
+                        .unwrap_err();
+                    assert_eq!(err, CoreError::UnknownPath(PathId(42)));
+                    assert_eq!(ws.components(), before_components);
+                    assert_eq!(ws.family().len(), 6);
+                    // The cached solution is still served — and still
+                    // matches a from-scratch solve of the (unchanged) state.
+                    let after = ws.solution().unwrap();
+                    assert_eq!(after.assignment.colors(), &before_colors[..]);
+                    assert_eq!(after.resolve.unwrap().shards_resolved, 0);
+                    assert_eq!(before_colors, scratch_colors(&ws));
+                });
+            });
+            checked_verify(&format!("seed={seed} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn free_list_reuse_is_deterministic_under_permuted_schedules() {
+    let _guard = locked();
+    let (g, f) = three_chain_instance();
+    for seed in [8u64, 55] {
+        for threads in [1usize, 2, 4] {
+            drain();
+            with_adversary(seed, || {
+                pool(threads).install(|| {
+                    let mut ws = workspace(&g, &f);
+                    ws.solution().unwrap();
+                    // Tombstone two slots out of order: the smallest comes
+                    // back first, regardless of removal order.
+                    ws.remove_path(PathId(4)).unwrap();
+                    ws.remove_path(PathId(0)).unwrap();
+                    assert_eq!(ws.family().next_id(), PathId(0));
+                    let a = ws.add_path(path(&g, &[0, 1])).unwrap();
+                    assert_eq!(a, PathId(0), "smallest tombstone reused");
+                    assert_eq!(ws.family().next_id(), PathId(4));
+                    let b = ws.add_path(path(&g, &[6, 7])).unwrap();
+                    assert_eq!(b, PathId(4), "next tombstone reused");
+                    // Free list drained: growth resumes past the end.
+                    let c = ws.add_path(path(&g, &[7, 8])).unwrap();
+                    assert_eq!(c, PathId(6), "fresh slot after the free list");
+                    assert_eq!(ws.family().slot_count(), 7);
+                    // The incremental solution on the churned family still
+                    // matches a from-scratch solve at this budget and seed.
+                    let sol = ws.solution().unwrap();
+                    assert_eq!(
+                        sol.assignment.colors(),
+                        &scratch_colors(&ws)[..],
+                        "seed={seed} threads={threads}"
+                    );
+                });
+            });
+            checked_verify(&format!("seed={seed} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn add_then_remove_same_id_within_one_batch() {
+    let _guard = locked();
+    let (g, f) = three_chain_instance();
+    for threads in [1usize, 2, 4] {
+        drain();
+        with_adversary(13, || {
+            pool(threads).install(|| {
+                let mut ws = workspace(&g, &f);
+                ws.solution().unwrap();
+                // Id assignment is deterministic (smallest free slot), so a
+                // batch may retire an id it just admitted. The add still
+                // reports its id; the family ends without it.
+                let predicted = ws.family().next_id();
+                let added = ws
+                    .apply([
+                        Mutation::Add(path(&g, &[3, 4])),
+                        Mutation::Remove(predicted),
+                    ])
+                    .unwrap();
+                assert_eq!(added, vec![predicted]);
+                assert!(!ws.family().contains(predicted));
+                assert_eq!(ws.family().len(), 6);
+                // Net no-op batch: the solution matches the pristine state.
+                let sol = ws.solution().unwrap();
+                assert_eq!(sol.assignment.colors(), &scratch_colors(&ws)[..]);
+            });
+        });
+        checked_verify(&format!("threads={threads}"));
+    }
+}

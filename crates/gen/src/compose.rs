@@ -42,6 +42,7 @@ pub fn disjoint_union(instances: &[Instance]) -> Instance {
         }
         for (_, p) in inst.family.iter() {
             let arcs = p.arcs().iter().map(|a| ArcId(a.0 + arc_offset)).collect();
+            // lint: allow(no-panic): relabeling preserves arc contiguity
             paths.push(Dipath::from_arcs(&graph, arcs).expect("relabeled dipath stays contiguous"));
         }
     }
@@ -148,12 +149,12 @@ pub fn churn(seed: u64, k: usize, steps: usize) -> ChurnWorkload {
         if remove {
             let live: Vec<PathId> = mirror.ids().collect();
             let id = live[rng.random_range(0..live.len())];
-            mirror.remove(id).expect("picked a live id");
+            mirror.remove(id).expect("picked a live id"); // lint: allow(no-panic): the id was just drawn from the live set
             script.push(Mutation::Remove(id));
         } else {
             let live: Vec<PathId> = mirror.ids().collect();
             let donor = live[rng.random_range(0..live.len())];
-            let copy = mirror.get(donor).expect("donor is live").clone();
+            let copy = mirror.get(donor).expect("donor is live").clone(); // lint: allow(no-panic): the donor id was just drawn from the live set
             mirror.insert(copy.clone());
             script.push(Mutation::Add(copy));
         }

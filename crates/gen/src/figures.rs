@@ -53,8 +53,8 @@ pub fn staircase(k: usize) -> Instance {
     for i in 0..k {
         // Pair sequence of dipath i, in increasing level order.
         let seq: Vec<ArcId> = (0..i)
-            .map(|j| shared[j][i].expect("pair arc"))
-            .chain(((i + 1)..k).map(|j| shared[i][j].expect("pair arc")))
+            .map(|j| shared[j][i].expect("pair arc")) // lint: allow(no-panic): shared[j][i] is populated for all j < i by the loop above
+            .chain(((i + 1)..k).map(|j| shared[i][j].expect("pair arc"))) // lint: allow(no-panic): shared[i][j] is populated for all i < j by the loop above
             .collect();
         // Glue consecutive shared arcs with private connectors.
         let mut arcs = Vec::with_capacity(2 * seq.len());
@@ -65,6 +65,7 @@ pub fn staircase(k: usize) -> Instance {
             arcs.push(g.add_arc(from, to));
             arcs.push(w[1]);
         }
+        // lint: allow(no-panic): the staircase construction yields consecutive arcs
         paths.push(Dipath::from_arcs(&g, arcs).expect("staircase path is contiguous"));
     }
     Instance {
@@ -100,7 +101,7 @@ pub fn figure3() -> Instance {
     let cd = g.add_arc(c, d);
     let de = g.add_arc(d, e);
     let bd = g.add_arc(b, d);
-    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("figure 3 path");
+    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("figure 3 path"); // lint: allow(no-panic): fixture paths are contiguous by construction
     let family = DipathFamily::from_paths(vec![
         p(vec![ab, bc]), // a b c
         p(vec![bc, cd]), // b c d
@@ -136,7 +137,7 @@ pub fn theorem2_family(k: usize) -> Instance {
         .map(|i| g.add_arc(b[i], c[(i + k - 1) % k]))
         .collect();
     let cd: Vec<ArcId> = (0..k).map(|i| g.add_arc(c[i], d[i])).collect();
-    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("theorem 2 path");
+    let p = |arcs: Vec<ArcId>| Dipath::from_arcs(&g, arcs).expect("theorem 2 path"); // lint: allow(no-panic): fixture paths are contiguous by construction
     let mut paths = Vec::with_capacity(2 * k + 1);
     paths.push(p(vec![ab[0], bc[0]])); // X  = a1 b1 c1
     paths.push(p(vec![bc[0], cd[0]])); // Y  = b1 c1 d1
@@ -175,7 +176,7 @@ pub fn crossing_c4() -> Instance {
     let v = |i: usize| VertexId::from_index(i);
     let p = |route: &[usize]| {
         let r: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
-        Dipath::from_vertices(&g, &r).expect("crossing path")
+        Dipath::from_vertices(&g, &r).expect("crossing path") // lint: allow(no-panic): fixture routes follow arcs added above
     };
     let family = DipathFamily::from_paths(vec![
         p(&[0, 1, 2, 3]),

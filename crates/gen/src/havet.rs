@@ -44,7 +44,7 @@ pub fn havet_base_family(g: &Digraph) -> DipathFamily {
     let v = |i: usize| VertexId::from_index(i);
     let p = |route: &[usize]| {
         let r: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
-        Dipath::from_vertices(g, &r).expect("havet path")
+        Dipath::from_vertices(g, &r).expect("havet path") // lint: allow(no-panic): fixture routes follow arcs added above
     };
     DipathFamily::from_paths(vec![
         p(&[0, 2, 4, 10]), // p0: a1 b1 c1 d'1

@@ -99,7 +99,7 @@ pub fn random_family<R: Rng>(
         return family;
     }
     while family.len() < count {
-        let start = *starts.choose(rng).expect("non-empty starts");
+        let start = *starts.choose(rng).expect("non-empty starts"); // lint: allow(no-panic): starts was checked non-empty before the loop
         let mut arcs: Vec<ArcId> = Vec::new();
         let mut cur = start;
         let len = rng.random_range(1..=max_len);
@@ -108,14 +108,14 @@ pub fn random_family<R: Rng>(
             if outs.is_empty() {
                 break;
             }
-            let a = *outs.choose(rng).expect("non-empty outs");
+            let a = *outs.choose(rng).expect("non-empty outs"); // lint: allow(no-panic): outs emptiness is handled by the break above
             arcs.push(a);
             cur = g.head(a);
         }
         if arcs.is_empty() {
             continue;
         }
-        family.push(Dipath::from_arcs(g, arcs).expect("walk is contiguous"));
+        family.push(Dipath::from_arcs(g, arcs).expect("walk is contiguous")); // lint: allow(no-panic): a random walk emits consecutive arcs
     }
     family
 }
@@ -126,12 +126,13 @@ pub fn root_to_all_family(g: &Digraph) -> DipathFamily {
     let root = g
         .vertices()
         .find(|&v| g.is_source(v) && g.outdegree(v) > 0)
-        .expect("tree has a root");
+        .expect("tree has a root"); // lint: allow(no-panic): a generated tree always has a source with out-arcs
     let mut family = DipathFamily::new();
     // DFS accumulating arc stacks.
     let mut stack: Vec<(VertexId, Vec<ArcId>)> = vec![(root, Vec::new())];
     while let Some((v, arcs)) = stack.pop() {
         if !arcs.is_empty() {
+            // lint: allow(no-panic): DFS stack paths follow tree arcs, so they are contiguous
             family.push(Dipath::from_arcs(g, arcs.clone()).expect("tree path"));
         }
         for &a in g.out_arcs(v) {

@@ -11,6 +11,7 @@ use dagwave_paths::{Dipath, DipathFamily};
 
 /// Failure modes of the witness construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WitnessError {
     /// The digraph has no internal cycle (Theorem 1 territory).
     NoInternalCycle,
@@ -65,7 +66,7 @@ pub fn directed_runs(g: &Digraph, cycle: &OrientedCycle) -> Vec<CycleRun> {
     // Rotate so the walk starts at the beginning of a forward run.
     let start = (0..k)
         .find(|&i| cycle.steps[i].forward && !cycle.steps[(i + k - 1) % k].forward)
-        .expect("an oriented cycle in a DAG alternates direction");
+        .expect("an oriented cycle in a DAG alternates direction"); // lint: allow(no-panic): an oriented cycle in a DAG must switch direction somewhere
     let mut runs: Vec<CycleRun> = Vec::new();
     let mut i = 0;
     while i < k {
@@ -155,7 +156,7 @@ pub fn witness_on_cycle(g: &Digraph, cycle: &OrientedCycle) -> Result<DipathFami
         succ.insert(c, arc);
     }
 
-    let mk = |arcs: Vec<ArcId>| Dipath::from_arcs(g, arcs).expect("witness path contiguity");
+    let mk = |arcs: Vec<ArcId>| Dipath::from_arcs(g, arcs).expect("witness path contiguity"); // lint: allow(no-panic): witness paths are contiguous by construction
 
     if k == 1 {
         // Two dipaths R1, R2 from b to c (Figure 3 pattern). Need a run of
@@ -173,9 +174,11 @@ pub fn witness_on_cycle(g: &Digraph, cycle: &OrientedCycle) -> Result<DipathFami
         let pb = pred[&b];
         let sc = succ[&c];
         return Ok(DipathFamily::from_paths(vec![
-            mk(vec![pb, r_long.arcs[0]]),               // P1 = pred + R1 start
-            mk(r_long.arcs.clone()),                    // P2 = R1
-            mk(vec![*r_long.arcs.last().unwrap(), sc]), // P3 = R1 end + succ
+            mk(vec![pb, r_long.arcs[0]]), // P1 = pred + R1 start
+            mk(r_long.arcs.clone()),      // P2 = R1
+            // P3 = R1 end + succ
+            // lint: allow(no-panic): r_long was built with at least one arc
+            mk(vec![*r_long.arcs.last().unwrap(), sc]),
             mk({
                 let mut v = r_short.arcs.clone();
                 v.push(sc);

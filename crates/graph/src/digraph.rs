@@ -73,7 +73,7 @@ impl Digraph {
     /// Add an arc `tail → head`. Parallel arcs are allowed; self-loops panic
     /// (use [`Digraph::try_add_arc`] for a fallible version).
     pub fn add_arc(&mut self, tail: VertexId, head: VertexId) -> ArcId {
-        self.try_add_arc(tail, head).expect("invalid arc endpoints")
+        self.try_add_arc(tail, head).expect("invalid arc endpoints") // lint: allow(no-panic): documented panic contract; try_add_arc is the fallible variant
     }
 
     /// Fallible [`Digraph::add_arc`].

@@ -99,6 +99,42 @@ impl UnionFind {
         self.components += n - old;
     }
 
+    /// Shadow structural validation (debug builds only; release builds
+    /// compile this to nothing). Checks the forest invariants a corrupted
+    /// `grow`/`reset`/`union` would break: every parent pointer in range,
+    /// rank strictly increasing along parent chains (union by rank plus
+    /// path halving preserves this), and the cached component count equal
+    /// to the number of roots. Run by the partition extractors — they are
+    /// already O(n), so the audit never changes a caller's complexity.
+    fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let n = self.parent.len();
+        let mut roots = 0usize;
+        for (i, &p) in self.parent.iter().enumerate() {
+            debug_assert!(
+                (p as usize) < n,
+                "parent[{i}] = {p} out of range for universe of {n}"
+            );
+            if p as usize == i {
+                roots += 1;
+            } else {
+                debug_assert!(
+                    self.rank[p as usize] > self.rank[i],
+                    "rank must strictly increase along parent chains: \
+                     rank[{i}] = {} !< rank[{p}] = {}",
+                    self.rank[i],
+                    self.rank[p as usize]
+                );
+            }
+        }
+        debug_assert_eq!(
+            roots, self.components,
+            "cached component count diverged from the number of roots"
+        );
+    }
+
     /// The sets restricted to `members`: like [`UnionFind::components`], but
     /// only the listed elements appear in the output (sets with no listed
     /// member are omitted, sets are ordered by their smallest *listed*
@@ -107,6 +143,7 @@ impl UnionFind {
     /// only the dirty part of a structure, the caller extracts just the
     /// dirty sets without paying for the clean remainder.
     pub fn components_among(&mut self, members: &[usize]) -> Vec<Vec<usize>> {
+        self.debug_validate();
         let mut members: Vec<usize> = members.to_vec();
         members.sort_unstable();
         members.dedup();
@@ -131,6 +168,7 @@ impl UnionFind {
     /// that produced the partition — callers (e.g. conflict-graph
     /// decomposition) can rely on it as a deterministic shard order.
     pub fn components(&mut self) -> Vec<Vec<usize>> {
+        self.debug_validate();
         let n = self.len();
         // slot[root] = position of that root's set in the output.
         let mut slot = vec![usize::MAX; n];
@@ -294,6 +332,25 @@ mod tests {
         // Restricting to everything matches the unrestricted form.
         let all: Vec<usize> = (0..6).collect();
         assert_eq!(uf.components_among(&all), uf.components());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn shadow_validation_catches_corrupted_parent_pointers() {
+        let mut uf = UnionFind::new(3);
+        uf.parent[1] = 9; // dangling pointer past the universe
+        let _ = uf.components();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "component count diverged")]
+    fn shadow_validation_catches_stale_component_count() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.components = 4; // stale cache: only 3 roots remain
+        let _ = uf.components_among(&[0, 1, 2, 3]);
     }
 
     #[test]

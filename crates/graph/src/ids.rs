@@ -35,7 +35,7 @@ impl VertexId {
     /// Construct from a `usize` index (panics if it does not fit in `u32`).
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        VertexId(u32::try_from(i).expect("vertex index exceeds u32"))
+        VertexId(u32::try_from(i).expect("vertex index exceeds u32")) // lint: allow(no-panic): documented guard: an index beyond u32 is a construction error
     }
 }
 
@@ -49,7 +49,7 @@ impl ArcId {
     /// Construct from a `usize` index (panics if it does not fit in `u32`).
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        ArcId(u32::try_from(i).expect("arc index exceeds u32"))
+        ArcId(u32::try_from(i).expect("arc index exceeds u32")) // lint: allow(no-panic): documented guard: an index beyond u32 is a construction error
     }
 }
 

@@ -38,7 +38,7 @@ impl SatCount {
 /// two; `counts[from]` is [`SatCount::One`] (the empty dipath). Requires a
 /// DAG; panics otherwise (callers validate with [`topo::is_dag`] first).
 pub fn saturating_path_counts(g: &Digraph, from: VertexId) -> Vec<SatCount> {
-    let order = topo::topological_order(g).expect("saturating_path_counts requires a DAG");
+    let order = topo::topological_order(g).expect("saturating_path_counts requires a DAG"); // lint: allow(no-panic): documented contract: callers validate acyclicity first
     let mut counts = vec![SatCount::Zero; g.vertex_count()];
     counts[from.index()] = SatCount::One;
     for v in order {

@@ -66,7 +66,7 @@ pub fn shortest_dipath(g: &Digraph, from: VertexId, to: VertexId) -> Option<Vec<
                     let mut arcs = Vec::new();
                     let mut cur = to;
                     while cur != from {
-                        let a = pred[cur.index()].expect("bfs predecessor");
+                        let a = pred[cur.index()].expect("bfs predecessor"); // lint: allow(no-panic): every vertex on the walk back was labelled with a predecessor
                         arcs.push(a);
                         cur = g.tail(a);
                     }

@@ -38,7 +38,7 @@ pub fn topological_order(g: &Digraph) -> Result<Vec<VertexId>, GraphError> {
         Ok(order)
     } else {
         Err(GraphError::NotADag(
-            find_directed_cycle(g).expect("Kahn reported a cycle, DFS must find one"),
+            find_directed_cycle(g).expect("Kahn reported a cycle, DFS must find one"), // lint: allow(no-panic): Kahn reported a cycle, so DFS must find one
         ))
     }
 }
@@ -94,6 +94,7 @@ pub fn find_directed_cycle(g: &Digraph) -> Option<Vec<VertexId>> {
                         let mut cur = v;
                         while cur != w {
                             cycle.push(cur);
+                            // lint: allow(no-panic): the DFS parents every gray vertex
                             cur = parent[cur.index()].expect("gray vertex has parent");
                         }
                         cycle[1..].reverse();

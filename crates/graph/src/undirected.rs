@@ -205,20 +205,20 @@ fn close_cycle(
     let mut up_v: Vec<(VertexId, ArcId, bool)> = Vec::new(); // steps v→…→lca (each step goes up)
     let mut up_w: Vec<(VertexId, ArcId, bool)> = Vec::new();
     while depth[pv.index()] > depth[pw.index()] {
-        let (p, arc, fwd) = parent[pv.index()].expect("deeper vertex has parent");
+        let (p, arc, fwd) = parent[pv.index()].expect("deeper vertex has parent"); // lint: allow(no-panic): a strictly deeper vertex has a BFS parent
         up_v.push((pv, arc, fwd));
         pv = p;
     }
     while depth[pw.index()] > depth[pv.index()] {
-        let (p, arc, fwd) = parent[pw.index()].expect("deeper vertex has parent");
+        let (p, arc, fwd) = parent[pw.index()].expect("deeper vertex has parent"); // lint: allow(no-panic): a strictly deeper vertex has a BFS parent
         up_w.push((pw, arc, fwd));
         pw = p;
     }
     while pv != pw {
-        let (p1, a1, f1) = parent[pv.index()].expect("lca walk");
+        let (p1, a1, f1) = parent[pv.index()].expect("lca walk"); // lint: allow(no-panic): below the LCA every vertex has a BFS parent
         up_v.push((pv, a1, f1));
         pv = p1;
-        let (p2, a2, f2) = parent[pw.index()].expect("lca walk");
+        let (p2, a2, f2) = parent[pw.index()].expect("lca walk"); // lint: allow(no-panic): below the LCA every vertex has a BFS parent
         up_w.push((pw, a2, f2));
         pw = p2;
     }

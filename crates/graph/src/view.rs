@@ -163,8 +163,8 @@ impl<'g> SubgraphView<'g> {
         for a in self.arcs() {
             let arc = self.base.arc(a);
             let (t, h) = (
-                vmap[arc.tail.index()].unwrap(),
-                vmap[arc.head.index()].unwrap(),
+                vmap[arc.tail.index()].unwrap(), // lint: allow(no-panic): vmap covers every endpoint of a kept arc
+                vmap[arc.head.index()].unwrap(), // lint: allow(no-panic): vmap covers every endpoint of a kept arc
             );
             amap[a.index()] = Some(g.add_arc(t, h));
         }

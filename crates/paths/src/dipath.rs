@@ -95,7 +95,7 @@ impl Dipath {
     /// Last arc.
     #[inline]
     pub fn last_arc(&self) -> ArcId {
-        *self.arcs.last().expect("dipath is non-empty")
+        *self.arcs.last().expect("dipath is non-empty") // lint: allow(no-panic): Dipath construction rejects empty arc lists
     }
 
     /// Initial vertex.

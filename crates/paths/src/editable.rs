@@ -100,7 +100,7 @@ impl PathFamily {
     /// growth second), and return its stable id.
     pub fn insert(&mut self, p: Dipath) -> PathId {
         self.live += 1;
-        match self.free.pop() {
+        let id = match self.free.pop() {
             Some(Reverse(slot)) => {
                 debug_assert!(self.slots[slot as usize].is_none(), "slot was free");
                 self.slots[slot as usize] = Some(p);
@@ -111,7 +111,9 @@ impl PathFamily {
                 self.slots.push(Some(p));
                 id
             }
-        }
+        };
+        self.debug_validate();
+        id
     }
 
     /// Remove a live member, tombstoning its slot. Returns the dipath, or
@@ -121,7 +123,44 @@ impl PathFamily {
         let p = slot.take()?;
         self.free.push(Reverse(id.0));
         self.live -= 1;
+        self.debug_validate();
         Some(p)
+    }
+
+    /// Shadow validation of the tombstone/free-list bijection (debug builds
+    /// only; release builds compile this to nothing). The free heap must
+    /// hold exactly the tombstoned slot indices, once each — a duplicate
+    /// would hand the same id to two live dipaths, a missing entry would
+    /// leak the slot forever — and the live count must complement it. Run
+    /// after every mutation, where the O(slots) sweep is dwarfed by the
+    /// re-solve the mutation triggers anyway.
+    fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let tombstoned: std::collections::BTreeSet<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let freed: Vec<u32> = self.free.iter().map(|&Reverse(s)| s).collect();
+        let freed_set: std::collections::BTreeSet<u32> = freed.iter().copied().collect();
+        debug_assert_eq!(
+            freed.len(),
+            freed_set.len(),
+            "free list holds a duplicate slot"
+        );
+        debug_assert_eq!(
+            freed_set, tombstoned,
+            "free list and tombstoned slots diverged"
+        );
+        debug_assert_eq!(
+            self.live + freed.len(),
+            self.slots.len(),
+            "live count diverged from slots minus tombstones"
+        );
     }
 
     /// The live dipath at `id`, if any.
@@ -245,6 +284,27 @@ mod tests {
         assert_eq!(dense.path(PathId(1)), &paths[2]);
         // Dense ranks are monotone in stable ids by construction.
         assert!(map.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "live count diverged")]
+    fn shadow_validation_catches_corrupted_live_count() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths));
+        f.live = 5; // corrupt the cached live count
+        let _ = f.remove(PathId(0)); // the post-mutation sweep fires
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "free list and tombstoned slots diverged")]
+    fn shadow_validation_catches_phantom_free_slot() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths));
+        f.free.push(Reverse(7)); // a slot that was never allocated
+        f.live += 1; // keep the count check from firing first
+        let _ = f.remove(PathId(0));
     }
 
     #[test]

@@ -22,7 +22,7 @@ impl PathId {
     /// Construct from a `usize` index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        PathId(u32::try_from(i).expect("path index exceeds u32"))
+        PathId(u32::try_from(i).expect("path index exceeds u32")) // lint: allow(no-panic): documented guard: an index beyond u32 is a construction error
     }
 }
 

@@ -69,9 +69,10 @@ impl SubInstance {
         // (never the host graph) — extraction of all shards of an instance
         // is near-linear overall, however many components it splits into.
         let new_vertex = |old: VertexId| {
+            // lint: allow(no-panic): used_vertices holds every endpoint of the shard by construction
             VertexId(used_vertices.binary_search(&old).expect("used vertex") as u32)
         };
-        let new_arc = |old: ArcId| ArcId(used_arcs.binary_search(&old).expect("used arc") as u32);
+        let new_arc = |old: ArcId| ArcId(used_arcs.binary_search(&old).expect("used arc") as u32); // lint: allow(no-panic): used_arcs holds every arc of the shard by construction
         let mut graph = Digraph::with_vertices(used_vertices.len());
         for (new, &old) in used_arcs.iter().enumerate() {
             let added = graph.add_arc(new_vertex(g.tail(old)), new_vertex(g.head(old)));
@@ -83,6 +84,7 @@ impl SubInstance {
             .map(|&id| {
                 let arcs = family.path(id).arcs().iter().map(|&a| new_arc(a)).collect();
                 Dipath::from_arcs(&graph, arcs)
+                    // lint: allow(no-panic): index remapping preserves contiguity and simplicity
                     .expect("remapped shard dipath stays contiguous and simple")
             })
             .collect();

@@ -64,7 +64,7 @@ pub fn shortest_route(g: &Digraph, r: Request) -> Result<Dipath, RouteError> {
     let arcs = dagwave_graph::reach::shortest_dipath(g, r.source, r.target)
         .filter(|a| !a.is_empty())
         .ok_or(RouteError::Unroutable(r))?;
-    Ok(Dipath::from_arcs(g, arcs).expect("BFS path is contiguous"))
+    Ok(Dipath::from_arcs(g, arcs).expect("BFS path is contiguous")) // lint: allow(no-panic): BFS emits consecutive arcs, so the dipath is contiguous
 }
 
 /// Sequential load-aware routing: route each request along a dipath whose
@@ -80,6 +80,7 @@ fn load_aware_route(g: &Digraph, requests: &[Request]) -> Result<DipathFamily, R
         for &a in &arcs {
             loads[a.index()] += 1;
         }
+        // lint: allow(no-panic): search paths follow consecutive arcs
         family.push(Dipath::from_arcs(g, arcs).expect("search path is contiguous"));
     }
     Ok(family)
@@ -112,7 +113,7 @@ fn min_bottleneck_path(
             let mut arcs = Vec::new();
             let mut cur = to;
             while cur != from {
-                let a = pred[cur.index()].expect("labelled vertex has pred");
+                let a = pred[cur.index()].expect("labelled vertex has pred"); // lint: allow(no-panic): every labelled vertex has a predecessor by construction
                 arcs.push(a);
                 cur = g.tail(a);
             }

@@ -131,7 +131,7 @@ impl RwaWorkspace {
             .iter()
             .next()
             .map(|(_, p)| p.clone())
-            .expect("one request routes to one dipath");
+            .expect("one request routes to one dipath"); // lint: allow(no-panic): routing one request yields exactly one family entry
         self.workspace.add_path(path).map_err(RwaError::Coloring)
     }
 

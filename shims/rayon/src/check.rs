@@ -1,0 +1,497 @@
+//! Loom-lite checking mode for the shim pool (`pool-check` feature).
+//!
+//! Three facilities, all testing-only:
+//!
+//! 1. **Event log** — every job lifecycle transition (enqueue, start,
+//!    finish, inline run, wait begin/end) is appended to a process-wide
+//!    log. [`drain`] hands the accumulated events to a test, and
+//!    [`verify`] checks the pool's structural invariants over them:
+//!    run-exactly-once, no lost jobs, join-both-sides-complete, and
+//!    exactly-once panic propagation.
+//! 2. **Adversarial scheduler** — [`with_adversary`] seeds a deterministic
+//!    xorshift stream that redirects every queue pop to a pseudo-random
+//!    index instead of the FIFO head, replaying the same task graph under
+//!    permuted execution orders. Combined with the order-preserving
+//!    combinator contract this structurally exercises the seq==par
+//!    identity claims instead of sampling them.
+//! 3. **Deadlock watchdog** — a caller stuck in `wait_helping` with no
+//!    runnable work past a timeout (`DAGWAVE_POOL_WATCHDOG_MS`, default
+//!    10 s) dumps the event log and panics, converting a hang into a
+//!    diagnosable failure.
+//!
+//! The log and the adversary are process-global: tests that inspect them
+//! must serialize against each other (hold a shared test mutex) and
+//! [`drain`] the log before the section under test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latch/job tag used by the pool's instrumentation hooks.
+pub(crate) type Tag = u64;
+
+/// Tag recorded for inline jobs that run without any latch (sequential
+/// `run_batch` fallback).
+pub(crate) const NO_LATCH: Tag = 0;
+
+/// One pool lifecycle event. Log order is real-time order: every event is
+/// appended under the same lock, and each instrumentation site records the
+/// event on the thread where the transition happens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A job was pushed onto the shared queue for `latch`.
+    Enqueue {
+        /// Latch the job will report to.
+        latch: u64,
+        /// Process-unique job id.
+        job: u64,
+    },
+    /// A queued job started executing (on a worker or a helping waiter).
+    Start {
+        /// Latch the job reports to.
+        latch: u64,
+        /// Job id from the matching [`Event::Enqueue`].
+        job: u64,
+    },
+    /// A queued job finished executing.
+    Finish {
+        /// Latch the job reports to.
+        latch: u64,
+        /// Job id from the matching [`Event::Enqueue`].
+        job: u64,
+        /// Whether the job's closure panicked (the payload is captured by
+        /// the latch, to be re-raised exactly once by the waiter).
+        panicked: bool,
+    },
+    /// A job ran inline on the calling thread, bypassing the queue
+    /// (thread budget 1, single-job batch, or budget-1 scope spawn).
+    Inline {
+        /// Owning latch, or [`NO_LATCH`] for latch-free sequential runs.
+        latch: u64,
+        /// Process-unique job id.
+        job: u64,
+    },
+    /// A caller entered `wait_helping` on `latch`.
+    WaitBegin {
+        /// The latch being waited on.
+        latch: u64,
+    },
+    /// The wait on `latch` completed: all registered jobs are done.
+    WaitEnd {
+        /// The latch that drained.
+        latch: u64,
+        /// Whether a captured job panic is about to be re-raised (exactly
+        /// once) on the waiting thread.
+        panicked: bool,
+    },
+}
+
+static LOG: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static NEXT_JOB: AtomicU64 = AtomicU64::new(1);
+static NEXT_LATCH: AtomicU64 = AtomicU64::new(1);
+
+fn record(e: Event) {
+    LOG.lock().unwrap().push(e);
+}
+
+/// Take (and clear) the accumulated event log.
+pub fn drain() -> Vec<Event> {
+    std::mem::take(&mut *LOG.lock().unwrap())
+}
+
+/// Render events one per line, for failure dumps.
+pub fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&format!("{i:6}  {e:?}\n"));
+    }
+    out
+}
+
+// --- instrumentation hooks (called from the pool) -------------------------
+
+pub(crate) fn latch_new(_pending: usize) -> Tag {
+    NEXT_LATCH.fetch_add(1, Ordering::Relaxed)
+}
+
+pub(crate) fn enqueue(latch: Tag) -> Tag {
+    let job = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
+    record(Event::Enqueue { latch, job });
+    job
+}
+
+pub(crate) fn job_start(latch: Tag, job: Tag) {
+    record(Event::Start { latch, job });
+}
+
+pub(crate) fn job_finish(latch: Tag, job: Tag, panicked: bool) {
+    record(Event::Finish {
+        latch,
+        job,
+        panicked,
+    });
+}
+
+pub(crate) fn inline_job(latch: Tag) {
+    let job = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
+    record(Event::Inline { latch, job });
+}
+
+pub(crate) fn wait_begin(latch: Tag) {
+    record(Event::WaitBegin { latch });
+}
+
+pub(crate) fn wait_end(latch: Tag, panicked: bool) {
+    record(Event::WaitEnd { latch, panicked });
+}
+
+// --- adversarial scheduler ------------------------------------------------
+
+/// 0 = FIFO order (adversary off); anything else is the xorshift state.
+static ADVERSARY: AtomicU64 = AtomicU64::new(0);
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Run `f` with the adversarial scheduler armed: while `f` runs, every
+/// pool-queue pop (workers and helping waiters alike) takes a
+/// seed-determined pseudo-random element instead of the FIFO head. The
+/// previous adversary state is restored on exit, including on panic.
+pub fn with_adversary<R>(seed: u64, f: impl FnOnce() -> R) -> R {
+    // Zero would disarm the adversary; remap it to an arbitrary odd state.
+    let state = if seed == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        seed
+    };
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ADVERSARY.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(ADVERSARY.swap(state, Ordering::SeqCst));
+    f()
+}
+
+/// Pick a queue index for the next pop, or `None` for FIFO order.
+pub(crate) fn adversary_pick(len: usize) -> Option<usize> {
+    if len <= 1 {
+        return None;
+    }
+    let mut cur = ADVERSARY.load(Ordering::Relaxed);
+    while cur != 0 {
+        let next = xorshift(cur);
+        match ADVERSARY.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some((next % len as u64) as usize),
+            Err(now) => cur = now,
+        }
+    }
+    None
+}
+
+// --- deadlock watchdog ----------------------------------------------------
+
+/// Timeout before a stuck wait dumps the log and panics, in milliseconds.
+fn watchdog_limit_ticks() -> u64 {
+    static LIMIT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        let ms = std::env::var("DAGWAVE_POOL_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(10_000);
+        // `wait_helping` sleeps 200 µs per tick, so 5 ticks ≈ 1 ms.
+        ms.saturating_mul(5)
+    })
+}
+
+thread_local! {
+    static STUCK_TICKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Called on every timed-out condvar wait in `wait_helping` (once per
+/// ~200 µs with no runnable work). Past the configured limit the event
+/// log is dumped and the waiter panics instead of hanging forever.
+pub(crate) fn watchdog_tick(latch: Tag, pending: usize) {
+    let ticks = STUCK_TICKS.with(|t| {
+        let n = t.get() + 1;
+        t.set(n);
+        n
+    });
+    if ticks > watchdog_limit_ticks() {
+        STUCK_TICKS.with(|t| t.set(0));
+        let log = drain();
+        eprintln!(
+            "pool-check watchdog: latch {latch} stuck with {pending} pending job(s); event log:\n{}",
+            render(&log)
+        );
+        panic!(
+            "pool-check watchdog: latch {latch} made no progress for ~{} ms \
+             ({pending} pending job(s)); see event log on stderr",
+            ticks / 5
+        );
+    }
+}
+
+/// Reset the stuck counter — called whenever the waiter makes progress.
+pub(crate) fn watchdog_reset() {
+    STUCK_TICKS.with(|t| t.set(0));
+}
+
+// --- invariant verifier ---------------------------------------------------
+
+/// Summary of a verified event log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Jobs that went through the shared queue.
+    pub queued: usize,
+    /// Jobs that ran inline on their caller.
+    pub inline: usize,
+    /// Distinct latches that completed a wait.
+    pub waits: usize,
+    /// Jobs whose closure panicked.
+    pub panics: usize,
+}
+
+/// Check the pool's structural invariants over an event log:
+///
+/// * **run-exactly-once** — every enqueued job has exactly one `Start` and
+///   one `Finish`, in order, and nothing starts without an enqueue;
+/// * **no lost jobs** — no enqueued job is missing its `Finish`;
+/// * **join-both-sides-complete** — a latch's `WaitEnd` comes after the
+///   `Finish` of every job enqueued on that latch before the wait ended
+///   (nested spawns included);
+/// * **exactly-once panic propagation** — a latch re-raises a panic on
+///   `WaitEnd` iff at least one of its jobs panicked, and does so at most
+///   once.
+///
+/// Returns summary stats, or the list of violated invariants.
+pub fn verify(events: &[Event]) -> Result<Stats, Vec<String>> {
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct JobSeen {
+        latch: u64,
+        enq: Option<usize>,
+        starts: Vec<usize>,
+        finishes: Vec<usize>,
+        panicked: bool,
+    }
+    let mut jobs: HashMap<u64, JobSeen> = HashMap::new();
+    let mut wait_ends: HashMap<u64, Vec<(usize, bool)>> = HashMap::new();
+    let mut stats = Stats::default();
+    let mut errors: Vec<String> = Vec::new();
+
+    for (i, e) in events.iter().enumerate() {
+        match *e {
+            Event::Enqueue { latch, job } => {
+                let j = jobs.entry(job).or_default();
+                if j.enq.is_some() {
+                    errors.push(format!("job {job} enqueued twice (second at event {i})"));
+                }
+                j.latch = latch;
+                j.enq = Some(i);
+                stats.queued += 1;
+            }
+            Event::Start { job, .. } => {
+                jobs.entry(job).or_default().starts.push(i);
+            }
+            Event::Finish { job, panicked, .. } => {
+                let j = jobs.entry(job).or_default();
+                j.finishes.push(i);
+                j.panicked |= panicked;
+                if panicked {
+                    stats.panics += 1;
+                }
+            }
+            Event::Inline { .. } => stats.inline += 1,
+            Event::WaitBegin { .. } => {}
+            Event::WaitEnd { latch, panicked } => {
+                wait_ends.entry(latch).or_default().push((i, panicked));
+                stats.waits += 1;
+            }
+        }
+    }
+
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let j = &jobs[&id];
+        let enq = match j.enq {
+            Some(e) => e,
+            None => {
+                errors.push(format!("job {id} started without ever being enqueued"));
+                continue;
+            }
+        };
+        match (j.starts.len(), j.finishes.len()) {
+            (1, 1) => {
+                if !(enq < j.starts[0] && j.starts[0] < j.finishes[0]) {
+                    errors.push(format!(
+                        "job {id} has out-of-order lifecycle: enqueue@{enq}, start@{}, finish@{}",
+                        j.starts[0], j.finishes[0]
+                    ));
+                }
+            }
+            (0, _) => errors.push(format!("job {id} was lost: enqueued but never started")),
+            (s, f) => errors.push(format!("job {id} ran {s} time(s), finished {f} time(s)")),
+        }
+    }
+
+    // Per-latch: wait-end ordering and panic propagation.
+    let mut latches: Vec<u64> = wait_ends.keys().copied().collect();
+    latches.sort_unstable();
+    for latch in latches {
+        let ends = &wait_ends[&latch];
+        let last_end = ends.iter().map(|&(i, _)| i).max().unwrap_or(0);
+        let mut any_panicked = false;
+        for j in jobs.values() {
+            if j.latch != latch {
+                continue;
+            }
+            if j.enq.is_some_and(|e| e < last_end) {
+                any_panicked |= j.panicked;
+                if !j.finishes.iter().any(|&f| f < last_end) {
+                    errors.push(format!(
+                        "latch {latch} wait ended at event {last_end} before its job finished"
+                    ));
+                }
+            }
+        }
+        let propagations = ends.iter().filter(|&&(_, p)| p).count();
+        if any_panicked && propagations != 1 {
+            errors.push(format!(
+                "latch {latch} had a panicking job but propagated {propagations} time(s)"
+            ));
+        }
+        if !any_panicked && propagations != 0 {
+            errors.push(format!(
+                "latch {latch} propagated a panic with no panicking job"
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(stats)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Pure verifier tests only. Everything that actually drives the pool
+    //! lives in `tests/pool_check.rs` — a separate test process — because
+    //! the lib unit tests share this process and would interleave their
+    //! own events into the global log.
+    use super::*;
+
+    #[test]
+    fn verifier_rejects_corrupted_logs() {
+        // Lost job: enqueued, never started.
+        let log = vec![
+            Event::Enqueue { latch: 1, job: 1 },
+            Event::WaitBegin { latch: 1 },
+            Event::WaitEnd {
+                latch: 1,
+                panicked: false,
+            },
+        ];
+        let errs = verify(&log).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("lost")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("before its job finished")));
+
+        // Double execution.
+        let log = vec![
+            Event::Enqueue { latch: 1, job: 1 },
+            Event::Start { latch: 1, job: 1 },
+            Event::Finish {
+                latch: 1,
+                job: 1,
+                panicked: false,
+            },
+            Event::Start { latch: 1, job: 1 },
+            Event::Finish {
+                latch: 1,
+                job: 1,
+                panicked: false,
+            },
+        ];
+        let errs = verify(&log).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("2 time(s)")), "{errs:?}");
+
+        // Phantom panic propagation.
+        let log = vec![
+            Event::Enqueue { latch: 1, job: 1 },
+            Event::Start { latch: 1, job: 1 },
+            Event::Finish {
+                latch: 1,
+                job: 1,
+                panicked: false,
+            },
+            Event::WaitEnd {
+                latch: 1,
+                panicked: true,
+            },
+        ];
+        let errs = verify(&log).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("no panicking job")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_accepts_a_clean_log() {
+        let log = vec![
+            Event::Enqueue { latch: 1, job: 1 },
+            Event::Enqueue { latch: 1, job: 2 },
+            Event::WaitBegin { latch: 1 },
+            Event::Start { latch: 1, job: 2 },
+            Event::Finish {
+                latch: 1,
+                job: 2,
+                panicked: false,
+            },
+            Event::Start { latch: 1, job: 1 },
+            Event::Finish {
+                latch: 1,
+                job: 1,
+                panicked: true,
+            },
+            Event::WaitEnd {
+                latch: 1,
+                panicked: true,
+            },
+        ];
+        let stats = verify(&log).unwrap();
+        assert_eq!(
+            stats,
+            Stats {
+                queued: 2,
+                inline: 0,
+                waits: 1,
+                panics: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn xorshift_stream_is_nonzero_and_seed_sensitive() {
+        let stream = |mut x: u64| -> Vec<u64> {
+            (0..64)
+                .map(|_| {
+                    x = xorshift(x);
+                    x
+                })
+                .collect()
+        };
+        assert!(stream(41).iter().all(|&v| v != 0));
+        assert_eq!(stream(41), stream(41));
+        assert_ne!(stream(41), stream(43));
+    }
+}

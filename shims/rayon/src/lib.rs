@@ -28,8 +28,49 @@
 //! call, each milliseconds long).
 
 #![deny(unsafe_code)]
+// With pool-check off, `check::Tag` is `()` and every (inlined-away) hook
+// call passes unit values — which is the whole point of the zero-cost stub
+// design, not an accident worth restructuring the call sites over.
+#![cfg_attr(
+    not(feature = "pool-check"),
+    allow(clippy::unit_arg, clippy::let_unit_value)
+)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "pool-check")]
+pub mod check;
+
+/// No-op stand-ins for the `pool-check` instrumentation hooks, so the pool
+/// code can call them unconditionally. Everything inlines to nothing.
+#[cfg(not(feature = "pool-check"))]
+#[allow(dead_code)]
+mod check {
+    pub(crate) type Tag = ();
+    pub(crate) const NO_LATCH: Tag = ();
+    #[inline(always)]
+    pub(crate) fn latch_new(_pending: usize) -> Tag {}
+    #[inline(always)]
+    pub(crate) fn enqueue(_latch: Tag) -> Tag {}
+    #[inline(always)]
+    pub(crate) fn job_start(_latch: Tag, _job: Tag) {}
+    #[inline(always)]
+    pub(crate) fn job_finish(_latch: Tag, _job: Tag, _panicked: bool) {}
+    #[inline(always)]
+    pub(crate) fn inline_job(_latch: Tag) {}
+    #[inline(always)]
+    pub(crate) fn wait_begin(_latch: Tag) {}
+    #[inline(always)]
+    pub(crate) fn wait_end(_latch: Tag, _panicked: bool) {}
+    #[inline(always)]
+    pub(crate) fn adversary_pick(_len: usize) -> Option<usize> {
+        None
+    }
+    #[inline(always)]
+    pub(crate) fn watchdog_tick(_latch: Tag, _pending: usize) {}
+    #[inline(always)]
+    pub(crate) fn watchdog_reset() {}
+}
 
 // ---------------------------------------------------------------------------
 // Execution substrate
@@ -136,7 +177,7 @@ mod pool {
                 let job = {
                     let mut q = s.queue.lock().unwrap();
                     loop {
-                        if let Some(j) = q.pop_front() {
+                        if let Some(j) = pop_job(&mut q) {
                             break j;
                         }
                         q = s.work_ready.wait(q).unwrap();
@@ -147,8 +188,17 @@ mod pool {
             .expect("failed to spawn rayon-shim worker thread");
     }
 
+    /// Pop the next runnable job: FIFO head normally, or a seed-determined
+    /// index when the pool-check adversary is armed.
+    fn pop_job(q: &mut VecDeque<Job>) -> Option<Job> {
+        if let Some(ix) = crate::check::adversary_pick(q.len()) {
+            return q.remove(ix);
+        }
+        q.pop_front()
+    }
+
     fn try_pop() -> Option<Job> {
-        shared().queue.lock().unwrap().pop_front()
+        pop_job(&mut shared().queue.lock().unwrap())
     }
 
     /// Completion latch for one batch/scope: pending count, a condvar for
@@ -157,6 +207,8 @@ mod pool {
         pending: Mutex<usize>,
         done: Condvar,
         panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        /// pool-check identity (zero-sized unit when the feature is off).
+        tag: crate::check::Tag,
     }
 
     impl Latch {
@@ -165,7 +217,13 @@ mod pool {
                 pending: Mutex::new(pending),
                 done: Condvar::new(),
                 panic: Mutex::new(None),
+                tag: crate::check::latch_new(pending),
             })
+        }
+
+        /// The pool-check identity of this latch.
+        pub(crate) fn tag(&self) -> crate::check::Tag {
+            self.tag
         }
 
         /// Register `n` more tasks before they are submitted.
@@ -174,13 +232,22 @@ mod pool {
         }
 
         /// Run one task, capturing its panic, and mark it complete.
-        fn run_task(self: &Arc<Self>, job: ScopedJob<'_>) {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                let mut slot = self.panic.lock().unwrap();
-                if slot.is_none() {
-                    *slot = Some(payload);
+        fn run_task(self: &Arc<Self>, job_tag: crate::check::Tag, job: ScopedJob<'_>) {
+            crate::check::job_start(self.tag, job_tag);
+            let panicked = match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(()) => false,
+                Err(payload) => {
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    true
                 }
-            }
+            };
+            // Record completion before the pending count drops: the waiter
+            // may observe zero and log `WaitEnd` the instant we unlock, and
+            // the event log must show every finish ahead of it.
+            crate::check::job_finish(self.tag, job_tag, panicked);
             let mut left = self.pending.lock().unwrap();
             *left -= 1;
             if *left == 0 {
@@ -192,8 +259,10 @@ mod pool {
         /// tasks (this batch's or anyone else's) while waiting. Re-raises
         /// the first captured panic.
         pub fn wait_helping(self: &Arc<Self>) {
+            crate::check::wait_begin(self.tag);
             loop {
                 if let Some(job) = try_pop() {
+                    crate::check::watchdog_reset();
                     job();
                     continue;
                 }
@@ -204,12 +273,23 @@ mod pool {
                 // Nothing runnable right now: sleep briefly; either our
                 // batch finishes (notify) or new helpable work arrives
                 // (bounded by the timeout).
-                let _ = self
+                let (left, timeout) = self
                     .done
                     .wait_timeout(left, Duration::from_micros(200))
                     .unwrap();
+                if timeout.timed_out() {
+                    // pool-check: a waiter seeing only timeouts is stuck;
+                    // past the watchdog limit this dumps the event log and
+                    // panics instead of hanging forever.
+                    crate::check::watchdog_tick(self.tag, *left);
+                } else {
+                    crate::check::watchdog_reset();
+                }
             }
-            if let Some(payload) = self.panic.lock().unwrap().take() {
+            crate::check::watchdog_reset();
+            let payload = self.panic.lock().unwrap().take();
+            crate::check::wait_end(self.tag, payload.is_some());
+            if let Some(payload) = payload {
                 resume_unwind(payload);
             }
         }
@@ -220,8 +300,9 @@ mod pool {
     /// for calling [`Latch::wait_helping`] before the borrows expire.
     #[allow(unsafe_code)]
     pub fn submit(latch: &Arc<Latch>, job: ScopedJob<'_>) {
+        let job_tag = crate::check::enqueue(latch.tag);
         let latch2 = Arc::clone(latch);
-        let wrapped: ScopedJob<'_> = Box::new(move || latch2.run_task(job));
+        let wrapped: ScopedJob<'_> = Box::new(move || latch2.run_task(job_tag, job));
         // SAFETY: see `erase`.
         let erased = unsafe { erase(wrapped) };
         let s = shared();
@@ -238,6 +319,7 @@ mod pool {
         let threads = current_threads();
         if threads <= 1 || jobs.len() <= 1 {
             for job in jobs {
+                crate::check::inline_job(crate::check::NO_LATCH);
                 job();
             }
             return;
@@ -361,6 +443,7 @@ mod scope_impl {
             // sequential build — even if global workers exist from earlier
             // wider-budget calls.
             if pool::current_threads() <= 1 {
+                crate::check::inline_job(self.latch.tag());
                 f(&handle);
                 return;
             }
