@@ -1,12 +1,15 @@
 //! Incremental re-solve: a persistent `Workspace` driven through the
 //! churn mutation script versus a from-scratch solve after every step.
 //!
-//! Claim: only the shards a mutation touches are *recolored* (the
-//! dominant cost), while the assignments stay bit-identical. Each step
-//! still pays one linear pass over the instance (dense-family
-//! materialization + context validation) — see the ROADMAP note on
-//! caching the dense view — so the ratio grows with how much coloring
-//! work the cache avoids, not unboundedly.
+//! Claim: only the shards a mutation touches are recomputed, and a step's
+//! cost is O(dirty) — the dense family view is patched per mutation (never
+//! re-cloned), the context's class/load are maintained incrementally, and
+//! a shard reconstituted with identical content adopts its cached solve
+//! via the fingerprint reuse pool. The `workspace_churn_large` target runs
+//! the same script at the million-path tier scale (federated 4096, ~24k
+//! dipaths) where from-scratch-per-step would dominate the bench budget,
+//! so only the incremental side is timed there (the report binary's
+//! `incremental_resolve_4096` comparison covers the ratio).
 
 use criterion::{BenchmarkId, Criterion};
 use dagwave_bench::{quick_criterion, report_row};
@@ -81,6 +84,61 @@ fn bench(c: &mut Criterion) {
                             .unwrap()
                             .num_colors,
                     );
+                }
+            });
+        });
+    }
+
+    // The million-path tier: churn(federated 4096). Incremental side only —
+    // the invariant (bit-identity + fingerprint adoption on remove+re-add)
+    // is asserted before timing.
+    {
+        let k = 4096usize;
+        let work = compose::churn(13, k, 8);
+        let session = SolverBuilder::new()
+            .decompose(DecomposePolicy::Always)
+            .build();
+        let mut ws = Workspace::new(
+            session.clone(),
+            work.instance.graph.clone(),
+            work.instance.family.clone(),
+        )
+        .unwrap();
+        ws.apply(work.script.iter().cloned()).unwrap();
+        let incremental = ws.solution().unwrap();
+        let (dense, _) = ws.family().to_dense();
+        let scratch = session.solve(&work.instance.graph, &dense).unwrap();
+        assert_eq!(incremental.assignment.colors(), scratch.assignment.colors());
+        let victim = ws.family().ids().next().unwrap();
+        let copy = ws.family().get(victim).unwrap().clone();
+        ws.apply([Mutation::Remove(victim), Mutation::Add(copy)])
+            .unwrap();
+        let readd = ws.solution().unwrap().resolve.unwrap();
+        assert_eq!(readd.shards_resolved, 0, "re-add adopts the cached shard");
+        report_row(
+            "INC",
+            &format!("k={k} (million-path tier)"),
+            "O(dirty) per step, re-add adopted",
+            &format!(
+                "|P|={}, w={}, re-add reused={}",
+                work.instance.family.len(),
+                incremental.num_colors,
+                readd.shards_reused
+            ),
+        );
+
+        group.bench_with_input(BenchmarkId::new("workspace_churn_large", k), &k, |b, _| {
+            b.iter(|| {
+                let mut ws = Workspace::new(
+                    session.clone(),
+                    work.instance.graph.clone(),
+                    work.instance.family.clone(),
+                )
+                .unwrap();
+                ws.solution().unwrap();
+                for op in &work.script {
+                    ws.apply([op.clone()]).unwrap();
+                    black_box(ws.solution().unwrap().num_colors);
                 }
             });
         });

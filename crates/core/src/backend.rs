@@ -223,6 +223,46 @@ impl<'a> InstanceContext<'a> {
         })
     }
 
+    /// Assemble a context from *already-known* class and load, skipping the
+    /// DAG validation, classification, and load scans — the incremental
+    /// [`crate::Workspace`] patches those per mutation batch and rebuilds
+    /// its context in O(1) per query instead of O(instance). The caller
+    /// vouches that `graph` validated as a DAG before (the workspace's
+    /// graph never mutates) and that `class`/`load` describe exactly this
+    /// `(graph, family)` pair; debug builds shadow-check both claims
+    /// against a from-scratch recomputation.
+    pub(crate) fn from_parts(
+        graph: &'a Digraph,
+        family: &'a DipathFamily,
+        class: DagClass,
+        load: usize,
+        request: &'a SolveRequest,
+    ) -> Self {
+        debug_assert_eq!(
+            class,
+            internal::classify(graph),
+            "cached class diverged from a fresh classification"
+        );
+        debug_assert_eq!(
+            load,
+            load::max_load(graph, family),
+            "cached load diverged from a fresh load scan"
+        );
+        debug_assert!(
+            dagwave_graph::topo::topological_order(graph).is_ok(),
+            "cached context built over a non-DAG"
+        );
+        InstanceContext {
+            graph,
+            family,
+            class,
+            load,
+            request,
+            ug: OnceLock::new(),
+            dedup: OnceLock::new(),
+        }
+    }
+
     /// The conflict graph as a [`UGraph`], built on first use and cached.
     pub fn conflict_ugraph(&self) -> &UGraph {
         self.ug.get_or_init(|| {

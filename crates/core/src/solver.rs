@@ -32,7 +32,9 @@ use crate::decompose::{DecomposePolicy, Decomposition, ShardOutcome};
 use crate::error::CoreError;
 use crate::internal::DagClass;
 use dagwave_color::ugraph::UGraph;
-use dagwave_paths::{conflict_components, ConflictGraph, DipathFamily, PathId, SubInstance};
+use dagwave_paths::{
+    conflict_components, ConflictGraph, DipathFamily, ExtractScratch, PathId, SubInstance,
+};
 use std::collections::VecDeque;
 
 /// How many in-flight instances [`SolveSession::solve_stream`] keeps per
@@ -73,8 +75,12 @@ pub struct Solution {
     pub attempts: Vec<BackendAttempt>,
     /// Present when the instance was sharded by conflict-graph components
     /// (decompose-solve-merge): one [`ShardOutcome`] per component, in
-    /// deterministic shard order. `None` for monolithic solves.
-    pub decomposition: Option<Decomposition>,
+    /// deterministic shard order. `None` for monolithic solves. Behind an
+    /// [`Arc`](std::sync::Arc) because the provenance is immutable and can
+    /// be large (one record per shard): cloning a solution — which the
+    /// incremental engine does on every query of its merged cache — bumps
+    /// a refcount instead of deep-copying every shard report.
+    pub decomposition: Option<std::sync::Arc<Decomposition>>,
     /// Present when this solution came out of an incremental
     /// [`crate::workspace::Workspace`] re-solve: how many shards were
     /// served from cache vs. actually recomputed. Always `None` for the
@@ -385,11 +391,20 @@ impl SolveSession {
         family: &DipathFamily,
         components: &[Vec<PathId>],
     ) -> Vec<Result<(Vec<PathId>, Solution), CoreError>> {
+        // Extraction is a near-linear renumbering pass; it runs sequentially
+        // through ONE shared scratch (flat host-indexed tables, stamped per
+        // shard — see [`ExtractScratch`]) so every shard reuses the same
+        // buffers instead of sorting and binary-searching its own. Only the
+        // solves — the actual work — fan out onto the pool.
+        let mut scratch = ExtractScratch::new();
+        let subs: Vec<SubInstance> = components
+            .iter()
+            .map(|members| SubInstance::extract_with(g, family, members, &mut scratch))
+            .collect();
         let mut slots: Vec<ShardSlot> = components.iter().map(|_| None).collect();
         rayon::scope(|s| {
-            for (slot, members) in slots.iter_mut().zip(components) {
+            for (slot, sub) in slots.iter_mut().zip(&subs) {
                 s.spawn(move |_| {
-                    let sub = SubInstance::extract(g, family, members);
                     *slot = Some(
                         self.solve_monolithic(&sub.graph, &sub.family)
                             .map(|sol| (sub.original_ids().to_vec(), sol)),
@@ -766,9 +781,13 @@ fn auto_shard_backend(ctx: &InstanceContext<'_>) -> BackendKind {
 /// number of a disjoint union is the max over its components — merging
 /// loses nothing). Properness is structural: colors can only collide
 /// across shards, and cross-shard dipaths never conflict.
-pub(crate) fn merge_shards(
+///
+/// Generic over [`Borrow<Solution>`] so the incremental engine can merge
+/// its cached shard solutions by reference — a re-merge after a mutation
+/// batch never deep-clones the clean shards.
+pub(crate) fn merge_shards<S: std::borrow::Borrow<Solution>>(
     ctx: &InstanceContext<'_>,
-    shards: Vec<(Vec<PathId>, Solution)>,
+    shards: Vec<(Vec<PathId>, S)>,
 ) -> Solution {
     let mut colors = vec![usize::MAX; ctx.family.len()];
     let mut span = 0usize;
@@ -777,10 +796,17 @@ pub(crate) fn merge_shards(
     let mut all_optimal = true;
     let mut attempts = Vec::new();
     let mut reports = Vec::with_capacity(shards.len());
+    // One palette map reused across shards (cleared per shard): same
+    // first-appearance numbering as `WavelengthAssignment::normalized`,
+    // without materializing a normalized copy per shard.
+    let mut palette: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for (original_ids, sol) in shards {
-        let normalized = sol.assignment.normalized();
+        let sol = sol.borrow();
+        palette.clear();
         for (local, &orig) in original_ids.iter().enumerate() {
-            colors[orig.index()] = normalized.color(PathId::from_index(local));
+            let raw = sol.assignment.color(PathId::from_index(local));
+            let next = palette.len();
+            colors[orig.index()] = *palette.entry(raw).or_insert(next);
         }
         // The merged strategy tag: winner of the first shard attaining the
         // merged span (strictly-greater update keeps the earliest).
@@ -806,7 +832,7 @@ pub(crate) fn merge_shards(
             num_colors: sol.num_colors,
             load: sol.load,
             optimal: sol.optimal,
-            attempts: sol.attempts,
+            attempts: sol.attempts.clone(),
             members: original_ids,
         });
     }
@@ -842,7 +868,7 @@ pub(crate) fn merge_shards(
         class: ctx.class,
         strategy: strategy.expect("decomposed solve has at least one shard"), // lint: allow(no-panic): decomposition plans always contain at least one shard
         attempts,
-        decomposition: Some(Decomposition { shards: reports }),
+        decomposition: Some(std::sync::Arc::new(Decomposition { shards: reports })),
         resolve: None,
     }
 }

@@ -20,6 +20,15 @@
 //! buckets); [`Workspace::solution`] then re-solves only the unsolved
 //! shards and re-merges with the shared normalized palette.
 //!
+//! Everything heavyweight is O(dirty), not O(instance): the family keeps an
+//! incrementally-patched dense view ([`PathFamily::dense_view`]) so the
+//! query path never deep-clones, the instance class is computed once (the
+//! graph is immutable) and `π(G, P)` is maintained through a per-load
+//! histogram patched at each arc-user edit, and each shard carries a
+//! content fingerprint so a shard dropped and reconstituted with identical
+//! dipaths (e.g. remove + re-add) adopts its old solve from a reuse pool
+//! instead of recomputing — [`Resolve::shards_reused`] counts adoptions.
+//!
 //! **Invariant:** after any mutation sequence, [`Workspace::solution`] is
 //! bit-identical to a from-scratch [`SolveSession::solve`] on the mutated
 //! instance (the live members in ascending stable-id order), at every
@@ -66,10 +75,13 @@
 
 use crate::backend::InstanceContext;
 use crate::error::CoreError;
+use crate::internal::DagClass;
 use crate::solver::{merge_shards, Solution, SolveSession};
 use dagwave_graph::Digraph;
 use dagwave_paths::{conflict_components_among, Dipath, DipathFamily, PathFamily, PathId};
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// One instance mutation: admit or retire a dipath.
 ///
@@ -95,17 +107,66 @@ pub struct Resolve {
     pub shards_resolved: usize,
 }
 
-/// One tracked component: its live members (stable ids, ascending) and,
-/// once solved, the cached shard-local solution.
+/// One tracked component: its live members (stable ids, ascending), the
+/// shared handles of their dipaths, a content fingerprint, and, once
+/// solved, the cached shard-local solution.
 #[derive(Clone, Debug)]
 struct CachedShard {
     /// Stable member ids, ascending.
     members: Vec<PathId>,
+    /// The members' dipaths (shared handles, parallel to `members`) — kept
+    /// so a dropped shard's content outlives the family mutation that
+    /// dropped it, which is what lets the fingerprint reuse pool verify an
+    /// exact content match instead of trusting a 64-bit hash.
+    paths: Vec<Arc<Dipath>>,
+    /// Hash of the member dipaths' arc sequences in canonical (ascending
+    /// member id) order. Deliberately content-only — ids are excluded — so
+    /// a shard whose membership came back under different stable ids but
+    /// identical dipaths still matches: the shard-local solve depends only
+    /// on content and order, never on the ids themselves.
+    fingerprint: u64,
     /// The shard-local solve result; `None` while dirty. Colors are indexed
     /// by the member's *rank* within the shard, which removals elsewhere in
     /// the family never change — that is what makes the cache survive id
     /// compaction in the dense view.
     solved: Option<Result<Solution, CoreError>>,
+}
+
+/// A solved shard banked when a mutation dropped it: if a freshly derived
+/// component has the same fingerprint *and* identical dipath contents, the
+/// solve is adopted instead of redone (e.g. remove + re-add of the same
+/// dipath reconstitutes its old shard verbatim).
+#[derive(Clone, Debug)]
+struct ReuseEntry {
+    fingerprint: u64,
+    paths: Vec<Arc<Dipath>>,
+    solved: Result<Solution, CoreError>,
+}
+
+/// Hash of a shard's member dipath contents in canonical order — see
+/// [`CachedShard::fingerprint`]. `DefaultHasher` with default keys is
+/// deterministic, which keeps workspaces reproducible across runs.
+fn shard_fingerprint(paths: &[Arc<Dipath>]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    paths.len().hash(&mut h);
+    for p in paths {
+        p.arcs().len().hash(&mut h);
+        for a in p.arcs() {
+            a.index().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Exact content equality between two shards' dipath lists (pointer
+/// equality short-circuits the common shared-handle case). The O(shard
+/// content) comparison is what makes fingerprint adoption safe against
+/// hash collisions.
+fn same_paths(a: &[Arc<Dipath>], b: &[Arc<Dipath>]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| Arc::ptr_eq(x, y) || x.arcs() == y.arcs())
 }
 
 /// A persistent solving surface over one mutable instance.
@@ -120,7 +181,10 @@ pub struct Workspace {
     session: SolveSession,
     graph: Digraph,
     family: PathFamily,
-    /// arc index → live stable path ids using that arc, ascending.
+    /// arc index → live stable path ids using that arc, ascending — the
+    /// mutable arc→paths index (the editable twin of
+    /// [`dagwave_paths::ArcIndex`]); `arc_users[a].len()` is arc `a`'s
+    /// load, which is what lets the load be patched per mutation below.
     arc_users: Vec<Vec<u32>>,
     /// The component partition, canonical order (smallest member first).
     shards: Vec<CachedShard>,
@@ -129,6 +193,18 @@ pub struct Workspace {
     /// The [`Resolve`] of the last recomputation (reused verbatim while the
     /// merged cache stands, with everything counted as reused).
     last_resolve: Resolve,
+    /// The instance class, computed once at open: mutations never touch the
+    /// graph, and the class depends on the graph alone.
+    class: DagClass,
+    /// `load_hist[l]` = number of arcs currently carrying load `l` (`l ≥
+    /// 1`) — patched on every arc-user insert/remove so `π(G, P)` is
+    /// maintained, never rescanned.
+    load_hist: Vec<u32>,
+    /// `π(G, P)` of the current family (the top of `load_hist`).
+    max_load: usize,
+    /// Solved shards dropped by mutations since the last recompute, keyed
+    /// by content fingerprint — drained on adoption, cleared per recompute.
+    reuse_pool: Vec<ReuseEntry>,
 }
 
 impl Workspace {
@@ -143,8 +219,12 @@ impl Workspace {
         graph: Digraph,
         family: DipathFamily,
     ) -> Result<Self, CoreError> {
-        // Same rejection the one-shot path performs, hoisted to open time.
-        InstanceContext::new(&graph, &family, session.request())?;
+        // Same rejection the one-shot path performs, hoisted to open time;
+        // the class and load it computes seed the patched caches below.
+        let ctx = InstanceContext::new(&graph, &family, session.request())?;
+        let class = ctx.class;
+        let max_load = ctx.load;
+        drop(ctx);
         let editable = PathFamily::from_family(&family);
         let mut arc_users: Vec<Vec<u32>> = vec![Vec::new(); graph.arc_count()];
         for (id, p) in editable.iter() {
@@ -152,11 +232,30 @@ impl Workspace {
                 arc_users[a.index()].push(id.0);
             }
         }
+        let mut load_hist = vec![0u32; max_load + 1];
+        for users in &arc_users {
+            if !users.is_empty() {
+                load_hist[users.len()] += 1;
+            }
+        }
         let shards = conflict_components_among(editable.iter())
             .into_iter()
-            .map(|members| CachedShard {
-                members,
-                solved: None,
+            .map(|members| {
+                let paths: Vec<Arc<Dipath>> = members
+                    .iter()
+                    .map(|&id| {
+                        editable
+                            .get_shared(id)
+                            .expect("component members are live") // lint: allow(no-panic): components are derived from the live family on the previous line
+                            .clone()
+                    })
+                    .collect();
+                CachedShard {
+                    fingerprint: shard_fingerprint(&paths),
+                    members,
+                    paths,
+                    solved: None,
+                }
             })
             .collect();
         Ok(Workspace {
@@ -167,6 +266,10 @@ impl Workspace {
             shards,
             merged: None,
             last_resolve: Resolve::default(),
+            class,
+            load_hist,
+            max_load,
+            reuse_pool: Vec::new(),
         })
     }
 
@@ -202,9 +305,7 @@ impl Workspace {
     /// ids (the dense view skips tombstones). `None` when `id` is not
     /// live.
     pub fn dense_index_of(&self, id: PathId) -> Option<usize> {
-        self.family
-            .contains(id)
-            .then(|| self.family.ids().take_while(|&other| other < id).count())
+        self.family.dense_rank(id)
     }
 
     /// Admit one dipath. Returns its stable id.
@@ -240,16 +341,22 @@ impl Workspace {
         let batch: Vec<Mutation> = batch.into_iter().collect();
         // ---- Validate the whole batch against a simulated id state (the
         // exact free-list discipline of `PathFamily`), so a failing batch
-        // mutates nothing.
-        let mut live: BTreeSet<PathId> = self.family.ids().collect();
-        let mut free: BTreeSet<u32> = (0..self.family.slot_count() as u32)
-            .filter(|&slot| !live.contains(&PathId(slot)))
-            .collect();
+        // mutates nothing. The simulation is delta-based — the family's
+        // tombstones plus this batch's own removals/additions — so a batch
+        // costs O((tombstones + batch) log), never O(live): an id is live
+        // iff it was added by an earlier op in the batch, or is live in the
+        // family and not removed by an earlier op.
+        let mut free: BTreeSet<u32> = self.family.free_slots().into_iter().collect();
         let mut slots = self.family.slot_count() as u32;
+        let mut removed_sim: BTreeSet<PathId> = BTreeSet::new();
+        let mut added_sim: BTreeSet<PathId> = BTreeSet::new();
         for m in &batch {
             match m {
                 Mutation::Remove(id) => {
-                    if !live.remove(id) {
+                    if added_sim.remove(id) {
+                        // Un-adds a batch addition; its slot frees again.
+                    } else if !(self.family.contains(*id) && removed_sim.insert(*id)) {
+                        // Not family-live, or already removed this batch.
                         return Err(CoreError::UnknownPath(*id));
                     }
                     free.insert(id.0);
@@ -282,7 +389,7 @@ impl Workspace {
                             PathId(slots - 1)
                         }
                     };
-                    live.insert(id);
+                    added_sim.insert(id);
                 }
             }
         }
@@ -301,6 +408,8 @@ impl Workspace {
                         let users = &mut self.arc_users[a.index()];
                         if let Ok(pos) = users.binary_search(&id.0) {
                             users.remove(pos);
+                            let new_load = users.len();
+                            self.note_load_dec(new_load + 1);
                         }
                     }
                 }
@@ -320,11 +429,17 @@ impl Workspace {
                         }
                     }
                     let id = self.family.insert(p);
-                    let p = self.family.get(id).expect("just inserted"); // lint: allow(no-panic): the id was inserted on the previous line
+                    let p = self
+                        .family
+                        .get_shared(id)
+                        .expect("just inserted") // lint: allow(no-panic): the id was inserted on the previous line
+                        .clone();
                     for &a in p.arcs() {
                         let users = &mut self.arc_users[a.index()];
                         if let Err(pos) = users.binary_search(&id.0) {
                             users.insert(pos, id.0);
+                            let new_load = users.len();
+                            self.note_load_inc(new_load);
                         }
                     }
                     added.push(id);
@@ -351,20 +466,55 @@ impl Workspace {
             );
         }
         // Additions may have landed in a reused slot of a dirtied shard;
-        // the BTreeSet above already deduplicates. Drop the dirty shards…
+        // the BTreeSet above already deduplicates. Drop the dirty shards,
+        // banking the solved ones in the reuse pool — a later batch (or this
+        // one) may reconstitute a shard with identical content, and its
+        // solve is then adopted instead of redone…
         for &s in dirty_shards.iter().rev() {
-            self.shards.remove(s);
+            let shard = self.shards.remove(s);
+            if let Some(solved) = shard.solved {
+                self.reuse_pool.push(ReuseEntry {
+                    fingerprint: shard.fingerprint,
+                    paths: shard.paths,
+                    solved,
+                });
+            }
         }
-        // …and re-insert the freshly derived (unsolved) components.
+        // …and re-insert the freshly derived components, checking each
+        // against the pool (fingerprint gate, then exact content equality —
+        // a hash collision can never adopt a wrong solve).
         let fresh = conflict_components_among(
             pool.iter()
                 .map(|&id| (id, self.family.get(id).expect("pool is live"))), // lint: allow(no-panic): shard pools only hold live ids by construction
         );
-        self.shards
-            .extend(fresh.into_iter().map(|members| CachedShard {
-                members,
-                solved: None,
-            }));
+        let family = &self.family;
+        let reuse_pool = &mut self.reuse_pool;
+        let fresh_shards: Vec<CachedShard> = fresh
+            .into_iter()
+            .map(|members| {
+                let paths: Vec<Arc<Dipath>> = members
+                    .iter()
+                    .map(|&id| {
+                        family
+                            .get_shared(id)
+                            .expect("pool is live") // lint: allow(no-panic): shard pools only hold live ids by construction
+                            .clone()
+                    })
+                    .collect();
+                let fingerprint = shard_fingerprint(&paths);
+                let solved = reuse_pool
+                    .iter()
+                    .position(|e| e.fingerprint == fingerprint && same_paths(&paths, &e.paths))
+                    .map(|i| reuse_pool.swap_remove(i).solved);
+                CachedShard {
+                    members,
+                    paths,
+                    fingerprint,
+                    solved,
+                }
+            })
+            .collect();
+        self.shards.extend(fresh_shards);
         // Canonical shard order: by smallest (stable) member. Dense ranks
         // are monotone in stable ids, so this is exactly the order the
         // from-scratch component scan would produce.
@@ -400,17 +550,35 @@ impl Workspace {
 
     /// The full recomputation behind a [`Workspace::solution`] cache miss.
     fn recompute(&mut self) -> Result<Solution, CoreError> {
-        let (dense, dense_of) = self.family.to_dense();
-        let ctx = InstanceContext::new(&self.graph, &dense, self.session.request())?;
-        // stable slot → dense rank.
-        let mut dense_index: Vec<u32> = vec![u32::MAX; self.family.slot_count()];
-        for (rank, id) in dense_of.iter().enumerate() {
-            dense_index[id.index()] = rank as u32;
+        // Whatever the pool still holds was not reconstituted by the
+        // mutations since the last solve — drop it so the pool's size stays
+        // bounded by the shards dropped between consecutive solves.
+        self.reuse_pool.clear();
+        // The family's incrementally-patched dense view, plus the class and
+        // load maintained per mutation — nothing here rescans the instance.
+        let dense = self.family.dense_view();
+        let ctx = InstanceContext::from_parts(
+            &self.graph,
+            dense,
+            self.class,
+            self.max_load,
+            self.session.request(),
+        );
+        // Stable id → dense rank as a flat table (one pass over the live
+        // ids): the plan and the merge translate every shard member, and a
+        // table lookup beats a per-member binary search on big instances.
+        let mut rank_of: Vec<u32> = vec![u32::MAX; self.family.slot_count()];
+        for (rank, &id) in self.family.dense_ids().iter().enumerate() {
+            rank_of[id.index()] = rank as u32;
         }
-        let to_dense = |members: &[PathId]| -> Vec<PathId> {
+        let to_dense = move |members: &[PathId]| -> Vec<PathId> {
             members
                 .iter()
-                .map(|id| PathId(dense_index[id.index()]))
+                .map(|&id| {
+                    let rank = rank_of[id.index()];
+                    debug_assert_ne!(rank, u32::MAX, "shard members are live");
+                    PathId(rank)
+                })
                 .collect()
         };
 
@@ -440,7 +608,7 @@ impl Workspace {
             .iter()
             .map(|&i| to_dense(&self.shards[i].members))
             .collect();
-        let results = shard_session.solve_components(&self.graph, &dense, &dirty_components);
+        let results = shard_session.solve_components(&self.graph, dense, &dirty_components);
         for (&i, result) in dirty.iter().zip(results) {
             // Cache the shard-local solution only — the dense ids it was
             // solved under are recomputed per merge, so later removals
@@ -454,20 +622,44 @@ impl Workspace {
 
         // Merge every shard (cached + fresh) in canonical order — the same
         // merge, and the same first-error-wins rule, as the one-shot path.
+        // Cached solutions are merged by reference: a re-merge never deep-
+        // clones the clean shards' solutions.
         debug_assert_eq!(components.len(), self.shards.len());
-        let shards: Vec<(Vec<PathId>, Solution)> = self
-            .shards
-            .iter()
-            .zip(components)
-            .map(|(shard, dense_members)| {
-                shard
-                    .solved
-                    .clone()
-                    .expect("every shard solved above") // lint: allow(no-panic): the loop above solved every shard in the plan
-                    .map(|sol| (dense_members, sol))
-            })
-            .collect::<Result<_, _>>()?;
+        let mut shards: Vec<(Vec<PathId>, &Solution)> = Vec::with_capacity(self.shards.len());
+        for (shard, dense_members) in self.shards.iter().zip(components) {
+            // lint: allow(no-panic): the loop above solved every shard in the plan
+            match shard.solved.as_ref().expect("every shard solved above") {
+                Ok(sol) => shards.push((dense_members, sol)),
+                Err(e) => return Err(e.clone()),
+            }
+        }
         Ok(merge_shards(&ctx, shards))
+    }
+
+    /// An arc's load just rose to `new_load`: move it between histogram
+    /// buckets and raise `max_load` if it set a new top. O(1).
+    fn note_load_inc(&mut self, new_load: usize) {
+        if new_load > 1 {
+            self.load_hist[new_load - 1] -= 1;
+        }
+        if new_load >= self.load_hist.len() {
+            self.load_hist.resize(new_load + 1, 0);
+        }
+        self.load_hist[new_load] += 1;
+        self.max_load = self.max_load.max(new_load);
+    }
+
+    /// An arc's load just fell from `old_load`: move it between histogram
+    /// buckets and walk `max_load` down past emptied buckets. Amortized
+    /// O(1) — the walk only retraces ground previous increments covered.
+    fn note_load_dec(&mut self, old_load: usize) {
+        self.load_hist[old_load] -= 1;
+        if old_load > 1 {
+            self.load_hist[old_load - 1] += 1;
+        }
+        while self.max_load > 0 && self.load_hist[self.max_load] == 0 {
+            self.max_load -= 1;
+        }
     }
 
     /// Index of the shard whose member list contains `id`.

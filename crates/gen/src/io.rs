@@ -13,6 +13,11 @@
 //! Arcs are created in file order (their ids are line order); `path` lines
 //! route through existing arcs by vertex sequence (first matching arc per
 //! hop, as in [`dagwave_paths::Dipath::from_vertices`]).
+//!
+//! A file may hold *several* instances back to back — each `dag` line opens
+//! a new one. [`read_instance`] parses exactly one (a second `dag` line is
+//! an error); [`read_instances`] streams them out of any [`std::io::BufRead`]
+//! one at a time, never materializing more than the instance in flight.
 
 use crate::Instance;
 use dagwave_graph::{Digraph, VertexId};
@@ -41,6 +46,63 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
         line,
         message: message.into(),
     }
+}
+
+/// Parse the vertex count of a `dag` line (keyword already consumed).
+fn parse_dag(lineno: usize, tokens: &mut std::str::SplitWhitespace) -> Result<usize, ParseError> {
+    tokens
+        .next()
+        .ok_or_else(|| err(lineno, "missing vertex count"))?
+        .parse()
+        .map_err(|e| err(lineno, format!("bad vertex count: {e}")))
+}
+
+/// Parse an `arc` line (keyword already consumed) into the graph.
+fn parse_arc(
+    g: &mut Digraph,
+    lineno: usize,
+    tokens: &mut std::str::SplitWhitespace,
+) -> Result<(), ParseError> {
+    let mut parse = |what: &str| -> Result<VertexId, ParseError> {
+        let idx: usize = tokens
+            .next()
+            .ok_or_else(|| err(lineno, format!("missing {what}")))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad {what}: {e}")))?;
+        if idx >= g.vertex_count() {
+            return Err(err(lineno, format!("{what} {idx} out of range")));
+        }
+        Ok(VertexId::from_index(idx))
+    };
+    let tail = parse("tail")?;
+    let head = parse("head")?;
+    g.try_add_arc(tail, head)
+        .map_err(|e| err(lineno, e.to_string()))?;
+    Ok(())
+}
+
+/// Parse a `path` line (keyword already consumed) into the family.
+fn parse_path(
+    g: &Digraph,
+    family: &mut DipathFamily,
+    lineno: usize,
+    tokens: &mut std::str::SplitWhitespace,
+) -> Result<(), ParseError> {
+    let route: Result<Vec<VertexId>, ParseError> = tokens
+        .map(|t| {
+            let idx: usize = t
+                .parse()
+                .map_err(|e| err(lineno, format!("bad vertex: {e}")))?;
+            if idx >= g.vertex_count() {
+                return Err(err(lineno, format!("vertex {idx} out of range")));
+            }
+            Ok(VertexId::from_index(idx))
+        })
+        .collect();
+    let route = route?;
+    let p = Dipath::from_vertices(g, &route).map_err(|e| err(lineno, e.to_string()))?;
+    family.push(p);
+    Ok(())
 }
 
 /// Serialize an instance to the text format.
@@ -80,51 +142,19 @@ pub fn read_instance(text: &str, name: &str) -> Result<Instance, ParseError> {
                 if graph.is_some() {
                     return Err(err(lineno, "duplicate `dag` line"));
                 }
-                let n: usize = tokens
-                    .next()
-                    .ok_or_else(|| err(lineno, "missing vertex count"))?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad vertex count: {e}")))?;
-                graph = Some(Digraph::with_vertices(n));
+                graph = Some(Digraph::with_vertices(parse_dag(lineno, &mut tokens)?));
             }
             "arc" => {
                 let g = graph
                     .as_mut()
                     .ok_or_else(|| err(lineno, "`arc` before `dag`"))?;
-                let mut parse = |what: &str| -> Result<VertexId, ParseError> {
-                    let idx: usize = tokens
-                        .next()
-                        .ok_or_else(|| err(lineno, format!("missing {what}")))?
-                        .parse()
-                        .map_err(|e| err(lineno, format!("bad {what}: {e}")))?;
-                    if idx >= g.vertex_count() {
-                        return Err(err(lineno, format!("{what} {idx} out of range")));
-                    }
-                    Ok(VertexId::from_index(idx))
-                };
-                let tail = parse("tail")?;
-                let head = parse("head")?;
-                g.try_add_arc(tail, head)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                parse_arc(g, lineno, &mut tokens)?;
             }
             "path" => {
                 let g = graph
                     .as_ref()
                     .ok_or_else(|| err(lineno, "`path` before `dag`"))?;
-                let route: Result<Vec<VertexId>, ParseError> = tokens
-                    .map(|t| {
-                        let idx: usize = t
-                            .parse()
-                            .map_err(|e| err(lineno, format!("bad vertex: {e}")))?;
-                        if idx >= g.vertex_count() {
-                            return Err(err(lineno, format!("vertex {idx} out of range")));
-                        }
-                        Ok(VertexId::from_index(idx))
-                    })
-                    .collect();
-                let route = route?;
-                let p = Dipath::from_vertices(g, &route).map_err(|e| err(lineno, e.to_string()))?;
-                family.push(p);
+                parse_path(g, &mut family, lineno, &mut tokens)?;
             }
             other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
         }
@@ -135,6 +165,179 @@ pub fn read_instance(text: &str, name: &str) -> Result<Instance, ParseError> {
         family,
         name: name.to_owned(),
     })
+}
+
+/// Serialize several instances into one multi-instance stream — the
+/// concatenation of [`write_instance`] texts, which is exactly what
+/// [`read_instances`] parses back (each `dag` line opens a new instance,
+/// each `# dagwave instance:` comment names the one that follows).
+pub fn write_instances(insts: &[Instance]) -> String {
+    insts.iter().map(write_instance).collect()
+}
+
+/// Stream instances out of a multi-instance text without materializing the
+/// whole input: one instance is held in memory at a time, lines are pulled
+/// from the reader on demand. Every `dag` line starts a new instance; a
+/// preceding `# dagwave instance: <name>` comment names it (else
+/// `stream[<index>]`). Feed the iterator straight into
+/// [`dagwave_core::SolveSession::solve_stream`] to solve a file of
+/// instances at O(largest instance) memory.
+pub fn read_instances<R: std::io::BufRead>(reader: R) -> InstanceStream<R> {
+    InstanceStream {
+        reader,
+        lineno: 0,
+        index: 0,
+        pending_name: None,
+        pending_dag: None,
+        done: false,
+    }
+}
+
+/// Iterator over the instances of a multi-instance stream — see
+/// [`read_instances`]. Fused: after the first error (or end of input) it
+/// yields `None` forever.
+#[derive(Debug)]
+pub struct InstanceStream<R> {
+    reader: R,
+    /// 1-based number of the last line read.
+    lineno: usize,
+    /// 0-based index of the next instance to yield (for default names).
+    index: usize,
+    /// Name from the most recent `# dagwave instance:` comment, waiting for
+    /// its `dag` line.
+    pending_name: Option<String>,
+    /// Vertex count and name of the instance whose `dag` line has been read
+    /// but whose body has not — the boundary line of the next iteration.
+    pending_dag: Option<(usize, String)>,
+    done: bool,
+}
+
+impl<R: std::io::BufRead> InstanceStream<R> {
+    /// Pull one line; `None` at end of input, `Err` on an io failure
+    /// (surfaced as a [`ParseError`] at the failing line).
+    fn next_line(&mut self) -> Option<Result<String, ParseError>> {
+        let mut buf = String::new();
+        self.lineno += 1;
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => None,
+            Ok(_) => Some(Ok(buf)),
+            Err(e) => Some(Err(err(self.lineno, format!("read failed: {e}")))),
+        }
+    }
+
+    /// Consume a comment/blank line's bookkeeping: a `# dagwave instance:`
+    /// directive stashes the name for the next `dag` line.
+    fn note_comment(&mut self, line: &str) {
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(name) = rest.trim().strip_prefix("dagwave instance:") {
+                self.pending_name = Some(name.trim().to_owned());
+            }
+        }
+    }
+
+    /// The name for the instance opening now: the stashed directive if one
+    /// preceded its `dag` line, else a positional default.
+    fn take_name(&mut self) -> String {
+        let name = self
+            .pending_name
+            .take()
+            .unwrap_or_else(|| format!("stream[{}]", self.index));
+        self.index += 1;
+        name
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for InstanceStream<R> {
+    type Item = Result<Instance, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Opening boundary: either the previous iteration already read this
+        // instance's `dag` line, or we scan forward to the first one.
+        let (n, name) = match self.pending_dag.take() {
+            Some(boundary) => boundary,
+            None => loop {
+                let raw = match self.next_line() {
+                    None => {
+                        // Clean end of input before any instance opened.
+                        self.done = true;
+                        return None;
+                    }
+                    Some(Ok(raw)) => raw,
+                    Some(Err(e)) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                };
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    self.note_comment(line);
+                    continue;
+                }
+                let mut tokens = line.split_whitespace();
+                let keyword = tokens.next().expect("non-empty line"); // lint: allow(no-panic): the blank-line guard above leaves at least one token
+                if keyword != "dag" {
+                    self.done = true;
+                    return Some(Err(err(self.lineno, format!("`{keyword}` before `dag`"))));
+                }
+                match parse_dag(self.lineno, &mut tokens) {
+                    Ok(n) => break (n, self.take_name()),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            },
+        };
+        // Body: arcs and paths until the next `dag` line or end of input.
+        let mut graph = Digraph::with_vertices(n);
+        let mut family = DipathFamily::new();
+        loop {
+            let raw = match self.next_line() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(Ok(raw)) => raw,
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                self.note_comment(line);
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let keyword = tokens.next().expect("non-empty line"); // lint: allow(no-panic): the blank-line guard above leaves at least one token
+            let step = match keyword {
+                "dag" => match parse_dag(self.lineno, &mut tokens) {
+                    Ok(next_n) => {
+                        // Boundary of the next instance — park it and yield.
+                        let next_name = self.take_name();
+                        self.pending_dag = Some((next_n, next_name));
+                        break;
+                    }
+                    Err(e) => Err(e),
+                },
+                "arc" => parse_arc(&mut graph, self.lineno, &mut tokens),
+                "path" => parse_path(&graph, &mut family, self.lineno, &mut tokens),
+                other => Err(err(self.lineno, format!("unknown keyword `{other}`"))),
+            };
+            if let Err(e) = step {
+                self.done = true;
+                return Some(Err(e));
+            }
+        }
+        Some(Ok(Instance {
+            graph,
+            family,
+            name,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +396,91 @@ mod tests {
     fn duplicate_dag_rejected() {
         let e = read_instance("dag 2\ndag 3\n", "t").unwrap_err();
         assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn stream_parity_with_eager_reader() {
+        // A concatenated multi-instance text must stream back the same
+        // instances the eager reader produces one by one.
+        let insts = vec![
+            crate::figures::figure3(),
+            crate::havet::havet(2),
+            crate::figures::figure3(),
+        ];
+        let text = write_instances(&insts);
+        let streamed: Vec<Instance> = read_instances(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed.len(), insts.len());
+        for (got, want) in streamed.iter().zip(&insts) {
+            assert_eq!(got.name, want.name, "name directive preserved");
+            let eager = read_instance(&write_instance(want), &want.name).unwrap();
+            assert_eq!(got.graph.vertex_count(), eager.graph.vertex_count());
+            assert_eq!(got.graph.arc_count(), eager.graph.arc_count());
+            assert_eq!(got.family.len(), eager.family.len());
+            for ((_, a), (_, b)) in got.family.iter().zip(eager.family.iter()) {
+                assert_eq!(a.arcs(), b.arcs());
+            }
+        }
+    }
+
+    #[test]
+    fn stream_default_names_and_empty_input() {
+        assert_eq!(read_instances("".as_bytes()).count(), 0);
+        assert_eq!(read_instances("# only comments\n".as_bytes()).count(), 0);
+        let text = "dag 2\narc 0 1\npath 0 1\ndag 3\narc 0 1\narc 1 2\n";
+        let got: Vec<Instance> = read_instances(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "stream[0]");
+        assert_eq!(got[1].name, "stream[1]");
+        assert_eq!(got[0].family.len(), 1);
+        assert_eq!(got[1].graph.arc_count(), 2);
+        assert_eq!(got[1].family.len(), 0);
+    }
+
+    #[test]
+    fn stream_errors_fuse_with_line_numbers() {
+        // `arc` before any `dag` fails at its line, then the stream fuses.
+        let mut s = read_instances("# c\narc 0 1\n".as_bytes());
+        let e = s.next().unwrap().unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("before `dag`"));
+        assert!(s.next().is_none());
+        // A body error in the second instance still yields the first.
+        let mut s = read_instances("dag 2\narc 0 1\ndag 2\narc 0 5\n".as_bytes());
+        assert!(s.next().unwrap().is_ok());
+        let e = s.next().unwrap().unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("out of range"));
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn stream_feeds_solve_stream() {
+        // The streaming loader plugs straight into the batch/stream solver
+        // and gives the same answers as eagerly loaded instances.
+        let insts = vec![crate::figures::figure3(), crate::havet::havet(2)];
+        let text = write_instances(&insts);
+        let session = dagwave_core::SolveSession::auto();
+        let streamed: Vec<_> = session
+            .solve_stream(
+                read_instances(text.as_bytes())
+                    .map(|r| r.unwrap())
+                    .map(|inst| dagwave_core::Instance::new(inst.graph, inst.family)),
+            )
+            .collect();
+        let eager: Vec<_> = insts
+            .iter()
+            .map(|inst| session.solve(&inst.graph, &inst.family))
+            .collect();
+        assert_eq!(streamed.len(), eager.len());
+        for (s, e) in streamed.iter().zip(&eager) {
+            let (s, e) = (s.as_ref().unwrap(), e.as_ref().unwrap());
+            assert_eq!(s.num_colors, e.num_colors);
+            assert_eq!(s.assignment.colors(), e.assignment.colors());
+        }
     }
 
     #[test]

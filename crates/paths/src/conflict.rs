@@ -15,6 +15,63 @@ use crate::family::{DipathFamily, PathId};
 use dagwave_graph::{ArcId, Digraph, UnionFind};
 use rayon::prelude::*;
 
+/// A CSR arc→paths index: for every host arc, the ids of the family
+/// members traversing it, ascending. Two flat allocations (offsets +
+/// entries) instead of one `Vec` per arc, built in two counting passes —
+/// the prebuilt index behind the conflict-graph bucket pass and the
+/// shard-extraction surface.
+#[derive(Clone, Debug, Default)]
+pub struct ArcIndex {
+    /// `offsets[a]..offsets[a + 1]` delimits arc `a`'s slice of `ids`.
+    offsets: Vec<u32>,
+    /// Concatenated member ids, ascending within each arc's slice.
+    ids: Vec<u32>,
+}
+
+impl ArcIndex {
+    /// Build the index of `family` over `g` (counting sort: one pass to
+    /// size the rows, one to fill them — `O(arcs + Σ|P|)`).
+    pub fn build(g: &Digraph, family: &DipathFamily) -> Self {
+        let arcs = g.arc_count();
+        let mut offsets = vec![0u32; arcs + 1];
+        for (_, p) in family.iter() {
+            for &a in p.arcs() {
+                offsets[a.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut ids = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        // Family iteration is ascending by id, so each row fills ascending.
+        for (id, p) in family.iter() {
+            for &a in p.arcs() {
+                ids[cursor[a.index()] as usize] = id.0;
+                cursor[a.index()] += 1;
+            }
+        }
+        ArcIndex { offsets, ids }
+    }
+
+    /// Number of arcs the index covers.
+    pub fn arc_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The ids of the members traversing arc `a`, ascending.
+    pub fn paths_through(&self, a: ArcId) -> &[u32] {
+        let lo = self.offsets[a.index()] as usize;
+        let hi = self.offsets[a.index() + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// Total entries (`Σ|P|`).
+    pub fn entry_count(&self) -> usize {
+        self.ids.len()
+    }
+}
+
 /// The conflict graph: a simple undirected graph over [`PathId`]s.
 #[derive(Clone, Debug)]
 pub struct ConflictGraph {
@@ -26,14 +83,28 @@ pub struct ConflictGraph {
 impl ConflictGraph {
     /// Build the conflict graph of `family` over `g`.
     pub fn build(g: &Digraph, family: &DipathFamily) -> Self {
-        // Bucket pass: which dipaths use each arc.
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); g.arc_count()];
-        for (id, p) in family.iter() {
-            for &a in p.arcs() {
-                buckets[a.index()].push(id.0);
+        // Bucket pass, served by the CSR index: which dipaths use each arc.
+        let index = ArcIndex::build(g, family);
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); family.len()];
+        for a in 0..index.arc_count() {
+            let bucket = index.paths_through(ArcId::from_index(a));
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    adj[i as usize].push(j);
+                    adj[j as usize].push(i);
+                }
             }
         }
-        Self::from_buckets(family.len(), &buckets)
+        let mut edges = 0;
+        for ns in &mut adj {
+            ns.sort_unstable();
+            ns.dedup();
+            edges += ns.len();
+        }
+        ConflictGraph {
+            adj,
+            edges: edges / 2,
+        }
     }
 
     /// Rayon-parallel build; same output as [`ConflictGraph::build`].
@@ -95,28 +166,6 @@ impl ConflictGraph {
             .collect();
         let edges = adj.iter().map(|ns| ns.len()).sum::<usize>() / 2;
         ConflictGraph { adj, edges }
-    }
-
-    fn from_buckets(n: usize, buckets: &[Vec<u32>]) -> Self {
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for bucket in buckets {
-            for (k, &i) in bucket.iter().enumerate() {
-                for &j in &bucket[k + 1..] {
-                    adj[i as usize].push(j);
-                    adj[j as usize].push(i);
-                }
-            }
-        }
-        let mut edges = 0;
-        for ns in &mut adj {
-            ns.sort_unstable();
-            ns.dedup();
-            edges += ns.len();
-        }
-        ConflictGraph {
-            adj,
-            edges: edges / 2,
-        }
     }
 
     /// Number of vertices (= dipaths).

@@ -68,6 +68,22 @@ impl Dipath {
         Dipath { arcs: vec![arc] }
     }
 
+    /// Build from an arc sequence the *caller* guarantees is contiguous and
+    /// simple in `g` — the shard-extraction fast path, where the sequence is
+    /// an index remap of an already-validated dipath, so re-running the
+    /// `HashSet` simplicity sweep per shard member would be pure overhead.
+    /// Debug builds re-validate anyway (the shadow-check discipline);
+    /// release builds trust the remap invariant.
+    pub(crate) fn from_arcs_trusted(g: &Digraph, arcs: Vec<ArcId>) -> Self {
+        if cfg!(debug_assertions) {
+            // lint: allow(no-panic): debug-only shadow re-validation of the remap invariant
+            Dipath::from_arcs(g, arcs).expect("trusted arc sequence re-validates")
+        } else {
+            let _ = g;
+            Dipath { arcs }
+        }
+    }
+
     /// The arc sequence.
     #[inline]
     pub fn arcs(&self) -> &[ArcId] {

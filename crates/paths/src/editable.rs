@@ -9,17 +9,26 @@
 //! before growing — a deterministic contract that mutation-script
 //! generators (e.g. `dagwave-gen`'s churn workload) can mirror exactly.
 //!
-//! The dense view needed by the one-shot solving surface is recovered with
-//! [`PathFamily::to_dense`], which also returns the dense→stable id map.
-//! Because slots are scanned in ascending id order, the dense ranks of the
-//! live paths are *monotone* in their stable ids — the property that keeps
-//! component orderings (and therefore merged colorings) identical between
-//! the incremental and from-scratch solve paths.
+//! The dense view needed by the one-shot solving surface is *maintained*,
+//! not recomputed: [`PathFamily`] keeps the live members as a
+//! [`DipathFamily`] of shared `Arc<Dipath>` handles in ascending stable-id
+//! order, patched in place on every insert/remove and never invalidated
+//! (tombstones live only in the slot table; the dense view compacts them
+//! as part of the same patch, so the amortized cost per mutation is a
+//! pointer-sized `memmove`, never a per-arc copy). [`PathFamily::to_dense`]
+//! clones the handles (refcount bumps); [`PathFamily::dense_view`] borrows
+//! the view outright, and [`PathFamily::dense_ids`] /
+//! [`PathFamily::dense_rank`] expose the stable↔dense id maps. Because the
+//! view is kept in ascending id order, the dense ranks of the live paths
+//! are *monotone* in their stable ids — the property that keeps component
+//! orderings (and therefore merged colorings) identical between the
+//! incremental and from-scratch solve paths.
 
 use crate::dipath::Dipath;
 use crate::family::{DipathFamily, PathId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A mutable dipath family with stable [`PathId`]s.
 ///
@@ -46,10 +55,15 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PathFamily {
-    slots: Vec<Option<Dipath>>,
+    slots: Vec<Option<Arc<Dipath>>>,
     /// Min-heap of tombstoned slot indices (smallest reused first).
     free: BinaryHeap<Reverse<u32>>,
-    live: usize,
+    /// The live members in ascending stable-id order, sharing their
+    /// `Arc<Dipath>`s with `slots` — patched per mutation, never rebuilt.
+    dense: DipathFamily,
+    /// `dense_of[rank]` = the stable id at that dense rank (sorted
+    /// ascending, so stable→dense is a binary search).
+    dense_of: Vec<PathId>,
 }
 
 impl PathFamily {
@@ -58,25 +72,27 @@ impl PathFamily {
         Self::default()
     }
 
-    /// Adopt a dense family: member `i` becomes slot `i`, all live.
+    /// Adopt a dense family: member `i` becomes slot `i`, all live. The
+    /// slots share the input's dipaths (refcount bumps, no deep clone).
     pub fn from_family(family: &DipathFamily) -> Self {
         PathFamily {
-            slots: family.iter().map(|(_, p)| Some(p.clone())).collect(),
+            slots: family.iter_shared().map(|(_, p)| Some(p.clone())).collect(),
             free: BinaryHeap::new(),
-            live: family.len(),
+            dense: family.clone(),
+            dense_of: family.ids().collect(),
         }
     }
 
     /// Number of live members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.live
+        self.dense_of.len()
     }
 
     /// `true` when no member is live.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.dense_of.is_empty()
     }
 
     /// Number of slots ever allocated (live + tombstoned); stable ids are
@@ -84,6 +100,17 @@ impl PathFamily {
     #[inline]
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The tombstoned slot ids, ascending — the slots the next inserts
+    /// will fill (smallest first) before the family grows. O(f log f) in
+    /// the tombstone count, which batch validators rely on: simulating a
+    /// mutation batch's id assignment needs only this (typically tiny)
+    /// set plus the batch's own deltas, never the O(live) member set.
+    pub fn free_slots(&self) -> Vec<u32> {
+        let mut free: Vec<u32> = self.free.iter().map(|&Reverse(slot)| slot).collect();
+        free.sort_unstable();
+        free
     }
 
     /// The id the next [`PathFamily::insert`] will assign: the smallest
@@ -99,41 +126,61 @@ impl PathFamily {
     /// Insert a dipath, reusing the smallest free slot (tombstone first,
     /// growth second), and return its stable id.
     pub fn insert(&mut self, p: Dipath) -> PathId {
-        self.live += 1;
+        self.insert_shared(Arc::new(p))
+    }
+
+    /// [`PathFamily::insert`] for an already-shared dipath: the slot table
+    /// and the dense view both hold the *same* handle (one refcount bump).
+    pub fn insert_shared(&mut self, p: Arc<Dipath>) -> PathId {
         let id = match self.free.pop() {
             Some(Reverse(slot)) => {
                 debug_assert!(self.slots[slot as usize].is_none(), "slot was free");
-                self.slots[slot as usize] = Some(p);
+                self.slots[slot as usize] = Some(p.clone());
                 PathId(slot)
             }
             None => {
                 let id = PathId::from_index(self.slots.len());
-                self.slots.push(Some(p));
+                self.slots.push(Some(p.clone()));
                 id
             }
         };
+        // Patch the dense view in place: the new member's rank is the
+        // number of live ids below it (dense_of stays sorted).
+        let rank = self.dense_of.partition_point(|&other| other < id);
+        self.dense_of.insert(rank, id);
+        self.dense.insert_shared_at(rank, p);
         self.debug_validate();
         id
     }
 
-    /// Remove a live member, tombstoning its slot. Returns the dipath, or
-    /// `None` when the id is unknown or already removed.
-    pub fn remove(&mut self, id: PathId) -> Option<Dipath> {
+    /// Remove a live member, tombstoning its slot. Returns the (shared)
+    /// dipath, or `None` when the id is unknown or already removed.
+    pub fn remove(&mut self, id: PathId) -> Option<Arc<Dipath>> {
         let slot = self.slots.get_mut(id.index())?;
         let p = slot.take()?;
         self.free.push(Reverse(id.0));
-        self.live -= 1;
+        // Patch the dense view: drop the member's rank, shifting later
+        // ranks down (a pointer-sized memmove, no per-arc work).
+        if let Ok(rank) = self.dense_of.binary_search(&id) {
+            self.dense_of.remove(rank);
+            self.dense.remove_at(rank);
+        } else {
+            debug_assert!(false, "live slot missing from the dense view");
+        }
         self.debug_validate();
         Some(p)
     }
 
-    /// Shadow validation of the tombstone/free-list bijection (debug builds
-    /// only; release builds compile this to nothing). The free heap must
-    /// hold exactly the tombstoned slot indices, once each — a duplicate
-    /// would hand the same id to two live dipaths, a missing entry would
-    /// leak the slot forever — and the live count must complement it. Run
-    /// after every mutation, where the O(slots) sweep is dwarfed by the
-    /// re-solve the mutation triggers anyway.
+    /// Shadow validation of the tombstone/free-list bijection **and** the
+    /// incrementally-patched dense view (debug builds only; release builds
+    /// compile this to nothing). The free heap must hold exactly the
+    /// tombstoned slot indices, once each — a duplicate would hand the same
+    /// id to two live dipaths, a missing entry would leak the slot forever
+    /// — and the live count must complement it. The dense view must list
+    /// exactly the live slots in ascending id order, each entry sharing its
+    /// slot's dipath (pointer equality, so a patch that cloned or swapped a
+    /// member dies here too). Run after every mutation, where the O(slots)
+    /// sweep is dwarfed by the re-solve the mutation triggers anyway.
     fn debug_validate(&self) {
         if !cfg!(debug_assertions) {
             return;
@@ -157,14 +204,46 @@ impl PathFamily {
             "free list and tombstoned slots diverged"
         );
         debug_assert_eq!(
-            self.live + freed.len(),
+            self.dense_of.len() + freed.len(),
             self.slots.len(),
             "live count diverged from slots minus tombstones"
         );
+        // The cached dense view is bit-identical to a from-scratch rebuild:
+        // same ids, same order, same (shared) dipaths.
+        let fresh_ids: Vec<PathId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| PathId::from_index(i))
+            .collect();
+        debug_assert_eq!(
+            self.dense_of, fresh_ids,
+            "dense id map diverged from the live slots"
+        );
+        debug_assert_eq!(
+            self.dense.len(),
+            self.dense_of.len(),
+            "dense view length diverged from its id map"
+        );
+        for (rank, &id) in self.dense_of.iter().enumerate() {
+            let slot = self.slots[id.index()]
+                .as_ref()
+                .expect("dense id map points at a live slot"); // lint: allow(no-panic): debug-only shadow check
+            debug_assert!(
+                Arc::ptr_eq(slot, self.dense.shared(PathId::from_index(rank))),
+                "dense view stopped sharing slot {id}'s dipath"
+            );
+        }
     }
 
     /// The live dipath at `id`, if any.
     pub fn get(&self, id: PathId) -> Option<&Dipath> {
+        self.slots.get(id.index())?.as_deref()
+    }
+
+    /// The shared handle of the live dipath at `id`, if any.
+    pub fn get_shared(&self, id: PathId) -> Option<&Arc<Dipath>> {
         self.slots.get(id.index())?.as_ref()
     }
 
@@ -176,31 +255,51 @@ impl PathFamily {
     /// Iterate over the live members as `(stable id, dipath)`, in ascending
     /// id order.
     pub fn iter(&self) -> impl Iterator<Item = (PathId, &Dipath)> {
-        self.slots
+        self.dense_of
             .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|p| (PathId::from_index(i), p)))
+            .zip(self.dense.iter())
+            .map(|(&id, (_, p))| (id, p))
     }
 
     /// Live ids, ascending.
     pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
-        self.iter().map(|(id, _)| id)
+        self.dense_of.iter().copied()
+    }
+
+    /// The maintained dense view: the live members as a [`DipathFamily`]
+    /// in ascending stable-id order, borrowed without copying anything.
+    /// `dense_view().path(PathId(r))` is the member at dense rank `r`;
+    /// [`PathFamily::dense_ids`] maps ranks back to stable ids.
+    #[inline]
+    pub fn dense_view(&self) -> &DipathFamily {
+        &self.dense
+    }
+
+    /// The dense→stable id map: `dense_ids()[rank]` is the stable id of the
+    /// member at that dense rank (ascending, so it doubles as a sorted
+    /// array for stable→dense binary search).
+    #[inline]
+    pub fn dense_ids(&self) -> &[PathId] {
+        &self.dense_of
+    }
+
+    /// The stable→dense map: the dense rank of live member `id`, or `None`
+    /// when `id` is not live. `O(log n)` (binary search of the sorted
+    /// dense→stable map).
+    pub fn dense_rank(&self, id: PathId) -> Option<usize> {
+        self.dense_of.binary_search(&id).ok()
     }
 
     /// Materialize the live members as a dense [`DipathFamily`] plus the
     /// dense→stable id map (`map[dense.index()]` is the stable id). Live
     /// members are emitted in ascending stable-id order, so dense ranks are
-    /// monotone in stable ids.
+    /// monotone in stable ids. Served from the maintained dense view: the
+    /// cost is one handle clone per member (refcount bumps), never a
+    /// per-arc copy. Callers that can hold a borrow should prefer
+    /// [`PathFamily::dense_view`] / [`PathFamily::dense_ids`], which copy
+    /// nothing at all.
     pub fn to_dense(&self) -> (DipathFamily, Vec<PathId>) {
-        let mut map = Vec::with_capacity(self.live);
-        let dense: DipathFamily = self
-            .iter()
-            .map(|(id, p)| {
-                map.push(id);
-                p.clone()
-            })
-            .collect();
-        (dense, map)
+        (self.dense.clone(), self.dense_of.clone())
     }
 }
 
@@ -261,7 +360,7 @@ mod tests {
         assert_eq!(f.len(), 3);
         assert!(f.contains(PathId(1)));
         let removed = f.remove(PathId(1)).unwrap();
-        assert_eq!(&removed, &paths[1]);
+        assert_eq!(&*removed, &paths[1]);
         assert!(!f.contains(PathId(1)));
         assert!(f.get(PathId(1)).is_none());
         assert!(f.remove(PathId(1)).is_none(), "already tombstoned");
@@ -287,12 +386,51 @@ mod tests {
     }
 
     #[test]
+    fn dense_view_shares_and_maps_both_ways() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths.clone()));
+        f.remove(PathId(1)).unwrap();
+        let id3 = f.insert(paths[1].clone());
+        assert_eq!(id3, PathId(1), "smallest tombstone reused");
+        // Borrowed view: no copies at all, shared with the slot table.
+        let view = f.dense_view();
+        assert_eq!(view.len(), 3);
+        assert!(Arc::ptr_eq(
+            view.shared(PathId(0)),
+            f.get_shared(PathId(0)).unwrap()
+        ));
+        // Stable↔dense maps agree in both directions.
+        assert_eq!(f.dense_ids(), &[PathId(0), PathId(1), PathId(2)]);
+        for (rank, &id) in f.dense_ids().iter().enumerate() {
+            assert_eq!(f.dense_rank(id), Some(rank));
+        }
+        assert_eq!(f.dense_rank(PathId(9)), None);
+        f.remove(PathId(0)).unwrap();
+        assert_eq!(f.dense_rank(PathId(0)), None);
+        assert_eq!(f.dense_rank(PathId(2)), Some(1));
+    }
+
+    #[test]
+    fn to_dense_shares_instead_of_cloning() {
+        let (_, paths) = chain();
+        let f = PathFamily::from_family(&DipathFamily::from_paths(paths));
+        let (dense, _) = f.to_dense();
+        for (rank, p) in dense.iter_shared() {
+            let id = f.dense_ids()[rank.index()];
+            assert!(
+                Arc::ptr_eq(p, f.get_shared(id).unwrap()),
+                "dense conversion must share, not deep-clone"
+            );
+        }
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "live count diverged")]
     fn shadow_validation_catches_corrupted_live_count() {
         let (_, paths) = chain();
         let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths));
-        f.live = 5; // corrupt the cached live count
+        f.dense_of.pop(); // corrupt the dense id map (and with it the live count)
         let _ = f.remove(PathId(0)); // the post-mutation sweep fires
     }
 
@@ -303,7 +441,7 @@ mod tests {
         let (_, paths) = chain();
         let mut f = PathFamily::from_family(&DipathFamily::from_paths(paths));
         f.free.push(Reverse(7)); // a slot that was never allocated
-        f.live += 1; // keep the count check from firing first
+        f.dense_of.push(PathId(9)); // keep the count check from firing first
         let _ = f.remove(PathId(0));
     }
 

@@ -4,9 +4,19 @@
 //! appear several times (Theorem 7 replicates each dipath `h` times). Family
 //! members are addressed by dense [`PathId`]s so per-dipath side tables
 //! (colors, conflict adjacency) are plain vectors.
+//!
+//! Members are stored as `Arc<Dipath>`, so families *share* dipaths instead
+//! of deep-cloning them: [`DipathFamily::replicate`], `Clone`, and the
+//! editable [`crate::editable::PathFamily`]'s dense view all cost one
+//! refcount bump per member, never a per-arc copy. The arc sequences stay
+//! immutable behind the `Arc`; the rare mutating access
+//! ([`DipathFamily::path_mut`], used by the Theorem-1 replay) goes through
+//! copy-on-write (`Arc::make_mut`), which only clones when the dipath is
+//! actually shared.
 
 use crate::dipath::Dipath;
 use dagwave_graph::{ArcId, Digraph, VertexId};
+use std::sync::Arc;
 
 /// Dense index of a dipath inside a [`DipathFamily`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,10 +48,10 @@ impl std::fmt::Display for PathId {
     }
 }
 
-/// A family (multiset) of dipaths.
+/// A family (multiset) of dipaths, stored as shared `Arc<Dipath>` handles.
 #[derive(Clone, Debug, Default)]
 pub struct DipathFamily {
-    paths: Vec<Dipath>,
+    paths: Vec<Arc<Dipath>>,
 }
 
 impl DipathFamily {
@@ -50,16 +60,41 @@ impl DipathFamily {
         Self::default()
     }
 
-    /// Create from a vector of dipaths.
+    /// Create from a vector of dipaths (each is wrapped in an `Arc` once).
     pub fn from_paths(paths: Vec<Dipath>) -> Self {
+        DipathFamily {
+            paths: paths.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Create from already-shared dipaths without re-wrapping: the members
+    /// keep their identity (refcount bumps, no arc-sequence copies).
+    pub fn from_shared(paths: Vec<Arc<Dipath>>) -> Self {
         DipathFamily { paths }
     }
 
     /// Append a dipath, returning its id.
     pub fn push(&mut self, p: Dipath) -> PathId {
+        self.push_shared(Arc::new(p))
+    }
+
+    /// Append an already-shared dipath (refcount bump only), returning its
+    /// id.
+    pub fn push_shared(&mut self, p: Arc<Dipath>) -> PathId {
         let id = PathId::from_index(self.paths.len());
         self.paths.push(p);
         id
+    }
+
+    /// Insert an already-shared dipath at dense rank `idx`, shifting later
+    /// ranks up — the patch primitive of the editable family's dense view.
+    pub(crate) fn insert_shared_at(&mut self, idx: usize, p: Arc<Dipath>) {
+        self.paths.insert(idx, p);
+    }
+
+    /// Remove the dipath at dense rank `idx`, shifting later ranks down.
+    pub(crate) fn remove_at(&mut self, idx: usize) -> Arc<Dipath> {
+        self.paths.remove(idx)
     }
 
     /// Number of dipaths.
@@ -80,14 +115,32 @@ impl DipathFamily {
         &self.paths[id.index()]
     }
 
-    /// Mutable access (used by the replay machinery).
+    /// The shared handle of the dipath with the given id — cloning it costs
+    /// a refcount bump, not an arc-sequence copy.
+    #[inline]
+    pub fn shared(&self, id: PathId) -> &Arc<Dipath> {
+        &self.paths[id.index()]
+    }
+
+    /// Mutable access (used by the replay machinery). Copy-on-write: when
+    /// the dipath is shared with another family, the first mutable access
+    /// clones it so the sharers never observe the edit.
     #[inline]
     pub fn path_mut(&mut self, id: PathId) -> &mut Dipath {
-        &mut self.paths[id.index()]
+        Arc::make_mut(&mut self.paths[id.index()])
     }
 
     /// Iterate over `(PathId, &Dipath)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PathId, &Dipath)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId::from_index(i), &**p))
+    }
+
+    /// Iterate over `(PathId, &Arc<Dipath>)` pairs — the shared-handle form
+    /// of [`DipathFamily::iter`].
+    pub fn iter_shared(&self) -> impl Iterator<Item = (PathId, &Arc<Dipath>)> {
         self.paths
             .iter()
             .enumerate()
@@ -109,6 +162,7 @@ impl DipathFamily {
 
     /// Replicate every dipath `h` times (Theorem 7's `×h` blow-up). The
     /// original dipaths keep their ids; copies are appended in rounds.
+    /// Copies share the originals' arc sequences (refcount bumps only).
     pub fn replicate(&self, h: usize) -> DipathFamily {
         assert!(h >= 1, "replication factor must be positive");
         let mut paths = self.paths.clone();
@@ -135,6 +189,14 @@ impl DipathFamily {
 
 impl FromIterator<Dipath> for DipathFamily {
     fn from_iter<I: IntoIterator<Item = Dipath>>(iter: I) -> Self {
+        DipathFamily {
+            paths: iter.into_iter().map(Arc::new).collect(),
+        }
+    }
+}
+
+impl FromIterator<Arc<Dipath>> for DipathFamily {
+    fn from_iter<I: IntoIterator<Item = Arc<Dipath>>>(iter: I) -> Self {
         DipathFamily {
             paths: iter.into_iter().collect(),
         }

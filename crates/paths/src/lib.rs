@@ -8,18 +8,22 @@
 //!   operations (the Theorem-1 peel/replay needs them).
 //! * [`load`] — per-arc load table, `π(G, P)` and its argmax.
 //! * [`conflict`] — the conflict graph (vertices = dipaths, edges = pairs
-//!   sharing an arc), built with the arc-bucket algorithm, plus intersection
-//!   intervals for the UPP Helly structure and connected components
-//!   ([`ConflictGraph::components`], [`conflict_components`]).
+//!   sharing an arc), built over the CSR arc→paths [`ArcIndex`], plus
+//!   intersection intervals for the UPP Helly structure and connected
+//!   components ([`ConflictGraph::components`], [`conflict_components`]).
 //! * [`editable`] — [`PathFamily`], the mutable family with *stable* ids
 //!   (removals tombstone their slot, insertions reuse the smallest free
-//!   slot) that the incremental re-solve engine edits in place, plus
+//!   slot) that the incremental re-solve engine edits in place — it keeps
+//!   an incrementally-patched dense view plus the stable↔dense id maps, so
+//!   dense conversion never deep-clones — plus
 //!   [`conflict_components_among`] for recomputing components over only a
 //!   dirty member pool.
 //! * [`subinstance`] — [`SubInstance`] extraction: one conflict-graph
 //!   component as a standalone instance with a dense local family, a
 //!   restricted host graph, and the inverse id map (the decompose half of
-//!   decompose-solve-merge).
+//!   decompose-solve-merge). Extraction renumbers through reusable
+//!   host-indexed tables ([`ExtractScratch`]) instead of per-shard binary
+//!   searches.
 //!
 //! ```
 //! use dagwave_graph::builder::from_edges;
@@ -64,9 +68,9 @@ pub(crate) fn shard_bounds(n: usize) -> Option<Vec<(usize, usize)>> {
     )
 }
 
-pub use conflict::{conflict_components, conflict_components_among, ConflictGraph};
+pub use conflict::{conflict_components, conflict_components_among, ArcIndex, ConflictGraph};
 pub use dipath::Dipath;
 pub use editable::PathFamily;
 pub use error::PathError;
 pub use family::{DipathFamily, PathId};
-pub use subinstance::SubInstance;
+pub use subinstance::{ExtractScratch, SubInstance};

@@ -15,10 +15,68 @@
 //! (e.g. the component never touches the internal cycle that forced the
 //! whole DAG into the general class), unlocking the stronger theorem-backed
 //! solvers per shard.
+//!
+//! Extraction renumbers through an [`ExtractScratch`]: flat host-indexed
+//! arc/vertex tables (CSR-style, one `u32` per host arc/vertex) built once
+//! and stamped per shard, so renumbering is an O(1) table read instead of a
+//! per-shard binary search, and the member arc sequences are read straight
+//! out of the (Arc-shared) family without an intermediate all-occurrences
+//! buffer. A long-lived caller (the incremental `Workspace`) keeps one
+//! scratch across re-solves, making repeated extraction allocation-free
+//! and proportional to the shards actually extracted.
 
 use crate::dipath::Dipath;
 use crate::family::{DipathFamily, PathId};
 use dagwave_graph::{ArcId, Digraph, VertexId};
+
+/// Reusable renumbering tables for [`SubInstance::extract_with`].
+///
+/// Holds one `u32` per host arc and per host vertex (grown lazily to the
+/// host size on first use, then reused), plus a stamp that invalidates all
+/// entries at once — clearing between shards costs O(1), not O(host).
+/// The `used_*` buffers keep their capacity across shards, so a warm
+/// scratch extracts without allocating anything but the output itself.
+#[derive(Clone, Debug, Default)]
+pub struct ExtractScratch {
+    /// Host arc → shard-local arc id, valid only when the stamp matches.
+    arc_new: Vec<u32>,
+    arc_stamp: Vec<u32>,
+    /// Host vertex → shard-local vertex id, valid only when the stamp matches.
+    vert_new: Vec<u32>,
+    vert_stamp: Vec<u32>,
+    stamp: u32,
+    used_arcs: Vec<ArcId>,
+    used_vertices: Vec<VertexId>,
+}
+
+impl ExtractScratch {
+    /// A fresh scratch; tables grow to the host size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the tables for `g` and open a new stamp epoch.
+    fn begin(&mut self, g: &Digraph) {
+        if self.arc_stamp.len() < g.arc_count() {
+            self.arc_stamp.resize(g.arc_count(), 0);
+            self.arc_new.resize(g.arc_count(), 0);
+        }
+        if self.vert_stamp.len() < g.vertex_count() {
+            self.vert_stamp.resize(g.vertex_count(), 0);
+            self.vert_new.resize(g.vertex_count(), 0);
+        }
+        // One epoch per shard; on (astronomically rare) wraparound, reset
+        // the tables so stale epochs can never alias the new one.
+        if self.stamp == u32::MAX {
+            self.arc_stamp.fill(0);
+            self.vert_stamp.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.used_arcs.clear();
+        self.used_vertices.clear();
+    }
+}
 
 /// One shard of an instance: a dense local family over a restricted graph,
 /// plus the map back to the original ids.
@@ -50,42 +108,72 @@ impl SubInstance {
     ///
     /// Panics if a member id is out of bounds for `family`.
     pub fn extract(g: &Digraph, family: &DipathFamily, members: &[PathId]) -> SubInstance {
-        // Arcs and vertices used by the shard, in ascending original order.
-        let mut used_arcs: Vec<ArcId> = members
-            .iter()
-            .flat_map(|&id| family.path(id).arcs().iter().copied())
-            .collect();
-        used_arcs.sort_unstable();
-        used_arcs.dedup();
-        let mut used_vertices: Vec<VertexId> = used_arcs
-            .iter()
-            .flat_map(|&a| [g.tail(a), g.head(a)])
-            .collect();
-        used_vertices.sort_unstable();
-        used_vertices.dedup();
+        Self::extract_with(g, family, members, &mut ExtractScratch::new())
+    }
 
-        // Renumbering is binary search into the sorted used-lists, so the
-        // scratch space and per-shard cost stay proportional to the shard
-        // (never the host graph) — extraction of all shards of an instance
-        // is near-linear overall, however many components it splits into.
-        let new_vertex = |old: VertexId| {
-            // lint: allow(no-panic): used_vertices holds every endpoint of the shard by construction
-            VertexId(used_vertices.binary_search(&old).expect("used vertex") as u32)
-        };
-        let new_arc = |old: ArcId| ArcId(used_arcs.binary_search(&old).expect("used arc") as u32); // lint: allow(no-panic): used_arcs holds every arc of the shard by construction
-        let mut graph = Digraph::with_vertices(used_vertices.len());
-        for (new, &old) in used_arcs.iter().enumerate() {
-            let added = graph.add_arc(new_vertex(g.tail(old)), new_vertex(g.head(old)));
+    /// [`SubInstance::extract`] with caller-owned renumbering tables: the
+    /// scratch's flat host-indexed maps replace the per-shard binary-search
+    /// renumbering, and the `used_*` buffers are reused across shards.
+    /// Output is bit-identical to [`SubInstance::extract`] — the used arcs
+    /// and vertices are still emitted in ascending original order, so local
+    /// ids cannot depend on which scratch (or how warm a scratch) was used.
+    pub fn extract_with(
+        g: &Digraph,
+        family: &DipathFamily,
+        members: &[PathId],
+        scratch: &mut ExtractScratch,
+    ) -> SubInstance {
+        scratch.begin(g);
+        let stamp = scratch.stamp;
+        // Gather the shard's arcs, stamp-deduplicated (each arc is listed
+        // once no matter how loaded), then sort the *unique* list — the
+        // only per-shard ordering work left.
+        for &id in members {
+            for &a in family.path(id).arcs() {
+                if scratch.arc_stamp[a.index()] != stamp {
+                    scratch.arc_stamp[a.index()] = stamp;
+                    scratch.used_arcs.push(a);
+                }
+            }
+        }
+        scratch.used_arcs.sort_unstable();
+        for (new, &a) in scratch.used_arcs.iter().enumerate() {
+            scratch.arc_new[a.index()] = new as u32;
+        }
+        for &a in &scratch.used_arcs {
+            for v in [g.tail(a), g.head(a)] {
+                if scratch.vert_stamp[v.index()] != stamp {
+                    scratch.vert_stamp[v.index()] = stamp;
+                    scratch.used_vertices.push(v);
+                }
+            }
+        }
+        scratch.used_vertices.sort_unstable();
+        for (new, &v) in scratch.used_vertices.iter().enumerate() {
+            scratch.vert_new[v.index()] = new as u32;
+        }
+
+        let mut graph = Digraph::with_vertices(scratch.used_vertices.len());
+        for (new, &old) in scratch.used_arcs.iter().enumerate() {
+            let added = graph.add_arc(
+                VertexId(scratch.vert_new[g.tail(old).index()]),
+                VertexId(scratch.vert_new[g.head(old).index()]),
+            );
             debug_assert_eq!(added.index(), new);
         }
 
         let family: DipathFamily = members
             .iter()
             .map(|&id| {
-                let arcs = family.path(id).arcs().iter().map(|&a| new_arc(a)).collect();
-                Dipath::from_arcs(&graph, arcs)
-                    // lint: allow(no-panic): index remapping preserves contiguity and simplicity
-                    .expect("remapped shard dipath stays contiguous and simple")
+                let arcs = family
+                    .path(id)
+                    .arcs()
+                    .iter()
+                    .map(|&a| ArcId(scratch.arc_new[a.index()]))
+                    .collect();
+                // The remap is monotone on a validated dipath, so contiguity
+                // and simplicity carry over; debug builds re-validate inside.
+                Dipath::from_arcs_trusted(&graph, arcs)
             })
             .collect();
         SubInstance {

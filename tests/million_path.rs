@@ -1,0 +1,199 @@
+//! Million-path pass acceptance: the workspace's incrementally-patched
+//! caches (dense family view, stable↔dense maps, classified/load-patched
+//! context, shard fingerprints) must be observationally identical to a
+//! from-scratch rebuild after ANY mutation sequence — and a shard dropped
+//! and reconstituted with identical content must be adopted from the reuse
+//! pool, not recomputed.
+
+use dagwave::gen::compose::churn;
+use dagwave::paths::{Dipath, DipathFamily, PathId};
+use dagwave::{DecomposePolicy, Mutation, SolveSession, SolverBuilder, Workspace};
+use dagwave_graph::builder::from_edges;
+use dagwave_graph::{Digraph, VertexId};
+use proptest::prelude::*;
+
+/// The thread budgets every check runs under (no-op on the sequential
+/// `--no-default-features` build).
+const BUDGETS: [usize; 3] = [1, 2, 4];
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pools are infallible")
+        .install(f)
+}
+
+fn v(i: usize) -> VertexId {
+    VertexId::from_index(i)
+}
+
+fn path(g: &Digraph, route: &[usize]) -> Dipath {
+    let route: Vec<VertexId> = route.iter().map(|&i| v(i)).collect();
+    Dipath::from_vertices(g, &route).unwrap()
+}
+
+fn sharded() -> SolveSession {
+    SolverBuilder::new()
+        .decompose(DecomposePolicy::Always)
+        .build()
+}
+
+/// Two arc-disjoint chains (0→1→2 and 3→4→5), two paths each — two
+/// conflict components, both solved by the first `solution()` call.
+fn two_chain_instance() -> (Digraph, DipathFamily) {
+    let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+    let f = DipathFamily::from_paths(vec![
+        path(&g, &[0, 1, 2]),
+        path(&g, &[1, 2]),
+        path(&g, &[3, 4, 5]),
+        path(&g, &[4, 5]),
+    ]);
+    (g, f)
+}
+
+/// Regression (the reuse bug): removing a dipath and re-adding an
+/// identical one reconstitutes its old shard verbatim, so the cached solve
+/// is adopted — nothing recomputes, and `shards_reused` counts it.
+#[test]
+fn remove_and_readd_identical_path_in_one_batch_reuses_everything() {
+    let (g, f) = two_chain_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    ws.solution().unwrap();
+
+    let same = path(&g, &[1, 2]);
+    ws.apply([Mutation::Remove(PathId(1)), Mutation::Add(same)])
+        .unwrap();
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 0, "identical shard content was adopted");
+    assert_eq!(r.shards_reused, 2);
+
+    // The adopted solve is still the right one.
+    let (dense, _) = ws.family().to_dense();
+    let scratch = ws.session().solve(ws.graph(), &dense).unwrap();
+    assert_eq!(sol.assignment.colors(), scratch.assignment.colors());
+    assert_eq!(sol.num_colors, scratch.num_colors);
+}
+
+/// Same adoption across *separate* apply calls (no intervening solve): the
+/// solved shard banked by the removal survives until the re-add
+/// reconstitutes it.
+#[test]
+fn remove_and_readd_across_batches_reuses_everything() {
+    let (g, f) = two_chain_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    ws.solution().unwrap();
+
+    ws.remove_path(PathId(1)).unwrap();
+    ws.add_path(path(&g, &[1, 2])).unwrap();
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 0, "banked solve adopted after re-add");
+    assert_eq!(r.shards_reused, 2);
+}
+
+/// The pool keys on content, not ids or insertion order — but different
+/// content must never be adopted.
+#[test]
+fn reuse_pool_rejects_different_content() {
+    let (g, f) = two_chain_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    ws.solution().unwrap();
+
+    // Replace [1,2] with [0,1]: same slot, same shard-mates, new content.
+    ws.apply([
+        Mutation::Remove(PathId(1)),
+        Mutation::Add(path(&g, &[0, 1])),
+    ])
+    .unwrap();
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 1, "changed shard must recompute");
+    assert_eq!(r.shards_reused, 1, "the untouched chain stays cached");
+    let (dense, _) = ws.family().to_dense();
+    let scratch = ws.session().solve(ws.graph(), &dense).unwrap();
+    assert_eq!(sol.assignment.colors(), scratch.assignment.colors());
+}
+
+/// A solve between the remove and the re-add clears the bank — the shard
+/// honestly recomputes (and the result is still identical).
+#[test]
+fn intervening_solve_clears_the_reuse_pool() {
+    let (g, f) = two_chain_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    ws.solution().unwrap();
+
+    ws.remove_path(PathId(1)).unwrap();
+    ws.solution().unwrap(); // recomputes the shrunk shard, clears the pool
+    ws.add_path(path(&g, &[1, 2])).unwrap();
+    let sol = ws.solution().unwrap();
+    let r = sol.resolve.unwrap();
+    assert_eq!(r.shards_resolved, 1, "the bank was cleared by the solve");
+    assert_eq!(r.shards_reused, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After arbitrary churn scripts, at every thread budget: the
+    /// incrementally-patched dense view equals a fresh rebuild from the
+    /// live members, the stable↔dense maps agree with it both ways, and
+    /// the patched instance context (class + load) produces a solution
+    /// bit-identical to one computed through a fresh
+    /// `InstanceContext::new` (the one-shot path).
+    #[test]
+    fn cached_view_and_context_match_fresh_rebuild(
+        seed in 0u64..10_000,
+        k in 2usize..5,
+        steps in 1usize..12,
+    ) {
+        let work = churn(seed, k, steps);
+        for threads in BUDGETS {
+            with_threads(threads, || {
+                let mut ws = Workspace::new(
+                    sharded(),
+                    work.instance.graph.clone(),
+                    work.instance.family.clone(),
+                ).unwrap();
+                for (i, op) in work.script.iter().enumerate() {
+                    ws.apply([op.clone()]).unwrap();
+
+                    // The cached dense view vs a rebuild from live members.
+                    let (dense, dense_of) = ws.family().to_dense();
+                    let fresh: DipathFamily =
+                        ws.family().iter().map(|(_, p)| p.clone()).collect();
+                    assert_eq!(dense.len(), fresh.len(), "step {i}");
+                    for ((ida, a), (idb, b)) in dense.iter().zip(fresh.iter()) {
+                        assert_eq!(ida, idb, "step {i}");
+                        assert_eq!(a.arcs(), b.arcs(), "step {i}");
+                    }
+
+                    // The stable↔dense maps, both directions.
+                    let live: Vec<PathId> = ws.family().ids().collect();
+                    assert_eq!(dense_of, live, "step {i}: dense_of is the live ids, ascending");
+                    for (rank, &id) in dense_of.iter().enumerate() {
+                        assert_eq!(ws.dense_index_of(id), Some(rank), "step {i}");
+                    }
+
+                    // The patched context vs the one-shot path's fresh one:
+                    // class, load, and the full assignment must agree.
+                    let incremental = ws.solution().expect("incremental solve");
+                    let scratch = ws
+                        .session()
+                        .solve(ws.graph(), &dense)
+                        .expect("reference solve");
+                    assert_eq!(incremental.class, scratch.class, "step {i}");
+                    assert_eq!(incremental.load, scratch.load, "step {i}");
+                    assert_eq!(
+                        incremental.assignment.colors(),
+                        scratch.assignment.colors(),
+                        "step {i}"
+                    );
+                    assert_eq!(incremental.num_colors, scratch.num_colors, "step {i}");
+                    assert_eq!(incremental.strategy, scratch.strategy, "step {i}");
+                }
+            });
+        }
+    }
+}
