@@ -8,6 +8,8 @@
 use criterion::Criterion;
 use std::time::Duration;
 
+pub mod service;
+
 /// Criterion tuned for algorithm-correctness benches: small samples, short
 /// measurement windows (the quantities of interest are wavelength counts
 /// and asymptotic shape, not nanosecond precision).

@@ -96,4 +96,4 @@ pub use error::CoreError;
 #[allow(deprecated)]
 pub use solver::WavelengthSolver;
 pub use solver::{Instance, Solution, SolveSession, SolverBuilder, Strategy};
-pub use workspace::{Mutation, Resolve, Workspace};
+pub use workspace::{Mutation, Resolve, Workspace, WorkspaceStats};

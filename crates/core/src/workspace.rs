@@ -77,7 +77,7 @@ use crate::backend::InstanceContext;
 use crate::error::CoreError;
 use crate::internal::DagClass;
 use crate::solver::{merge_shards, Solution, SolveSession};
-use dagwave_graph::Digraph;
+use dagwave_graph::{ArcId, Digraph};
 use dagwave_paths::{conflict_components_among, Dipath, DipathFamily, PathFamily, PathId};
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
@@ -104,6 +104,30 @@ pub struct Resolve {
     /// Shards whose cached coloring was reused verbatim.
     pub shards_reused: usize,
     /// Shards (or the single monolithic solve) recomputed this call.
+    pub shards_resolved: usize,
+}
+
+/// Cumulative workspace counters since [`Workspace::new`], exposed by
+/// [`Workspace::stats`] — the aggregate twin of the per-solve
+/// [`Resolve`] record, so a service `Stats` endpoint (or a report row)
+/// reads the totals directly instead of re-deriving them by summing
+/// every [`Solution::resolve`] it ever saw.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Live dipaths in the current family.
+    pub live_paths: usize,
+    /// Conflict components tracked in the current state.
+    pub shard_count: usize,
+    /// `π(G, P)` of the current family (maintained per mutation, O(1)).
+    pub max_load: usize,
+    /// [`Workspace::solution`] cache misses — full recomputations run.
+    pub recomputes: usize,
+    /// Shards served from cache, summed over every recomputation
+    /// (fingerprint-pool adoptions count here, exactly as they do in
+    /// [`Resolve::shards_reused`]).
+    pub shards_reused: usize,
+    /// Shards (or monolithic solves) actually recomputed, summed over
+    /// every recomputation.
     pub shards_resolved: usize,
 }
 
@@ -205,6 +229,12 @@ pub struct Workspace {
     /// Solved shards dropped by mutations since the last recompute, keyed
     /// by content fingerprint — drained on adoption, cleared per recompute.
     reuse_pool: Vec<ReuseEntry>,
+    /// Cumulative counters behind [`Workspace::stats`]: recomputations run
+    /// and reused/resolved shard totals (accumulated only on cache misses,
+    /// so repeated queries of an unchanged workspace add nothing).
+    recomputes: usize,
+    total_reused: usize,
+    total_resolved: usize,
 }
 
 impl Workspace {
@@ -270,6 +300,9 @@ impl Workspace {
             load_hist,
             max_load,
             reuse_pool: Vec::new(),
+            recomputes: 0,
+            total_reused: 0,
+            total_resolved: 0,
         })
     }
 
@@ -298,6 +331,34 @@ impl Workspace {
     /// member) — without solving anything.
     pub fn components(&self) -> Vec<Vec<PathId>> {
         self.shards.iter().map(|s| s.members.clone()).collect()
+    }
+
+    /// `π(G, P)` of the current family — the universal lower bound on the
+    /// span, maintained per mutation through the load histogram (O(1), no
+    /// rescan).
+    pub fn max_load(&self) -> usize {
+        self.max_load
+    }
+
+    /// Number of live dipaths currently using arc `a` (its load). Admission
+    /// policies project the post-admit load from this: adding a dipath
+    /// raises every one of its arcs' loads by one.
+    pub fn arc_load(&self, a: ArcId) -> usize {
+        self.arc_users.get(a.index()).map_or(0, |users| users.len())
+    }
+
+    /// Cumulative counters since [`Workspace::new`]: live paths, shard
+    /// count, current load, and the reused/resolved shard totals summed
+    /// over every recomputation — see [`WorkspaceStats`].
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            live_paths: self.family.len(),
+            shard_count: self.shards.len(),
+            max_load: self.max_load,
+            recomputes: self.recomputes,
+            shards_reused: self.total_reused,
+            shards_resolved: self.total_resolved,
+        }
     }
 
     /// The index [`Workspace::solution`]'s assignment uses for the live
@@ -550,6 +611,7 @@ impl Workspace {
 
     /// The full recomputation behind a [`Workspace::solution`] cache miss.
     fn recompute(&mut self) -> Result<Solution, CoreError> {
+        self.recomputes += 1;
         // Whatever the pool still holds was not reconstituted by the
         // mutations since the last solve — drop it so the pool's size stays
         // bounded by the shards dropped between consecutive solves.
@@ -595,6 +657,7 @@ impl Workspace {
                 shards_reused: 0,
                 shards_resolved: 1,
             };
+            self.total_resolved += 1;
             return self.session.dispatch(&ctx);
         };
 
@@ -619,6 +682,8 @@ impl Workspace {
             shards_reused: self.shards.len() - dirty.len(),
             shards_resolved: dirty.len(),
         };
+        self.total_reused += self.shards.len() - dirty.len();
+        self.total_resolved += dirty.len();
 
         // Merge every shard (cached + fresh) in canonical order — the same
         // merge, and the same first-error-wins rule, as the one-shot path.
@@ -819,6 +884,52 @@ mod tests {
             Err(CoreError::InvalidPath(_)) => {}
             other => panic!("expected InvalidPath, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_accumulate_across_mutations_and_queries() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let s0 = ws.stats();
+        assert_eq!(s0.live_paths, 4);
+        assert_eq!(s0.shard_count, 2);
+        assert_eq!(s0.max_load, 2);
+        assert_eq!(s0.recomputes, 0, "nothing solved yet");
+        ws.solution().unwrap();
+        let s1 = ws.stats();
+        assert_eq!(s1.recomputes, 1);
+        assert_eq!(s1.shards_resolved, 2, "first solve computes both shards");
+        assert_eq!(s1.shards_reused, 0);
+        // A cache hit adds nothing to the cumulative counters.
+        ws.solution().unwrap();
+        assert_eq!(ws.stats(), s1);
+        // One mutation dirties one shard: totals grow by one reuse and one
+        // re-solve, and the maintained load reflects the new path.
+        ws.add_path(path(&g, &[4, 5])).unwrap();
+        ws.solution().unwrap();
+        let s2 = ws.stats();
+        assert_eq!(s2.live_paths, 5);
+        assert_eq!(s2.recomputes, 2);
+        assert_eq!(s2.shards_reused, 1);
+        assert_eq!(s2.shards_resolved, 3);
+        assert_eq!(s2.max_load, 3, "arc 4→5 now carries load 3");
+        assert_eq!(s2.max_load, ws.max_load());
+    }
+
+    #[test]
+    fn arc_load_tracks_mutations() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        // Arc ids follow from_edges order: 0→1, 1→2, 3→4, 4→5.
+        assert_eq!(ws.arc_load(ArcId(0)), 1);
+        assert_eq!(ws.arc_load(ArcId(1)), 2);
+        let id = ws.add_path(path(&g, &[0, 1, 2])).unwrap();
+        assert_eq!(ws.arc_load(ArcId(0)), 2);
+        assert_eq!(ws.arc_load(ArcId(1)), 3);
+        ws.remove_path(id).unwrap();
+        assert_eq!(ws.arc_load(ArcId(1)), 2);
+        // Out-of-range arcs report zero load rather than panicking.
+        assert_eq!(ws.arc_load(ArcId(99)), 0);
     }
 
     #[test]

@@ -19,6 +19,18 @@ pub enum RwaError {
     Routing(RouteError),
     /// The coloring stage failed.
     Coloring(CoreError),
+    /// Admission was rejected: the routed lightpath would push some arc's
+    /// load — and therefore the span of the shard containing it, since
+    /// `π ≤ w` — past the configured budget
+    /// (see [`RwaWorkspace::set_span_budget`]). The workspace is unchanged.
+    SpanBudgetExceeded {
+        /// The configured ceiling.
+        budget: usize,
+        /// The load the most congested arc on the rejected route would
+        /// have reached — the certified lower bound on the post-admit
+        /// shard span.
+        projected: usize,
+    },
 }
 
 impl std::fmt::Display for RwaError {
@@ -26,6 +38,10 @@ impl std::fmt::Display for RwaError {
         match self {
             RwaError::Routing(e) => write!(f, "routing: {e}"),
             RwaError::Coloring(e) => write!(f, "coloring: {e}"),
+            RwaError::SpanBudgetExceeded { budget, projected } => write!(
+                f,
+                "admission rejected: projected span {projected} exceeds budget {budget}"
+            ),
         }
     }
 }
@@ -104,6 +120,7 @@ impl RwaPipeline {
         Ok(RwaWorkspace {
             routing: self.routing,
             workspace,
+            span_budget: None,
         })
     }
 }
@@ -120,11 +137,37 @@ impl RwaPipeline {
 pub struct RwaWorkspace {
     routing: RoutingStrategy,
     workspace: Workspace,
+    /// Admission-control ceiling on the projected post-admit load (and
+    /// hence shard span); `None` = unlimited.
+    span_budget: Option<usize>,
 }
 
 impl RwaWorkspace {
+    /// Configure admission control: with `Some(budget)`, an
+    /// [`admit`](RwaWorkspace::admit) whose routed lightpath would raise
+    /// any arc's load above `budget` is rejected with
+    /// [`RwaError::SpanBudgetExceeded`] before the workspace is touched.
+    ///
+    /// The check is against the *load* projection: the post-admit load is
+    /// the certified lower bound on the span of the shard the lightpath
+    /// lands in (`π ≤ w` always, and `w = π` on every internal-cycle-free
+    /// shard), so a rejection is never spurious about the bound it quotes.
+    /// Defaults to `None` — unlimited, every valid admission accepted.
+    pub fn set_span_budget(&mut self, budget: Option<usize>) {
+        self.span_budget = budget;
+    }
+
+    /// The configured admission ceiling (`None` = unlimited).
+    pub fn span_budget(&self) -> Option<usize> {
+        self.span_budget
+    }
+
     /// Route one new request and admit its lightpath. Returns the stable
     /// [`PathId`] to later [`retire`](RwaWorkspace::retire) it by.
+    ///
+    /// With a [span budget](RwaWorkspace::set_span_budget) configured, the
+    /// admission is rejected — typed, workspace untouched — when the routed
+    /// lightpath's most congested arc would exceed it.
     pub fn admit(&mut self, request: Request) -> Result<PathId, RwaError> {
         let routed = route_all(self.workspace.graph(), &[request], self.routing)?;
         let path = routed
@@ -132,6 +175,17 @@ impl RwaWorkspace {
             .next()
             .map(|(_, p)| p.clone())
             .expect("one request routes to one dipath"); // lint: allow(no-panic): routing one request yields exactly one family entry
+        if let Some(budget) = self.span_budget {
+            let projected = path
+                .arcs()
+                .iter()
+                .map(|&a| self.workspace.arc_load(a) + 1)
+                .max()
+                .unwrap_or(0);
+            if projected > budget {
+                return Err(RwaError::SpanBudgetExceeded { budget, projected });
+            }
+        }
         self.workspace.add_path(path).map_err(RwaError::Coloring)
     }
 
@@ -275,6 +329,44 @@ mod tests {
         let back = ws.solution().unwrap();
         assert_eq!(back.num_colors, initial.num_colors);
         assert_eq!(back.assignment.colors(), initial.assignment.colors());
+    }
+
+    #[test]
+    fn span_budget_rejects_over_budget_admissions() {
+        // One arc, so every lightpath stacks on it: loads are predictable.
+        let g = from_edges(2, &[(0, 1)]);
+        let pipeline = RwaPipeline::default();
+        let mut ws = pipeline
+            .workspace(&g, &[Request::new(v(0), v(1)), Request::new(v(0), v(1))])
+            .unwrap();
+        assert_eq!(ws.span_budget(), None, "default is unlimited");
+        ws.set_span_budget(Some(3));
+        // Load 2 → 3: exactly at the budget, accepted.
+        let id = ws.admit(Request::new(v(0), v(1))).unwrap();
+        // Load 3 → 4: over budget, typed rejection, workspace untouched.
+        let before = ws.inner().family().len();
+        let err = ws.admit(Request::new(v(0), v(1))).unwrap_err();
+        match err {
+            RwaError::SpanBudgetExceeded { budget, projected } => {
+                assert_eq!(budget, 3);
+                assert_eq!(projected, 4);
+            }
+            other => panic!("expected SpanBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(ws.inner().family().len(), before);
+        assert!(ws
+            .admit(Request::new(v(0), v(1)))
+            .unwrap_err()
+            .to_string()
+            .contains("budget 3"));
+        // Retiring frees the headroom again.
+        ws.retire(id).unwrap();
+        ws.admit(Request::new(v(0), v(1))).unwrap();
+        assert_eq!(ws.solution().unwrap().num_colors, 3);
+        // Lifting the budget admits freely.
+        ws.set_span_budget(None);
+        ws.admit(Request::new(v(0), v(1))).unwrap();
+        assert_eq!(ws.solution().unwrap().num_colors, 4);
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! The single-writer tenant actor: one thread owns one [`Workspace`]
+//! behind an mpsc command queue.
+//!
+//! The `Workspace` is single-writer by design (every mutation rewrites
+//! shard caches in place), so the service never shares it behind a lock.
+//! Instead each tenant gets an **actor**: a dedicated thread that drains a
+//! command channel, and any number of connection threads holding cloneable
+//! [`TenantHandle`]s that enqueue commands and block on a per-request
+//! reply channel. Ordering within one connection is the order it sends;
+//! across connections, the queue order.
+//!
+//! # Coalescing
+//!
+//! When mutations arrive faster than the workspace re-solves, the actor
+//! drains every already-queued mutation batch (up to a configurable cap)
+//! and applies them as **one** `Workspace::apply` call. Id assignment is
+//! deterministic (smallest free slot, in op order), so a coalesced apply
+//! assigns exactly the ids a sequential application would — coalescing is
+//! invisible to clients except in the [`ActorStats::applies`] counter
+//! staying below [`ActorStats::batches`]. Queries and stats are never
+//! reordered past the point they were queued: the drain defers the first
+//! non-mutation command and handles it right after the combined apply.
+//!
+//! # Admission control
+//!
+//! With a span budget configured, each client batch is checked against the
+//! projected per-arc load (current load + deltas of batches already
+//! accepted in this drain + the batch's own preceding ops) and rejected
+//! with [`ServeError::SpanBudgetExceeded`] before anything is applied.
+//! Rejected batches contribute no deltas. A `Remove` naming an id admitted
+//! earlier in the *same* batch is not credited back (the projection keeps
+//! the conservative, higher load); removes of live ids are credited.
+
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread;
+
+use dagwave_core::{CoreError, Mutation, Solution, Workspace, WorkspaceStats};
+use dagwave_graph::ArcId;
+use dagwave_paths::{Dipath, PathId};
+
+/// One mutation as the service expresses it: arc-id sequences in, stable
+/// path ids out. The actor owns the graph, so it (not the connection
+/// thread) materializes [`Dipath`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActorOp {
+    /// Admit the dipath with this arc sequence.
+    Add(Vec<ArcId>),
+    /// Retire this live stable id.
+    Remove(PathId),
+}
+
+/// Service-layer failures surfaced to clients.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The solver/workspace rejected the request.
+    Core(CoreError),
+    /// Admission control rejected a mutation batch: applying it would
+    /// raise some arc's load past the configured budget.
+    SpanBudgetExceeded {
+        /// The configured ceiling.
+        budget: usize,
+        /// The projected post-batch maximum load.
+        projected: usize,
+    },
+    /// The actor has stopped (server shutting down).
+    Stopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::SpanBudgetExceeded { budget, projected } => write!(
+                f,
+                "admission rejected: projected span {projected} exceeds budget {budget}"
+            ),
+            ServeError::Stopped => write!(f, "tenant actor has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Cumulative service-side counters for one tenant actor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActorStats {
+    /// Client mutation batches accepted (admission passed, apply
+    /// succeeded).
+    pub batches: u64,
+    /// `Workspace::apply` calls those batches were coalesced into.
+    /// `batches / applies` is the coalescing ratio; above 1 means queued
+    /// batches shared recomputations.
+    pub applies: u64,
+    /// Solution queries served.
+    pub queries: u64,
+}
+
+/// An immutable view of one solved state: the solution plus the stable id
+/// of each dipath, aligned with the assignment's dense ranks
+/// (`solution.assignment.colors()[i]` is the wavelength of `ids[i]`).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The solved state.
+    pub solution: Arc<Solution>,
+    /// Stable path id per dense rank at snapshot time.
+    pub ids: Arc<Vec<PathId>>,
+}
+
+enum Command {
+    Apply {
+        ops: Vec<ActorOp>,
+        reply: Sender<Result<Vec<PathId>, ServeError>>,
+    },
+    Query {
+        reply: Sender<Result<Snapshot, ServeError>>,
+    },
+    Stats {
+        reply: Sender<(WorkspaceStats, ActorStats)>,
+    },
+    Stop,
+}
+
+/// A cloneable client handle to one tenant actor. Every method enqueues a
+/// command and blocks for the reply; [`ServeError::Stopped`] means the
+/// actor is gone (shutdown).
+#[derive(Clone)]
+pub struct TenantHandle {
+    tx: Sender<Command>,
+}
+
+impl TenantHandle {
+    /// Apply one mutation batch atomically. Returns the stable ids
+    /// assigned to the batch's `Add` ops, in op order.
+    pub fn apply(&self, ops: Vec<ActorOp>) -> Result<Vec<PathId>, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Apply { ops, reply })
+            .map_err(|_| ServeError::Stopped)?;
+        rx.recv().map_err(|_| ServeError::Stopped)?
+    }
+
+    /// Fetch the current solution snapshot (served from the workspace's
+    /// shard caches when nothing changed since the last query).
+    pub fn query(&self) -> Result<Snapshot, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Query { reply })
+            .map_err(|_| ServeError::Stopped)?;
+        rx.recv().map_err(|_| ServeError::Stopped)?
+    }
+
+    /// Fetch the workspace's cumulative counters plus the actor's own.
+    pub fn stats(&self) -> Result<(WorkspaceStats, ActorStats), ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Stats { reply })
+            .map_err(|_| ServeError::Stopped)?;
+        rx.recv().map_err(|_| ServeError::Stopped)
+    }
+
+    /// Ask the actor to exit after draining already-queued commands.
+    pub fn stop(&self) {
+        let _ = self.tx.send(Command::Stop);
+    }
+}
+
+/// Spawn the actor thread for one tenant workspace. `span_budget` is the
+/// admission ceiling (`None` = unlimited); `max_coalesce` caps how many
+/// queued mutation batches one `Workspace::apply` may absorb.
+pub fn spawn_tenant(
+    workspace: Workspace,
+    span_budget: Option<usize>,
+    max_coalesce: usize,
+) -> (TenantHandle, thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    // lint: allow(no-raw-sync): the actor thread IS the synchronization design — one owner per workspace, mpsc the only coupling
+    let join = thread::spawn(move || run_actor(workspace, rx, span_budget, max_coalesce));
+    (TenantHandle { tx }, join)
+}
+
+struct PendingBatch {
+    ops: Vec<ActorOp>,
+    reply: Sender<Result<Vec<PathId>, ServeError>>,
+}
+
+fn run_actor(
+    mut ws: Workspace,
+    rx: Receiver<Command>,
+    span_budget: Option<usize>,
+    max_coalesce: usize,
+) {
+    let mut stats = ActorStats::default();
+    let mut snapshot: Option<Snapshot> = None;
+    loop {
+        let cmd = match rx.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => return, // every handle dropped
+        };
+        match cmd {
+            Command::Apply { ops, reply } => {
+                // Drain whatever mutation batches are already queued so one
+                // recomputation serves them all; defer the first
+                // non-mutation command to preserve queue order.
+                let mut pending = vec![PendingBatch { ops, reply }];
+                let mut deferred = None;
+                while pending.len() < max_coalesce.max(1) {
+                    match rx.try_recv() {
+                        Ok(Command::Apply { ops, reply }) => {
+                            pending.push(PendingBatch { ops, reply })
+                        }
+                        Ok(other) => {
+                            deferred = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                if coalesced_apply(&mut ws, span_budget, pending, &mut stats) {
+                    snapshot = None;
+                }
+                match deferred {
+                    Some(Command::Stop) => return,
+                    Some(cmd) => serve_read(&mut ws, cmd, &mut stats, &mut snapshot),
+                    None => {}
+                }
+            }
+            Command::Stop => return,
+            other => serve_read(&mut ws, other, &mut stats, &mut snapshot),
+        }
+    }
+}
+
+/// Handle a Query/Stats command (never Apply/Stop).
+fn serve_read(
+    ws: &mut Workspace,
+    cmd: Command,
+    stats: &mut ActorStats,
+    snapshot: &mut Option<Snapshot>,
+) {
+    match cmd {
+        Command::Query { reply } => {
+            stats.queries += 1;
+            let snap = match snapshot {
+                Some(snap) => Ok(snap.clone()),
+                None => ws
+                    .solution()
+                    .map(|solution| {
+                        let snap = Snapshot {
+                            solution: Arc::new(solution),
+                            ids: Arc::new(ws.family().dense_ids().to_vec()),
+                        };
+                        *snapshot = Some(snap.clone());
+                        snap
+                    })
+                    .map_err(ServeError::Core),
+            };
+            let _ = reply.send(snap);
+        }
+        Command::Stats { reply } => {
+            let _ = reply.send((ws.stats(), *stats));
+        }
+        Command::Apply { reply, .. } => {
+            // Unreachable by construction; answer rather than panic.
+            let _ = reply.send(Err(ServeError::Stopped));
+        }
+        Command::Stop => {}
+    }
+}
+
+/// Admission-check each pending batch, apply every accepted one in a
+/// single `Workspace::apply`, and answer every reply channel. Returns
+/// whether the workspace mutated.
+fn coalesced_apply(
+    ws: &mut Workspace,
+    span_budget: Option<usize>,
+    pending: Vec<PendingBatch>,
+    stats: &mut ActorStats,
+) -> bool {
+    // Per-arc load deltas of the batches accepted so far in this drain.
+    let mut accepted_delta: Vec<i64> = Vec::new();
+    let mut accepted: Vec<PendingBatch> = Vec::new();
+    for batch in pending {
+        match admission_check(ws, span_budget, &batch.ops, &mut accepted_delta) {
+            Ok(()) => accepted.push(batch),
+            Err(e) => {
+                let _ = batch.reply.send(Err(e));
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return false;
+    }
+
+    // One combined apply; split the returned ids by each batch's Add
+    // count. Smallest-free-slot id assignment makes the combined ids
+    // identical to what sequential per-batch applies would assign.
+    let combined: Vec<Mutation> = match materialize(ws, &accepted) {
+        Ok(muts) => muts,
+        Err((idx, e)) => {
+            // A dipath failed to materialize: fail that batch, retry the
+            // rest individually (ids stay sequentialy consistent).
+            return fail_one_then_apply_each(ws, accepted, idx, e, stats);
+        }
+    };
+    match ws.apply(combined) {
+        Ok(all_ids) => {
+            stats.applies += 1;
+            let mut cursor = 0usize;
+            for batch in accepted {
+                stats.batches += 1;
+                let adds = batch
+                    .ops
+                    .iter()
+                    .filter(|op| matches!(op, ActorOp::Add(_)))
+                    .count();
+                let ids = all_ids[cursor..cursor + adds].to_vec();
+                cursor += adds;
+                let _ = batch.reply.send(Ok(ids));
+            }
+            true
+        }
+        Err(_) => {
+            // The combined batch is atomic, so the workspace is untouched:
+            // fall back to per-batch applies so one bad batch (e.g. a
+            // stale Remove id) only fails its own sender.
+            apply_each(ws, accepted, stats)
+        }
+    }
+}
+
+/// Build the dipath for an `Add`'s arc list, range-checking the arc ids
+/// first (`Digraph` accessors index by arc id, so an out-of-range id must
+/// be rejected here, as a typed error, before the graph ever sees it).
+fn build_dipath(ws: &Workspace, arcs: &[ArcId]) -> Result<Dipath, ServeError> {
+    let arc_count = ws.graph().arc_count();
+    if let Some(bad) = arcs.iter().find(|a| a.index() >= arc_count) {
+        return Err(ServeError::Core(CoreError::InvalidPath(format!(
+            "arc id {} out of range (graph has {arc_count} arcs)",
+            bad.0
+        ))));
+    }
+    Dipath::from_arcs(ws.graph(), arcs.to_vec())
+        .map_err(|e| ServeError::Core(CoreError::InvalidPath(e.to_string())))
+}
+
+/// Turn every accepted batch's ops into workspace mutations; on a bad
+/// dipath, report which batch index failed.
+fn materialize(
+    ws: &Workspace,
+    accepted: &[PendingBatch],
+) -> Result<Vec<Mutation>, (usize, ServeError)> {
+    let mut out = Vec::new();
+    for (idx, batch) in accepted.iter().enumerate() {
+        for op in &batch.ops {
+            match op {
+                ActorOp::Add(arcs) => {
+                    out.push(Mutation::Add(build_dipath(ws, arcs).map_err(|e| (idx, e))?))
+                }
+                ActorOp::Remove(id) => out.push(Mutation::Remove(*id)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fail_one_then_apply_each(
+    ws: &mut Workspace,
+    mut accepted: Vec<PendingBatch>,
+    bad: usize,
+    err: ServeError,
+    stats: &mut ActorStats,
+) -> bool {
+    let batch = accepted.remove(bad);
+    let _ = batch.reply.send(Err(err));
+    apply_each(ws, accepted, stats)
+}
+
+/// Apply each batch on its own (the non-coalesced slow path after a
+/// combined failure); answers every reply channel. Returns whether any
+/// batch mutated the workspace.
+fn apply_each(ws: &mut Workspace, batches: Vec<PendingBatch>, stats: &mut ActorStats) -> bool {
+    let mut mutated = false;
+    for batch in batches {
+        let result = (|| -> Result<Vec<PathId>, ServeError> {
+            let mut muts = Vec::with_capacity(batch.ops.len());
+            for op in &batch.ops {
+                match op {
+                    ActorOp::Add(arcs) => muts.push(Mutation::Add(build_dipath(ws, arcs)?)),
+                    ActorOp::Remove(id) => muts.push(Mutation::Remove(*id)),
+                }
+            }
+            Ok(ws.apply(muts)?)
+        })();
+        if result.is_ok() {
+            mutated = true;
+            stats.batches += 1;
+            stats.applies += 1;
+        }
+        let _ = batch.reply.send(result);
+    }
+    mutated
+}
+
+/// Project the per-arc load of applying `ops` on top of the already
+/// accepted deltas; reject if any arc would exceed the budget, otherwise
+/// fold the batch's deltas into `accepted_delta`.
+fn admission_check(
+    ws: &Workspace,
+    span_budget: Option<usize>,
+    ops: &[ActorOp],
+    accepted_delta: &mut Vec<i64>,
+) -> Result<(), ServeError> {
+    let Some(budget) = span_budget else {
+        return Ok(());
+    };
+    if accepted_delta.len() < ws.graph().arc_count() {
+        accepted_delta.resize(ws.graph().arc_count(), 0);
+    }
+    let mut own_delta: Vec<i64> = vec![0; accepted_delta.len()];
+    let mut projected_max = 0usize;
+    for op in ops {
+        match op {
+            ActorOp::Add(arcs) => {
+                for &a in arcs {
+                    let i = a.index();
+                    if i >= own_delta.len() {
+                        // Out-of-range arc: let `Dipath::from_arcs` produce
+                        // the typed InvalidPath error downstream.
+                        continue;
+                    }
+                    own_delta[i] += 1;
+                    let projected = (ws.arc_load(a) as i64) + accepted_delta[i] + own_delta[i];
+                    projected_max = projected_max.max(projected.max(0) as usize);
+                }
+            }
+            ActorOp::Remove(id) => {
+                // Credit back a live member's arcs. An id admitted earlier
+                // in this same drain is not resolvable here; skipping it
+                // only keeps the projection conservative (too high, never
+                // too low).
+                if let Some(p) = ws.family().get(*id) {
+                    for &a in p.arcs() {
+                        let i = a.index();
+                        if i < own_delta.len() {
+                            own_delta[i] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if projected_max > budget {
+        return Err(ServeError::SpanBudgetExceeded {
+            budget,
+            projected: projected_max,
+        });
+    }
+    for (acc, own) in accepted_delta.iter_mut().zip(&own_delta) {
+        *acc += own;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagwave_core::SolveSession;
+    use dagwave_graph::builder::from_edges;
+    use dagwave_paths::DipathFamily;
+
+    fn line_workspace(n: usize) -> Workspace {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = from_edges(n, &edges);
+        Workspace::new(SolveSession::auto(), g, DipathFamily::new()).expect("line DAG is valid")
+    }
+
+    fn arc_ids(ids: &[u32]) -> Vec<ArcId> {
+        ids.iter().map(|&i| ArcId(i)).collect()
+    }
+
+    #[test]
+    fn actor_round_trip_apply_query_stats_stop() {
+        let (h, join) = spawn_tenant(line_workspace(5), None, 64);
+        let ids = h
+            .apply(vec![
+                ActorOp::Add(arc_ids(&[0, 1])),
+                ActorOp::Add(arc_ids(&[1, 2])),
+            ])
+            .expect("two adds");
+        assert_eq!(ids, vec![PathId(0), PathId(1)]);
+        let snap = h.query().expect("solution");
+        assert_eq!(snap.solution.num_colors, 2);
+        assert_eq!(snap.ids.as_slice(), &[PathId(0), PathId(1)]);
+        h.apply(vec![ActorOp::Remove(PathId(0))]).expect("remove");
+        let snap = h.query().expect("solution after remove");
+        assert_eq!(snap.solution.num_colors, 1);
+        assert_eq!(snap.ids.as_slice(), &[PathId(1)]);
+        let (ws_stats, actor_stats) = h.stats().expect("stats");
+        assert_eq!(ws_stats.live_paths, 1);
+        assert_eq!(actor_stats.batches, 2);
+        assert_eq!(actor_stats.queries, 2);
+        h.stop();
+        join.join().expect("actor exits cleanly");
+        assert!(matches!(h.query(), Err(ServeError::Stopped)));
+    }
+
+    #[test]
+    fn budget_rejects_without_mutating() {
+        let (h, join) = spawn_tenant(line_workspace(3), Some(2), 64);
+        h.apply(vec![
+            ActorOp::Add(arc_ids(&[0])),
+            ActorOp::Add(arc_ids(&[0])),
+        ])
+        .expect("fills the budget");
+        let err = h
+            .apply(vec![ActorOp::Add(arc_ids(&[0, 1]))])
+            .expect_err("third path through arc 0 exceeds budget 2");
+        assert!(matches!(
+            err,
+            ServeError::SpanBudgetExceeded {
+                budget: 2,
+                projected: 3
+            }
+        ));
+        // Retiring frees headroom: the credit is visible to admission.
+        h.apply(vec![
+            ActorOp::Remove(PathId(0)),
+            ActorOp::Add(arc_ids(&[0, 1])),
+        ])
+        .expect("retire then admit inside one batch stays at load 2");
+        let (ws_stats, _) = h.stats().expect("stats");
+        assert_eq!(ws_stats.live_paths, 2);
+        assert_eq!(ws_stats.max_load, 2);
+        h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn stale_remove_fails_only_its_own_batch() {
+        let (h, join) = spawn_tenant(line_workspace(4), None, 64);
+        let err = h
+            .apply(vec![ActorOp::Remove(PathId(7))])
+            .expect_err("id 7 was never allocated");
+        assert!(matches!(
+            err,
+            ServeError::Core(CoreError::UnknownPath(PathId(7)))
+        ));
+        let ids = h
+            .apply(vec![ActorOp::Add(arc_ids(&[2]))])
+            .expect("workspace still healthy");
+        assert_eq!(ids, vec![PathId(0)]);
+        h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn invalid_arcs_yield_typed_invalid_path() {
+        let (h, join) = spawn_tenant(line_workspace(3), None, 64);
+        let err = h
+            .apply(vec![ActorOp::Add(arc_ids(&[99]))])
+            .expect_err("arc 99 is out of range");
+        assert!(matches!(err, ServeError::Core(CoreError::InvalidPath(_))));
+        let err = h
+            .apply(vec![ActorOp::Add(vec![ArcId(1), ArcId(0)])])
+            .expect_err("non-contiguous arc order");
+        assert!(matches!(err, ServeError::Core(CoreError::InvalidPath(_))));
+        h.stop();
+        join.join().expect("clean exit");
+    }
+}

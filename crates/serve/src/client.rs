@@ -1,0 +1,164 @@
+//! A blocking client for the dagwave-serve protocol: one `TcpStream`,
+//! one request/response pair at a time.
+//!
+//! The client is deliberately thin — it frames requests, reads exactly
+//! one response, and maps typed server errors into
+//! [`ClientError::Remote`]. Connection pooling, retries, and pipelining
+//! are caller concerns.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireError, WireOp,
+    WireSolution, WireStats,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, write, or the server closed
+    /// mid-frame).
+    Io(io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server answered with a well-formed response of the wrong kind
+    /// for the request (a protocol state bug, not a transport fault).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected(what) => {
+                write!(f, "unexpected response kind (wanted {what})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// A connected client. Every method sends one request and blocks for its
+/// response.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req.opcode(), &req.encode_payload())?;
+        let (op, payload) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            ))
+        })?;
+        let resp = Response::decode(op, &payload).map_err(ClientError::Wire)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Remote { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Admit one dipath (as its arc-id sequence) into `tenant`; returns
+    /// the assigned stable path id.
+    pub fn admit(&mut self, tenant: u64, arcs: Vec<u32>) -> Result<u32, ClientError> {
+        match self.round_trip(&Request::Admit { tenant, arcs })? {
+            Response::Admitted { id } => Ok(id),
+            _ => Err(ClientError::Unexpected("Admitted")),
+        }
+    }
+
+    /// Retire the live dipath with stable id `id` from `tenant`.
+    pub fn retire(&mut self, tenant: u64, id: u32) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Retire { tenant, id })? {
+            Response::Retired => Ok(()),
+            _ => Err(ClientError::Unexpected("Retired")),
+        }
+    }
+
+    /// Apply a mutation batch atomically; returns the stable ids of its
+    /// additions, in batch order.
+    pub fn batch(&mut self, tenant: u64, ops: Vec<WireOp>) -> Result<Vec<u32>, ClientError> {
+        match self.round_trip(&Request::Batch { tenant, ops })? {
+            Response::Applied { added } => Ok(added),
+            _ => Err(ClientError::Unexpected("Applied")),
+        }
+    }
+
+    /// Fetch `tenant`'s current wavelength solution.
+    pub fn query(&mut self, tenant: u64) -> Result<WireSolution, ClientError> {
+        match self.round_trip(&Request::Query { tenant })? {
+            Response::Solution(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("Solution")),
+        }
+    }
+
+    /// Fetch `tenant`'s cumulative workspace + service counters.
+    pub fn stats(&mut self, tenant: u64) -> Result<WireStats, ClientError> {
+        match self.round_trip(&Request::Stats { tenant })? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("Stats")),
+        }
+    }
+
+    /// Ask the server to shut down (stops every tenant actor and closes
+    /// the listener). The connection is unusable afterwards.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("ShuttingDown")),
+        }
+    }
+
+    /// Send raw frame bytes and read one response — the escape hatch the
+    /// protocol tests use to probe malformed-input handling.
+    pub fn raw_round_trip(&mut self, bytes: &[u8]) -> Result<Response, ClientError> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        let (op, payload) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            ))
+        })?;
+        Response::decode(op, &payload).map_err(ClientError::Wire)
+    }
+}

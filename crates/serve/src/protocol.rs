@@ -1,0 +1,885 @@
+//! The `dagwave-serve` wire protocol: versioned, length-prefixed binary
+//! frames, hand-rolled encode/decode (no serde — the registry is
+//! unreachable offline, so this module *is* the project's binary
+//! serialization story).
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic      0xDA
+//! 1       1     version    0x01
+//! 2       1     opcode     (see the opcode table below)
+//! 3       1     flags      0x00 in v1 (reserved; nonzero is rejected)
+//! 4       4     length     payload byte count, u32 little-endian
+//! 8       n     payload    opcode-specific body
+//! ```
+//!
+//! Integers are little-endian throughout. Strings are a `u32` byte count
+//! followed by UTF-8 bytes. Vectors are a `u32` element count followed by
+//! the elements. Payloads longer than [`MAX_PAYLOAD`] are rejected at the
+//! header ([`WireError::Oversized`]) *before* any allocation, so a
+//! malicious length prefix cannot balloon memory.
+//!
+//! # Opcode table
+//!
+//! | opcode | direction | message |
+//! |--------|-----------|---------|
+//! | `0x01` | request   | [`Request::Admit`] — tenant `u64`, arc ids `vec<u32>` |
+//! | `0x02` | request   | [`Request::Retire`] — tenant `u64`, path id `u32` |
+//! | `0x03` | request   | [`Request::Batch`] — tenant `u64`, ops `vec<op>` |
+//! | `0x04` | request   | [`Request::Query`] — tenant `u64` |
+//! | `0x05` | request   | [`Request::Stats`] — tenant `u64` |
+//! | `0x06` | request   | [`Request::Shutdown`] — empty |
+//! | `0x81` | response  | [`Response::Admitted`] — path id `u32` |
+//! | `0x82` | response  | [`Response::Retired`] — empty |
+//! | `0x83` | response  | [`Response::Applied`] — added ids `vec<u32>` |
+//! | `0x84` | response  | [`Response::Solution`] — see [`WireSolution`] |
+//! | `0x85` | response  | [`Response::Stats`] — see [`WireStats`] |
+//! | `0x86` | response  | [`Response::ShuttingDown`] — empty |
+//! | `0xEE` | response  | [`Response::Error`] — code `u16`, message `string` |
+//!
+//! A batch op is a `u8` tag: `0x00` add (followed by arc ids `vec<u32>`),
+//! `0x01` remove (followed by a path id `u32`).
+//!
+//! Unknown versions, unknown opcodes, truncated payloads, trailing bytes,
+//! and oversized lengths all decode to typed [`WireError`]s — never a
+//! panic — which the server answers with a typed [`Response::Error`]
+//! frame (see [`ErrorCode`]) before closing the now-unsynchronized
+//! connection.
+
+use std::io::{self, Read, Write};
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xDA;
+/// Protocol version this module speaks.
+pub const VERSION: u8 = 0x01;
+/// Hard ceiling on a frame's payload length (16 MiB): anything larger is
+/// rejected at the header, before allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Everything that can go wrong turning bytes into a message. Decoding is
+/// total: any input produces either a message or one of these — never a
+/// panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// First byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// Version byte this implementation does not speak.
+    UnknownVersion(u8),
+    /// Opcode outside the table (or a response opcode where a request was
+    /// required, and vice versa).
+    UnknownOpcode(u8),
+    /// Reserved flags byte was nonzero.
+    NonZeroFlags(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Input ended before the declared frame did.
+    Truncated,
+    /// Payload decoded cleanly but left unconsumed bytes.
+    Trailing(usize),
+    /// Payload structure was invalid (bad tag, bad UTF-8, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(b) => write!(f, "bad magic byte {b:#04x} (want {MAGIC:#04x})"),
+            WireError::UnknownVersion(v) => {
+                write!(
+                    f,
+                    "unknown protocol version {v} (this side speaks {VERSION})"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::NonZeroFlags(b) => write!(f, "reserved flags byte is {b:#04x}, want 0"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes carried by [`Response::Error`] frames.
+///
+/// `u16` on the wire; codes unknown to this build round-trip through
+/// [`ErrorCode::Other`] so newer servers can extend the table without
+/// breaking older clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Request frame carried a version this server does not speak.
+    UnknownVersion,
+    /// Request frame carried an opcode outside the table.
+    UnknownOpcode,
+    /// Request frame's payload did not decode.
+    Malformed,
+    /// Request frame's declared length exceeded [`MAX_PAYLOAD`].
+    Oversized,
+    /// A retire/batch named a path id that is not live.
+    UnknownPath,
+    /// An admit/batch carried a dipath invalid on the tenant's graph.
+    InvalidPath,
+    /// Admission control rejected the mutation: the projected load would
+    /// exceed the server's span budget.
+    SpanBudgetExceeded,
+    /// The solve itself failed (any other solver-side error).
+    Solver,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// A code this build does not know (forward compatibility).
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::UnknownVersion => 1,
+            ErrorCode::UnknownOpcode => 2,
+            ErrorCode::Malformed => 3,
+            ErrorCode::Oversized => 4,
+            ErrorCode::UnknownPath => 5,
+            ErrorCode::InvalidPath => 6,
+            ErrorCode::SpanBudgetExceeded => 7,
+            ErrorCode::Solver => 8,
+            ErrorCode::ShuttingDown => 9,
+            ErrorCode::Other(raw) => raw,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::to_u16`]; unknown codes land in
+    /// [`ErrorCode::Other`].
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => ErrorCode::UnknownVersion,
+            2 => ErrorCode::UnknownOpcode,
+            3 => ErrorCode::Malformed,
+            4 => ErrorCode::Oversized,
+            5 => ErrorCode::UnknownPath,
+            6 => ErrorCode::InvalidPath,
+            7 => ErrorCode::SpanBudgetExceeded,
+            8 => ErrorCode::Solver,
+            9 => ErrorCode::ShuttingDown,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+/// One mutation inside a [`Request::Batch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOp {
+    /// Admit a dipath given as its arc-id sequence on the tenant's graph.
+    Add(Vec<u32>),
+    /// Retire the live dipath with this stable id.
+    Remove(u32),
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Admit one dipath (arc-id sequence) into `tenant`'s workspace.
+    Admit {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+        /// The dipath as its arc ids, in path order.
+        arcs: Vec<u32>,
+    },
+    /// Retire the live dipath with stable id `id` from `tenant`.
+    Retire {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+        /// Stable path id to retire.
+        id: u32,
+    },
+    /// Apply a mutation batch atomically (all-or-nothing, exactly the
+    /// semantics of `Workspace::apply`).
+    Batch {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+        /// Mutations, in application order.
+        ops: Vec<WireOp>,
+    },
+    /// Fetch the current wavelength solution for `tenant`.
+    Query {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+    },
+    /// Fetch service/workspace counters for `tenant`.
+    Stats {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+    },
+    /// Stop the server: every tenant actor is stopped and the listener
+    /// closes after acknowledging with [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+/// The solution summary carried by [`Response::Solution`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireSolution {
+    /// Wavelengths used (the span `w`).
+    pub num_colors: u32,
+    /// `π(G, P)` — the load lower bound.
+    pub load: u32,
+    /// Whether `num_colors` is provably minimum.
+    pub optimal: bool,
+    /// Conflict components in the solved decomposition (1 for monolithic).
+    pub shard_count: u32,
+    /// Winning backend name (kebab-case `Strategy` rendering).
+    pub strategy: String,
+    /// `(stable path id, wavelength)` per live dipath, ascending by id.
+    pub colors: Vec<(u32, u32)>,
+}
+
+/// The counters carried by [`Response::Stats`] — the tenant's cumulative
+/// `WorkspaceStats` plus the actor's service-side tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Live dipaths in the tenant's family.
+    pub live_paths: u64,
+    /// Conflict components currently tracked.
+    pub shard_count: u64,
+    /// Current `π(G, P)`.
+    pub max_load: u64,
+    /// Full recomputations the workspace has run.
+    pub recomputes: u64,
+    /// Cumulative shards served from cache.
+    pub shards_reused: u64,
+    /// Cumulative shards actually re-solved.
+    pub shards_resolved: u64,
+    /// Client mutation batches accepted by the actor.
+    pub batches: u64,
+    /// `Workspace::apply` calls those batches coalesced into
+    /// (`batches / applies` > 1 means coalescing amortized recomputes).
+    pub applies: u64,
+    /// Solution queries served.
+    pub queries: u64,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Admit succeeded; the new dipath's stable id.
+    Admitted {
+        /// Stable id assigned to the admitted dipath.
+        id: u32,
+    },
+    /// Retire succeeded.
+    Retired,
+    /// Batch succeeded; stable ids of its additions, in batch order.
+    Applied {
+        /// Ids assigned to the batch's `Add` ops, in op order.
+        added: Vec<u32>,
+    },
+    /// Current solution snapshot.
+    Solution(WireSolution),
+    /// Current counters.
+    Stats(WireStats),
+    /// Shutdown acknowledged; the connection closes after this frame.
+    ShuttingDown,
+    /// The request failed; typed code plus a human-readable message.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_u32_slice(buf: &mut Vec<u8>, xs: &[u32]) {
+    put_u32(buf, xs.len() as u32);
+    for &x in xs {
+        put_u32(buf, x);
+    }
+}
+
+/// Bounded, panic-free reader over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// An element count that still has to fit in the remaining bytes at
+    /// `min_size` each — so a forged count cannot trigger a huge
+    /// allocation before [`WireError::Truncated`] would fire anyway.
+    fn count(&mut self, min_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_size.max(1)) > remaining {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.count(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(WireError::Trailing(left));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+mod opcode {
+    pub const ADMIT: u8 = 0x01;
+    pub const RETIRE: u8 = 0x02;
+    pub const BATCH: u8 = 0x03;
+    pub const QUERY: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const SHUTDOWN: u8 = 0x06;
+
+    pub const ADMITTED: u8 = 0x81;
+    pub const RETIRED: u8 = 0x82;
+    pub const APPLIED: u8 = 0x83;
+    pub const SOLUTION: u8 = 0x84;
+    pub const STATS_OK: u8 = 0x85;
+    pub const SHUTTING_DOWN: u8 = 0x86;
+    pub const ERROR: u8 = 0xEE;
+
+    pub const OP_ADD: u8 = 0x00;
+    pub const OP_REMOVE: u8 = 0x01;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Build the full frame bytes (header + payload) for an opcode/payload
+/// pair.
+pub fn encode_frame(op: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(MAGIC);
+    out.push(VERSION);
+    out.push(op);
+    out.push(0); // flags, reserved
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse a frame header; returns `(opcode, payload_len)`.
+pub fn decode_header(header: &[u8]) -> Result<(u8, u32), WireError> {
+    if header.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if header[0] != MAGIC {
+        return Err(WireError::BadMagic(header[0]));
+    }
+    if header[1] != VERSION {
+        return Err(WireError::UnknownVersion(header[1]));
+    }
+    if header[3] != 0 {
+        return Err(WireError::NonZeroFlags(header[3]));
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    Ok((header[2], len))
+}
+
+/// Errors reading a frame off a stream: transport-level I/O failures vs.
+/// protocol-level [`WireError`]s (after which the stream is
+/// unsynchronized and should be closed).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameReadError {
+    /// The transport failed (or closed mid-frame).
+    Io(io::Error),
+    /// The bytes did not form a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "i/o: {e}"),
+            FrameReadError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameReadError {
+    fn from(e: WireError) -> Self {
+        FrameReadError::Wire(e)
+    }
+}
+
+/// Read one whole frame off a blocking stream. `Ok(None)` is a clean EOF
+/// (the peer closed between frames); EOF mid-frame is an
+/// [`FrameReadError::Io`] with `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Hand-rolled first-byte read so a clean close between frames is
+    // distinguishable from a close inside one.
+    let mut got = 0usize;
+    while got < 1 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    r.read_exact(&mut header[1..])?;
+    let (op, len) = decode_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((op, payload)))
+}
+
+/// Write one whole frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(op, payload))?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// This request's opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Admit { .. } => opcode::ADMIT,
+            Request::Retire { .. } => opcode::RETIRE,
+            Request::Batch { .. } => opcode::BATCH,
+            Request::Query { .. } => opcode::QUERY,
+            Request::Stats { .. } => opcode::STATS,
+            Request::Shutdown => opcode::SHUTDOWN,
+        }
+    }
+
+    /// Encode the payload body (no header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Admit { tenant, arcs } => {
+                put_u64(&mut buf, *tenant);
+                put_u32_slice(&mut buf, arcs);
+            }
+            Request::Retire { tenant, id } => {
+                put_u64(&mut buf, *tenant);
+                put_u32(&mut buf, *id);
+            }
+            Request::Batch { tenant, ops } => {
+                put_u64(&mut buf, *tenant);
+                put_u32(&mut buf, ops.len() as u32);
+                for op in ops {
+                    match op {
+                        WireOp::Add(arcs) => {
+                            buf.push(opcode::OP_ADD);
+                            put_u32_slice(&mut buf, arcs);
+                        }
+                        WireOp::Remove(id) => {
+                            buf.push(opcode::OP_REMOVE);
+                            put_u32(&mut buf, *id);
+                        }
+                    }
+                }
+            }
+            Request::Query { tenant } | Request::Stats { tenant } => {
+                put_u64(&mut buf, *tenant);
+            }
+            Request::Shutdown => {}
+        }
+        buf
+    }
+
+    /// Full framed bytes (header + payload).
+    pub fn to_frame(&self) -> Vec<u8> {
+        encode_frame(self.opcode(), &self.encode_payload())
+    }
+
+    /// Decode a request from an opcode/payload pair (the output of
+    /// [`read_frame`]). Response opcodes are [`WireError::UnknownOpcode`]
+    /// here.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match op {
+            opcode::ADMIT => Request::Admit {
+                tenant: r.u64()?,
+                arcs: r.u32_vec()?,
+            },
+            opcode::RETIRE => Request::Retire {
+                tenant: r.u64()?,
+                id: r.u32()?,
+            },
+            opcode::BATCH => {
+                let tenant = r.u64()?;
+                // Each op is at least 1 tag byte + 4 payload bytes.
+                let n = r.count(5)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match r.u8()? {
+                        opcode::OP_ADD => WireOp::Add(r.u32_vec()?),
+                        opcode::OP_REMOVE => WireOp::Remove(r.u32()?),
+                        _ => return Err(WireError::Malformed("unknown batch-op tag")),
+                    });
+                }
+                Request::Batch { tenant, ops }
+            }
+            opcode::QUERY => Request::Query { tenant: r.u64()? },
+            opcode::STATS => Request::Stats { tenant: r.u64()? },
+            opcode::SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Decode a request from full frame bytes; returns the message and the
+    /// bytes consumed. The exact inverse of [`Request::to_frame`].
+    pub fn from_frame(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let (op, len) = decode_header(bytes)?;
+        let end = HEADER_LEN + len as usize;
+        if bytes.len() < end {
+            return Err(WireError::Truncated);
+        }
+        let req = Self::decode(op, &bytes[HEADER_LEN..end])?;
+        Ok((req, end))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// This response's opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Admitted { .. } => opcode::ADMITTED,
+            Response::Retired => opcode::RETIRED,
+            Response::Applied { .. } => opcode::APPLIED,
+            Response::Solution(_) => opcode::SOLUTION,
+            Response::Stats(_) => opcode::STATS_OK,
+            Response::ShuttingDown => opcode::SHUTTING_DOWN,
+            Response::Error { .. } => opcode::ERROR,
+        }
+    }
+
+    /// Encode the payload body (no header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Admitted { id } => put_u32(&mut buf, *id),
+            Response::Retired | Response::ShuttingDown => {}
+            Response::Applied { added } => put_u32_slice(&mut buf, added),
+            Response::Solution(s) => {
+                put_u32(&mut buf, s.num_colors);
+                put_u32(&mut buf, s.load);
+                buf.push(u8::from(s.optimal));
+                put_u32(&mut buf, s.shard_count);
+                put_str(&mut buf, &s.strategy);
+                put_u32(&mut buf, s.colors.len() as u32);
+                for &(id, color) in &s.colors {
+                    put_u32(&mut buf, id);
+                    put_u32(&mut buf, color);
+                }
+            }
+            Response::Stats(s) => {
+                for v in [
+                    s.live_paths,
+                    s.shard_count,
+                    s.max_load,
+                    s.recomputes,
+                    s.shards_reused,
+                    s.shards_resolved,
+                    s.batches,
+                    s.applies,
+                    s.queries,
+                ] {
+                    put_u64(&mut buf, v);
+                }
+            }
+            Response::Error { code, message } => {
+                put_u16(&mut buf, code.to_u16());
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Full framed bytes (header + payload).
+    pub fn to_frame(&self) -> Vec<u8> {
+        encode_frame(self.opcode(), &self.encode_payload())
+    }
+
+    /// Decode a response from an opcode/payload pair. Request opcodes are
+    /// [`WireError::UnknownOpcode`] here.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match op {
+            opcode::ADMITTED => Response::Admitted { id: r.u32()? },
+            opcode::RETIRED => Response::Retired,
+            opcode::APPLIED => Response::Applied {
+                added: r.u32_vec()?,
+            },
+            opcode::SOLUTION => {
+                let num_colors = r.u32()?;
+                let load = r.u32()?;
+                let optimal = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("optimal flag not 0/1")),
+                };
+                let shard_count = r.u32()?;
+                let strategy = r.str()?;
+                let n = r.count(8)?;
+                let mut colors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.u32()?;
+                    let color = r.u32()?;
+                    colors.push((id, color));
+                }
+                Response::Solution(WireSolution {
+                    num_colors,
+                    load,
+                    optimal,
+                    shard_count,
+                    strategy,
+                    colors,
+                })
+            }
+            opcode::STATS_OK => Response::Stats(WireStats {
+                live_paths: r.u64()?,
+                shard_count: r.u64()?,
+                max_load: r.u64()?,
+                recomputes: r.u64()?,
+                shards_reused: r.u64()?,
+                shards_resolved: r.u64()?,
+                batches: r.u64()?,
+                applies: r.u64()?,
+                queries: r.u64()?,
+            }),
+            opcode::SHUTTING_DOWN => Response::ShuttingDown,
+            opcode::ERROR => Response::Error {
+                code: ErrorCode::from_u16(r.u16()?),
+                message: r.str()?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Decode a response from full frame bytes; returns the message and
+    /// the bytes consumed. The exact inverse of [`Response::to_frame`].
+    pub fn from_frame(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let (op, len) = decode_header(bytes)?;
+        let end = HEADER_LEN + len as usize;
+        if bytes.len() < end {
+            return Err(WireError::Truncated);
+        }
+        let resp = Self::decode(op, &bytes[HEADER_LEN..end])?;
+        Ok((resp, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_pin_admit_frame_bytes() {
+        // The byte layout documented in the module header, pinned exactly:
+        // Admit { tenant: 2, arcs: [7, 300] }.
+        let req = Request::Admit {
+            tenant: 2,
+            arcs: vec![7, 300],
+        };
+        let bytes = req.to_frame();
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            0xDA, 0x01, 0x01, 0x00,     // magic, version, opcode, flags
+            20, 0, 0, 0,                // payload length
+            2, 0, 0, 0, 0, 0, 0, 0,     // tenant u64
+            2, 0, 0, 0,                 // arc count
+            7, 0, 0, 0,                 // arc 7
+            44, 1, 0, 0,                // arc 300
+        ];
+        assert_eq!(bytes, expected);
+        let (back, used) = Request::from_frame(&bytes).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let good = Request::Shutdown.to_frame();
+        let mut bad = good.clone();
+        bad[0] = 0x00;
+        assert_eq!(Request::from_frame(&bad), Err(WireError::BadMagic(0)));
+        let mut bad = good.clone();
+        bad[1] = 9;
+        assert_eq!(Request::from_frame(&bad), Err(WireError::UnknownVersion(9)));
+        let mut bad = good.clone();
+        bad[2] = 0x7F;
+        assert_eq!(
+            Request::from_frame(&bad),
+            Err(WireError::UnknownOpcode(0x7F))
+        );
+        let mut bad = good.clone();
+        bad[3] = 1;
+        assert_eq!(Request::from_frame(&bad), Err(WireError::NonZeroFlags(1)));
+        let mut bad = good;
+        bad[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            Request::from_frame(&bad),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn forged_count_cannot_allocate_past_payload() {
+        // A Batch frame claiming u32::MAX ops in a 12-byte payload must
+        // fail with Truncated before any element is allocated.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, u32::MAX);
+        let bytes = encode_frame(0x03, &payload);
+        assert_eq!(Request::from_frame(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Query { tenant: 1 }.encode_payload();
+        payload.push(0xAB);
+        let bytes = encode_frame(0x04, &payload);
+        assert_eq!(Request::from_frame(&bytes), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::UnknownVersion,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::Malformed,
+            ErrorCode::Oversized,
+            ErrorCode::UnknownPath,
+            ErrorCode::InvalidPath,
+            ErrorCode::SpanBudgetExceeded,
+            ErrorCode::Solver,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Other(700),
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.to_u16()), code);
+        }
+    }
+
+    #[test]
+    fn stream_read_distinguishes_clean_eof_from_mid_frame_eof() {
+        let frame = Request::Stats { tenant: 3 }.to_frame();
+        let mut cursor = io::Cursor::new(frame.clone());
+        let (op, payload) = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(
+            Request::decode(op, &payload),
+            Ok(Request::Stats { tenant: 3 })
+        );
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        let mut cursor = io::Cursor::new(frame[..frame.len() - 1].to_vec());
+        match read_frame(&mut cursor) {
+            Err(FrameReadError::Io(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected mid-frame EOF error, got {other:?}"),
+        }
+    }
+}

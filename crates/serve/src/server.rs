@@ -1,0 +1,394 @@
+//! The TCP server: thread-per-connection over `std::net`, a registry
+//! thread owning the tenant actors, and a nonblocking accept loop that a
+//! `Shutdown` request can interrupt.
+//!
+//! # Thread topology
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection threads ──mpsc──▶ registry thread
+//!      ▲                        │  cached TenantHandle      │ owns map
+//!      └──── stop channel ◀─────┤                           │ tenant → actor
+//!                               └────── mpsc ──▶ tenant actor threads
+//! ```
+//!
+//! There is no shared mutable state: the registry thread *owns* the
+//! tenant map (connections lease [`TenantHandle`]s over a channel and
+//! cache them locally), each actor owns its [`Workspace`], and shutdown
+//! is a message, not a flag. The only unusual piece is the accept loop:
+//! `std::net` has no `select`, so the listener runs nonblocking and the
+//! loop alternates `accept` with a `try_recv` on the stop channel,
+//! sleeping briefly when idle.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::thread;
+use std::time::Duration;
+
+use dagwave_core::{CoreError, Workspace};
+use dagwave_graph::ArcId;
+use dagwave_paths::PathId;
+
+use crate::actor::{spawn_tenant, ActorOp, ServeError, TenantHandle};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireError, WireOp,
+    WireSolution, WireStats,
+};
+
+/// Builds the initial [`Workspace`] for a tenant id the server has not
+/// seen before. Owned by the registry thread, so `Send` suffices.
+pub type WorkspaceFactory = Box<dyn Fn(u64) -> Result<Workspace, CoreError> + Send>;
+
+/// Server-wide knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Admission ceiling on any arc's load (`None` = admit everything).
+    pub span_budget: Option<usize>,
+    /// Max queued mutation batches one `Workspace::apply` may coalesce.
+    pub max_coalesce: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            span_budget: None,
+            max_coalesce: 64,
+        }
+    }
+}
+
+enum RegistryCmd {
+    /// Lease (creating on first use) the actor handle for a tenant.
+    Lease {
+        tenant: u64,
+        reply: Sender<Result<TenantHandle, ServeError>>,
+    },
+    /// Stop every actor, signal the accept loop, then exit.
+    Shutdown,
+}
+
+/// A bound-but-not-yet-running server. [`Server::run`] blocks the calling
+/// thread until a client sends `Shutdown`; [`Server::spawn`] runs it on
+/// its own thread and returns a joinable handle.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    registry_tx: Sender<RegistryCmd>,
+    registry_join: thread::JoinHandle<()>,
+    stop_rx: Receiver<()>,
+}
+
+/// Handle to a server running on its own thread (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use it to connect when binding to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to shut down.
+    pub fn join(self) -> io::Result<()> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+impl Server {
+    /// Bind a listener and start the tenant registry. `factory` builds
+    /// the workspace for each new tenant id.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        factory: WorkspaceFactory,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (registry_tx, registry_rx) = mpsc::channel();
+        let (stop_tx, stop_rx) = mpsc::channel();
+        // lint: allow(no-raw-sync): the registry thread replaces a shared-map lock — it owns the tenant map outright, mpsc is the only coupling
+        let join = thread::spawn(move || run_registry(registry_rx, factory, config, stop_tx));
+        Ok(Server {
+            listener,
+            addr,
+            registry_tx,
+            registry_join: join,
+            stop_rx,
+        })
+    }
+
+    /// The bound address (use it to connect when binding to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept connections until a `Shutdown` request arrives, then join
+    /// the registry (which has already stopped every tenant actor).
+    pub fn run(self) -> io::Result<()> {
+        // `std::net` offers no way to interrupt a blocking accept, so the
+        // loop polls: accept whatever is pending, check the stop channel,
+        // sleep briefly when idle.
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let registry = self.registry_tx.clone();
+                    // Connections are blocking even though the listener is
+                    // not (accepted sockets inherit nonblocking on some
+                    // platforms).
+                    stream.set_nonblocking(false)?;
+                    // lint: allow(no-raw-sync): thread-per-connection is the server's documented concurrency model; the thread owns its stream outright
+                    thread::spawn(move || serve_connection(stream, registry));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    match self.stop_rx.try_recv() {
+                        Ok(()) | Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => {
+                            // lint: allow(no-raw-sync): accept-loop idle poll; 2ms bounds shutdown latency without busy-spinning
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let _ = self.registry_join.join();
+        Ok(())
+    }
+
+    /// Run the server on its own thread; returns once it is accepting.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        // lint: allow(no-raw-sync): hands the accept loop its own thread; the handle's join() is the only coupling
+        let join = thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+}
+
+fn run_registry(
+    rx: Receiver<RegistryCmd>,
+    factory: WorkspaceFactory,
+    config: ServerConfig,
+    stop_tx: Sender<()>,
+) {
+    let mut tenants: HashMap<u64, (TenantHandle, thread::JoinHandle<()>)> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            RegistryCmd::Lease { tenant, reply } => {
+                let leased = match tenants.get(&tenant) {
+                    Some((handle, _)) => Ok(handle.clone()),
+                    None => match factory(tenant) {
+                        Ok(ws) => {
+                            let (handle, join) =
+                                spawn_tenant(ws, config.span_budget, config.max_coalesce);
+                            tenants.insert(tenant, (handle.clone(), join));
+                            Ok(handle)
+                        }
+                        Err(e) => Err(ServeError::Core(e)),
+                    },
+                };
+                let _ = reply.send(leased);
+            }
+            RegistryCmd::Shutdown => break,
+        }
+    }
+    // Drain the actors before signalling the accept loop, so the port
+    // closes only after every workspace thread has exited.
+    for (_, (handle, join)) in tenants {
+        handle.stop();
+        let _ = join.join();
+    }
+    let _ = stop_tx.send(());
+}
+
+/// Per-connection loop: read frames, dispatch, reply. Header-level wire
+/// errors leave the stream unsynchronized — reply once, then close.
+fn serve_connection(mut stream: TcpStream, registry: Sender<RegistryCmd>) {
+    let mut handles: HashMap<u64, TenantHandle> = HashMap::new();
+    loop {
+        let (op, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close between frames
+            Err(FrameReadError::Io(_)) => return,
+            Err(FrameReadError::Wire(e)) => {
+                let resp = Response::Error {
+                    code: wire_error_code(&e),
+                    message: e.to_string(),
+                };
+                let _ = send(&mut stream, &resp);
+                return;
+            }
+        };
+        let request = match Request::decode(op, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // The frame was fully consumed, so the stream is still
+                // synchronized: report and keep serving.
+                let resp = Response::Error {
+                    code: wire_error_code(&e),
+                    message: e.to_string(),
+                };
+                if send(&mut stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = dispatch(request, &registry, &mut handles);
+        if send(&mut stream, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            let _ = registry.send(RegistryCmd::Shutdown);
+            return;
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, resp.opcode(), &resp.encode_payload())?;
+    stream.flush()
+}
+
+fn dispatch(
+    request: Request,
+    registry: &Sender<RegistryCmd>,
+    handles: &mut HashMap<u64, TenantHandle>,
+) -> Response {
+    match request {
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Admit { tenant, arcs } => with_tenant(registry, handles, tenant, |h| {
+            let ids = h.apply(vec![ActorOp::Add(to_arc_ids(arcs))])?;
+            match ids.first() {
+                Some(id) => Ok(Response::Admitted { id: id.0 }),
+                None => Err(ServeError::Core(CoreError::InvalidPath(
+                    "admit produced no id".into(),
+                ))),
+            }
+        }),
+        Request::Retire { tenant, id } => with_tenant(registry, handles, tenant, |h| {
+            h.apply(vec![ActorOp::Remove(PathId(id))])?;
+            Ok(Response::Retired)
+        }),
+        Request::Batch { tenant, ops } => with_tenant(registry, handles, tenant, |h| {
+            let ops = ops
+                .into_iter()
+                .map(|op| match op {
+                    WireOp::Add(arcs) => ActorOp::Add(to_arc_ids(arcs)),
+                    WireOp::Remove(id) => ActorOp::Remove(PathId(id)),
+                })
+                .collect();
+            let added = h.apply(ops)?;
+            Ok(Response::Applied {
+                added: added.into_iter().map(|id| id.0).collect(),
+            })
+        }),
+        Request::Query { tenant } => with_tenant(registry, handles, tenant, |h| {
+            let snap = h.query()?;
+            let s = &snap.solution;
+            Ok(Response::Solution(WireSolution {
+                num_colors: s.num_colors as u32,
+                load: s.load as u32,
+                optimal: s.optimal,
+                shard_count: s
+                    .decomposition
+                    .as_ref()
+                    .map_or(1, |d| d.shard_count() as u32),
+                strategy: s.strategy.to_string(),
+                colors: snap
+                    .ids
+                    .iter()
+                    .zip(s.assignment.colors())
+                    .map(|(id, &c)| (id.0, c as u32))
+                    .collect(),
+            }))
+        }),
+        Request::Stats { tenant } => with_tenant(registry, handles, tenant, |h| {
+            let (ws, actor) = h.stats()?;
+            Ok(Response::Stats(WireStats {
+                live_paths: ws.live_paths as u64,
+                shard_count: ws.shard_count as u64,
+                max_load: ws.max_load as u64,
+                recomputes: ws.recomputes as u64,
+                shards_reused: ws.shards_reused as u64,
+                shards_resolved: ws.shards_resolved as u64,
+                batches: actor.batches,
+                applies: actor.applies,
+                queries: actor.queries,
+            }))
+        }),
+    }
+}
+
+/// Lease (and locally cache) the tenant's handle, then run `f`; every
+/// [`ServeError`] becomes a typed [`Response::Error`].
+fn with_tenant(
+    registry: &Sender<RegistryCmd>,
+    handles: &mut HashMap<u64, TenantHandle>,
+    tenant: u64,
+    f: impl FnOnce(&TenantHandle) -> Result<Response, ServeError>,
+) -> Response {
+    let handle = match handles.get(&tenant) {
+        Some(h) => h.clone(),
+        None => match lease(registry, tenant) {
+            Ok(h) => {
+                handles.insert(tenant, h.clone());
+                h
+            }
+            Err(e) => return error_response(e),
+        },
+    };
+    match f(&handle) {
+        Ok(resp) => resp,
+        Err(e) => {
+            if matches!(e, ServeError::Stopped) {
+                // The actor is gone (shutdown raced this request); drop the
+                // stale handle so a later lease reflects registry state.
+                handles.remove(&tenant);
+            }
+            error_response(e)
+        }
+    }
+}
+
+fn lease(registry: &Sender<RegistryCmd>, tenant: u64) -> Result<TenantHandle, ServeError> {
+    let (reply, rx) = mpsc::channel();
+    registry
+        .send(RegistryCmd::Lease { tenant, reply })
+        .map_err(|_| ServeError::Stopped)?;
+    rx.recv().map_err(|_| ServeError::Stopped)?
+}
+
+fn to_arc_ids(arcs: Vec<u32>) -> Vec<ArcId> {
+    arcs.into_iter().map(ArcId).collect()
+}
+
+fn wire_error_code(e: &WireError) -> ErrorCode {
+    match e {
+        WireError::UnknownVersion(_) => ErrorCode::UnknownVersion,
+        WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+        WireError::Oversized(_) => ErrorCode::Oversized,
+        _ => ErrorCode::Malformed,
+    }
+}
+
+fn error_response(e: ServeError) -> Response {
+    let code = match &e {
+        ServeError::SpanBudgetExceeded { .. } => ErrorCode::SpanBudgetExceeded,
+        ServeError::Stopped => ErrorCode::ShuttingDown,
+        ServeError::Core(CoreError::UnknownPath(_)) => ErrorCode::UnknownPath,
+        ServeError::Core(CoreError::InvalidPath(_)) => ErrorCode::InvalidPath,
+        ServeError::Core(_) => ErrorCode::Solver,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

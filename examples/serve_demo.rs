@@ -1,0 +1,95 @@
+//! The service layer end to end, in one process: boot a loopback
+//! `dagwave-serve` server over a federated instance, then drive it with
+//! the binary-protocol client — admit duplicate lightpaths, retire them,
+//! send a combined batch, and watch the actor's coalescing counters.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+//!
+//! For a standalone server process, use the binary instead:
+//! `cargo run --release -p dagwave-serve -- --scenario federated:4`
+
+use dagwave::serve::{Client, Server, ServerConfig, WireOp};
+use dagwave::{DecomposePolicy, SolverBuilder, Workspace};
+use dagwave_gen::compose::federated;
+
+fn main() {
+    // Every tenant gets its own incremental Workspace over the same
+    // four-component federated topology (disjoint components shard the
+    // conflict graph, so mutations recolor only what they touch).
+    let factory = Box::new(|tenant: u64| {
+        let inst = federated(4);
+        println!("booting workspace for tenant {tenant}");
+        Workspace::new(
+            SolverBuilder::new()
+                .decompose(DecomposePolicy::Always)
+                .build(),
+            inst.graph,
+            inst.family,
+        )
+    });
+    let handle = Server::bind("127.0.0.1:0", factory, ServerConfig::default())
+        .expect("bind loopback")
+        .spawn();
+    let addr = handle.addr();
+    println!("serving on {addr}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let tenant = 7;
+
+    // First query lazily boots the tenant's workspace and solves it.
+    let boot = client.query(tenant).expect("boot query");
+    println!(
+        "boot: {} lightpaths, {} wavelengths (load {}, optimal: {}, {} shards)",
+        boot.colors.len(),
+        boot.num_colors,
+        boot.load,
+        boot.optimal,
+        boot.shard_count,
+    );
+
+    // Admit a single-arc lightpath over arc 0 — it conflicts with every
+    // lightpath already using that arc, so arc 0's load rises and the
+    // assignment must give it a wavelength of its own.
+    let arcs = vec![0u32];
+    let id = client.admit(tenant, arcs.clone()).expect("admit");
+    let loaded = client.query(tenant).expect("query after admit");
+    println!(
+        "admitted duplicate as path {id}: now {} wavelengths",
+        loaded.num_colors
+    );
+
+    // A combined batch: retire the duplicate and admit two more, applied
+    // atomically by the tenant actor in one Workspace::apply.
+    let applied = client
+        .batch(
+            tenant,
+            vec![
+                WireOp::Remove(id),
+                WireOp::Add(arcs.clone()),
+                WireOp::Add(arcs),
+            ],
+        )
+        .expect("batch");
+    println!("batch applied, new path ids: {applied:?}");
+    let after = client.query(tenant).expect("query after batch");
+    for id in applied {
+        client.retire(tenant, id).expect("retire");
+    }
+    let settled = client.query(tenant).expect("query after retire");
+    println!(
+        "after batch: {} wavelengths; after retiring: {} (back to boot: {})",
+        after.num_colors,
+        settled.num_colors,
+        settled.num_colors == boot.num_colors,
+    );
+
+    let stats = client.stats(tenant).expect("stats");
+    println!(
+        "actor stats: {} live paths, {} batches -> {} applies ({} queries, {} recomputes, {} shards reused)",
+        stats.live_paths, stats.batches, stats.applies, stats.queries, stats.recomputes, stats.shards_reused,
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+    println!("server stopped");
+}

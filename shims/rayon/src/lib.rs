@@ -173,6 +173,15 @@ mod pool {
         let s = Arc::clone(shared());
         std::thread::Builder::new()
             .name(format!("rayon-shim-{idx}"))
+            // Match the main thread's stack headroom instead of the 2 MiB
+            // spawned-thread default: jobs run depth-first traversals whose
+            // recursion is linear in the instance (tens of thousands of
+            // frames on the large report instances), and a job must not
+            // overflow on a worker when the same call would survive on the
+            // caller's stack. Real rayon exposes this as
+            // `ThreadPoolBuilder::stack_size`; the shim fixes one generous
+            // value instead.
+            .stack_size(16 << 20)
             .spawn(move || loop {
                 let job = {
                     let mut q = s.queue.lock().unwrap();

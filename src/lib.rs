@@ -14,6 +14,9 @@
 //!   ([`SolveSession`], [`SolverBuilder`], [`BackendKind`]).
 //! * [`gen`] — figure/witness/random instance generators.
 //! * [`route`] — the end-to-end routing-and-wavelength-assignment pipeline.
+//! * [`serve`] — the TCP service layer: versioned binary wire protocol,
+//!   single-writer coalescing actor per tenant, thread-per-connection
+//!   server over the incremental [`Workspace`].
 //!
 //! ```
 //! use dagwave::{graph::Digraph, paths::{Dipath, DipathFamily}, SolveSession};
@@ -56,6 +59,7 @@ pub use dagwave_gen as gen;
 pub use dagwave_graph as graph;
 pub use dagwave_paths as paths;
 pub use dagwave_route as route;
+pub use dagwave_serve as serve;
 
 #[allow(deprecated)]
 pub use dagwave_core::WavelengthSolver;
