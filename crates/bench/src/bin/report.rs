@@ -563,6 +563,135 @@ fn paper_report() {
     // absorb more client batches than it issues `Workspace::apply` calls.
     service_row();
 
+    // D5 — the O(dirty) query side: after each churn step, a delta query
+    // (`Workspace::delta_since`) must stay flat as the instance grows —
+    // within 1.5× of the k=256 tier at k=4096 — and at the large tier it
+    // must be ≥5× cheaper than materializing the full `Solution` the same
+    // step. Gated in-row on both ratios plus bit-identity: the mirror
+    // built ONLY from replayed deltas equals the full solution's color
+    // table at every step, and the from-scratch solve at the end.
+    {
+        use std::collections::BTreeMap;
+        const DELTA_REPS: u32 = 64;
+        let steps = 8usize;
+        let mut delta_us_per_k = Vec::new();
+        let mut rows = Vec::new();
+        for k in [256usize, 4096] {
+            let work = compose::churn(13, k, steps);
+            let session = SolverBuilder::new()
+                .decompose(DecomposePolicy::Always)
+                .build();
+            let mut ws = Workspace::new(
+                session.clone(),
+                work.instance.graph.clone(),
+                work.instance.family.clone(),
+            )
+            .expect("churn instance is a DAG");
+            // Initial sync: epoch 0 is covered from the first refresh, so
+            // the mirror bootstraps through the same API clients use.
+            let mut mirror: BTreeMap<dagwave_paths::PathId, u32> = BTreeMap::new();
+            let mut synced = dagwave_core::Epoch::default();
+            let replay = |mirror: &mut BTreeMap<dagwave_paths::PathId, u32>,
+                          d: &dagwave_core::SolutionDelta| {
+                if d.full_resync {
+                    mirror.clear();
+                }
+                for id in &d.removed {
+                    mirror.remove(id);
+                }
+                for &(id, c) in &d.changes {
+                    mirror.insert(id, c);
+                }
+            };
+            let first = ws.delta_since(synced).expect("initial sync");
+            replay(&mut mirror, &first);
+            synced = first.epoch;
+
+            let (mut delta_us, mut full_us) = (0.0f64, 0.0f64);
+            let mut identical = true;
+            for op in &work.script {
+                ws.apply([op.clone()]).unwrap();
+                // The O(dirty) re-solve itself is paid once here, untimed:
+                // D3 gates it. D5 times only the query side behind it.
+                ws.span().unwrap();
+                let t0 = Instant::now();
+                let mut d = None;
+                for _ in 0..DELTA_REPS {
+                    d = Some(black_box(ws.delta_since(synced).unwrap()));
+                }
+                delta_us += t0.elapsed().as_secs_f64() * 1e6 / DELTA_REPS as f64;
+                let d = d.expect("at least one rep");
+                replay(&mut mirror, &d);
+                synced = d.epoch;
+
+                let t0 = Instant::now();
+                let sol = ws.solution().unwrap();
+                full_us += t0.elapsed().as_secs_f64() * 1e6;
+                let expected: BTreeMap<dagwave_paths::PathId, u32> = ws
+                    .family()
+                    .dense_ids()
+                    .iter()
+                    .zip(sol.assignment.colors())
+                    .map(|(&id, &c)| (id, c as u32))
+                    .collect();
+                identical &= mirror == expected && d.span == sol.num_colors;
+            }
+            assert!(
+                identical,
+                "delta-replayed mirror diverged from the full solution (k={k})"
+            );
+            // End-of-script anchor: the mirror equals a from-scratch solve
+            // of the mutated instance, not just the workspace's view.
+            let (dense, _) = ws.family().to_dense();
+            let scratch = session.solve(ws.graph(), &dense).unwrap();
+            let scratch_table: BTreeMap<dagwave_paths::PathId, u32> = ws
+                .family()
+                .dense_ids()
+                .iter()
+                .zip(scratch.assignment.colors())
+                .map(|(&id, &c)| (id, c as u32))
+                .collect();
+            assert_eq!(
+                mirror, scratch_table,
+                "delta-replayed mirror diverged from from-scratch (k={k})"
+            );
+
+            let delta_avg = delta_us / steps as f64;
+            let full_avg = full_us / steps as f64;
+            if k == 4096 {
+                assert!(
+                    full_avg / delta_avg.max(1e-9) >= 5.0,
+                    "delta query must be ≥5× cheaper than full materialization \
+                     at k=4096: {delta_avg:.1} µs vs {full_avg:.1} µs"
+                );
+            }
+            delta_us_per_k.push(delta_avg);
+            rows.push((k, work.instance.family.len(), delta_avg, full_avg));
+        }
+        let growth = delta_us_per_k[1] / delta_us_per_k[0].max(1e-9);
+        assert!(
+            growth <= 1.5,
+            "per-query delta latency must stay flat in |P|: \
+             {:.1} µs at k=256 vs {:.1} µs at k=4096 ({growth:.2}×)",
+            delta_us_per_k[0],
+            delta_us_per_k[1]
+        );
+        for (k, paths, delta_avg, full_avg) in rows {
+            row(
+                "D5 delta query path",
+                &format!("churn({k}), |P|={paths}, {steps} steps"),
+                "flat in |P| (≤1.5×), ≥5× vs full, bit-identical",
+                &format!(
+                    "delta {delta_avg:.1} µs/query vs full {full_avg:.1} µs \
+                     ({:.0}×), growth {growth:.2}×, mirror = solution = scratch, \
+                     peakRSS={} MiB",
+                    full_avg / delta_avg.max(1e-9),
+                    peak_rss_cell()
+                ),
+            );
+        }
+    }
+
     // A1/A2 — ablations.
     {
         let mut rng = ChaCha8Rng::seed_from_u64(41);

@@ -76,6 +76,7 @@ pub mod assignment;
 pub mod backend;
 pub mod bounds;
 pub mod certify;
+pub mod colortable;
 pub mod decompose;
 pub mod error;
 pub mod internal;
@@ -91,9 +92,10 @@ pub use backend::{
     BackendAttempt, BackendKind, BackendOutcome, ColoringBackend, InstanceContext, Policy,
     SolveRequest,
 };
+pub use colortable::ColorTable;
 pub use decompose::{DecomposePolicy, Decomposition, ShardOutcome};
 pub use error::CoreError;
 #[allow(deprecated)]
 pub use solver::WavelengthSolver;
 pub use solver::{Instance, Solution, SolveSession, SolverBuilder, Strategy};
-pub use workspace::{Mutation, Resolve, Workspace, WorkspaceStats};
+pub use workspace::{Epoch, Mutation, Resolve, SolutionDelta, Workspace, WorkspaceStats};

@@ -29,6 +29,17 @@
 //! dipaths (e.g. remove + re-add) adopts its old solve from a reuse pool
 //! instead of recomputing — [`Resolve::shards_reused`] counts adoptions.
 //!
+//! The *query* side is O(dirty) too. Every refresh patches a persistent
+//! [`ColorTable`] (structurally-shared `Arc` pages keyed by stable id)
+//! with only the re-solved shards' colors, so [`Workspace::span`],
+//! [`Workspace::color_of`], and [`Workspace::delta_since`] answer without
+//! merging — the last returns exactly the `(PathId, color)` pairs that
+//! changed since a client's [`Epoch`], the surface `dagwave-serve`'s
+//! `QueryDelta` frames ride on. [`Workspace::solution`] remains the
+//! bit-identity oracle, but now hands out `Arc<Solution>` snapshots: a
+//! cache hit is a refcount bump, and the full merge runs only when a
+//! snapshot is actually demanded.
+//!
 //! **Invariant:** after any mutation sequence, [`Workspace::solution`] is
 //! bit-identical to a from-scratch [`SolveSession::solve`] on the mutated
 //! instance (the live members in ascending stable-id order), at every
@@ -74,14 +85,20 @@
 //! ```
 
 use crate::backend::InstanceContext;
+use crate::colortable::ColorTable;
 use crate::error::CoreError;
 use crate::internal::DagClass;
 use crate::solver::{merge_shards, Solution, SolveSession};
 use dagwave_graph::{ArcId, Digraph};
 use dagwave_paths::{conflict_components_among, Dipath, DipathFamily, PathFamily, PathId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Refresh generations retained for [`Workspace::delta_since`]: a client
+/// further behind than this gets a full resync instead of a delta. Bounds
+/// the delta log at ~64 × O(dirty) entries regardless of uptime.
+const DELTA_RETAIN: usize = 64;
 
 /// One instance mutation: admit or retire a dipath.
 ///
@@ -107,6 +124,46 @@ pub struct Resolve {
     pub shards_resolved: usize,
 }
 
+/// A refresh generation of a [`Workspace`]: advances by one every time the
+/// workspace folds pending mutations into its persistent color table.
+/// Clients remember the epoch of their last sync and pass it to
+/// [`Workspace::delta_since`] to receive only what changed since.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+/// The answer to a [`Workspace::delta_since`] query: the current epoch and
+/// span, plus the changed colors since the client's epoch — O(changed),
+/// never O(instance), unless a resync is needed.
+///
+/// When `full_resync` is true the client's epoch was unknown or too far
+/// behind the retained delta log: `changes` then lists **every** live
+/// `(id, color)` pair, `removed` is empty, and the client must drop any
+/// state not re-listed. Replaying deltas in order reconstructs exactly the
+/// color table of [`Workspace::solution`] — the bit-identity oracle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolutionDelta {
+    /// The workspace epoch this delta brings the client up to.
+    pub epoch: Epoch,
+    /// The merged span (number of wavelengths) at that epoch.
+    pub span: usize,
+    /// `true` when `changes` is a complete snapshot, not a delta.
+    pub full_resync: bool,
+    /// Members whose color changed (or appeared) since the client's epoch,
+    /// with their new colors; ascending stable id.
+    pub changes: Vec<(PathId, u32)>,
+    /// Members removed since the client's epoch; ascending stable id.
+    pub removed: Vec<PathId>,
+}
+
+/// One retained refresh generation: what the refresh changed, for
+/// [`Workspace::delta_since`] to replay.
+#[derive(Clone, Debug)]
+struct DeltaRecord {
+    epoch: u64,
+    changes: Vec<(PathId, u32)>,
+    removed: Vec<PathId>,
+}
+
 /// Cumulative workspace counters since [`Workspace::new`], exposed by
 /// [`Workspace::stats`] — the aggregate twin of the per-solve
 /// [`Resolve`] record, so a service `Stats` endpoint (or a report row)
@@ -129,6 +186,20 @@ pub struct WorkspaceStats {
     /// Shards (or monolithic solves) actually recomputed, summed over
     /// every recomputation.
     pub shards_resolved: usize,
+    /// Distinct arc sequences held by the family's append-only interner
+    /// (the arena never shrinks; see [`dagwave_paths::ArcListArena`]).
+    pub interned_arc_lists: usize,
+    /// Interner lookups answered by an existing allocation.
+    pub intern_hits: u64,
+    /// Interner lookups that stored a new allocation.
+    pub intern_misses: u64,
+    /// Current refresh generation ([`Workspace::epoch`]).
+    pub epoch: u64,
+    /// [`Workspace::delta_since`] queries served.
+    pub delta_queries: u64,
+    /// Delta queries that fell back to a full resync (client epoch unknown
+    /// or older than the retained log).
+    pub delta_resyncs: u64,
 }
 
 /// One tracked component: its live members (stable ids, ascending), the
@@ -154,6 +225,11 @@ struct CachedShard {
     /// the family never change — that is what makes the cache survive id
     /// compaction in the dense view.
     solved: Option<Result<Solution, CoreError>>,
+    /// `true` once the persistent color table reflects this shard's solve
+    /// (under its *current* member ids). Fresh and pool-adopted shards
+    /// start unpatched — an adopted solve is content-identical but may sit
+    /// under different stable ids than when it was banked.
+    patched: bool,
 }
 
 /// A solved shard banked when a mutation dropped it: if a freshly derived
@@ -174,23 +250,24 @@ fn shard_fingerprint(paths: &[Arc<Dipath>]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     paths.len().hash(&mut h);
     for p in paths {
-        p.arcs().len().hash(&mut h);
-        for a in p.arcs() {
-            a.index().hash(&mut h);
-        }
+        // Every dipath caches its own content fingerprint (computed once at
+        // interning), so a shard fingerprint is O(members), not O(content).
+        p.fingerprint().hash(&mut h);
     }
     h.finish()
 }
 
-/// Exact content equality between two shards' dipath lists (pointer
-/// equality short-circuits the common shared-handle case). The O(shard
-/// content) comparison is what makes fingerprint adoption safe against
-/// hash collisions.
+/// Exact content equality between two shards' dipath lists. Pointer
+/// equality short-circuits the shared-handle case, and because the family
+/// interns every arc list through one arena, a remove + re-add
+/// reconstitution hits the `ArcList` pointer check — O(members), no
+/// content walk. The exact comparison underneath is what makes fingerprint
+/// adoption safe against hash collisions.
 fn same_paths(a: &[Arc<Dipath>], b: &[Arc<Dipath>]) -> bool {
     a.len() == b.len()
         && a.iter()
             .zip(b)
-            .all(|(x, y)| Arc::ptr_eq(x, y) || x.arcs() == y.arcs())
+            .all(|(x, y)| Arc::ptr_eq(x, y) || x.same_arcs(y))
 }
 
 /// A persistent solving surface over one mutable instance.
@@ -212,11 +289,36 @@ pub struct Workspace {
     arc_users: Vec<Vec<u32>>,
     /// The component partition, canonical order (smallest member first).
     shards: Vec<CachedShard>,
-    /// Cached merged solution of the current state (drop on any mutation).
-    merged: Option<Result<Solution, CoreError>>,
-    /// The [`Resolve`] of the last recomputation (reused verbatim while the
-    /// merged cache stands, with everything counted as reused).
+    /// Cached merged snapshot of the current state (dropped on any
+    /// mutation). Queries hand out clones of the `Arc` — a cache hit is a
+    /// refcount bump, never an instance-sized copy.
+    merged: Option<Arc<Solution>>,
+    /// The [`Resolve`] of the last refresh; stamped onto the snapshot when
+    /// it is materialized.
     last_resolve: Resolve,
+    /// The persistent merged color table, keyed by stable id and patched
+    /// per refresh — the O(dirty) query substrate behind
+    /// [`Workspace::span`] / [`Workspace::color_of`] /
+    /// [`Workspace::delta_since`].
+    table: ColorTable,
+    /// The merged span at the current epoch (max over shard spans,
+    /// maintained per refresh).
+    current_span: usize,
+    /// Refresh generation: bumped once per refresh that folded mutations
+    /// into the table.
+    epoch: u64,
+    /// The last [`DELTA_RETAIN`] refresh generations, oldest first.
+    deltas: VecDeque<DeltaRecord>,
+    /// Stable ids removed since the last refresh and not re-occupied by a
+    /// later addition — the next refresh clears their table slots.
+    pending_removed: BTreeSet<PathId>,
+    /// `true` once the table/span/epoch reflect every mutation applied so
+    /// far (cleared by [`Workspace::apply`], set by the refresh).
+    refreshed: bool,
+    /// The error the last refresh surfaced, if any — replayed to every
+    /// query until a mutation invalidates it, exactly as the merged cache
+    /// used to replay cached errors.
+    refresh_error: Option<CoreError>,
     /// The instance class, computed once at open: mutations never touch the
     /// graph, and the class depends on the graph alone.
     class: DagClass,
@@ -235,6 +337,8 @@ pub struct Workspace {
     recomputes: usize,
     total_reused: usize,
     total_resolved: usize,
+    delta_queries: u64,
+    delta_resyncs: u64,
 }
 
 impl Workspace {
@@ -285,6 +389,7 @@ impl Workspace {
                     members,
                     paths,
                     solved: None,
+                    patched: false,
                 }
             })
             .collect();
@@ -299,10 +404,19 @@ impl Workspace {
             class,
             load_hist,
             max_load,
+            table: ColorTable::new(),
+            current_span: 0,
+            epoch: 0,
+            deltas: VecDeque::new(),
+            pending_removed: BTreeSet::new(),
+            refreshed: false,
+            refresh_error: None,
             reuse_pool: Vec::new(),
             recomputes: 0,
             total_reused: 0,
             total_resolved: 0,
+            delta_queries: 0,
+            delta_resyncs: 0,
         })
     }
 
@@ -351,6 +465,7 @@ impl Workspace {
     /// count, current load, and the reused/resolved shard totals summed
     /// over every recomputation — see [`WorkspaceStats`].
     pub fn stats(&self) -> WorkspaceStats {
+        let arena = self.family.arena_stats();
         WorkspaceStats {
             live_paths: self.family.len(),
             shard_count: self.shards.len(),
@@ -358,6 +473,12 @@ impl Workspace {
             recomputes: self.recomputes,
             shards_reused: self.total_reused,
             shards_resolved: self.total_resolved,
+            interned_arc_lists: arena.lists,
+            intern_hits: arena.hits,
+            intern_misses: arena.misses,
+            epoch: self.epoch,
+            delta_queries: self.delta_queries,
+            delta_resyncs: self.delta_resyncs,
         }
     }
 
@@ -462,6 +583,7 @@ impl Workspace {
             match m {
                 Mutation::Remove(id) => {
                     let p = self.family.remove(id).expect("validated live"); // lint: allow(no-panic): the validation pass above confirmed the id is live
+                    self.pending_removed.insert(id);
                     if let Some(s) = self.shard_containing(id) {
                         dirty_shards.insert(s);
                     }
@@ -490,6 +612,10 @@ impl Workspace {
                         }
                     }
                     let id = self.family.insert(p);
+                    // A reused slot is live again: its pending removal (from
+                    // this batch or an earlier one) is superseded — the next
+                    // refresh reports a color change, not a removal.
+                    self.pending_removed.remove(&id);
                     let p = self
                         .family
                         .get_shared(id)
@@ -572,6 +698,10 @@ impl Workspace {
                     paths,
                     fingerprint,
                     solved,
+                    // Adopted solves included: the banked solve is content-
+                    // identical, but the reconstituted shard may sit under
+                    // different stable ids, so the table patch must re-run.
+                    patched: false,
                 }
             })
             .collect();
@@ -581,6 +711,8 @@ impl Workspace {
         // from-scratch component scan would produce.
         self.shards.sort_by_key(|s| s.members[0]);
         self.merged = None;
+        self.refreshed = false;
+        self.refresh_error = None;
         Ok(added)
     }
 
@@ -588,36 +720,351 @@ impl Workspace {
     /// last call dirtied. Bit-identical to
     /// `self.session().solve(graph, dense_family)` on the current live
     /// members (ascending stable-id order), with [`Solution::resolve`]
-    /// additionally recording the cache split.
+    /// additionally recording the cache split of the refresh that produced
+    /// it.
     ///
-    /// Repeated calls without intervening mutations return the cached
-    /// merged solution (everything counted as reused).
-    pub fn solution(&mut self) -> Result<Solution, CoreError> {
+    /// Returns a shared snapshot: repeated calls without intervening
+    /// mutations hand out the *same* `Arc` (a refcount bump — the
+    /// instance-sized clone per cache hit is gone). The delta surface
+    /// ([`Workspace::span`] / [`Workspace::color_of`] /
+    /// [`Workspace::delta_since`]) answers without materializing a
+    /// snapshot at all; this method stays the bit-identity oracle.
+    pub fn solution(&mut self) -> Result<Arc<Solution>, CoreError> {
+        self.refresh()?;
         if self.merged.is_none() {
-            let computed = self.recompute();
-            self.merged = Some(computed);
+            let sol = self.materialize();
+            self.merged = Some(Arc::new(sol));
         }
-        let mut out = self.merged.clone().expect("just computed"); // lint: allow(no-panic): the branch above just populated self.merged
-        if let Ok(sol) = &mut out {
-            sol.resolve = Some(self.last_resolve);
-        }
-        // Subsequent cache hits report a fully reused resolve.
-        self.last_resolve = Resolve {
-            shards_reused: self.last_resolve.shards_reused + self.last_resolve.shards_resolved,
-            shards_resolved: 0,
-        };
-        out
+        // lint: allow(no-panic): the branch above just populated self.merged
+        Ok(Arc::clone(self.merged.as_ref().expect("just materialized")))
     }
 
-    /// The full recomputation behind a [`Workspace::solution`] cache miss.
-    fn recompute(&mut self) -> Result<Solution, CoreError> {
+    /// The merged span (number of wavelengths) of the current state —
+    /// O(dirty): refreshes the per-shard caches if mutations are pending,
+    /// then reads the maintained maximum without merging anything.
+    pub fn span(&mut self) -> Result<usize, CoreError> {
+        self.refresh()?;
+        Ok(self.current_span)
+    }
+
+    /// The merged color of live member `id` — O(dirty) for the refresh,
+    /// then O(1) from the persistent table. `None` when `id` is not live.
+    /// Agrees exactly with [`Workspace::solution`]'s assignment at the
+    /// member's dense rank.
+    pub fn color_of(&mut self, id: PathId) -> Result<Option<u32>, CoreError> {
+        self.refresh()?;
+        if !self.family.contains(id) {
+            return Ok(None);
+        }
+        Ok(self.table.get(id.index()))
+    }
+
+    /// The current refresh generation, without refreshing — advances once
+    /// per refresh that folded mutations into the color table, so a just-
+    /// mutated workspace still reports the epoch of its last refresh.
+    pub fn epoch(&self) -> Epoch {
+        Epoch(self.epoch)
+    }
+
+    /// Everything that changed since the client's `since` epoch — the
+    /// O(changed) query the serve layer's `QueryDelta` frames ride on.
+    ///
+    /// Replaying the returned [`SolutionDelta`]s in epoch order (apply
+    /// `changes`, drop `removed`, replace wholesale on `full_resync`)
+    /// reconstructs exactly the color table of [`Workspace::solution`].
+    /// The log retains `DELTA_RETAIN` (64) generations; older (or
+    /// unknown, including future) epochs get a full resync.
+    pub fn delta_since(&mut self, since: Epoch) -> Result<SolutionDelta, CoreError> {
+        self.refresh()?;
+        self.delta_queries += 1;
+        let epoch = Epoch(self.epoch);
+        let span = self.current_span;
+        if since.0 == self.epoch {
+            return Ok(SolutionDelta {
+                epoch,
+                span,
+                full_resync: false,
+                changes: Vec::new(),
+                removed: Vec::new(),
+            });
+        }
+        let covered = since.0 < self.epoch
+            && self
+                .deltas
+                .front()
+                .is_some_and(|oldest| oldest.epoch <= since.0 + 1);
+        if !covered {
+            self.delta_resyncs += 1;
+            let changes = self
+                .family
+                .dense_ids()
+                .iter()
+                .map(|&id| {
+                    let color = self
+                        .table
+                        .get(id.index())
+                        .expect("refreshed table covers every live member"); // lint: allow(no-panic): refresh() patched every live member above
+                    (id, color)
+                })
+                .collect();
+            return Ok(SolutionDelta {
+                epoch,
+                span,
+                full_resync: true,
+                changes,
+                removed: Vec::new(),
+            });
+        }
+        // Coalesce the covered generations, newest writer wins per id: a
+        // member changed then removed reports only the removal, a removal
+        // whose slot was re-added reports only the new color.
+        let mut merged: BTreeMap<PathId, Option<u32>> = BTreeMap::new();
+        for rec in self.deltas.iter().filter(|r| r.epoch > since.0) {
+            for &(id, color) in &rec.changes {
+                merged.insert(id, Some(color));
+            }
+            for &id in &rec.removed {
+                merged.insert(id, None);
+            }
+        }
+        let mut changes = Vec::new();
+        let mut removed = Vec::new();
+        for (id, color) in merged {
+            match color {
+                Some(c) => changes.push((id, c)),
+                None => removed.push(id),
+            }
+        }
+        Ok(SolutionDelta {
+            epoch,
+            span,
+            full_resync: false,
+            changes,
+            removed,
+        })
+    }
+
+    /// A snapshot of the persistent merged color table at the current
+    /// epoch (refreshing first). O(pages) pointer copies; consecutive
+    /// snapshots share every page no refresh in between touched.
+    pub fn color_table(&mut self) -> Result<ColorTable, CoreError> {
+        self.refresh()?;
+        Ok(self.table.clone())
+    }
+
+    /// Fold every pending mutation into the per-shard caches, the
+    /// persistent color table, the span, and the delta log — O(dirty).
+    /// Idempotent until the next mutation; every query path calls it
+    /// first.
+    fn refresh(&mut self) -> Result<(), CoreError> {
+        if self.refreshed {
+            return match &self.refresh_error {
+                Some(e) => Err(e.clone()),
+                None => Ok(()),
+            };
+        }
+        self.refreshed = true;
         self.recomputes += 1;
         // Whatever the pool still holds was not reconstituted by the
-        // mutations since the last solve — drop it so the pool's size stays
-        // bounded by the shards dropped between consecutive solves.
+        // mutations since the last refresh — drop it so the pool's size
+        // stays bounded by the shards dropped between consecutive solves.
         self.reuse_pool.clear();
-        // The family's incrementally-patched dense view, plus the class and
-        // load maintained per mutation — nothing here rescans the instance.
+
+        // Borrow-heavy stage: plan + dirty-shard solving. Scoped so the
+        // dense-view and context borrows end before the table is patched.
+        let mono: Option<Result<Solution, CoreError>> = {
+            // The family's incrementally-patched dense view, plus the class
+            // and load maintained per mutation — nothing rescans the
+            // instance.
+            let dense = self.family.dense_view();
+            let ctx = InstanceContext::from_parts(
+                &self.graph,
+                dense,
+                self.class,
+                self.max_load,
+                self.session.request(),
+            );
+            // Stable id → dense rank as a flat table (one pass over the
+            // live ids): the plan and the solve translate every shard
+            // member, and a table lookup beats a per-member binary search
+            // on big instances.
+            let mut rank_of: Vec<u32> = vec![u32::MAX; self.family.slot_count()];
+            for (rank, &id) in self.family.dense_ids().iter().enumerate() {
+                rank_of[id.index()] = rank as u32;
+            }
+            let to_dense = move |members: &[PathId]| -> Vec<PathId> {
+                members
+                    .iter()
+                    .map(|&id| {
+                        let rank = rank_of[id.index()];
+                        debug_assert_ne!(rank, u32::MAX, "shard members are live");
+                        PathId(rank)
+                    })
+                    .collect()
+            };
+
+            // The shared decompose gate, fed by the cached component
+            // partition instead of a from-scratch scan.
+            let shards_ref = &self.shards;
+            let plan = self.session.decomposition_plan_with(&ctx, || {
+                shards_ref.iter().map(|s| to_dense(&s.members)).collect()
+            });
+            if plan.is_none() {
+                // Monolithic path (small instance, no split, or the
+                // Theorem-1 fast-path skip): same dispatch as one-shot.
+                self.last_resolve = Resolve {
+                    shards_reused: 0,
+                    shards_resolved: 1,
+                };
+                self.total_resolved += 1;
+                Some(self.session.dispatch(&ctx))
+            } else {
+                // Solve only the dirty shards, concurrently, through the
+                // same per-shard engine as the one-shot decomposed path.
+                let shard_session = self.session.shard_session();
+                let dirty: Vec<usize> = (0..self.shards.len())
+                    .filter(|&i| self.shards[i].solved.is_none())
+                    .collect();
+                let dirty_components: Vec<Vec<PathId>> = dirty
+                    .iter()
+                    .map(|&i| to_dense(&self.shards[i].members))
+                    .collect();
+                let results = shard_session.solve_components(&self.graph, dense, &dirty_components);
+                for (&i, result) in dirty.iter().zip(results) {
+                    // Cache the shard-local solution only — the dense ids
+                    // it was solved under are recomputed per merge, so
+                    // later removals elsewhere cannot stale the cache.
+                    self.shards[i].solved = Some(result.map(|(_, sol)| sol));
+                }
+                self.last_resolve = Resolve {
+                    shards_reused: self.shards.len() - dirty.len(),
+                    shards_resolved: dirty.len(),
+                };
+                self.total_reused += self.shards.len() - dirty.len();
+                self.total_resolved += dirty.len();
+                None
+            }
+        };
+
+        match mono {
+            Some(Ok(mut sol)) => {
+                sol.resolve = Some(self.last_resolve);
+                self.patch_from_full(&sol);
+                // The table now holds the *monolithic* coloring, which a
+                // later per-shard normalization may disagree with — no
+                // shard's entries are trustworthy as shard-normalized.
+                for s in &mut self.shards {
+                    s.patched = false;
+                }
+                self.merged = Some(Arc::new(sol));
+                Ok(())
+            }
+            Some(Err(e)) => {
+                self.refresh_error = Some(e.clone());
+                Err(e)
+            }
+            None => self.patch_from_shards(),
+        }
+    }
+
+    /// Patch the persistent table from every shard it does not yet
+    /// reflect, normalizing each shard's palette by first appearance —
+    /// byte-for-byte the rule [`merge_shards`] applies, and because that
+    /// normalization is *per shard* (it never looks across shards), a
+    /// clean shard's table entries stay valid verbatim.
+    fn patch_from_shards(&mut self) -> Result<(), CoreError> {
+        // First error in canonical shard order wins — same rule as the
+        // merge. The table, span, epoch, and delta log stay untouched; the
+        // error replays to every query until a mutation clears it.
+        for shard in &self.shards {
+            if let Some(Err(e)) = &shard.solved {
+                let e = e.clone();
+                self.refresh_error = Some(e.clone());
+                return Err(e);
+            }
+        }
+        let mut changes: Vec<(PathId, u32)> = Vec::new();
+        let mut palette: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut span = 0usize;
+        for shard in self.shards.iter_mut() {
+            let sol = match &shard.solved {
+                Some(Ok(sol)) => sol,
+                // lint: allow(no-panic): refresh() solved every shard, and the error scan above returned on failures
+                _ => unreachable!("refresh solved every shard"),
+            };
+            span = span.max(sol.num_colors);
+            if shard.patched {
+                continue;
+            }
+            palette.clear();
+            for (local, &orig) in shard.members.iter().enumerate() {
+                let raw = sol.assignment.color(PathId::from_index(local));
+                let next = palette.len() as u32;
+                let color = *palette.entry(raw).or_insert(next);
+                if self.table.get(orig.index()) != Some(color) {
+                    self.table.set(orig.index(), color);
+                    changes.push((orig, color));
+                }
+            }
+            shard.patched = true;
+        }
+        let removed = self.drain_removed();
+        self.current_span = span;
+        self.record_delta(changes, removed);
+        Ok(())
+    }
+
+    /// Monolithic twin of [`Workspace::patch_from_shards`]: diff the full
+    /// dispatch solution against the table (O(live) — the monolithic solve
+    /// was already O(live), so the diff adds no asymptotic cost).
+    fn patch_from_full(&mut self, sol: &Solution) {
+        let mut changes: Vec<(PathId, u32)> = Vec::new();
+        for (rank, &id) in self.family.dense_ids().iter().enumerate() {
+            let color = sol.assignment.color(PathId::from_index(rank)) as u32;
+            if self.table.get(id.index()) != Some(color) {
+                self.table.set(id.index(), color);
+                changes.push((id, color));
+            }
+        }
+        let removed = self.drain_removed();
+        self.current_span = sol.num_colors;
+        self.record_delta(changes, removed);
+    }
+
+    /// Clear the table slots of members removed since the last refresh
+    /// (skipping slots a later addition re-occupied — those surface as
+    /// changes instead) and report which ids actually left the table.
+    fn drain_removed(&mut self) -> Vec<PathId> {
+        let pending = std::mem::take(&mut self.pending_removed);
+        let mut removed = Vec::new();
+        for id in pending {
+            if !self.family.contains(id) && self.table.get(id.index()).is_some() {
+                self.table.clear(id.index());
+                removed.push(id);
+            }
+        }
+        removed
+    }
+
+    /// Advance the epoch and append its delta record, trimming the log to
+    /// [`DELTA_RETAIN`] generations.
+    fn record_delta(&mut self, changes: Vec<(PathId, u32)>, removed: Vec<PathId>) {
+        self.epoch += 1;
+        self.deltas.push_back(DeltaRecord {
+            epoch: self.epoch,
+            changes,
+            removed,
+        });
+        while self.deltas.len() > DELTA_RETAIN {
+            self.deltas.pop_front();
+        }
+    }
+
+    /// Merge the (refreshed, all-solved) shard caches into a full
+    /// [`Solution`] — the lazy half behind a [`Workspace::solution`] cache
+    /// miss; the delta surface never runs this. Only the sharded refresh
+    /// path lands here (the monolithic path caches its snapshot directly).
+    fn materialize(&mut self) -> Solution {
         let dense = self.family.dense_view();
         let ctx = InstanceContext::from_parts(
             &self.graph,
@@ -626,79 +1073,32 @@ impl Workspace {
             self.max_load,
             self.session.request(),
         );
-        // Stable id → dense rank as a flat table (one pass over the live
-        // ids): the plan and the merge translate every shard member, and a
-        // table lookup beats a per-member binary search on big instances.
         let mut rank_of: Vec<u32> = vec![u32::MAX; self.family.slot_count()];
         for (rank, &id) in self.family.dense_ids().iter().enumerate() {
             rank_of[id.index()] = rank as u32;
         }
-        let to_dense = move |members: &[PathId]| -> Vec<PathId> {
-            members
-                .iter()
-                .map(|&id| {
-                    let rank = rank_of[id.index()];
-                    debug_assert_ne!(rank, u32::MAX, "shard members are live");
-                    PathId(rank)
-                })
-                .collect()
-        };
-
-        // The shared decompose gate, fed by the cached component partition
-        // instead of a from-scratch scan.
-        let shards_ref = &self.shards;
-        let plan = self.session.decomposition_plan_with(&ctx, || {
-            shards_ref.iter().map(|s| to_dense(&s.members)).collect()
-        });
-        let Some(components) = plan else {
-            // Monolithic path (small instance, no split, or the Theorem-1
-            // fast-path skip): same dispatch the one-shot path runs.
-            self.last_resolve = Resolve {
-                shards_reused: 0,
-                shards_resolved: 1,
-            };
-            self.total_resolved += 1;
-            return self.session.dispatch(&ctx);
-        };
-
-        // Solve only the dirty shards, concurrently, through the same
-        // per-shard engine as the one-shot decomposed path.
-        let shard_session = self.session.shard_session();
-        let dirty: Vec<usize> = (0..self.shards.len())
-            .filter(|&i| self.shards[i].solved.is_none())
-            .collect();
-        let dirty_components: Vec<Vec<PathId>> = dirty
-            .iter()
-            .map(|&i| to_dense(&self.shards[i].members))
-            .collect();
-        let results = shard_session.solve_components(&self.graph, dense, &dirty_components);
-        for (&i, result) in dirty.iter().zip(results) {
-            // Cache the shard-local solution only — the dense ids it was
-            // solved under are recomputed per merge, so later removals
-            // elsewhere cannot stale the cache.
-            self.shards[i].solved = Some(result.map(|(_, sol)| sol));
-        }
-        self.last_resolve = Resolve {
-            shards_reused: self.shards.len() - dirty.len(),
-            shards_resolved: dirty.len(),
-        };
-        self.total_reused += self.shards.len() - dirty.len();
-        self.total_resolved += dirty.len();
-
         // Merge every shard (cached + fresh) in canonical order — the same
-        // merge, and the same first-error-wins rule, as the one-shot path.
-        // Cached solutions are merged by reference: a re-merge never deep-
+        // merge as the one-shot path, by reference: a re-merge never deep-
         // clones the clean shards' solutions.
-        debug_assert_eq!(components.len(), self.shards.len());
-        let mut shards: Vec<(Vec<PathId>, &Solution)> = Vec::with_capacity(self.shards.len());
-        for (shard, dense_members) in self.shards.iter().zip(components) {
-            // lint: allow(no-panic): the loop above solved every shard in the plan
-            match shard.solved.as_ref().expect("every shard solved above") {
-                Ok(sol) => shards.push((dense_members, sol)),
-                Err(e) => return Err(e.clone()),
-            }
-        }
-        Ok(merge_shards(&ctx, shards))
+        let shards: Vec<(Vec<PathId>, &Solution)> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let members = shard
+                    .members
+                    .iter()
+                    .map(|&id| PathId(rank_of[id.index()]))
+                    .collect();
+                match shard.solved.as_ref() {
+                    Some(Ok(sol)) => (members, sol),
+                    // lint: allow(no-panic): refresh() solved every shard and surfaced any error before this runs
+                    _ => unreachable!("refresh solved every shard"),
+                }
+            })
+            .collect();
+        let mut sol = merge_shards(&ctx, shards);
+        sol.resolve = Some(self.last_resolve);
+        sol
     }
 
     /// An arc's load just rose to `new_load`: move it between histogram
@@ -817,13 +1217,18 @@ mod tests {
     }
 
     #[test]
-    fn cache_hit_reports_fully_reused() {
+    fn cache_hit_returns_the_same_snapshot() {
         let (g, f) = two_chain_instance();
         let mut ws = Workspace::new(sharded_session(), g, f).unwrap();
-        ws.solution().unwrap();
-        let again = ws.solution().unwrap().resolve.unwrap();
-        assert_eq!(again.shards_resolved, 0);
-        assert_eq!(again.shards_reused, 2);
+        let first = ws.solution().unwrap();
+        let again = ws.solution().unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "a cache hit is a refcount bump, not a clone"
+        );
+        let r = again.resolve.unwrap();
+        assert_eq!(r.shards_resolved, 2, "snapshot keeps its refresh's split");
+        assert_eq!(r.shards_reused, 0);
     }
 
     #[test]
@@ -943,5 +1348,158 @@ mod tests {
         let id = ws.add_path(path(&g, &[0, 1])).unwrap();
         assert_eq!(id, PathId(1), "smallest tombstone reused");
         assert_matches_scratch(&mut ws);
+    }
+
+    /// The oracle's color of each live member, keyed by stable id.
+    fn solution_colors(ws: &mut Workspace) -> BTreeMap<PathId, u32> {
+        let sol = ws.solution().unwrap();
+        ws.family()
+            .dense_ids()
+            .iter()
+            .enumerate()
+            .map(|(rank, &id)| (id, sol.assignment.color(PathId::from_index(rank)) as u32))
+            .collect()
+    }
+
+    /// Apply one delta to a client-side mirror of the color table.
+    fn replay(mirror: &mut BTreeMap<PathId, u32>, delta: &SolutionDelta) {
+        if delta.full_resync {
+            mirror.clear();
+        }
+        for &id in &delta.removed {
+            mirror.remove(&id);
+        }
+        for &(id, c) in &delta.changes {
+            mirror.insert(id, c);
+        }
+    }
+
+    #[test]
+    fn span_and_color_of_agree_with_solution() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let expected = solution_colors(&mut ws);
+        assert_eq!(ws.span().unwrap(), ws.solution().unwrap().num_colors);
+        for (&id, &c) in &expected {
+            assert_eq!(ws.color_of(id).unwrap(), Some(c));
+        }
+        assert_eq!(ws.color_of(PathId(99)).unwrap(), None, "not live");
+        ws.add_path(path(&g, &[4, 5])).unwrap();
+        let expected = solution_colors(&mut ws);
+        assert_eq!(ws.span().unwrap(), 3, "arc 4→5 carries load 3");
+        for (&id, &c) in &expected {
+            assert_eq!(ws.color_of(id).unwrap(), Some(c));
+        }
+    }
+
+    #[test]
+    fn delta_replay_reconstructs_the_solution_table() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let mut mirror = BTreeMap::new();
+        let mut synced = Epoch::default();
+        // Initial sync from epoch 0 delivers the whole table as changes.
+        let d0 = ws.delta_since(synced).unwrap();
+        assert!(!d0.full_resync);
+        replay(&mut mirror, &d0);
+        synced = d0.epoch;
+        assert_eq!(mirror, solution_colors(&mut ws));
+
+        // Churn: add to one chain, remove from the other, then replay.
+        let added = ws.add_path(path(&g, &[4, 5])).unwrap();
+        ws.remove_path(PathId(1)).unwrap();
+        let d1 = ws.delta_since(synced).unwrap();
+        assert!(!d1.full_resync);
+        assert!(d1.epoch > synced);
+        assert!(d1.removed.contains(&PathId(1)));
+        replay(&mut mirror, &d1);
+        synced = d1.epoch;
+        assert_eq!(mirror, solution_colors(&mut ws));
+        assert_eq!(d1.span, ws.span().unwrap());
+        assert!(mirror.contains_key(&added));
+
+        // Already synced: the delta is empty and the epoch stands still.
+        let d2 = ws.delta_since(synced).unwrap();
+        assert_eq!(d2.epoch, synced);
+        assert!(d2.changes.is_empty() && d2.removed.is_empty() && !d2.full_resync);
+    }
+
+    #[test]
+    fn unknown_epoch_gets_a_full_resync() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g, f).unwrap();
+        ws.solution().unwrap();
+        // A client claiming an epoch from the future is beyond the log.
+        let d = ws.delta_since(Epoch(999)).unwrap();
+        assert!(d.full_resync);
+        assert!(d.removed.is_empty());
+        let mut mirror = BTreeMap::new();
+        replay(&mut mirror, &d);
+        assert_eq!(mirror, solution_colors(&mut ws));
+        let s = ws.stats();
+        assert_eq!(s.delta_queries, 1);
+        assert_eq!(s.delta_resyncs, 1);
+    }
+
+    #[test]
+    fn epoch_older_than_the_log_gets_a_full_resync() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let first = ws.delta_since(Epoch::default()).unwrap();
+        // Push the log past DELTA_RETAIN generations.
+        for _ in 0..DELTA_RETAIN + 1 {
+            let id = ws.add_path(path(&g, &[0, 1])).unwrap();
+            ws.span().unwrap();
+            ws.remove_path(id).unwrap();
+            ws.span().unwrap();
+        }
+        let d = ws.delta_since(first.epoch).unwrap();
+        assert!(d.full_resync, "epoch fell off the retained log");
+        let mut mirror = BTreeMap::new();
+        replay(&mut mirror, &d);
+        assert_eq!(mirror, solution_colors(&mut ws));
+    }
+
+    #[test]
+    fn remove_and_readd_of_identical_path_changes_nothing() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let synced = ws.delta_since(Epoch::default()).unwrap().epoch;
+        // Retire and re-admit the same dipath in one batch: the slot is
+        // re-occupied, the shard adopts its pooled solve, and the delta
+        // carries neither a change nor a removal.
+        ws.apply([
+            Mutation::Remove(PathId(1)),
+            Mutation::Add(path(&g, &[1, 2])),
+        ])
+        .unwrap();
+        let d = ws.delta_since(synced).unwrap();
+        assert!(d.epoch > synced, "the refresh still advances the epoch");
+        assert!(!d.full_resync);
+        assert!(
+            d.changes.is_empty(),
+            "same path, same color: {:?}",
+            d.changes
+        );
+        assert!(
+            d.removed.is_empty(),
+            "slot was re-occupied: {:?}",
+            d.removed
+        );
+        assert_matches_scratch(&mut ws);
+    }
+
+    #[test]
+    fn color_table_snapshots_share_pages_across_cache_hits() {
+        let (g, f) = two_chain_instance();
+        let mut ws = Workspace::new(sharded_session(), g.clone(), f).unwrap();
+        let t1 = ws.color_table().unwrap();
+        let t2 = ws.color_table().unwrap();
+        assert_eq!(t1.shared_pages_with(&t2), t1.page_count());
+        assert!(t1.page_count() > 0);
+        // The old snapshot keeps its colors after further churn.
+        ws.add_path(path(&g, &[4, 5])).unwrap();
+        ws.span().unwrap();
+        assert_eq!(t1.get(0), ws.color_of(PathId(0)).unwrap());
     }
 }

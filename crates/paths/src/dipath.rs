@@ -7,16 +7,22 @@
 //! nevertheless verifies simplicity to catch generator bugs early.
 
 use crate::error::PathError;
+use crate::intern::{ArcList, ArcListArena};
 use dagwave_graph::{ArcId, Digraph, VertexId};
 
 /// A non-empty contiguous arc sequence in some digraph.
 ///
 /// The dipath stores arc ids only; endpoint queries take the digraph. Equality
-/// is by arc sequence.
+/// is by arc sequence. The sequence lives in an [`ArcList`] — an immutable
+/// shared allocation that an [`ArcListArena`] can deduplicate — so cloning a
+/// dipath is a refcount bump and two dipaths interned through one arena can be
+/// compared by pointer. The front-shrink/extend edit operations rebuild the
+/// list (same asymptotics as the `Vec` shift they replaced: those edits are
+/// O(len) either way).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dipath {
-    arcs: Vec<ArcId>,
+    arcs: ArcList,
 }
 
 impl Dipath {
@@ -42,7 +48,9 @@ impl Dipath {
                 return Err(PathError::RepeatedVertex(h));
             }
         }
-        Ok(Dipath { arcs })
+        Ok(Dipath {
+            arcs: ArcList::from_vec(arcs),
+        })
     }
 
     /// Build from a vertex route `x_1, …, x_k`, picking the first arc between
@@ -65,29 +73,68 @@ impl Dipath {
 
     /// Build a single-arc dipath.
     pub fn single(arc: ArcId) -> Self {
-        Dipath { arcs: vec![arc] }
+        Dipath {
+            arcs: ArcList::from_vec(vec![arc]),
+        }
     }
 
-    /// Build from an arc sequence the *caller* guarantees is contiguous and
-    /// simple in `g` — the shard-extraction fast path, where the sequence is
-    /// an index remap of an already-validated dipath, so re-running the
+    /// Build from an (already-interned) arc list the *caller* guarantees is
+    /// contiguous and simple in `g` — the shard-extraction fast path, where
+    /// the sequence is an index remap of an already-validated dipath coming
+    /// straight out of the extraction scratch's arena, so re-running the
     /// `HashSet` simplicity sweep per shard member would be pure overhead.
     /// Debug builds re-validate anyway (the shadow-check discipline);
     /// release builds trust the remap invariant.
-    pub(crate) fn from_arcs_trusted(g: &Digraph, arcs: Vec<ArcId>) -> Self {
+    pub(crate) fn from_list_trusted(g: &Digraph, arcs: ArcList) -> Self {
         if cfg!(debug_assertions) {
-            // lint: allow(no-panic): debug-only shadow re-validation of the remap invariant
-            Dipath::from_arcs(g, arcs).expect("trusted arc sequence re-validates")
-        } else {
-            let _ = g;
-            Dipath { arcs }
+            Dipath::from_arcs(g, arcs.as_slice().to_vec())
+                .expect("trusted arc sequence re-validates"); // lint: allow(no-panic): debug-only shadow re-validation of the remap invariant
         }
+        let _ = g;
+        Dipath { arcs }
+    }
+
+    /// Rebuild this dipath around a content-equal interned list — the arena
+    /// adoption step ([`crate::PathFamily`] interns on insert).
+    pub(crate) fn with_list(&self, list: ArcList) -> Dipath {
+        debug_assert_eq!(
+            self.arcs.as_slice(),
+            list.as_slice(),
+            "interned list must be content-equal"
+        );
+        Dipath { arcs: list }
+    }
+
+    /// Intern this dipath's arc list in `arena`, adopting the arena's shared
+    /// handle when the content was seen before.
+    pub fn intern_into(&mut self, arena: &mut ArcListArena) {
+        self.arcs = arena.intern(self.arcs.clone());
     }
 
     /// The arc sequence.
     #[inline]
     pub fn arcs(&self) -> &[ArcId] {
+        self.arcs.as_slice()
+    }
+
+    /// The interned arc-list handle (content fingerprint + shared
+    /// allocation).
+    #[inline]
+    pub fn arc_list(&self) -> &ArcList {
         &self.arcs
+    }
+
+    /// The cached content fingerprint of the arc sequence.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.arcs.fingerprint()
+    }
+
+    /// Content equality with a pointer-first short-circuit: O(1) for two
+    /// handles interned through one arena, exact compare otherwise.
+    #[inline]
+    pub fn same_arcs(&self, other: &Dipath) -> bool {
+        self.arcs == other.arcs
     }
 
     /// Number of arcs.
@@ -128,7 +175,7 @@ impl Dipath {
     pub fn vertices(&self, g: &Digraph) -> Vec<VertexId> {
         let mut vs = Vec::with_capacity(self.arcs.len() + 1);
         vs.push(self.source(g));
-        for &a in &self.arcs {
+        for &a in self.arcs.as_slice() {
             vs.push(g.head(a));
         }
         vs
@@ -153,7 +200,7 @@ impl Dipath {
         } else {
             (self, other)
         };
-        let mut probe: Vec<ArcId> = small.arcs.clone();
+        let mut probe: Vec<ArcId> = small.arcs.to_vec();
         probe.sort_unstable();
         big.arcs
             .iter()
@@ -169,7 +216,7 @@ impl Dipath {
         } else {
             (other, self)
         };
-        let mut probe: Vec<ArcId> = small.arcs.clone();
+        let mut probe: Vec<ArcId> = small.arcs.to_vec();
         probe.sort_unstable();
         big.arcs.iter().any(|a| probe.binary_search(a).is_ok())
     }
@@ -181,7 +228,9 @@ impl Dipath {
         if self.arcs.len() <= 1 {
             return None;
         }
-        Some(self.arcs.remove(0))
+        let removed = self.arcs[0];
+        self.arcs = ArcList::from_slice(&self.arcs.as_slice()[1..]);
+        Some(removed)
     }
 
     /// Prepend an arc (must satisfy `head(arc) = tail(first)`).
@@ -192,7 +241,10 @@ impl Dipath {
                 next: self.first_arc(),
             });
         }
-        self.arcs.insert(0, arc);
+        let mut arcs = Vec::with_capacity(self.arcs.len() + 1);
+        arcs.push(arc);
+        arcs.extend_from_slice(self.arcs.as_slice());
+        self.arcs = ArcList::from_vec(arcs);
         Ok(())
     }
 
@@ -202,7 +254,7 @@ impl Dipath {
             return None;
         }
         Some(Dipath {
-            arcs: self.arcs[from..to].to_vec(),
+            arcs: ArcList::from_slice(&self.arcs.as_slice()[from..to]),
         })
     }
 }

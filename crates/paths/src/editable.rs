@@ -26,6 +26,7 @@
 
 use crate::dipath::Dipath;
 use crate::family::{DipathFamily, PathId};
+use crate::intern::{ArcListArena, ArenaStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -64,6 +65,10 @@ pub struct PathFamily {
     /// `dense_of[rank]` = the stable id at that dense rank (sorted
     /// ascending, so stable→dense is a binary search).
     dense_of: Vec<PathId>,
+    /// Append-only arc-list interner: [`PathFamily::insert`] routes every
+    /// dipath through it, so content seen before (replication, remove +
+    /// re-add churn) reuses one allocation and compares by pointer.
+    arena: ArcListArena,
 }
 
 impl PathFamily {
@@ -72,14 +77,30 @@ impl PathFamily {
         Self::default()
     }
 
-    /// Adopt a dense family: member `i` becomes slot `i`, all live. The
-    /// slots share the input's dipaths (refcount bumps, no deep clone).
+    /// Adopt a dense family: member `i` becomes slot `i`, all live. Every
+    /// member's arc list is interned; first occurrences keep the input's
+    /// dipath handle (a refcount bump, no deep clone), while content
+    /// duplicates are rebound to share the first occurrence's allocation —
+    /// a replicated family costs one arc list per *distinct* sequence.
     pub fn from_family(family: &DipathFamily) -> Self {
+        let mut arena = ArcListArena::new();
+        let shared: Vec<Arc<Dipath>> = family
+            .iter_shared()
+            .map(|(_, p)| {
+                let interned = arena.intern(p.arc_list().clone());
+                if interned.ptr_eq(p.arc_list()) {
+                    Arc::clone(p)
+                } else {
+                    Arc::new(p.with_list(interned))
+                }
+            })
+            .collect();
         PathFamily {
-            slots: family.iter_shared().map(|(_, p)| Some(p.clone())).collect(),
+            slots: shared.iter().cloned().map(Some).collect(),
             free: BinaryHeap::new(),
-            dense: family.clone(),
+            dense: DipathFamily::from_shared(shared),
             dense_of: family.ids().collect(),
+            arena,
         }
     }
 
@@ -124,14 +145,28 @@ impl PathFamily {
     }
 
     /// Insert a dipath, reusing the smallest free slot (tombstone first,
-    /// growth second), and return its stable id.
-    pub fn insert(&mut self, p: Dipath) -> PathId {
-        self.insert_shared(Arc::new(p))
+    /// growth second), and return its stable id. The dipath's arc list is
+    /// interned first: re-adding previously-seen content (the remove +
+    /// re-add churn pattern) adopts the original allocation, so downstream
+    /// caches can match it by pointer instead of content.
+    pub fn insert(&mut self, mut p: Dipath) -> PathId {
+        p.intern_into(&mut self.arena);
+        self.insert_slot(Arc::new(p))
     }
 
     /// [`PathFamily::insert`] for an already-shared dipath: the slot table
     /// and the dense view both hold the *same* handle (one refcount bump).
+    /// The handle's arc list is registered with the interner (so later
+    /// [`PathFamily::insert`]s of equal content share it) but never rebound
+    /// — the caller's handle stays the one stored.
     pub fn insert_shared(&mut self, p: Arc<Dipath>) -> PathId {
+        let _ = self.arena.intern(p.arc_list().clone());
+        self.insert_slot(p)
+    }
+
+    /// Slot assignment + dense-view patch shared by the insert paths (the
+    /// arc list is already interned/registered by the caller).
+    fn insert_slot(&mut self, p: Arc<Dipath>) -> PathId {
         let id = match self.free.pop() {
             Some(Reverse(slot)) => {
                 debug_assert!(self.slots[slot as usize].is_none(), "slot was free");
@@ -301,6 +336,13 @@ impl PathFamily {
     pub fn to_dense(&self) -> (DipathFamily, Vec<PathId>) {
         (self.dense.clone(), self.dense_of.clone())
     }
+
+    /// Counters of the family's arc-list interner: distinct sequences
+    /// stored (the arena is append-only — removals do not shrink it) plus
+    /// cumulative intern hits/misses.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
 }
 
 impl From<DipathFamily> for PathFamily {
@@ -443,6 +485,60 @@ mod tests {
         f.free.push(Reverse(7)); // a slot that was never allocated
         f.dense_of.push(PathId(9)); // keep the count check from firing first
         let _ = f.remove(PathId(0));
+    }
+
+    #[test]
+    fn insert_interns_and_readd_shares_allocation() {
+        let (_, paths) = chain();
+        let mut f = PathFamily::new();
+        let a = f.insert(paths[0].clone());
+        let b = f.insert(paths[0].clone());
+        assert!(
+            f.get(a)
+                .unwrap()
+                .arc_list()
+                .ptr_eq(f.get(b).unwrap().arc_list()),
+            "duplicate insert shares one arc list"
+        );
+        // Remove + re-add resolves through the append-only arena: the
+        // reconstituted member adopts the original allocation.
+        f.remove(a).unwrap();
+        let c = f.insert(paths[0].clone());
+        assert_eq!(c, a, "smallest tombstone reused");
+        assert!(
+            f.get(c)
+                .unwrap()
+                .arc_list()
+                .ptr_eq(f.get(b).unwrap().arc_list()),
+            "re-added content shares the original allocation"
+        );
+        let stats = f.arena_stats();
+        assert_eq!(stats.lists, 1, "one distinct sequence");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn from_family_dedups_replicated_members() {
+        let (_, paths) = chain();
+        let dense =
+            DipathFamily::from_paths(vec![paths[0].clone(), paths[0].clone(), paths[1].clone()]);
+        let f = PathFamily::from_family(&dense);
+        assert!(
+            f.get(PathId(0))
+                .unwrap()
+                .arc_list()
+                .ptr_eq(f.get(PathId(1)).unwrap().arc_list()),
+            "replicated members share the first occurrence's allocation"
+        );
+        assert_eq!(f.arena_stats().lists, 2);
+        // The slot/dense sharing invariant survives the rebind.
+        for (rank, &id) in f.dense_ids().iter().enumerate() {
+            assert!(Arc::ptr_eq(
+                f.get_shared(id).unwrap(),
+                f.dense_view().shared(PathId::from_index(rank))
+            ));
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   dense conversion never deep-clones — plus
 //!   [`conflict_components_among`] for recomputing components over only a
 //!   dirty member pool.
+//! * [`intern`] — [`ArcList`] / [`ArcListArena`]: shared, content-addressed
+//!   arc sequences. Every [`Dipath`] stores an `ArcList`; families intern on
+//!   insert, so replicated or churned dipaths share one allocation per
+//!   distinct sequence and compare by pointer.
 //! * [`subinstance`] — [`SubInstance`] extraction: one conflict-graph
 //!   component as a standalone instance with a dense local family, a
 //!   restricted host graph, and the inverse id map (the decompose half of
@@ -47,6 +51,7 @@ pub mod dipath;
 pub mod editable;
 pub mod error;
 pub mod family;
+pub mod intern;
 pub mod load;
 pub mod stats;
 pub mod subinstance;
@@ -73,4 +78,5 @@ pub use dipath::Dipath;
 pub use editable::PathFamily;
 pub use error::PathError;
 pub use family::{DipathFamily, PathId};
+pub use intern::{ArcList, ArcListArena, ArenaStats};
 pub use subinstance::{ExtractScratch, SubInstance};

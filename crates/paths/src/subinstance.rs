@@ -27,6 +27,7 @@
 
 use crate::dipath::Dipath;
 use crate::family::{DipathFamily, PathId};
+use crate::intern::ArcListArena;
 use dagwave_graph::{ArcId, Digraph, VertexId};
 
 /// Reusable renumbering tables for [`SubInstance::extract_with`].
@@ -47,6 +48,12 @@ pub struct ExtractScratch {
     stamp: u32,
     used_arcs: Vec<ArcId>,
     used_vertices: Vec<VertexId>,
+    /// Interner for the remapped member sequences: duplicated members
+    /// (within one shard or across shards extracted through the same
+    /// scratch) share one shard-local arc list instead of re-allocating
+    /// it per extraction.
+    arena: ArcListArena,
+    remap_buf: Vec<ArcId>,
 }
 
 impl ExtractScratch {
@@ -165,15 +172,20 @@ impl SubInstance {
         let family: DipathFamily = members
             .iter()
             .map(|&id| {
-                let arcs = family
-                    .path(id)
-                    .arcs()
-                    .iter()
-                    .map(|&a| ArcId(scratch.arc_new[a.index()]))
-                    .collect();
+                scratch.remap_buf.clear();
+                scratch.remap_buf.extend(
+                    family
+                        .path(id)
+                        .arcs()
+                        .iter()
+                        .map(|&a| ArcId(scratch.arc_new[a.index()])),
+                );
+                // Resolve the remapped sequence through the scratch's arena:
+                // a duplicated member costs a lookup, not an allocation.
+                let arcs = scratch.arena.intern_slice(&scratch.remap_buf);
                 // The remap is monotone on a validated dipath, so contiguity
                 // and simplicity carry over; debug builds re-validate inside.
-                Dipath::from_arcs_trusted(&graph, arcs)
+                Dipath::from_list_trusted(&graph, arcs)
             })
             .collect();
         SubInstance {
@@ -280,6 +292,21 @@ mod tests {
             sub.family.path(PathId(0)).arcs(),
             sub.family.path(PathId(1)).arcs(),
             "paths still take distinct copies"
+        );
+    }
+
+    #[test]
+    fn duplicated_members_share_one_arc_list() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let p = Dipath::from_vertices(&g, &[v(0), v(1), v(2)]).unwrap();
+        let f = DipathFamily::from_paths(vec![p.clone(), p]);
+        let sub = SubInstance::extract(&g, &f, &[PathId(0), PathId(1)]);
+        assert!(
+            sub.family
+                .shared(PathId(0))
+                .arc_list()
+                .ptr_eq(sub.family.shared(PathId(1)).arc_list()),
+            "identical members resolve to one interned allocation"
         );
     }
 

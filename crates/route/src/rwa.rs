@@ -10,6 +10,7 @@ use crate::routing::{route_all, RouteError, RoutingStrategy};
 use dagwave_core::{CoreError, Solution, SolveSession, Workspace};
 use dagwave_graph::Digraph;
 use dagwave_paths::{DipathFamily, PathId};
+use std::sync::Arc;
 
 /// Errors from the pipeline.
 #[derive(Debug)]
@@ -196,8 +197,9 @@ impl RwaWorkspace {
 
     /// The current wavelength solution, re-solving only what changed since
     /// the last call ([`dagwave_core::Solution::resolve`] records the
-    /// reused/recomputed shard split).
-    pub fn solution(&mut self) -> Result<Solution, RwaError> {
+    /// reused/recomputed shard split). Returns a shared snapshot — repeated
+    /// calls without intervening mutations are refcount bumps.
+    pub fn solution(&mut self) -> Result<Arc<Solution>, RwaError> {
         self.workspace.solution().map_err(RwaError::Coloring)
     }
 

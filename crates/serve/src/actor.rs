@@ -35,7 +35,9 @@ use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread;
 
-use dagwave_core::{CoreError, Mutation, Solution, Workspace, WorkspaceStats};
+use dagwave_core::{
+    CoreError, Epoch, Mutation, Solution, SolutionDelta, Workspace, WorkspaceStats,
+};
 use dagwave_graph::ArcId;
 use dagwave_paths::{Dipath, PathId};
 
@@ -101,6 +103,8 @@ pub struct ActorStats {
     pub applies: u64,
     /// Solution queries served.
     pub queries: u64,
+    /// Delta queries served ([`TenantHandle::query_delta`]).
+    pub delta_queries: u64,
 }
 
 /// An immutable view of one solved state: the solution plus the stable id
@@ -121,6 +125,10 @@ enum Command {
     },
     Query {
         reply: Sender<Result<Snapshot, ServeError>>,
+    },
+    QueryDelta {
+        since: u64,
+        reply: Sender<Result<SolutionDelta, ServeError>>,
     },
     Stats {
         reply: Sender<(WorkspaceStats, ActorStats)>,
@@ -153,6 +161,18 @@ impl TenantHandle {
         let (reply, rx) = mpsc::channel();
         self.tx
             .send(Command::Query { reply })
+            .map_err(|_| ServeError::Stopped)?;
+        rx.recv().map_err(|_| ServeError::Stopped)?
+    }
+
+    /// Fetch everything that changed since the client's last synced
+    /// epoch — O(changed) on the actor thread, no full solution
+    /// materialized. Replaying the deltas in epoch order reconstructs
+    /// exactly the color table [`TenantHandle::query`] would report.
+    pub fn query_delta(&self, since: u64) -> Result<SolutionDelta, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::QueryDelta { since, reply })
             .map_err(|_| ServeError::Stopped)?;
         rx.recv().map_err(|_| ServeError::Stopped)?
     }
@@ -253,8 +273,10 @@ fn serve_read(
                 None => ws
                     .solution()
                     .map(|solution| {
+                        // `solution` is already a shared snapshot — a
+                        // repeat query bumps refcounts, nothing more.
                         let snap = Snapshot {
-                            solution: Arc::new(solution),
+                            solution,
                             ids: Arc::new(ws.family().dense_ids().to_vec()),
                         };
                         *snapshot = Some(snap.clone());
@@ -263,6 +285,11 @@ fn serve_read(
                     .map_err(ServeError::Core),
             };
             let _ = reply.send(snap);
+        }
+        Command::QueryDelta { since, reply } => {
+            stats.delta_queries += 1;
+            let delta = ws.delta_since(Epoch(since)).map_err(ServeError::Core);
+            let _ = reply.send(delta);
         }
         Command::Stats { reply } => {
             let _ = reply.send((ws.stats(), *stats));
@@ -510,6 +537,23 @@ mod tests {
         h.stop();
         join.join().expect("actor exits cleanly");
         assert!(matches!(h.query(), Err(ServeError::Stopped)));
+    }
+
+    #[test]
+    fn delta_queries_flow_through_the_actor() {
+        let (h, join) = spawn_tenant(line_workspace(5), None, 64);
+        h.apply(vec![ActorOp::Add(arc_ids(&[0, 1]))]).expect("add");
+        let d0 = h.query_delta(0).expect("initial delta");
+        assert!(!d0.full_resync);
+        assert_eq!(d0.changes.len(), 1, "one live member, one change");
+        h.apply(vec![ActorOp::Remove(PathId(0))]).expect("remove");
+        let d1 = h.query_delta(d0.epoch.0).expect("second delta");
+        assert_eq!(d1.removed, vec![PathId(0)]);
+        assert!(d1.changes.is_empty());
+        let (_, actor_stats) = h.stats().expect("stats");
+        assert_eq!(actor_stats.delta_queries, 2);
+        h.stop();
+        join.join().expect("clean exit");
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireError, WireOp,
-    WireSolution, WireStats,
+    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireDelta, WireError,
+    WireOp, WireSolution, WireStats,
 };
 
 /// Client-side failures.
@@ -127,6 +127,19 @@ impl Client {
         match self.round_trip(&Request::Query { tenant })? {
             Response::Solution(s) => Ok(s),
             _ => Err(ClientError::Unexpected("Solution")),
+        }
+    }
+
+    /// Fetch everything in `tenant`'s solution that changed since the
+    /// epoch of the client's last sync (`0` = never synced; the reply's
+    /// `epoch` is the value to pass next time). O(changed) bytes on the
+    /// wire — replaying deltas in epoch order reconstructs exactly what
+    /// [`Client::query`] would return, without ever shipping the full
+    /// assignment (unless the reply says `full_resync`).
+    pub fn query_delta(&mut self, tenant: u64, since: u64) -> Result<WireDelta, ClientError> {
+        match self.round_trip(&Request::QueryDelta { tenant, since })? {
+            Response::Delta(d) => Ok(d),
+            _ => Err(ClientError::Unexpected("Delta")),
         }
     }
 

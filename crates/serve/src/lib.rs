@@ -61,5 +61,7 @@ pub mod server;
 
 pub use actor::{ActorOp, ActorStats, ServeError, Snapshot, TenantHandle};
 pub use client::{Client, ClientError};
-pub use protocol::{ErrorCode, Request, Response, WireError, WireOp, WireSolution, WireStats};
+pub use protocol::{
+    ErrorCode, Request, Response, WireDelta, WireError, WireOp, WireSolution, WireStats,
+};
 pub use server::{Server, ServerConfig, ServerHandle, WorkspaceFactory};

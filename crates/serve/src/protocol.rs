@@ -10,9 +10,9 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic      0xDA
-//! 1       1     version    0x01
+//! 1       1     version    0x02 (0x01 accepted; see "Versioning" below)
 //! 2       1     opcode     (see the opcode table below)
-//! 3       1     flags      0x00 in v1 (reserved; nonzero is rejected)
+//! 3       1     flags      0x00 (reserved; nonzero is rejected)
 //! 4       4     length     payload byte count, u32 little-endian
 //! 8       n     payload    opcode-specific body
 //! ```
@@ -33,16 +33,27 @@
 //! | `0x04` | request   | [`Request::Query`] — tenant `u64` |
 //! | `0x05` | request   | [`Request::Stats`] — tenant `u64` |
 //! | `0x06` | request   | [`Request::Shutdown`] — empty |
+//! | `0x07` | request   | [`Request::QueryDelta`] — tenant `u64`, since-epoch `u64` *(v2)* |
 //! | `0x81` | response  | [`Response::Admitted`] — path id `u32` |
 //! | `0x82` | response  | [`Response::Retired`] — empty |
 //! | `0x83` | response  | [`Response::Applied`] — added ids `vec<u32>` |
 //! | `0x84` | response  | [`Response::Solution`] — see [`WireSolution`] |
 //! | `0x85` | response  | [`Response::Stats`] — see [`WireStats`] |
 //! | `0x86` | response  | [`Response::ShuttingDown`] — empty |
+//! | `0x87` | response  | [`Response::Delta`] — see [`WireDelta`] *(v2)* |
 //! | `0xEE` | response  | [`Response::Error`] — code `u16`, message `string` |
 //!
 //! A batch op is a `u8` tag: `0x00` add (followed by arc ids `vec<u32>`),
 //! `0x01` remove (followed by a path id `u32`).
+//!
+//! # Versioning
+//!
+//! The version byte is a *minor* version: v2 adds the `QueryDelta`/`Delta`
+//! opcodes and six trailing [`WireStats`] counters, and changes nothing
+//! that existed in v1. This side emits [`VERSION`] (`0x02`) and accepts
+//! any version in `MIN_VERSION..=VERSION`, so v1 frames still decode —
+//! including v1 `Stats` payloads, whose missing trailing counters read as
+//! zero. Versions outside that range are [`WireError::UnknownVersion`].
 //!
 //! Unknown versions, unknown opcodes, truncated payloads, trailing bytes,
 //! and oversized lengths all decode to typed [`WireError`]s — never a
@@ -54,8 +65,11 @@ use std::io::{self, Read, Write};
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xDA;
-/// Protocol version this module speaks.
-pub const VERSION: u8 = 0x01;
+/// Protocol version this module emits (v2: delta queries + extended
+/// stats).
+pub const VERSION: u8 = 0x02;
+/// Oldest version this module still accepts (see "Versioning" above).
+pub const MIN_VERSION: u8 = 0x01;
 /// Hard ceiling on a frame's payload length (16 MiB): anything larger is
 /// rejected at the header, before allocation.
 pub const MAX_PAYLOAD: u32 = 1 << 24;
@@ -94,7 +108,7 @@ impl std::fmt::Display for WireError {
             WireError::UnknownVersion(v) => {
                 write!(
                     f,
-                    "unknown protocol version {v} (this side speaks {VERSION})"
+                    "unknown protocol version {v} (this side speaks {MIN_VERSION}..={VERSION})"
                 )
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
@@ -223,6 +237,15 @@ pub enum Request {
     /// Stop the server: every tenant actor is stopped and the listener
     /// closes after acknowledging with [`Response::ShuttingDown`].
     Shutdown,
+    /// Fetch everything that changed in `tenant`'s solution since the
+    /// client's last synced epoch (v2). Answered with
+    /// [`Response::Delta`] — O(changed) bytes, never a full solution.
+    QueryDelta {
+        /// Tenant whose workspace is addressed.
+        tenant: u64,
+        /// The epoch the client last synced at (`0` = never synced).
+        since: u64,
+    },
 }
 
 /// The solution summary carried by [`Response::Solution`].
@@ -242,8 +265,36 @@ pub struct WireSolution {
     pub colors: Vec<(u32, u32)>,
 }
 
+/// The delta summary carried by [`Response::Delta`] (v2): the changes
+/// between the client's last synced epoch and the server's current one.
+///
+/// Payload layout: epoch `u64`, span `u32`, full-resync flag `u8` (0/1),
+/// changes `vec<(u32, u32)>` (stable path id, wavelength), removed
+/// `vec<u32>` (stable path ids). Replay in epoch order — clear everything
+/// first when `full_resync` is set, then drop `removed`, then apply
+/// `changes` — and the client's table equals the server's full solution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireDelta {
+    /// The server's current epoch; pass it back as `since` next time.
+    pub epoch: u64,
+    /// The current span (number of wavelengths in use).
+    pub span: u32,
+    /// When set, the client's state is too old (or unknown) to patch:
+    /// `changes` carries the *entire* live assignment and the client must
+    /// replace, not merge.
+    pub full_resync: bool,
+    /// `(stable path id, wavelength)` per member whose color changed
+    /// since `since` (or every live member under `full_resync`).
+    pub changes: Vec<(u32, u32)>,
+    /// Stable ids retired since `since` (empty under `full_resync`).
+    pub removed: Vec<u32>,
+}
+
 /// The counters carried by [`Response::Stats`] — the tenant's cumulative
 /// `WorkspaceStats` plus the actor's service-side tallies.
+///
+/// On the wire: 15 `u64`s in field order. The last six were added in v2;
+/// a v1 peer's 9-counter payload decodes with them as zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Live dipaths in the tenant's family.
@@ -265,6 +316,19 @@ pub struct WireStats {
     pub applies: u64,
     /// Solution queries served.
     pub queries: u64,
+    /// Distinct arc lists in the tenant's interner arena (v2).
+    pub interned_arc_lists: u64,
+    /// Arena intern hits — arc lists deduplicated to an existing
+    /// allocation (v2).
+    pub intern_hits: u64,
+    /// Arena intern misses — arc lists stored fresh (v2).
+    pub intern_misses: u64,
+    /// The workspace's current refresh epoch (v2).
+    pub epoch: u64,
+    /// Delta queries the workspace answered (v2).
+    pub delta_queries: u64,
+    /// Delta queries answered with a full resync (v2).
+    pub delta_resyncs: u64,
 }
 
 /// Server → client messages.
@@ -286,6 +350,8 @@ pub enum Response {
     Solution(WireSolution),
     /// Current counters.
     Stats(WireStats),
+    /// Changes since the client's last synced epoch (v2).
+    Delta(WireDelta),
     /// Shutdown acknowledged; the connection closes after this frame.
     ShuttingDown,
     /// The request failed; typed code plus a human-readable message.
@@ -394,6 +460,10 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
     }
 
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
     fn finish(self) -> Result<(), WireError> {
         let left = self.buf.len() - self.pos;
         if left != 0 {
@@ -414,6 +484,7 @@ mod opcode {
     pub const QUERY: u8 = 0x04;
     pub const STATS: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
+    pub const QUERY_DELTA: u8 = 0x07;
 
     pub const ADMITTED: u8 = 0x81;
     pub const RETIRED: u8 = 0x82;
@@ -421,6 +492,7 @@ mod opcode {
     pub const SOLUTION: u8 = 0x84;
     pub const STATS_OK: u8 = 0x85;
     pub const SHUTTING_DOWN: u8 = 0x86;
+    pub const DELTA: u8 = 0x87;
     pub const ERROR: u8 = 0xEE;
 
     pub const OP_ADD: u8 = 0x00;
@@ -452,7 +524,7 @@ pub fn decode_header(header: &[u8]) -> Result<(u8, u32), WireError> {
     if header[0] != MAGIC {
         return Err(WireError::BadMagic(header[0]));
     }
-    if header[1] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[1]) {
         return Err(WireError::UnknownVersion(header[1]));
     }
     if header[3] != 0 {
@@ -543,6 +615,7 @@ impl Request {
             Request::Query { .. } => opcode::QUERY,
             Request::Stats { .. } => opcode::STATS,
             Request::Shutdown => opcode::SHUTDOWN,
+            Request::QueryDelta { .. } => opcode::QUERY_DELTA,
         }
     }
 
@@ -578,6 +651,10 @@ impl Request {
                 put_u64(&mut buf, *tenant);
             }
             Request::Shutdown => {}
+            Request::QueryDelta { tenant, since } => {
+                put_u64(&mut buf, *tenant);
+                put_u64(&mut buf, *since);
+            }
         }
         buf
     }
@@ -618,6 +695,10 @@ impl Request {
             opcode::QUERY => Request::Query { tenant: r.u64()? },
             opcode::STATS => Request::Stats { tenant: r.u64()? },
             opcode::SHUTDOWN => Request::Shutdown,
+            opcode::QUERY_DELTA => Request::QueryDelta {
+                tenant: r.u64()?,
+                since: r.u64()?,
+            },
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -650,6 +731,7 @@ impl Response {
             Response::Applied { .. } => opcode::APPLIED,
             Response::Solution(_) => opcode::SOLUTION,
             Response::Stats(_) => opcode::STATS_OK,
+            Response::Delta(_) => opcode::DELTA,
             Response::ShuttingDown => opcode::SHUTTING_DOWN,
             Response::Error { .. } => opcode::ERROR,
         }
@@ -685,9 +767,26 @@ impl Response {
                     s.batches,
                     s.applies,
                     s.queries,
+                    s.interned_arc_lists,
+                    s.intern_hits,
+                    s.intern_misses,
+                    s.epoch,
+                    s.delta_queries,
+                    s.delta_resyncs,
                 ] {
                     put_u64(&mut buf, v);
                 }
+            }
+            Response::Delta(d) => {
+                put_u64(&mut buf, d.epoch);
+                put_u32(&mut buf, d.span);
+                buf.push(u8::from(d.full_resync));
+                put_u32(&mut buf, d.changes.len() as u32);
+                for &(id, color) in &d.changes {
+                    put_u32(&mut buf, id);
+                    put_u32(&mut buf, color);
+                }
+                put_u32_slice(&mut buf, &d.removed);
             }
             Response::Error { code, message } => {
                 put_u16(&mut buf, code.to_u16());
@@ -738,17 +837,54 @@ impl Response {
                     colors,
                 })
             }
-            opcode::STATS_OK => Response::Stats(WireStats {
-                live_paths: r.u64()?,
-                shard_count: r.u64()?,
-                max_load: r.u64()?,
-                recomputes: r.u64()?,
-                shards_reused: r.u64()?,
-                shards_resolved: r.u64()?,
-                batches: r.u64()?,
-                applies: r.u64()?,
-                queries: r.u64()?,
-            }),
+            opcode::STATS_OK => {
+                let mut s = WireStats {
+                    live_paths: r.u64()?,
+                    shard_count: r.u64()?,
+                    max_load: r.u64()?,
+                    recomputes: r.u64()?,
+                    shards_reused: r.u64()?,
+                    shards_resolved: r.u64()?,
+                    batches: r.u64()?,
+                    applies: r.u64()?,
+                    queries: r.u64()?,
+                    ..WireStats::default()
+                };
+                // v1 payloads end here; the v2 counters read as zero.
+                if !r.is_empty() {
+                    s.interned_arc_lists = r.u64()?;
+                    s.intern_hits = r.u64()?;
+                    s.intern_misses = r.u64()?;
+                    s.epoch = r.u64()?;
+                    s.delta_queries = r.u64()?;
+                    s.delta_resyncs = r.u64()?;
+                }
+                Response::Stats(s)
+            }
+            opcode::DELTA => {
+                let epoch = r.u64()?;
+                let span = r.u32()?;
+                let full_resync = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("full-resync flag not 0/1")),
+                };
+                let n = r.count(8)?;
+                let mut changes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.u32()?;
+                    let color = r.u32()?;
+                    changes.push((id, color));
+                }
+                let removed = r.u32_vec()?;
+                Response::Delta(WireDelta {
+                    epoch,
+                    span,
+                    full_resync,
+                    changes,
+                    removed,
+                })
+            }
             opcode::SHUTTING_DOWN => Response::ShuttingDown,
             opcode::ERROR => Response::Error {
                 code: ErrorCode::from_u16(r.u16()?),
@@ -788,7 +924,7 @@ mod tests {
         let bytes = req.to_frame();
         #[rustfmt::skip]
         let expected: Vec<u8> = vec![
-            0xDA, 0x01, 0x01, 0x00,     // magic, version, opcode, flags
+            0xDA, 0x02, 0x01, 0x00,     // magic, version, opcode, flags
             20, 0, 0, 0,                // payload length
             2, 0, 0, 0, 0, 0, 0, 0,     // tenant u64
             2, 0, 0, 0,                 // arc count
@@ -799,6 +935,86 @@ mod tests {
         let (back, used) = Request::from_frame(&bytes).unwrap();
         assert_eq!(back, req);
         assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn spec_pin_query_delta_frame_bytes() {
+        // The v2 delta request, pinned exactly:
+        // QueryDelta { tenant: 3, since: 9 }.
+        let req = Request::QueryDelta {
+            tenant: 3,
+            since: 9,
+        };
+        let bytes = req.to_frame();
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            0xDA, 0x02, 0x07, 0x00,     // magic, version, opcode, flags
+            16, 0, 0, 0,                // payload length
+            3, 0, 0, 0, 0, 0, 0, 0,     // tenant u64
+            9, 0, 0, 0, 0, 0, 0, 0,     // since-epoch u64
+        ];
+        assert_eq!(bytes, expected);
+        let (back, used) = Request::from_frame(&bytes).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn delta_response_round_trips() {
+        let resp = Response::Delta(WireDelta {
+            epoch: 12,
+            span: 4,
+            full_resync: false,
+            changes: vec![(0, 2), (5, 0)],
+            removed: vec![3],
+        });
+        let bytes = resp.to_frame();
+        let (back, used) = Response::from_frame(&bytes).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(used, bytes.len());
+        // A bad resync flag is a typed error, not a panic.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 1);
+        payload.push(7); // flag must be 0/1
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        let bytes = encode_frame(0x87, &payload);
+        assert_eq!(
+            Response::from_frame(&bytes),
+            Err(WireError::Malformed("full-resync flag not 0/1"))
+        );
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // A v1 peer's frame (version byte 0x01) must keep decoding.
+        let mut bytes = Request::Query { tenant: 5 }.to_frame();
+        bytes[1] = 0x01;
+        let (back, _) = Request::from_frame(&bytes).unwrap();
+        assert_eq!(back, Request::Query { tenant: 5 });
+        // A v1 stats payload (9 counters) decodes with the v2 tail zeroed.
+        let mut payload = Vec::new();
+        for v in 1..=9u64 {
+            put_u64(&mut payload, v);
+        }
+        let mut bytes = encode_frame(0x85, &payload);
+        bytes[1] = 0x01;
+        let (back, _) = Response::from_frame(&bytes).unwrap();
+        let Response::Stats(s) = back else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.live_paths, 1);
+        assert_eq!(s.queries, 9);
+        assert_eq!(s.interned_arc_lists, 0);
+        assert_eq!(s.delta_resyncs, 0);
+        // Below MIN_VERSION (0) and above VERSION (9) are both rejected.
+        let good = Request::Shutdown.to_frame();
+        for v in [0u8, 9] {
+            let mut bad = good.clone();
+            bad[1] = v;
+            assert_eq!(Request::from_frame(&bad), Err(WireError::UnknownVersion(v)));
+        }
     }
 
     #[test]

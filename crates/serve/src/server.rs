@@ -32,8 +32,8 @@ use dagwave_paths::PathId;
 
 use crate::actor::{spawn_tenant, ActorOp, ServeError, TenantHandle};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireError, WireOp,
-    WireSolution, WireStats,
+    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireDelta, WireError,
+    WireOp, WireSolution, WireStats,
 };
 
 /// Builds the initial [`Workspace`] for a tenant id the server has not
@@ -310,6 +310,16 @@ fn dispatch(
                     .collect(),
             }))
         }),
+        Request::QueryDelta { tenant, since } => with_tenant(registry, handles, tenant, |h| {
+            let d = h.query_delta(since)?;
+            Ok(Response::Delta(WireDelta {
+                epoch: d.epoch.0,
+                span: d.span as u32,
+                full_resync: d.full_resync,
+                changes: d.changes.iter().map(|&(id, c)| (id.0, c)).collect(),
+                removed: d.removed.iter().map(|id| id.0).collect(),
+            }))
+        }),
         Request::Stats { tenant } => with_tenant(registry, handles, tenant, |h| {
             let (ws, actor) = h.stats()?;
             Ok(Response::Stats(WireStats {
@@ -322,6 +332,12 @@ fn dispatch(
                 batches: actor.batches,
                 applies: actor.applies,
                 queries: actor.queries,
+                interned_arc_lists: ws.interned_arc_lists as u64,
+                intern_hits: ws.intern_hits,
+                intern_misses: ws.intern_misses,
+                epoch: ws.epoch,
+                delta_queries: ws.delta_queries,
+                delta_resyncs: ws.delta_resyncs,
             }))
         }),
     }

@@ -327,6 +327,80 @@ fn factory_errors_surface_as_typed_solver_errors() {
     handle.join().expect("clean exit");
 }
 
+/// Delta sync over the wire: a client that only ever issues `QueryDelta`
+/// and replays the responses ends up with exactly the color table a full
+/// `Query` ships — across a real churn script, with the first delta from
+/// epoch 0 delivering the initial state.
+#[test]
+fn delta_sync_reconstructs_the_full_query() {
+    use std::collections::BTreeMap;
+    let work = churn(23, 3, 30);
+    let handle = federated_server(3, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut table: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut synced = 0u64;
+    let mut mirror = PathFamily::from_family(&work.instance.family);
+    let replay = |client: &mut Client, table: &mut BTreeMap<u32, u32>, synced: &mut u64| {
+        let d = client.query_delta(0, *synced).expect("delta over the wire");
+        assert!(d.epoch >= *synced);
+        if d.full_resync {
+            table.clear();
+        }
+        for id in &d.removed {
+            table.remove(id);
+        }
+        for &(id, c) in &d.changes {
+            table.insert(id, c);
+        }
+        *synced = d.epoch;
+        d.span
+    };
+    let span = replay(&mut client, &mut table, &mut synced);
+
+    for op in &work.script {
+        match op {
+            Mutation::Add(p) => {
+                let arcs: Vec<u32> = p.arcs().iter().map(|a| a.0).collect();
+                client.admit(0, arcs).expect("admit");
+                mirror.insert(p.clone());
+            }
+            Mutation::Remove(id) => {
+                client.retire(0, id.0).expect("retire");
+                mirror.remove(*id).expect("live id");
+            }
+        }
+        replay(&mut client, &mut table, &mut synced);
+    }
+
+    // The replayed table equals the full solution, id for id.
+    let served = client.query(0).expect("full query");
+    let full: BTreeMap<u32, u32> = served.colors.iter().copied().collect();
+    assert_eq!(table, full, "delta replay diverged from the full query");
+    assert_eq!(table.len(), mirror.len());
+    let final_span = replay(&mut client, &mut table, &mut synced);
+    assert_eq!(final_span, served.num_colors);
+    assert!(span >= 1);
+
+    // A client claiming a future epoch gets a coherent full resync.
+    let d = client.query_delta(0, 10_000).expect("stale-epoch delta");
+    assert!(d.full_resync);
+    let resynced: BTreeMap<u32, u32> = d.changes.iter().copied().collect();
+    assert_eq!(resynced, full);
+
+    // The stats RPC surfaces the delta/interner counters end to end.
+    let stats = client.stats(0).expect("stats");
+    assert!(stats.delta_queries as usize >= work.script.len());
+    assert_eq!(
+        stats.delta_resyncs, 1,
+        "only the future-epoch probe resynced"
+    );
+    assert!(stats.interned_arc_lists > 0, "arena tracked the family");
+    assert!(stats.epoch > 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
 /// Stale handles: CoreError::UnknownPath over the wire carries the path
 /// id in its message (mirrors the in-process error).
 #[test]

@@ -4,7 +4,7 @@
 //! `Ok(message)` or a typed `WireError` out.
 
 use dagwave_serve::protocol::{decode_header, WireError, HEADER_LEN, MAX_PAYLOAD};
-use dagwave_serve::{ErrorCode, Request, Response, WireOp, WireSolution, WireStats};
+use dagwave_serve::{ErrorCode, Request, Response, WireDelta, WireOp, WireSolution, WireStats};
 use proptest::prelude::*;
 
 /// Deterministic splitmix64 so a `(seed, shape)` pair fully determines a
@@ -39,7 +39,7 @@ impl Mix {
 }
 
 fn arbitrary_request(mix: &mut Mix) -> Request {
-    match mix.below(6) {
+    match mix.below(7) {
         0 => Request::Admit {
             tenant: mix.next(),
             arcs: mix.u32_vec(9),
@@ -62,12 +62,16 @@ fn arbitrary_request(mix: &mut Mix) -> Request {
         },
         3 => Request::Query { tenant: mix.next() },
         4 => Request::Stats { tenant: mix.next() },
+        5 => Request::QueryDelta {
+            tenant: mix.next(),
+            since: mix.next(),
+        },
         _ => Request::Shutdown,
     }
 }
 
 fn arbitrary_response(mix: &mut Mix) -> Response {
-    match mix.below(7) {
+    match mix.below(8) {
         0 => Response::Admitted {
             id: mix.next() as u32,
         },
@@ -95,8 +99,23 @@ fn arbitrary_response(mix: &mut Mix) -> Response {
             batches: mix.next(),
             applies: mix.next(),
             queries: mix.next(),
+            interned_arc_lists: mix.next(),
+            intern_hits: mix.next(),
+            intern_misses: mix.next(),
+            epoch: mix.next(),
+            delta_queries: mix.next(),
+            delta_resyncs: mix.next(),
         }),
-        5 => Response::ShuttingDown,
+        5 => Response::Delta(WireDelta {
+            epoch: mix.next(),
+            span: mix.next() as u32,
+            full_resync: mix.below(2) == 1,
+            changes: (0..mix.below(8))
+                .map(|_| (mix.next() as u32, mix.next() as u32))
+                .collect(),
+            removed: mix.u32_vec(6),
+        }),
+        6 => Response::ShuttingDown,
         _ => Response::Error {
             code: ErrorCode::from_u16(mix.next() as u16),
             message: mix.string(20),
@@ -198,10 +217,11 @@ proptest! {
         prop_assert_eq!(decode_header(&header), Err(WireError::Oversized(len)));
     }
 
-    /// Unknown versions are rejected before the opcode is even looked at.
+    /// Versions outside the accepted MIN..=CURRENT window are rejected
+    /// before the opcode is even looked at (both 0x01 and 0x02 decode).
     #[test]
     fn unknown_versions_rejected(version in 0u8..=255, op in 0u8..=255) {
-        prop_assume!(version != 0x01);
+        prop_assume!(!(0x01..=0x02).contains(&version));
         let header = [0xDA, version, op, 0x00, 0, 0, 0, 0];
         prop_assert_eq!(
             decode_header(&header),
@@ -213,7 +233,7 @@ proptest! {
     /// (with an empty payload, so structure errors cannot mask it).
     #[test]
     fn unknown_request_opcodes_rejected(op in 0u8..=255) {
-        prop_assume!(!(0x01..=0x06).contains(&op));
+        prop_assume!(!(0x01..=0x07).contains(&op));
         prop_assert_eq!(
             Request::decode(op, &[]),
             Err(WireError::UnknownOpcode(op))

@@ -64,7 +64,7 @@ pub use dagwave_serve as serve;
 #[allow(deprecated)]
 pub use dagwave_core::WavelengthSolver;
 pub use dagwave_core::{
-    BackendAttempt, BackendKind, DecomposePolicy, Decomposition, Instance, Mutation, Policy,
-    Resolve, ShardOutcome, Solution, SolveRequest, SolveSession, SolverBuilder, Strategy,
-    Workspace,
+    BackendAttempt, BackendKind, ColorTable, DecomposePolicy, Decomposition, Epoch, Instance,
+    Mutation, Policy, Resolve, ShardOutcome, Solution, SolutionDelta, SolveRequest, SolveSession,
+    SolverBuilder, Strategy, Workspace,
 };

@@ -140,6 +140,65 @@ proptest! {
         }
     }
 
+    /// The delta surface is exact: replaying `delta_since` over any churn
+    /// script — syncing after every step — reconstructs precisely the
+    /// color table `solution()` reports, at every thread budget, with the
+    /// span riding along. The mirror never sees a full solution.
+    #[test]
+    fn delta_replay_reconstructs_solution_at_every_budget(
+        seed in 0u64..10_000,
+        k in 2usize..5,
+        steps in 1usize..12,
+    ) {
+        use std::collections::BTreeMap;
+        let work = churn(seed, k, steps);
+        for threads in BUDGETS {
+            with_threads(threads, || {
+                let mut ws = Workspace::new(
+                    sharded(),
+                    work.instance.graph.clone(),
+                    work.instance.family.clone(),
+                ).unwrap();
+                let mut mirror: BTreeMap<dagwave::paths::PathId, u32> = BTreeMap::new();
+                let mut synced = dagwave::Epoch::default();
+                let sync = |ws: &mut Workspace,
+                                mirror: &mut BTreeMap<dagwave::paths::PathId, u32>,
+                                synced: &mut dagwave::Epoch| {
+                    let d = ws.delta_since(*synced).unwrap();
+                    if d.full_resync {
+                        mirror.clear();
+                    }
+                    for id in &d.removed {
+                        mirror.remove(id);
+                    }
+                    for &(id, c) in &d.changes {
+                        mirror.insert(id, c);
+                    }
+                    *synced = d.epoch;
+                    d.span
+                };
+                sync(&mut ws, &mut mirror, &mut synced);
+                for op in &work.script {
+                    ws.apply([op.clone()]).unwrap();
+                    let span = sync(&mut ws, &mut mirror, &mut synced);
+                    let sol = ws.solution().unwrap();
+                    let expected: BTreeMap<_, _> = ws
+                        .family()
+                        .dense_ids()
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, &id)| {
+                            let c = sol.assignment.colors()[rank] as u32;
+                            (id, c)
+                        })
+                        .collect();
+                    prop_assert_eq!(&mirror, &expected, "{} threads", threads);
+                    prop_assert_eq!(span, sol.num_colors, "{} threads", threads);
+                }
+            });
+        }
+    }
+
     /// The decompose gate is shared: under the *default* Auto policy
     /// (threshold 512, fast-path skips) the workspace and the one-shot
     /// path must make the same shard/monolithic decision and agree
@@ -250,6 +309,51 @@ fn remove_to_empty_shard_and_to_empty_family() {
     let g = ws.graph().clone();
     ws.add_path(path(&g, &[0, 1, 2])).unwrap();
     assert_identical(&ws.solution().unwrap(), &from_scratch(&ws));
+}
+
+#[test]
+fn arena_reuse_survives_remove_and_readd() {
+    // Arena edge case: retiring a dipath and re-admitting the identical
+    // arc sequence must hit the interner (the arena never forgets), keep
+    // the distinct-list count flat, and leave the delta surface consistent
+    // — the re-added path reports the same color a from-scratch solve
+    // gives it.
+    let (g, f) = bridge_instance();
+    let mut ws = Workspace::new(sharded(), g.clone(), f).unwrap();
+    ws.solution().unwrap();
+    let lists_before = ws.stats().interned_arc_lists;
+    let hits_before = ws.stats().intern_hits;
+    let epoch_before = ws.epoch();
+    let color_before = ws.color_of(dagwave::paths::PathId(1)).unwrap();
+
+    ws.remove_path(dagwave::paths::PathId(1)).unwrap();
+    let readded = ws.add_path(path(&g, &[2, 3, 4])).unwrap();
+    let stats = ws.stats();
+    assert_eq!(
+        stats.interned_arc_lists, lists_before,
+        "identical arc sequence must not grow the arena"
+    );
+    assert!(
+        stats.intern_hits > hits_before,
+        "re-admission is an interner hit"
+    );
+
+    let sol = ws.solution().unwrap();
+    assert_identical(&sol, &from_scratch(&ws));
+    assert_eq!(readded, dagwave::paths::PathId(1), "freed slot is reused");
+    assert_eq!(
+        ws.color_of(readded).unwrap(),
+        color_before,
+        "identical path in the identical slot keeps its color"
+    );
+    // ... which means the delta is silent about it: the remove+re-add
+    // round trip cancels out instead of churning downstream mirrors.
+    let delta = ws.delta_since(epoch_before).unwrap();
+    assert!(!delta.full_resync, "one step back is covered by the log");
+    assert!(
+        !delta.removed.contains(&readded) && !delta.changes.iter().any(|&(id, _)| id == readded),
+        "no-op round trip must not appear in the delta"
+    );
 }
 
 #[test]
