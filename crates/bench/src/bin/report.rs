@@ -59,6 +59,7 @@ fn main() {
             print!("{}", speedup_table(&comps));
         }
         Some("--service") => service_row(),
+        Some("--connections") => connections_row(),
         Some("--experiments") => write_experiments(&path(1)),
         Some("--baseline") => write_baseline(&path(1)),
         Some("--check") => {
@@ -69,7 +70,7 @@ fn main() {
         Some(other) => {
             eprintln!(
                 "unknown mode {other:?}; expected --speedup, --service, \
-                 --experiments, --baseline, or --check"
+                 --connections, --experiments, --baseline, or --check"
             );
             std::process::exit(2);
         }
@@ -563,6 +564,12 @@ fn paper_report() {
     // absorb more client batches than it issues `Workspace::apply` calls.
     service_row();
 
+    // D6 — connection scaling A/B across front-ends (same workload on
+    // both, per the reproducibility discipline): 8 vs 128 concurrent
+    // connections, Threaded vs Evented, gated on bit-identity, the
+    // evented thread ceiling, and evented throughput at the high tier.
+    connections_row();
+
     // D5 — the O(dirty) query side: after each churn step, a delta query
     // (`Workspace::delta_since`) must stay flat as the instance grows —
     // within 1.5× of the k=256 tier at k=4096 — and at the large tier it
@@ -818,6 +825,62 @@ fn service_row() {
             report.applies,
             peak_rss_cell()
         ),
+    );
+}
+
+/// D6 — connection scaling: the same admit/query/retire workload driven
+/// over 8 vs 128 concurrent connections, thread-per-connection vs the
+/// poll(2) reactor. Gated in-row: every run must be bit-identical to a
+/// from-scratch solve; the evented front-end must hold its server-side
+/// OS-thread delta ≤ 4 even at 128 connections (thread-per-connection
+/// pays one thread per client); and at the high-connection tier evented
+/// throughput must at least match threaded (in practice it runs ~2× —
+/// 128 runnable threads mostly pay the scheduler).
+/// Also runnable alone as `report --connections`.
+fn connections_row() {
+    use dagwave_bench::service::connection_scaling;
+    use dagwave_serve::FrontEnd;
+    let mut rps_at_128 = [0.0f64; 2]; // [threaded, evented]
+                                      // federated(32): enough disjoint components that 128 connections'
+                                      // duplicate admissions land on distinct donors instead of stacking
+                                      // into one exponentially-colorable clique.
+    for &(conns, ops) in &[(8usize, 24usize), (128usize, 3usize)] {
+        for fe in [FrontEnd::Threaded, FrontEnd::Evented] {
+            let r = connection_scaling(32, conns, ops, fe);
+            assert!(
+                r.identical,
+                "{fe:?} front-end diverged from from-scratch at {conns} connections"
+            );
+            if fe == FrontEnd::Evented {
+                assert!(
+                    r.thread_delta <= 4,
+                    "evented front-end spent {} server threads on {conns} connections",
+                    r.thread_delta
+                );
+            }
+            if conns == 128 {
+                rps_at_128[matches!(fe, FrontEnd::Evented) as usize] = r.requests_per_sec();
+            }
+            row(
+                "D6 connection scaling",
+                &format!("federated(32), {conns} conns × {ops} ops, {fe:?}"),
+                "bit-identical, evented ≤4 srv threads",
+                &format!(
+                    "identical={}, {:.0} req/s, p50={:.0} µs, p99={:.0} µs, \
+                     +{} srv threads",
+                    r.identical,
+                    r.requests_per_sec(),
+                    r.p50_us,
+                    r.p99_us,
+                    r.thread_delta
+                ),
+            );
+        }
+    }
+    let [threaded, evented] = rps_at_128;
+    assert!(
+        evented >= threaded,
+        "evented fell behind threaded at 128 connections: {evented:.0} vs {threaded:.0} req/s"
     );
 }
 

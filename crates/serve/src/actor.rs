@@ -1,5 +1,5 @@
 //! The single-writer tenant actor: one thread owns one [`Workspace`]
-//! behind an mpsc command queue.
+//! behind a **bounded** mpsc command queue.
 //!
 //! The `Workspace` is single-writer by design (every mutation rewrites
 //! shard caches in place), so the service never shares it behind a lock.
@@ -8,6 +8,16 @@
 //! [`TenantHandle`]s that enqueue commands and block on a per-request
 //! reply channel. Ordering within one connection is the order it sends;
 //! across connections, the queue order.
+//!
+//! # Backpressure
+//!
+//! The command queue is a `sync_channel` bounded at
+//! [`ActorConfig::queue_depth`]. Blocking callers ([`TenantHandle`]
+//! methods) simply wait when the actor is behind — natural backpressure
+//! for the threaded front-end. The evented front-end instead uses the
+//! non-blocking crate-internal send and surfaces a full queue to the
+//! client as a typed `Busy` error, so the reactor thread never blocks on
+//! a saturated actor.
 //!
 //! # Coalescing
 //!
@@ -30,10 +40,24 @@
 //! Rejected batches contribute no deltas. A `Remove` naming an id admitted
 //! earlier in the *same* batch is not credited back (the projection keeps
 //! the conservative, higher load); removes of live ids are credited.
+//!
+//! Under [`AdmissionPolicy::Wait`] an over-budget batch **parks** instead
+//! of failing: it waits until retirements free enough capacity, falling
+//! back to the same typed rejection when its timeout elapses or the
+//! parking queue is full. Batches that fit the budget — retirements in
+//! particular — still apply immediately while others are parked:
+//! otherwise the capacity a `Remove` would free could never free. Parked
+//! batches retry in arrival order after every mutation, and the timeout
+//! bounds how long an overtaken batch can wait. Queries are served
+//! immediately against the current state either way.
 
-use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+// lint: allow(no-wallclock): Wait-admission deadlines are client-visible wall time, not solver timing
+use std::time::Instant;
 
 use dagwave_core::{
     CoreError, Epoch, Mutation, Solution, SolutionDelta, Workspace, WorkspaceStats,
@@ -59,7 +83,9 @@ pub enum ServeError {
     /// The solver/workspace rejected the request.
     Core(CoreError),
     /// Admission control rejected a mutation batch: applying it would
-    /// raise some arc's load past the configured budget.
+    /// raise some arc's load past the configured budget (immediately
+    /// under [`AdmissionPolicy::Reject`]; after the wait timeout or on
+    /// queue overflow under [`AdmissionPolicy::Wait`]).
     SpanBudgetExceeded {
         /// The configured ceiling.
         budget: usize,
@@ -68,6 +94,10 @@ pub enum ServeError {
     },
     /// The actor has stopped (server shutting down).
     Stopped,
+    /// The actor's bounded command queue is full (evented front-end
+    /// only — blocking handles wait instead). Transient: retry after
+    /// draining responses.
+    Busy,
 }
 
 impl std::fmt::Display for ServeError {
@@ -79,6 +109,7 @@ impl std::fmt::Display for ServeError {
                 "admission rejected: projected span {projected} exceeds budget {budget}"
             ),
             ServeError::Stopped => write!(f, "tenant actor has stopped"),
+            ServeError::Busy => write!(f, "tenant actor queue is full; retry"),
         }
     }
 }
@@ -88,6 +119,50 @@ impl std::error::Error for ServeError {}
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+/// What admission control does with a batch whose projected load exceeds
+/// the span budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject immediately with [`ServeError::SpanBudgetExceeded`].
+    Reject,
+    /// Park the batch until retirements free capacity, then apply it
+    /// (batches that fit the budget still apply immediately meanwhile).
+    /// Falls back to the typed rejection when `timeout` elapses or the
+    /// parking queue already holds `max_queue` batches.
+    Wait {
+        /// Most batches the parking queue holds before rejecting
+        /// immediately.
+        max_queue: usize,
+        /// How long one batch may wait before the typed rejection.
+        timeout: Duration,
+    },
+}
+
+/// Per-tenant actor knobs (see [`spawn_tenant`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ActorConfig {
+    /// Admission ceiling on any arc's load (`None` = admit everything).
+    pub span_budget: Option<usize>,
+    /// Max queued mutation batches one `Workspace::apply` may coalesce.
+    pub max_coalesce: usize,
+    /// Bound on the actor's command queue; senders beyond it block
+    /// (threaded) or get [`ServeError::Busy`] (evented).
+    pub queue_depth: usize,
+    /// What to do with over-budget batches.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ActorConfig {
+    fn default() -> Self {
+        ActorConfig {
+            span_budget: None,
+            max_coalesce: 64,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Reject,
+        }
     }
 }
 
@@ -118,51 +193,94 @@ pub struct Snapshot {
     pub ids: Arc<Vec<PathId>>,
 }
 
-enum Command {
+/// The actor's answer to one command; the variant mirrors the command
+/// kind so non-blocking callers can route completions without a typed
+/// channel per request.
+pub(crate) enum ActorReply {
+    /// Answer to [`Command::Apply`].
+    Applied(Result<Vec<PathId>, ServeError>),
+    /// Answer to [`Command::Query`].
+    Snapshot(Result<Snapshot, ServeError>),
+    /// Answer to [`Command::QueryDelta`].
+    Delta(Result<SolutionDelta, ServeError>),
+    /// Answer to [`Command::Stats`].
+    Stats(Box<(WorkspaceStats, ActorStats)>),
+}
+
+/// Where one command's reply goes: a blocking per-request channel
+/// (threaded front-end) or a callback that posts a completion and wakes
+/// the reactor (evented front-end). Decouples the actor from reactor
+/// types.
+pub(crate) enum Responder {
+    Blocking(mpsc::Sender<ActorReply>),
+    Callback(Box<dyn FnOnce(ActorReply) + Send>),
+}
+
+impl Responder {
+    fn send(self, reply: ActorReply) {
+        match self {
+            // A dropped receiver just means the client went away.
+            Responder::Blocking(tx) => drop(tx.send(reply)),
+            Responder::Callback(f) => f(reply),
+        }
+    }
+}
+
+pub(crate) enum Command {
     Apply {
         ops: Vec<ActorOp>,
-        reply: Sender<Result<Vec<PathId>, ServeError>>,
+        respond: Responder,
     },
     Query {
-        reply: Sender<Result<Snapshot, ServeError>>,
+        respond: Responder,
     },
     QueryDelta {
         since: u64,
-        reply: Sender<Result<SolutionDelta, ServeError>>,
+        respond: Responder,
     },
     Stats {
-        reply: Sender<(WorkspaceStats, ActorStats)>,
+        respond: Responder,
     },
     Stop,
 }
 
 /// A cloneable client handle to one tenant actor. Every method enqueues a
 /// command and blocks for the reply; [`ServeError::Stopped`] means the
-/// actor is gone (shutdown).
+/// actor is gone (shutdown). The queue is bounded, so a handle blocks in
+/// `send` when the actor is [`ActorConfig::queue_depth`] commands behind.
 #[derive(Clone)]
 pub struct TenantHandle {
-    tx: Sender<Command>,
+    tx: SyncSender<Command>,
 }
 
 impl TenantHandle {
+    fn round_trip(
+        &self,
+        make: impl FnOnce(Responder) -> Command,
+    ) -> Result<ActorReply, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(make(Responder::Blocking(reply_tx)))
+            .map_err(|_| ServeError::Stopped)?;
+        reply_rx.recv().map_err(|_| ServeError::Stopped)
+    }
+
     /// Apply one mutation batch atomically. Returns the stable ids
     /// assigned to the batch's `Add` ops, in op order.
     pub fn apply(&self, ops: Vec<ActorOp>) -> Result<Vec<PathId>, ServeError> {
-        let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Command::Apply { ops, reply })
-            .map_err(|_| ServeError::Stopped)?;
-        rx.recv().map_err(|_| ServeError::Stopped)?
+        match self.round_trip(|respond| Command::Apply { ops, respond })? {
+            ActorReply::Applied(r) => r,
+            _ => Err(ServeError::Stopped),
+        }
     }
 
     /// Fetch the current solution snapshot (served from the workspace's
     /// shard caches when nothing changed since the last query).
     pub fn query(&self) -> Result<Snapshot, ServeError> {
-        let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Command::Query { reply })
-            .map_err(|_| ServeError::Stopped)?;
-        rx.recv().map_err(|_| ServeError::Stopped)?
+        match self.round_trip(|respond| Command::Query { respond })? {
+            ActorReply::Snapshot(r) => r,
+            _ => Err(ServeError::Stopped),
+        }
     }
 
     /// Fetch everything that changed since the client's last synced
@@ -170,71 +288,116 @@ impl TenantHandle {
     /// materialized. Replaying the deltas in epoch order reconstructs
     /// exactly the color table [`TenantHandle::query`] would report.
     pub fn query_delta(&self, since: u64) -> Result<SolutionDelta, ServeError> {
-        let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Command::QueryDelta { since, reply })
-            .map_err(|_| ServeError::Stopped)?;
-        rx.recv().map_err(|_| ServeError::Stopped)?
+        match self.round_trip(|respond| Command::QueryDelta { since, respond })? {
+            ActorReply::Delta(r) => r,
+            _ => Err(ServeError::Stopped),
+        }
     }
 
     /// Fetch the workspace's cumulative counters plus the actor's own.
     pub fn stats(&self) -> Result<(WorkspaceStats, ActorStats), ServeError> {
-        let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Command::Stats { reply })
-            .map_err(|_| ServeError::Stopped)?;
-        rx.recv().map_err(|_| ServeError::Stopped)
+        match self.round_trip(|respond| Command::Stats { respond })? {
+            ActorReply::Stats(pair) => Ok(*pair),
+            _ => Err(ServeError::Stopped),
+        }
     }
 
     /// Ask the actor to exit after draining already-queued commands.
     pub fn stop(&self) {
         let _ = self.tx.send(Command::Stop);
     }
+
+    /// Non-blocking enqueue for the evented front-end: a full queue comes
+    /// back as `Err` instead of blocking the reactor thread.
+    pub(crate) fn try_send(&self, cmd: Command) -> Result<(), TrySendError<Command>> {
+        self.tx.try_send(cmd)
+    }
 }
 
-/// Spawn the actor thread for one tenant workspace. `span_budget` is the
-/// admission ceiling (`None` = unlimited); `max_coalesce` caps how many
-/// queued mutation batches one `Workspace::apply` may absorb.
+/// Spawn the actor thread for one tenant workspace.
 pub fn spawn_tenant(
     workspace: Workspace,
-    span_budget: Option<usize>,
-    max_coalesce: usize,
+    config: ActorConfig,
 ) -> (TenantHandle, thread::JoinHandle<()>) {
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
     // lint: allow(no-raw-sync): the actor thread IS the synchronization design — one owner per workspace, mpsc the only coupling
-    let join = thread::spawn(move || run_actor(workspace, rx, span_budget, max_coalesce));
+    let join = thread::spawn(move || run_actor(workspace, rx, config));
     (TenantHandle { tx }, join)
 }
 
 struct PendingBatch {
     ops: Vec<ActorOp>,
-    reply: Sender<Result<Vec<PathId>, ServeError>>,
+    respond: Responder,
 }
 
-fn run_actor(
-    mut ws: Workspace,
-    rx: Receiver<Command>,
-    span_budget: Option<usize>,
-    max_coalesce: usize,
-) {
+/// A batch held back by [`AdmissionPolicy::Wait`].
+struct Parked {
+    ops: Vec<ActorOp>,
+    respond: Responder,
+    /// When the typed rejection fires.
+    // lint: allow(no-wallclock): the Wait deadline is wall time by contract
+    deadline: Instant,
+    /// The budget/projection pair reported if this batch times out.
+    budget: usize,
+    projected: usize,
+}
+
+enum Wake {
+    Cmd(Command),
+    /// The head parked batch's deadline passed.
+    Tick,
+    /// Every handle dropped.
+    Closed,
+}
+
+fn next_wake(rx: &Receiver<Command>, parked: &VecDeque<Parked>) -> Wake {
+    let Some(head) = parked.front() else {
+        return match rx.recv() {
+            Ok(cmd) => Wake::Cmd(cmd),
+            Err(_) => Wake::Closed,
+        };
+    };
+    // lint: allow(no-wallclock): sleeping toward the Wait deadline, not measuring solver time
+    let wait = head.deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(wait) {
+        Ok(cmd) => Wake::Cmd(cmd),
+        Err(RecvTimeoutError::Timeout) => Wake::Tick,
+        Err(RecvTimeoutError::Disconnected) => Wake::Closed,
+    }
+}
+
+fn run_actor(mut ws: Workspace, rx: Receiver<Command>, cfg: ActorConfig) {
     let mut stats = ActorStats::default();
     let mut snapshot: Option<Snapshot> = None;
+    let mut parked: VecDeque<Parked> = VecDeque::new();
     loop {
-        let cmd = match rx.recv() {
-            Ok(cmd) => cmd,
-            Err(_) => return, // every handle dropped
+        let cmd = match next_wake(&rx, &parked) {
+            Wake::Cmd(cmd) => cmd,
+            Wake::Tick => {
+                expire_overdue(&mut parked);
+                // The expired head may have been the only thing blocking a
+                // smaller parked batch.
+                if retry_parked(&mut ws, &cfg, &mut parked, &mut stats) {
+                    snapshot = None;
+                }
+                continue;
+            }
+            Wake::Closed => {
+                fail_parked(&mut parked);
+                return;
+            }
         };
         match cmd {
-            Command::Apply { ops, reply } => {
+            Command::Apply { ops, respond } => {
                 // Drain whatever mutation batches are already queued so one
                 // recomputation serves them all; defer the first
                 // non-mutation command to preserve queue order.
-                let mut pending = vec![PendingBatch { ops, reply }];
+                let mut pending = vec![PendingBatch { ops, respond }];
                 let mut deferred = None;
-                while pending.len() < max_coalesce.max(1) {
+                while pending.len() < cfg.max_coalesce.max(1) {
                     match rx.try_recv() {
-                        Ok(Command::Apply { ops, reply }) => {
-                            pending.push(PendingBatch { ops, reply })
+                        Ok(Command::Apply { ops, respond }) => {
+                            pending.push(PendingBatch { ops, respond })
                         }
                         Ok(other) => {
                             deferred = Some(other);
@@ -243,18 +406,151 @@ fn run_actor(
                         Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                     }
                 }
-                if coalesced_apply(&mut ws, span_budget, pending, &mut stats) {
+                if handle_mutations(&mut ws, &cfg, pending, &mut parked, &mut stats) {
                     snapshot = None;
                 }
                 match deferred {
-                    Some(Command::Stop) => return,
+                    Some(Command::Stop) => {
+                        fail_parked(&mut parked);
+                        return;
+                    }
                     Some(cmd) => serve_read(&mut ws, cmd, &mut stats, &mut snapshot),
                     None => {}
                 }
             }
-            Command::Stop => return,
+            Command::Stop => {
+                fail_parked(&mut parked);
+                return;
+            }
             other => serve_read(&mut ws, other, &mut stats, &mut snapshot),
         }
+    }
+}
+
+/// Admit, park, or reject each drained batch per policy, apply the
+/// admitted ones in one combined `Workspace::apply`, then retry parked
+/// batches if capacity changed. Returns whether the workspace mutated.
+fn handle_mutations(
+    ws: &mut Workspace,
+    cfg: &ActorConfig,
+    pending: Vec<PendingBatch>,
+    parked: &mut VecDeque<Parked>,
+    stats: &mut ActorStats,
+) -> bool {
+    // Per-arc load deltas of the batches accepted so far in this drain.
+    let mut accepted_delta: Vec<i64> = Vec::new();
+    let mut accepted: Vec<PendingBatch> = Vec::new();
+    for batch in pending {
+        // Batches that fit the budget apply immediately even while others
+        // are parked — a later `Remove` must be able to overtake a parked
+        // over-budget `Add`, or the capacity it would free never frees.
+        // Parked batches retry in arrival order once something mutates,
+        // and their timeout bounds how long an overtaken batch can wait.
+        match admission_check(ws, cfg.span_budget, &batch.ops, &mut accepted_delta) {
+            Ok(()) => accepted.push(batch),
+            Err(e) => match cfg.admission {
+                AdmissionPolicy::Reject => {
+                    batch.respond.send(ActorReply::Applied(Err(e)));
+                }
+                AdmissionPolicy::Wait { .. } => park_or_reject(ws, cfg, batch, parked),
+            },
+        }
+    }
+    let mut mutated = apply_admitted(ws, accepted, stats);
+    if mutated {
+        mutated |= retry_parked(ws, cfg, parked, stats);
+    }
+    mutated
+}
+
+/// Park one over-budget batch, or reject it immediately when the parking
+/// queue is full.
+fn park_or_reject(
+    ws: &Workspace,
+    cfg: &ActorConfig,
+    batch: PendingBatch,
+    parked: &mut VecDeque<Parked>,
+) {
+    let budget = cfg.span_budget.unwrap_or(usize::MAX);
+    let projected = batch_projection(ws, &batch.ops);
+    let AdmissionPolicy::Wait { max_queue, timeout } = cfg.admission else {
+        batch
+            .respond
+            .send(ActorReply::Applied(Err(ServeError::SpanBudgetExceeded {
+                budget,
+                projected,
+            })));
+        return;
+    };
+    if parked.len() >= max_queue {
+        batch
+            .respond
+            .send(ActorReply::Applied(Err(ServeError::SpanBudgetExceeded {
+                budget,
+                projected,
+            })));
+        return;
+    }
+    parked.push_back(Parked {
+        ops: batch.ops,
+        respond: batch.respond,
+        // lint: allow(no-wallclock): stamping the client-visible Wait deadline
+        deadline: Instant::now() + timeout,
+        budget,
+        projected,
+    });
+}
+
+/// Reject every parked batch whose deadline has passed. Deadlines are
+/// monotone in arrival order (one shared timeout), so checking heads
+/// suffices.
+fn expire_overdue(parked: &mut VecDeque<Parked>) {
+    // lint: allow(no-wallclock): comparing against the client-visible Wait deadline
+    let now = Instant::now();
+    while parked.front().is_some_and(|p| p.deadline <= now) {
+        if let Some(p) = parked.pop_front() {
+            p.respond
+                .send(ActorReply::Applied(Err(ServeError::SpanBudgetExceeded {
+                    budget: p.budget,
+                    projected: p.projected,
+                })));
+        }
+    }
+}
+
+/// Apply parked batches from the head while they fit the freed capacity
+/// (strict FIFO — stop at the first that still does not). Returns whether
+/// anything mutated.
+fn retry_parked(
+    ws: &mut Workspace,
+    cfg: &ActorConfig,
+    parked: &mut VecDeque<Parked>,
+    stats: &mut ActorStats,
+) -> bool {
+    let mut mutated = false;
+    while let Some(head) = parked.front() {
+        let mut scratch = Vec::new();
+        if admission_check(ws, cfg.span_budget, &head.ops, &mut scratch).is_err() {
+            break;
+        }
+        let Some(p) = parked.pop_front() else { break };
+        mutated |= apply_admitted(
+            ws,
+            vec![PendingBatch {
+                ops: p.ops,
+                respond: p.respond,
+            }],
+            stats,
+        );
+    }
+    mutated
+}
+
+/// Answer every parked batch with `Stopped` (actor shutting down).
+fn fail_parked(parked: &mut VecDeque<Parked>) {
+    for p in parked.drain(..) {
+        p.respond
+            .send(ActorReply::Applied(Err(ServeError::Stopped)));
     }
 }
 
@@ -266,7 +562,7 @@ fn serve_read(
     snapshot: &mut Option<Snapshot>,
 ) {
     match cmd {
-        Command::Query { reply } => {
+        Command::Query { respond } => {
             stats.queries += 1;
             let snap = match snapshot {
                 Some(snap) => Ok(snap.clone()),
@@ -284,44 +580,27 @@ fn serve_read(
                     })
                     .map_err(ServeError::Core),
             };
-            let _ = reply.send(snap);
+            respond.send(ActorReply::Snapshot(snap));
         }
-        Command::QueryDelta { since, reply } => {
+        Command::QueryDelta { since, respond } => {
             stats.delta_queries += 1;
             let delta = ws.delta_since(Epoch(since)).map_err(ServeError::Core);
-            let _ = reply.send(delta);
+            respond.send(ActorReply::Delta(delta));
         }
-        Command::Stats { reply } => {
-            let _ = reply.send((ws.stats(), *stats));
+        Command::Stats { respond } => {
+            respond.send(ActorReply::Stats(Box::new((ws.stats(), *stats))));
         }
-        Command::Apply { reply, .. } => {
+        Command::Apply { respond, .. } => {
             // Unreachable by construction; answer rather than panic.
-            let _ = reply.send(Err(ServeError::Stopped));
+            respond.send(ActorReply::Applied(Err(ServeError::Stopped)));
         }
         Command::Stop => {}
     }
 }
 
-/// Admission-check each pending batch, apply every accepted one in a
-/// single `Workspace::apply`, and answer every reply channel. Returns
-/// whether the workspace mutated.
-fn coalesced_apply(
-    ws: &mut Workspace,
-    span_budget: Option<usize>,
-    pending: Vec<PendingBatch>,
-    stats: &mut ActorStats,
-) -> bool {
-    // Per-arc load deltas of the batches accepted so far in this drain.
-    let mut accepted_delta: Vec<i64> = Vec::new();
-    let mut accepted: Vec<PendingBatch> = Vec::new();
-    for batch in pending {
-        match admission_check(ws, span_budget, &batch.ops, &mut accepted_delta) {
-            Ok(()) => accepted.push(batch),
-            Err(e) => {
-                let _ = batch.reply.send(Err(e));
-            }
-        }
-    }
+/// Apply admission-passed batches in a single `Workspace::apply` and
+/// answer every reply channel. Returns whether the workspace mutated.
+fn apply_admitted(ws: &mut Workspace, accepted: Vec<PendingBatch>, stats: &mut ActorStats) -> bool {
     if accepted.is_empty() {
         return false;
     }
@@ -350,7 +629,7 @@ fn coalesced_apply(
                     .count();
                 let ids = all_ids[cursor..cursor + adds].to_vec();
                 cursor += adds;
-                let _ = batch.reply.send(Ok(ids));
+                batch.respond.send(ActorReply::Applied(Ok(ids)));
             }
             true
         }
@@ -406,7 +685,7 @@ fn fail_one_then_apply_each(
     stats: &mut ActorStats,
 ) -> bool {
     let batch = accepted.remove(bad);
-    let _ = batch.reply.send(Err(err));
+    batch.respond.send(ActorReply::Applied(Err(err)));
     apply_each(ws, accepted, stats)
 }
 
@@ -431,9 +710,18 @@ fn apply_each(ws: &mut Workspace, batches: Vec<PendingBatch>, stats: &mut ActorS
             stats.batches += 1;
             stats.applies += 1;
         }
-        let _ = batch.reply.send(result);
+        batch.respond.send(ActorReply::Applied(result));
     }
     mutated
+}
+
+/// The projected post-batch maximum load of `ops` alone against the live
+/// workspace (what admission would compare to the budget with nothing
+/// else accepted). Used to report honest numbers for parked batches.
+fn batch_projection(ws: &Workspace, ops: &[ActorOp]) -> usize {
+    let accepted: Vec<i64> = vec![0; ws.graph().arc_count()];
+    let mut own: Vec<i64> = vec![0; ws.graph().arc_count()];
+    projected_span(ws, ops, &accepted, &mut own)
 }
 
 /// Project the per-arc load of applying `ops` on top of the already
@@ -452,6 +740,28 @@ fn admission_check(
         accepted_delta.resize(ws.graph().arc_count(), 0);
     }
     let mut own_delta: Vec<i64> = vec![0; accepted_delta.len()];
+    let projected_max = projected_span(ws, ops, accepted_delta, &mut own_delta);
+    if projected_max > budget {
+        return Err(ServeError::SpanBudgetExceeded {
+            budget,
+            projected: projected_max,
+        });
+    }
+    for (acc, own) in accepted_delta.iter_mut().zip(&own_delta) {
+        *acc += own;
+    }
+    Ok(())
+}
+
+/// Walk `ops` accumulating its own per-arc deltas into `own_delta` and
+/// return the maximum load any arc is projected to reach (live load +
+/// accepted deltas + the batch's own preceding ops).
+fn projected_span(
+    ws: &Workspace,
+    ops: &[ActorOp],
+    accepted_delta: &[i64],
+    own_delta: &mut [i64],
+) -> usize {
     let mut projected_max = 0usize;
     for op in ops {
         match op {
@@ -464,7 +774,8 @@ fn admission_check(
                         continue;
                     }
                     own_delta[i] += 1;
-                    let projected = (ws.arc_load(a) as i64) + accepted_delta[i] + own_delta[i];
+                    let accepted = accepted_delta.get(i).copied().unwrap_or(0);
+                    let projected = (ws.arc_load(a) as i64) + accepted + own_delta[i];
                     projected_max = projected_max.max(projected.max(0) as usize);
                 }
             }
@@ -484,16 +795,7 @@ fn admission_check(
             }
         }
     }
-    if projected_max > budget {
-        return Err(ServeError::SpanBudgetExceeded {
-            budget,
-            projected: projected_max,
-        });
-    }
-    for (acc, own) in accepted_delta.iter_mut().zip(&own_delta) {
-        *acc += own;
-    }
-    Ok(())
+    projected_max
 }
 
 #[cfg(test)]
@@ -513,9 +815,16 @@ mod tests {
         ids.iter().map(|&i| ArcId(i)).collect()
     }
 
+    fn config(span_budget: Option<usize>) -> ActorConfig {
+        ActorConfig {
+            span_budget,
+            ..ActorConfig::default()
+        }
+    }
+
     #[test]
     fn actor_round_trip_apply_query_stats_stop() {
-        let (h, join) = spawn_tenant(line_workspace(5), None, 64);
+        let (h, join) = spawn_tenant(line_workspace(5), config(None));
         let ids = h
             .apply(vec![
                 ActorOp::Add(arc_ids(&[0, 1])),
@@ -541,7 +850,7 @@ mod tests {
 
     #[test]
     fn delta_queries_flow_through_the_actor() {
-        let (h, join) = spawn_tenant(line_workspace(5), None, 64);
+        let (h, join) = spawn_tenant(line_workspace(5), config(None));
         h.apply(vec![ActorOp::Add(arc_ids(&[0, 1]))]).expect("add");
         let d0 = h.query_delta(0).expect("initial delta");
         assert!(!d0.full_resync);
@@ -558,7 +867,7 @@ mod tests {
 
     #[test]
     fn budget_rejects_without_mutating() {
-        let (h, join) = spawn_tenant(line_workspace(3), Some(2), 64);
+        let (h, join) = spawn_tenant(line_workspace(3), config(Some(2)));
         h.apply(vec![
             ActorOp::Add(arc_ids(&[0])),
             ActorOp::Add(arc_ids(&[0])),
@@ -589,7 +898,7 @@ mod tests {
 
     #[test]
     fn stale_remove_fails_only_its_own_batch() {
-        let (h, join) = spawn_tenant(line_workspace(4), None, 64);
+        let (h, join) = spawn_tenant(line_workspace(4), config(None));
         let err = h
             .apply(vec![ActorOp::Remove(PathId(7))])
             .expect_err("id 7 was never allocated");
@@ -607,7 +916,7 @@ mod tests {
 
     #[test]
     fn invalid_arcs_yield_typed_invalid_path() {
-        let (h, join) = spawn_tenant(line_workspace(3), None, 64);
+        let (h, join) = spawn_tenant(line_workspace(3), config(None));
         let err = h
             .apply(vec![ActorOp::Add(arc_ids(&[99]))])
             .expect_err("arc 99 is out of range");
@@ -617,6 +926,129 @@ mod tests {
             .expect_err("non-contiguous arc order");
         assert!(matches!(err, ServeError::Core(CoreError::InvalidPath(_))));
         h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn wait_policy_parks_until_capacity_frees() {
+        let cfg = ActorConfig {
+            span_budget: Some(2),
+            admission: AdmissionPolicy::Wait {
+                max_queue: 4,
+                timeout: Duration::from_secs(10),
+            },
+            ..ActorConfig::default()
+        };
+        let (h, join) = spawn_tenant(line_workspace(3), cfg);
+        h.apply(vec![
+            ActorOp::Add(arc_ids(&[0])),
+            ActorOp::Add(arc_ids(&[0])),
+        ])
+        .expect("fills the budget");
+        // The over-budget batch parks, so the blocking apply waits on a
+        // helper thread while the main thread frees capacity.
+        let h2 = h.clone();
+        let waiter = thread::spawn(move || h2.apply(vec![ActorOp::Add(arc_ids(&[0, 1]))]));
+        thread::sleep(Duration::from_millis(50));
+        h.apply(vec![ActorOp::Remove(PathId(0))])
+            .expect("retire frees a slot");
+        let ids = waiter
+            .join()
+            .expect("waiter thread")
+            .expect("parked batch applies once capacity frees");
+        assert_eq!(ids.len(), 1);
+        let (ws_stats, _) = h.stats().expect("stats");
+        assert_eq!(ws_stats.live_paths, 2);
+        assert_eq!(ws_stats.max_load, 2);
+        h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn wait_policy_times_out_with_typed_error() {
+        let cfg = ActorConfig {
+            span_budget: Some(1),
+            admission: AdmissionPolicy::Wait {
+                max_queue: 4,
+                timeout: Duration::from_millis(50),
+            },
+            ..ActorConfig::default()
+        };
+        let (h, join) = spawn_tenant(line_workspace(3), cfg);
+        h.apply(vec![ActorOp::Add(arc_ids(&[0]))])
+            .expect("fills the budget");
+        let err = h
+            .apply(vec![ActorOp::Add(arc_ids(&[0]))])
+            .expect_err("no capacity ever frees, so the wait times out");
+        assert!(matches!(
+            err,
+            ServeError::SpanBudgetExceeded {
+                budget: 1,
+                projected: 2
+            }
+        ));
+        let (ws_stats, _) = h.stats().expect("stats");
+        assert_eq!(ws_stats.live_paths, 1, "timed-out batch applied nothing");
+        h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn wait_policy_overflow_rejects_immediately() {
+        let cfg = ActorConfig {
+            span_budget: Some(1),
+            admission: AdmissionPolicy::Wait {
+                max_queue: 1,
+                timeout: Duration::from_secs(10),
+            },
+            ..ActorConfig::default()
+        };
+        let (h, join) = spawn_tenant(line_workspace(3), cfg);
+        h.apply(vec![ActorOp::Add(arc_ids(&[0]))])
+            .expect("fills the budget");
+        // First over-budget batch parks (helper thread blocks on it).
+        let h2 = h.clone();
+        let waiter = thread::spawn(move || h2.apply(vec![ActorOp::Add(arc_ids(&[0]))]));
+        thread::sleep(Duration::from_millis(50));
+        // Second over-budget batch finds the queue full: typed rejection
+        // without waiting out the 10s timeout.
+        let err = h
+            .apply(vec![ActorOp::Add(arc_ids(&[0]))])
+            .expect_err("parking queue is full");
+        assert!(matches!(err, ServeError::SpanBudgetExceeded { .. }));
+        // Free capacity so the parked batch (still FIFO head) applies.
+        h.apply(vec![ActorOp::Remove(PathId(0))])
+            .expect("retire frees a slot");
+        waiter
+            .join()
+            .expect("waiter thread")
+            .expect("parked batch applies after the retire");
+        h.stop();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn stop_fails_parked_batches_with_stopped() {
+        let cfg = ActorConfig {
+            span_budget: Some(1),
+            admission: AdmissionPolicy::Wait {
+                max_queue: 4,
+                timeout: Duration::from_secs(10),
+            },
+            ..ActorConfig::default()
+        };
+        let (h, join) = spawn_tenant(line_workspace(3), cfg);
+        h.apply(vec![ActorOp::Add(arc_ids(&[0]))])
+            .expect("fills the budget");
+        let h2 = h.clone();
+        let waiter = thread::spawn(move || h2.apply(vec![ActorOp::Add(arc_ids(&[0]))]));
+        thread::sleep(Duration::from_millis(50));
+        h.stop();
+        let err = waiter
+            .join()
+            .expect("waiter thread")
+            .expect_err("shutdown fails the parked batch");
+        assert!(matches!(err, ServeError::Stopped));
         join.join().expect("clean exit");
     }
 }

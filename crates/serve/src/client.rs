@@ -4,7 +4,10 @@
 //! The client is deliberately thin — it frames requests, reads exactly
 //! one response, and maps typed server errors into
 //! [`ClientError::Remote`]. Connection pooling, retries, and pipelining
-//! are caller concerns.
+//! are caller concerns. In particular, a server under load may answer
+//! with [`ErrorCode::Busy`] (its actor queue is full); the connection
+//! stays usable and the request is safe to retry after a backoff —
+//! nothing was applied.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};

@@ -1,7 +1,8 @@
 //! # dagwave-serve
 //!
 //! The service layer over the incremental [`Workspace`]: a versioned
-//! binary wire protocol on TCP, a thread-per-connection server, and a
+//! binary wire protocol on TCP, a server with selectable front-ends
+//! (thread-per-connection, or a single-threaded `poll(2)` reactor), and a
 //! single-writer actor per tenant that coalesces queued mutations into
 //! shared recomputations.
 //!
@@ -19,10 +20,18 @@
 //!   paying N. Admission control (span budget) rejects mutations that
 //!   would push any arc's load past a ceiling — load is the paper's lower
 //!   bound `π(G, P)`, so on internal-cycle-free DAGs the budget *is* a
-//!   wavelength-count guarantee (`w = π`, Theorem 1).
-//! * [`server`] — `std::net` listener, thread per connection, a registry
-//!   thread that owns the tenant map (multi-tenant: independent
-//!   workspaces keyed by a `u64` tenant id), channel-based shutdown.
+//!   wavelength-count guarantee (`w = π`, Theorem 1). The
+//!   [`actor::AdmissionPolicy`] decides whether over-budget batches are
+//!   rejected immediately or parked until capacity frees.
+//! * [`server`] — `std::net` listener, a registry thread that owns the
+//!   tenant map (multi-tenant: independent workspaces keyed by a `u64`
+//!   tenant id), channel-based shutdown, and two front-ends selected by
+//!   [`server::FrontEnd`]: one blocking thread per connection, or a
+//!   single-threaded `poll(2)` reactor (unix) whose OS thread count is
+//!   independent of connection count.
+//! * `reactor` (unix) — the evented front-end: nonblocking sockets,
+//!   incremental frame decode, pooled buffers, bounded write queues with
+//!   typed `Busy` backpressure.
 //! * [`client`] — a blocking request/response client used by the tests,
 //!   the demo binary, and the bench harness.
 //!
@@ -51,17 +60,23 @@
 //!
 //! [`Workspace`]: dagwave_core::Workspace
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's `sys` module carries the
+// crate's only `#[allow(unsafe_code)]`, confining FFI to one reviewed spot.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actor;
 pub mod client;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
 
-pub use actor::{ActorOp, ActorStats, ServeError, Snapshot, TenantHandle};
+pub use actor::{
+    ActorConfig, ActorOp, ActorStats, AdmissionPolicy, ServeError, Snapshot, TenantHandle,
+};
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, Request, Response, WireDelta, WireError, WireOp, WireSolution, WireStats,
 };
-pub use server::{Server, ServerConfig, ServerHandle, WorkspaceFactory};
+pub use server::{FrontEnd, Server, ServerConfig, ServerHandle, WorkspaceFactory};

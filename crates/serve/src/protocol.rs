@@ -49,11 +49,13 @@
 //! # Versioning
 //!
 //! The version byte is a *minor* version: v2 adds the `QueryDelta`/`Delta`
-//! opcodes and six trailing [`WireStats`] counters, and changes nothing
+//! opcodes and trailing [`WireStats`] counters, and changes nothing
 //! that existed in v1. This side emits [`VERSION`] (`0x02`) and accepts
 //! any version in `MIN_VERSION..=VERSION`, so v1 frames still decode —
 //! including v1 `Stats` payloads, whose missing trailing counters read as
-//! zero. Versions outside that range are [`WireError::UnknownVersion`].
+//! zero (the `Stats` payload is length-extensible: 9, 15, and 19-counter
+//! stages all decode). Versions outside that range are
+//! [`WireError::UnknownVersion`].
 //!
 //! Unknown versions, unknown opcodes, truncated payloads, trailing bytes,
 //! and oversized lengths all decode to typed [`WireError`]s — never a
@@ -151,6 +153,10 @@ pub enum ErrorCode {
     Solver,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server is at capacity for this connection or tenant right now
+    /// (bounded actor queue or write queue full). Transient: the request
+    /// was not applied and may be retried.
+    Busy,
     /// A code this build does not know (forward compatibility).
     Other(u16),
 }
@@ -168,6 +174,7 @@ impl ErrorCode {
             ErrorCode::SpanBudgetExceeded => 7,
             ErrorCode::Solver => 8,
             ErrorCode::ShuttingDown => 9,
+            ErrorCode::Busy => 10,
             ErrorCode::Other(raw) => raw,
         }
     }
@@ -185,6 +192,7 @@ impl ErrorCode {
             7 => ErrorCode::SpanBudgetExceeded,
             8 => ErrorCode::Solver,
             9 => ErrorCode::ShuttingDown,
+            10 => ErrorCode::Busy,
             other => ErrorCode::Other(other),
         }
     }
@@ -291,10 +299,18 @@ pub struct WireDelta {
 }
 
 /// The counters carried by [`Response::Stats`] — the tenant's cumulative
-/// `WorkspaceStats` plus the actor's service-side tallies.
+/// `WorkspaceStats`, the actor's service-side tallies, and the serving
+/// front-end's transport counters.
 ///
-/// On the wire: 15 `u64`s in field order. The last six were added in v2;
-/// a v1 peer's 9-counter payload decodes with them as zero.
+/// On the wire: 19 `u64`s in field order. The payload is
+/// length-extensible in stages: a v1 peer sends 9 counters, early-v2
+/// sends 15, current builds send 19 — decoders accept any stage and zero
+/// the missing tail, so extending the table is never a version bump.
+///
+/// The four transport counters are measured at the serving front-end:
+/// the whole process under the evented reactor, the serving connection
+/// under the threaded model (where no cross-connection aggregation
+/// exists by design — there is no shared mutable state to count into).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Live dipaths in the tenant's family.
@@ -329,6 +345,16 @@ pub struct WireStats {
     pub delta_queries: u64,
     /// Delta queries answered with a full resync (v2).
     pub delta_resyncs: u64,
+    /// Request bytes read off the wire by the serving front-end.
+    pub bytes_in: u64,
+    /// Response bytes written to the wire by the serving front-end.
+    pub bytes_out: u64,
+    /// Requests refused with [`ErrorCode::Busy`] because a bounded queue
+    /// (actor command queue) was full at dispatch time.
+    pub busy_rejections: u64,
+    /// High-water mark of any connection's pending write queue, in bytes
+    /// (how far a slow reader ever got behind before backpressure held).
+    pub max_write_queue: u64,
 }
 
 /// Server → client messages.
@@ -601,6 +627,126 @@ pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> io::Result<()>
     w.flush()
 }
 
+/// How many bytes one [`FrameDecoder::fill_from`] call asks the transport
+/// for. Large enough that a burst of small frames lands in one syscall.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// Once this many consumed bytes sit in front of the unread region, the
+/// decoder memmoves the tail down instead of growing forever.
+const COMPACT_THRESHOLD: usize = READ_CHUNK;
+
+/// An incremental frame decoder: feed it bytes in arbitrary slices
+/// (single bytes, half frames, three frames at once) and pull complete
+/// frames out as they form. This is the nonblocking counterpart of
+/// [`read_frame`] — the evented front-end's read path — and the two agree
+/// exactly: any byte stream yields the same frame sequence either way.
+///
+/// Properties:
+///
+/// * **Total.** Header errors (bad magic, unknown version, oversized
+///   length) surface as typed [`WireError`]s the moment the 8 header
+///   bytes are present — never a panic, and never after buffering the
+///   bogus payload. After an error the stream is unsynchronized and the
+///   caller must close it; the decoder keeps returning the error.
+/// * **Bounded.** [`MAX_PAYLOAD`] is enforced at the header, so the
+///   internal buffer never grows past one maximum frame plus one read
+///   chunk, no matter what a peer sends.
+/// * **Allocation-free in steady state.** The buffer is retained across
+///   frames (and can be handed in from / returned to a pool via
+///   [`FrameDecoder::with_buffer`] / [`FrameDecoder::into_buffer`]);
+///   consumed bytes are reclaimed by truncation or an occasional compact,
+///   not by reallocating.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of the unread region in `buf`.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with a fresh (empty) buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// A decoder reusing `buf`'s allocation (contents are discarded).
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        FrameDecoder { buf, start: 0 }
+    }
+
+    /// Dismantle the decoder, handing its buffer back (for a pool).
+    pub fn into_buffer(mut self) -> Vec<u8> {
+        self.buf.clear();
+        self.buf
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameDecoder::next_frame`].
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Reclaim consumed bytes: cheap truncate when fully drained, memmove
+    /// when the dead prefix got large, nothing otherwise.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Append raw bytes (a test/adversarial entry point; the server path
+    /// uses [`FrameDecoder::fill_from`]).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Issue one `read` against `r` for up to [`READ_CHUNK`] bytes,
+    /// appending whatever arrives. `Ok(0)` is end-of-stream;
+    /// `WouldBlock`/`Interrupted` errors pass through untranslated (the
+    /// evented loop treats them as "try again on readiness").
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Pull the next complete frame, if one has fully arrived. Returns
+    /// `Ok(None)` when more bytes are needed, `Ok(Some((opcode,
+    /// payload)))` for a complete frame (the borrow ends before the next
+    /// call — decode the payload immediately), or a typed [`WireError`]
+    /// if the buffered bytes cannot be a frame.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, &[u8])>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < HEADER_LEN {
+            return Ok(None);
+        }
+        let (op, len) = decode_header(&self.buf[self.start..self.start + HEADER_LEN])?;
+        let total = HEADER_LEN + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let begin = self.start + HEADER_LEN;
+        let end = self.start + total;
+        self.start = end;
+        Ok(Some((op, &self.buf[begin..end])))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Request encode/decode
 // ---------------------------------------------------------------------------
@@ -740,20 +886,28 @@ impl Response {
     /// Encode the payload body (no header).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_payload_into(&mut buf);
+        buf
+    }
+
+    /// Encode the payload body (no header) by appending to `buf` — the
+    /// allocation-free path: a pooled buffer encodes frame after frame
+    /// without ever reallocating in steady state.
+    pub fn encode_payload_into(&self, buf: &mut Vec<u8>) {
         match self {
-            Response::Admitted { id } => put_u32(&mut buf, *id),
+            Response::Admitted { id } => put_u32(buf, *id),
             Response::Retired | Response::ShuttingDown => {}
-            Response::Applied { added } => put_u32_slice(&mut buf, added),
+            Response::Applied { added } => put_u32_slice(buf, added),
             Response::Solution(s) => {
-                put_u32(&mut buf, s.num_colors);
-                put_u32(&mut buf, s.load);
+                put_u32(buf, s.num_colors);
+                put_u32(buf, s.load);
                 buf.push(u8::from(s.optimal));
-                put_u32(&mut buf, s.shard_count);
-                put_str(&mut buf, &s.strategy);
-                put_u32(&mut buf, s.colors.len() as u32);
+                put_u32(buf, s.shard_count);
+                put_str(buf, &s.strategy);
+                put_u32(buf, s.colors.len() as u32);
                 for &(id, color) in &s.colors {
-                    put_u32(&mut buf, id);
-                    put_u32(&mut buf, color);
+                    put_u32(buf, id);
+                    put_u32(buf, color);
                 }
             }
             Response::Stats(s) => {
@@ -773,32 +927,53 @@ impl Response {
                     s.epoch,
                     s.delta_queries,
                     s.delta_resyncs,
+                    s.bytes_in,
+                    s.bytes_out,
+                    s.busy_rejections,
+                    s.max_write_queue,
                 ] {
-                    put_u64(&mut buf, v);
+                    put_u64(buf, v);
                 }
             }
             Response::Delta(d) => {
-                put_u64(&mut buf, d.epoch);
-                put_u32(&mut buf, d.span);
+                put_u64(buf, d.epoch);
+                put_u32(buf, d.span);
                 buf.push(u8::from(d.full_resync));
-                put_u32(&mut buf, d.changes.len() as u32);
+                put_u32(buf, d.changes.len() as u32);
                 for &(id, color) in &d.changes {
-                    put_u32(&mut buf, id);
-                    put_u32(&mut buf, color);
+                    put_u32(buf, id);
+                    put_u32(buf, color);
                 }
-                put_u32_slice(&mut buf, &d.removed);
+                put_u32_slice(buf, &d.removed);
             }
             Response::Error { code, message } => {
-                put_u16(&mut buf, code.to_u16());
-                put_str(&mut buf, message);
+                put_u16(buf, code.to_u16());
+                put_str(buf, message);
             }
         }
-        buf
     }
 
     /// Full framed bytes (header + payload).
     pub fn to_frame(&self) -> Vec<u8> {
-        encode_frame(self.opcode(), &self.encode_payload())
+        let mut out = Vec::new();
+        self.encode_frame_into(&mut out);
+        out
+    }
+
+    /// Encode the full frame (header + payload) into `out`, clearing it
+    /// first. The header's length field is back-patched after the payload
+    /// is written, so the body is encoded exactly once, straight into the
+    /// (typically pooled) output buffer.
+    pub fn encode_frame_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.push(self.opcode());
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&[0u8; 4]); // length, patched below
+        self.encode_payload_into(out);
+        let len = (out.len() - HEADER_LEN) as u32;
+        out[4..HEADER_LEN].copy_from_slice(&len.to_le_bytes());
     }
 
     /// Decode a response from an opcode/payload pair. Request opcodes are
@@ -858,6 +1033,14 @@ impl Response {
                     s.epoch = r.u64()?;
                     s.delta_queries = r.u64()?;
                     s.delta_resyncs = r.u64()?;
+                }
+                // Early-v2 payloads end here; the transport counters
+                // (added with the evented front-end) read as zero.
+                if !r.is_empty() {
+                    s.bytes_in = r.u64()?;
+                    s.bytes_out = r.u64()?;
+                    s.busy_rejections = r.u64()?;
+                    s.max_write_queue = r.u64()?;
                 }
                 Response::Stats(s)
             }
@@ -1074,10 +1257,111 @@ mod tests {
             ErrorCode::SpanBudgetExceeded,
             ErrorCode::Solver,
             ErrorCode::ShuttingDown,
+            ErrorCode::Busy,
             ErrorCode::Other(700),
         ] {
             assert_eq!(ErrorCode::from_u16(code.to_u16()), code);
         }
+        // Busy's octet is pinned: changing it is a wire break.
+        assert_eq!(ErrorCode::Busy.to_u16(), 10);
+    }
+
+    #[test]
+    fn early_v2_stats_payloads_still_decode() {
+        // A 15-counter stats payload (pre-transport-counter v2) decodes
+        // with the 4-counter tail zeroed; a full 19-counter payload
+        // round-trips every field.
+        let mut payload = Vec::new();
+        for v in 1..=15u64 {
+            put_u64(&mut payload, v);
+        }
+        let bytes = encode_frame(0x85, &payload);
+        let (back, _) = Response::from_frame(&bytes).unwrap();
+        let Response::Stats(s) = back else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.delta_resyncs, 15);
+        assert_eq!(s.bytes_in, 0);
+        assert_eq!(s.max_write_queue, 0);
+
+        let full = Response::Stats(WireStats {
+            bytes_in: 101,
+            bytes_out: 102,
+            busy_rejections: 103,
+            max_write_queue: 104,
+            ..WireStats::default()
+        });
+        let (back, _) = Response::from_frame(&full.to_frame()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn streaming_decoder_matches_whole_frame_reads() {
+        // Three frames delivered one byte at a time come out identical to
+        // what from_frame sees, in order, with nothing left over.
+        let frames = [
+            Request::Admit {
+                tenant: 1,
+                arcs: vec![3, 4, 5],
+            },
+            Request::Query { tenant: 2 },
+            Request::Shutdown,
+        ];
+        let bytes: Vec<u8> = frames.iter().flat_map(|f| f.to_frame()).collect();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            dec.push(std::slice::from_ref(b));
+            while let Some((op, payload)) = dec.next_frame().unwrap() {
+                got.push(Request::decode(op, payload).unwrap());
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn streaming_decoder_header_errors_are_typed_and_early() {
+        // An oversized length is rejected as soon as the header is
+        // complete — no payload ever buffers.
+        let mut dec = FrameDecoder::new();
+        let mut header = vec![MAGIC, VERSION, 0x04, 0x00];
+        header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        dec.push(&header[..7]);
+        assert_eq!(dec.next_frame(), Ok(None), "incomplete header waits");
+        dec.push(&header[7..]);
+        assert_eq!(dec.next_frame(), Err(WireError::Oversized(MAX_PAYLOAD + 1)));
+        // Bad magic surfaces the same way.
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0x00; HEADER_LEN]);
+        assert_eq!(dec.next_frame(), Err(WireError::BadMagic(0)));
+    }
+
+    #[test]
+    fn streaming_decoder_reuses_pooled_buffers() {
+        let frame = Request::Stats { tenant: 7 }.to_frame();
+        let mut dec = FrameDecoder::with_buffer(Vec::with_capacity(READ_CHUNK));
+        dec.push(&frame);
+        let (op, payload) = dec.next_frame().unwrap().expect("one frame");
+        assert_eq!(
+            Request::decode(op, payload),
+            Ok(Request::Stats { tenant: 7 })
+        );
+        let buf = dec.into_buffer();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= READ_CHUNK, "pooled capacity survives");
+    }
+
+    #[test]
+    fn encode_frame_into_matches_to_frame() {
+        let resp = Response::Stats(WireStats {
+            live_paths: 3,
+            bytes_in: 9,
+            ..WireStats::default()
+        });
+        let mut pooled = vec![0xFF; 64]; // stale pooled contents
+        resp.encode_frame_into(&mut pooled);
+        assert_eq!(pooled, resp.to_frame());
     }
 
     #[test]

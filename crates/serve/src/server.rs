@@ -1,44 +1,73 @@
-//! The TCP server: thread-per-connection over `std::net`, a registry
-//! thread owning the tenant actors, and a nonblocking accept loop that a
-//! `Shutdown` request can interrupt.
+//! The TCP server: two selectable front-ends over one actor core, a
+//! registry thread owning the tenant actors, and poll-based accept/stop
+//! wakeups (no sleep-polling).
 //!
-//! # Thread topology
+//! # Front-ends
+//!
+//! [`FrontEnd::Threaded`] spawns one blocking connection thread per
+//! client — simple, and still the portable default. [`FrontEnd::Evented`]
+//! drives every connection from a single `poll(2)` reactor thread (see
+//! the `reactor` module docs for the state machine and backpressure
+//! story); connection count stops costing OS threads.
+//!
+//! # Thread topology (threaded front-end)
 //!
 //! ```text
 //! accept loop ──spawns──▶ connection threads ──mpsc──▶ registry thread
 //!      ▲                        │  cached TenantHandle      │ owns map
-//!      └──── stop channel ◀─────┤                           │ tenant → actor
+//!      └──── stop + waker ◀─────┤                           │ tenant → actor
 //!                               └────── mpsc ──▶ tenant actor threads
 //! ```
 //!
-//! There is no shared mutable state: the registry thread *owns* the
-//! tenant map (connections lease [`TenantHandle`]s over a channel and
-//! cache them locally), each actor owns its [`Workspace`], and shutdown
-//! is a message, not a flag. The only unusual piece is the accept loop:
-//! `std::net` has no `select`, so the listener runs nonblocking and the
-//! loop alternates `accept` with a `try_recv` on the stop channel,
-//! sleeping briefly when idle.
+//! Under the evented front-end the connection threads collapse into the
+//! reactor running on the [`Server::run`] caller's thread; everything
+//! else is identical. There is no shared mutable state in either mode:
+//! the registry thread *owns* the tenant map (connections lease
+//! [`TenantHandle`]s over a channel and cache them locally), each actor
+//! owns its [`Workspace`], and shutdown is a message plus a self-pipe
+//! wake, not a flag. The accept path blocks in `poll` on the listener and
+//! the wake pipe, so idle servers make zero wakeups and shutdown latency
+//! is one pipe write.
 
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::thread;
-use std::time::Duration;
 
-use dagwave_core::{CoreError, Workspace};
+use dagwave_core::{CoreError, SolutionDelta, Workspace, WorkspaceStats};
 use dagwave_graph::ArcId;
 use dagwave_paths::PathId;
 
-use crate::actor::{spawn_tenant, ActorOp, ServeError, TenantHandle};
+use crate::actor::{
+    spawn_tenant, ActorConfig, ActorOp, ActorStats, AdmissionPolicy, ServeError, Snapshot,
+    TenantHandle,
+};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, WireDelta, WireError,
-    WireOp, WireSolution, WireStats,
+    read_frame, ErrorCode, FrameReadError, Request, Response, WireDelta, WireError, WireOp,
+    WireSolution, WireStats, HEADER_LEN,
 };
 
 /// Builds the initial [`Workspace`] for a tenant id the server has not
 /// seen before. Owned by the registry thread, so `Send` suffices.
 pub type WorkspaceFactory = Box<dyn Fn(u64) -> Result<Workspace, CoreError> + Send>;
+
+/// Which connection-handling model [`Server::run`] drives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// One blocking OS thread per connection (portable default).
+    #[default]
+    Threaded,
+    /// A single-threaded `poll(2)` reactor over nonblocking sockets:
+    /// OS thread count is independent of connection count. Unix only.
+    Evented,
+}
+
+/// Default bound on each tenant actor's command queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+/// Default cap on one connection's queued response bytes before the
+/// evented front-end stops reading more requests from it.
+pub const DEFAULT_MAX_WRITE_BUFFER: usize = 1 << 20;
 
 /// Server-wide knobs.
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +76,17 @@ pub struct ServerConfig {
     pub span_budget: Option<usize>,
     /// Max queued mutation batches one `Workspace::apply` may coalesce.
     pub max_coalesce: usize,
+    /// Connection-handling model.
+    pub front_end: FrontEnd,
+    /// What to do with over-budget mutation batches (reject, or park
+    /// until capacity frees / a timeout).
+    pub admission: AdmissionPolicy,
+    /// Bound on each tenant actor's command queue. Full queues block
+    /// threaded connections and earn evented clients a typed `Busy`.
+    pub queue_depth: usize,
+    /// Per-connection cap on queued response bytes (evented front-end):
+    /// past it, the connection stops being read until the client drains.
+    pub max_write_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,11 +94,27 @@ impl Default for ServerConfig {
         ServerConfig {
             span_budget: None,
             max_coalesce: 64,
+            front_end: FrontEnd::Threaded,
+            admission: AdmissionPolicy::Reject,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_write_buffer: DEFAULT_MAX_WRITE_BUFFER,
         }
     }
 }
 
-enum RegistryCmd {
+/// Front-end transport counters surfaced through [`WireStats`]. The
+/// evented reactor keeps one instance for the whole process; the threaded
+/// model keeps one per connection (each thread can only see its own
+/// stream).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Transport {
+    pub(crate) bytes_in: u64,
+    pub(crate) bytes_out: u64,
+    pub(crate) busy_rejections: u64,
+    pub(crate) max_write_queue: u64,
+}
+
+pub(crate) enum RegistryCmd {
     /// Lease (creating on first use) the actor handle for a tenant.
     Lease {
         tenant: u64,
@@ -66,6 +122,22 @@ enum RegistryCmd {
     },
     /// Stop every actor, signal the accept loop, then exit.
     Shutdown,
+}
+
+/// Fired by the registry once every actor has drained: a message for the
+/// accept/reactor loop plus a self-pipe write to interrupt its `poll`.
+struct StopSignal {
+    tx: Sender<()>,
+    #[cfg(unix)]
+    waker: crate::reactor::Waker,
+}
+
+impl StopSignal {
+    fn fire(self) {
+        let _ = self.tx.send(());
+        #[cfg(unix)]
+        self.waker.wake();
+    }
 }
 
 /// A bound-but-not-yet-running server. [`Server::run`] blocks the calling
@@ -77,6 +149,11 @@ pub struct Server {
     registry_tx: Sender<RegistryCmd>,
     registry_join: thread::JoinHandle<()>,
     stop_rx: Receiver<()>,
+    config: ServerConfig,
+    #[cfg(unix)]
+    wake: crate::reactor::WakeReader,
+    #[cfg(unix)]
+    waker: crate::reactor::Waker,
 }
 
 /// Handle to a server running on its own thread (see [`Server::spawn`]).
@@ -109,16 +186,28 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        #[cfg(unix)]
+        let (wake, waker) = crate::reactor::wake_pair()?;
         let (registry_tx, registry_rx) = mpsc::channel();
         let (stop_tx, stop_rx) = mpsc::channel();
+        let signal = StopSignal {
+            tx: stop_tx,
+            #[cfg(unix)]
+            waker: waker.clone(),
+        };
         // lint: allow(no-raw-sync): the registry thread replaces a shared-map lock — it owns the tenant map outright, mpsc is the only coupling
-        let join = thread::spawn(move || run_registry(registry_rx, factory, config, stop_tx));
+        let join = thread::spawn(move || run_registry(registry_rx, factory, config, signal));
         Ok(Server {
             listener,
             addr,
             registry_tx,
             registry_join: join,
             stop_rx,
+            config,
+            #[cfg(unix)]
+            wake,
+            #[cfg(unix)]
+            waker,
         })
     }
 
@@ -127,12 +216,48 @@ impl Server {
         self.addr
     }
 
-    /// Accept connections until a `Shutdown` request arrives, then join
-    /// the registry (which has already stopped every tenant actor).
+    /// Accept and serve connections until a `Shutdown` request arrives,
+    /// then join the registry (which has already stopped every tenant
+    /// actor). Runs the front-end selected in [`ServerConfig`] on the
+    /// calling thread.
     pub fn run(self) -> io::Result<()> {
-        // `std::net` offers no way to interrupt a blocking accept, so the
-        // loop polls: accept whatever is pending, check the stop channel,
-        // sleep briefly when idle.
+        match self.config.front_end {
+            FrontEnd::Threaded => self.run_threaded(),
+            FrontEnd::Evented => self.run_evented(),
+        }
+    }
+
+    #[cfg(unix)]
+    fn run_evented(self) -> io::Result<()> {
+        let Server {
+            listener,
+            registry_tx,
+            registry_join,
+            stop_rx,
+            config,
+            wake,
+            waker,
+            ..
+        } = self;
+        let result =
+            crate::reactor::run_evented(listener, registry_tx, stop_rx, wake, waker, config);
+        let _ = registry_join.join();
+        result
+    }
+
+    #[cfg(not(unix))]
+    fn run_evented(self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the evented front-end needs poll(2); use FrontEnd::Threaded on this platform",
+        ))
+    }
+
+    fn run_threaded(self) -> io::Result<()> {
+        // The listener stays nonblocking; between accepts the loop parks
+        // in poll(2) on the listener and the stop waker's pipe, so an
+        // idle server makes zero wakeups and shutdown interrupts the wait
+        // immediately.
         self.listener.set_nonblocking(true)?;
         loop {
             match self.listener.accept() {
@@ -149,8 +274,11 @@ impl Server {
                     match self.stop_rx.try_recv() {
                         Ok(()) | Err(TryRecvError::Disconnected) => break,
                         Err(TryRecvError::Empty) => {
-                            // lint: allow(no-raw-sync): accept-loop idle poll; 2ms bounds shutdown latency without busy-spinning
-                            thread::sleep(Duration::from_millis(2));
+                            #[cfg(unix)]
+                            crate::reactor::wait_accept(&self.listener, &self.wake)?;
+                            #[cfg(not(unix))]
+                            // lint: allow(no-raw-sync): non-unix fallback idle poll; 2ms bounds shutdown latency without busy-spinning
+                            thread::sleep(std::time::Duration::from_millis(2));
                         }
                     }
                 }
@@ -175,8 +303,14 @@ fn run_registry(
     rx: Receiver<RegistryCmd>,
     factory: WorkspaceFactory,
     config: ServerConfig,
-    stop_tx: Sender<()>,
+    signal: StopSignal,
 ) {
+    let actor_config = ActorConfig {
+        span_budget: config.span_budget,
+        max_coalesce: config.max_coalesce,
+        queue_depth: config.queue_depth,
+        admission: config.admission,
+    };
     let mut tenants: HashMap<u64, (TenantHandle, thread::JoinHandle<()>)> = HashMap::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -185,8 +319,7 @@ fn run_registry(
                     Some((handle, _)) => Ok(handle.clone()),
                     None => match factory(tenant) {
                         Ok(ws) => {
-                            let (handle, join) =
-                                spawn_tenant(ws, config.span_budget, config.max_coalesce);
+                            let (handle, join) = spawn_tenant(ws, actor_config);
                             tenants.insert(tenant, (handle.clone(), join));
                             Ok(handle)
                         }
@@ -204,13 +337,15 @@ fn run_registry(
         handle.stop();
         let _ = join.join();
     }
-    let _ = stop_tx.send(());
+    signal.fire();
 }
 
-/// Per-connection loop: read frames, dispatch, reply. Header-level wire
-/// errors leave the stream unsynchronized — reply once, then close.
+/// Per-connection loop (threaded front-end): read frames, dispatch,
+/// reply. Header-level wire errors leave the stream unsynchronized —
+/// reply once, then close.
 fn serve_connection(mut stream: TcpStream, registry: Sender<RegistryCmd>) {
     let mut handles: HashMap<u64, TenantHandle> = HashMap::new();
+    let mut transport = Transport::default();
     loop {
         let (op, payload) = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -221,10 +356,11 @@ fn serve_connection(mut stream: TcpStream, registry: Sender<RegistryCmd>) {
                     code: wire_error_code(&e),
                     message: e.to_string(),
                 };
-                let _ = send(&mut stream, &resp);
+                let _ = send(&mut stream, &resp, &mut transport);
                 return;
             }
         };
+        transport.bytes_in += (HEADER_LEN + payload.len()) as u64;
         let request = match Request::decode(op, &payload) {
             Ok(req) => req,
             Err(e) => {
@@ -234,15 +370,15 @@ fn serve_connection(mut stream: TcpStream, registry: Sender<RegistryCmd>) {
                     code: wire_error_code(&e),
                     message: e.to_string(),
                 };
-                if send(&mut stream, &resp).is_err() {
+                if send(&mut stream, &resp, &mut transport).is_err() {
                     return;
                 }
                 continue;
             }
         };
         let shutdown = matches!(request, Request::Shutdown);
-        let response = dispatch(request, &registry, &mut handles);
-        if send(&mut stream, &response).is_err() {
+        let response = dispatch(request, &registry, &mut handles, &transport);
+        if send(&mut stream, &response, &mut transport).is_err() {
             return;
         }
         if shutdown {
@@ -252,8 +388,10 @@ fn serve_connection(mut stream: TcpStream, registry: Sender<RegistryCmd>) {
     }
 }
 
-fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    write_frame(stream, resp.opcode(), &resp.encode_payload())?;
+fn send(stream: &mut TcpStream, resp: &Response, transport: &mut Transport) -> io::Result<()> {
+    let frame = resp.to_frame();
+    stream.write_all(&frame)?;
+    transport.bytes_out += frame.len() as u64;
     stream.flush()
 }
 
@@ -261,86 +399,107 @@ fn dispatch(
     request: Request,
     registry: &Sender<RegistryCmd>,
     handles: &mut HashMap<u64, TenantHandle>,
+    transport: &Transport,
 ) -> Response {
     match request {
         Request::Shutdown => Response::ShuttingDown,
         Request::Admit { tenant, arcs } => with_tenant(registry, handles, tenant, |h| {
             let ids = h.apply(vec![ActorOp::Add(to_arc_ids(arcs))])?;
-            match ids.first() {
-                Some(id) => Ok(Response::Admitted { id: id.0 }),
-                None => Err(ServeError::Core(CoreError::InvalidPath(
-                    "admit produced no id".into(),
-                ))),
-            }
+            Ok(admitted_response(ids))
         }),
         Request::Retire { tenant, id } => with_tenant(registry, handles, tenant, |h| {
             h.apply(vec![ActorOp::Remove(PathId(id))])?;
             Ok(Response::Retired)
         }),
         Request::Batch { tenant, ops } => with_tenant(registry, handles, tenant, |h| {
-            let ops = ops
-                .into_iter()
-                .map(|op| match op {
-                    WireOp::Add(arcs) => ActorOp::Add(to_arc_ids(arcs)),
-                    WireOp::Remove(id) => ActorOp::Remove(PathId(id)),
-                })
-                .collect();
-            let added = h.apply(ops)?;
+            let added = h.apply(to_actor_ops(ops))?;
             Ok(Response::Applied {
                 added: added.into_iter().map(|id| id.0).collect(),
             })
         }),
         Request::Query { tenant } => with_tenant(registry, handles, tenant, |h| {
-            let snap = h.query()?;
-            let s = &snap.solution;
-            Ok(Response::Solution(WireSolution {
-                num_colors: s.num_colors as u32,
-                load: s.load as u32,
-                optimal: s.optimal,
-                shard_count: s
-                    .decomposition
-                    .as_ref()
-                    .map_or(1, |d| d.shard_count() as u32),
-                strategy: s.strategy.to_string(),
-                colors: snap
-                    .ids
-                    .iter()
-                    .zip(s.assignment.colors())
-                    .map(|(id, &c)| (id.0, c as u32))
-                    .collect(),
-            }))
+            Ok(solution_response(&h.query()?))
         }),
         Request::QueryDelta { tenant, since } => with_tenant(registry, handles, tenant, |h| {
-            let d = h.query_delta(since)?;
-            Ok(Response::Delta(WireDelta {
-                epoch: d.epoch.0,
-                span: d.span as u32,
-                full_resync: d.full_resync,
-                changes: d.changes.iter().map(|&(id, c)| (id.0, c)).collect(),
-                removed: d.removed.iter().map(|id| id.0).collect(),
-            }))
+            Ok(delta_response(&h.query_delta(since)?))
         }),
         Request::Stats { tenant } => with_tenant(registry, handles, tenant, |h| {
             let (ws, actor) = h.stats()?;
-            Ok(Response::Stats(WireStats {
-                live_paths: ws.live_paths as u64,
-                shard_count: ws.shard_count as u64,
-                max_load: ws.max_load as u64,
-                recomputes: ws.recomputes as u64,
-                shards_reused: ws.shards_reused as u64,
-                shards_resolved: ws.shards_resolved as u64,
-                batches: actor.batches,
-                applies: actor.applies,
-                queries: actor.queries,
-                interned_arc_lists: ws.interned_arc_lists as u64,
-                intern_hits: ws.intern_hits,
-                intern_misses: ws.intern_misses,
-                epoch: ws.epoch,
-                delta_queries: ws.delta_queries,
-                delta_resyncs: ws.delta_resyncs,
-            }))
+            Ok(stats_response(&ws, &actor, transport))
         }),
     }
+}
+
+/// Shape a successful single-`Add` apply into the `Admitted` response.
+pub(crate) fn admitted_response(ids: Vec<PathId>) -> Response {
+    match ids.first() {
+        Some(id) => Response::Admitted { id: id.0 },
+        None => error_response(ServeError::Core(CoreError::InvalidPath(
+            "admit produced no id".into(),
+        ))),
+    }
+}
+
+/// Shape a snapshot into the full-solution wire response.
+pub(crate) fn solution_response(snap: &Snapshot) -> Response {
+    let s = &snap.solution;
+    Response::Solution(WireSolution {
+        num_colors: s.num_colors as u32,
+        load: s.load as u32,
+        optimal: s.optimal,
+        shard_count: s
+            .decomposition
+            .as_ref()
+            .map_or(1, |d| d.shard_count() as u32),
+        strategy: s.strategy.to_string(),
+        colors: snap
+            .ids
+            .iter()
+            .zip(s.assignment.colors())
+            .map(|(id, &c)| (id.0, c as u32))
+            .collect(),
+    })
+}
+
+/// Shape a workspace delta into the delta-sync wire response.
+pub(crate) fn delta_response(d: &SolutionDelta) -> Response {
+    Response::Delta(WireDelta {
+        epoch: d.epoch.0,
+        span: d.span as u32,
+        full_resync: d.full_resync,
+        changes: d.changes.iter().map(|&(id, c)| (id.0, c)).collect(),
+        removed: d.removed.iter().map(|id| id.0).collect(),
+    })
+}
+
+/// Merge workspace, actor, and front-end transport counters into the
+/// stats wire response.
+pub(crate) fn stats_response(
+    ws: &WorkspaceStats,
+    actor: &ActorStats,
+    transport: &Transport,
+) -> Response {
+    Response::Stats(WireStats {
+        live_paths: ws.live_paths as u64,
+        shard_count: ws.shard_count as u64,
+        max_load: ws.max_load as u64,
+        recomputes: ws.recomputes as u64,
+        shards_reused: ws.shards_reused as u64,
+        shards_resolved: ws.shards_resolved as u64,
+        batches: actor.batches,
+        applies: actor.applies,
+        queries: actor.queries,
+        interned_arc_lists: ws.interned_arc_lists as u64,
+        intern_hits: ws.intern_hits,
+        intern_misses: ws.intern_misses,
+        epoch: ws.epoch,
+        delta_queries: ws.delta_queries,
+        delta_resyncs: ws.delta_resyncs,
+        bytes_in: transport.bytes_in,
+        bytes_out: transport.bytes_out,
+        busy_rejections: transport.busy_rejections,
+        max_write_queue: transport.max_write_queue,
+    })
 }
 
 /// Lease (and locally cache) the tenant's handle, then run `f`; every
@@ -374,7 +533,10 @@ fn with_tenant(
     }
 }
 
-fn lease(registry: &Sender<RegistryCmd>, tenant: u64) -> Result<TenantHandle, ServeError> {
+pub(crate) fn lease(
+    registry: &Sender<RegistryCmd>,
+    tenant: u64,
+) -> Result<TenantHandle, ServeError> {
     let (reply, rx) = mpsc::channel();
     registry
         .send(RegistryCmd::Lease { tenant, reply })
@@ -382,11 +544,21 @@ fn lease(registry: &Sender<RegistryCmd>, tenant: u64) -> Result<TenantHandle, Se
     rx.recv().map_err(|_| ServeError::Stopped)?
 }
 
-fn to_arc_ids(arcs: Vec<u32>) -> Vec<ArcId> {
+pub(crate) fn to_arc_ids(arcs: Vec<u32>) -> Vec<ArcId> {
     arcs.into_iter().map(ArcId).collect()
 }
 
-fn wire_error_code(e: &WireError) -> ErrorCode {
+/// Convert wire batch ops into actor ops.
+pub(crate) fn to_actor_ops(ops: Vec<WireOp>) -> Vec<ActorOp> {
+    ops.into_iter()
+        .map(|op| match op {
+            WireOp::Add(arcs) => ActorOp::Add(to_arc_ids(arcs)),
+            WireOp::Remove(id) => ActorOp::Remove(PathId(id)),
+        })
+        .collect()
+}
+
+pub(crate) fn wire_error_code(e: &WireError) -> ErrorCode {
     match e {
         WireError::UnknownVersion(_) => ErrorCode::UnknownVersion,
         WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
@@ -395,10 +567,11 @@ fn wire_error_code(e: &WireError) -> ErrorCode {
     }
 }
 
-fn error_response(e: ServeError) -> Response {
+pub(crate) fn error_response(e: ServeError) -> Response {
     let code = match &e {
         ServeError::SpanBudgetExceeded { .. } => ErrorCode::SpanBudgetExceeded,
         ServeError::Stopped => ErrorCode::ShuttingDown,
+        ServeError::Busy => ErrorCode::Busy,
         ServeError::Core(CoreError::UnknownPath(_)) => ErrorCode::UnknownPath,
         ServeError::Core(CoreError::InvalidPath(_)) => ErrorCode::InvalidPath,
         ServeError::Core(_) => ErrorCode::Solver,

@@ -17,6 +17,18 @@ fn sharded() -> SolveSession {
         .build()
 }
 
+/// Every e2e invariant must hold under BOTH front-ends: thread-per-
+/// connection and (on unix) the single-threaded poll(2) reactor.
+fn both_configs() -> Vec<ServerConfig> {
+    let mut configs = vec![ServerConfig::default()];
+    #[cfg(unix)]
+    configs.push(ServerConfig {
+        front_end: dagwave_serve::FrontEnd::Evented,
+        ..ServerConfig::default()
+    });
+    configs
+}
+
 /// A server whose every tenant starts from the `federated(k)` instance.
 fn federated_server(k: usize, config: ServerConfig) -> dagwave_serve::ServerHandle {
     let inst = federated(k);
@@ -102,9 +114,15 @@ fn assert_matches_scratch(
 
 #[test]
 fn churned_tenant_is_bit_identical_to_from_scratch() {
+    for config in both_configs() {
+        churned_tenant_case(config);
+    }
+}
+
+fn churned_tenant_case(config: ServerConfig) {
     for (seed, k, steps) in [(7u64, 2usize, 24usize), (41, 3, 40), (1234, 4, 60)] {
         let work = churn(seed, k, steps);
-        let handle = federated_server(k, ServerConfig::default());
+        let handle = federated_server(k, config);
         let mut client = Client::connect(handle.addr()).expect("connect");
         // Solve once up front so churn exercises warm shard caches.
         client.query(0).expect("initial solve");
@@ -124,8 +142,14 @@ fn churned_tenant_is_bit_identical_to_from_scratch() {
 
 #[test]
 fn batches_are_atomic_over_the_wire() {
+    for config in both_configs() {
+        batches_atomic_case(config);
+    }
+}
+
+fn batches_atomic_case(config: ServerConfig) {
     let work = churn(99, 2, 0);
-    let handle = federated_server(2, ServerConfig::default());
+    let handle = federated_server(2, config);
     let mut client = Client::connect(handle.addr()).expect("connect");
     let before = client.stats(0).expect("stats").live_paths;
 
@@ -173,8 +197,14 @@ fn batches_are_atomic_over_the_wire() {
 
 #[test]
 fn tenants_are_isolated() {
+    for config in both_configs() {
+        tenants_isolated_case(config);
+    }
+}
+
+fn tenants_isolated_case(config: ServerConfig) {
     let work = churn(5, 2, 12);
-    let handle = federated_server(2, ServerConfig::default());
+    let handle = federated_server(2, config);
     let mut client = Client::connect(handle.addr()).expect("connect");
     let untouched = client.query(31).expect("tenant 31 baseline");
 
@@ -195,11 +225,17 @@ fn tenants_are_isolated() {
 
 #[test]
 fn span_budget_rejects_with_typed_code() {
+    for config in both_configs() {
+        span_budget_case(config);
+    }
+}
+
+fn span_budget_case(config: ServerConfig) {
     let handle = line_server(
         4,
         ServerConfig {
             span_budget: Some(2),
-            max_coalesce: 64,
+            ..config
         },
     );
     let mut client = Client::connect(handle.addr()).expect("connect");
@@ -226,7 +262,13 @@ fn span_budget_rejects_with_typed_code() {
 
 #[test]
 fn malformed_frames_get_typed_error_responses() {
-    let handle = line_server(3, ServerConfig::default());
+    for config in both_configs() {
+        malformed_frames_case(config);
+    }
+}
+
+fn malformed_frames_case(config: ServerConfig) {
+    let handle = line_server(3, config);
 
     // Unknown opcode inside a valid header: typed reply, connection keeps
     // serving (the frame was fully consumed, so the stream is still
@@ -277,7 +319,13 @@ fn malformed_frames_get_typed_error_responses() {
 
 #[test]
 fn shutdown_closes_listener_and_actors() {
-    let handle = line_server(3, ServerConfig::default());
+    for config in both_configs() {
+        shutdown_case(config);
+    }
+}
+
+fn shutdown_case(config: ServerConfig) {
+    let handle = line_server(3, config);
     let addr = handle.addr();
     let mut a = Client::connect(addr).expect("connect");
     let mut b = Client::connect(addr).expect("connect");
@@ -304,6 +352,12 @@ fn shutdown_closes_listener_and_actors() {
 /// typed Solver error, not a hang or a dropped connection.
 #[test]
 fn factory_errors_surface_as_typed_solver_errors() {
+    for config in both_configs() {
+        factory_errors_case(config);
+    }
+}
+
+fn factory_errors_case(config: ServerConfig) {
     let factory = Box::new(|tenant: u64| {
         if tenant == 0 {
             let g = from_edges(3, &[(0, 1), (1, 2)]);
@@ -314,7 +368,7 @@ fn factory_errors_surface_as_typed_solver_errors() {
             Workspace::new(sharded(), g, DipathFamily::new())
         }
     });
-    let handle = Server::bind("127.0.0.1:0", factory, ServerConfig::default())
+    let handle = Server::bind("127.0.0.1:0", factory, config)
         .expect("bind")
         .spawn();
     let mut client = Client::connect(handle.addr()).expect("connect");
@@ -333,9 +387,15 @@ fn factory_errors_surface_as_typed_solver_errors() {
 /// epoch 0 delivering the initial state.
 #[test]
 fn delta_sync_reconstructs_the_full_query() {
+    for config in both_configs() {
+        delta_sync_case(config);
+    }
+}
+
+fn delta_sync_case(config: ServerConfig) {
     use std::collections::BTreeMap;
     let work = churn(23, 3, 30);
-    let handle = federated_server(3, ServerConfig::default());
+    let handle = federated_server(3, config);
     let mut client = Client::connect(handle.addr()).expect("connect");
 
     let mut table: BTreeMap<u32, u32> = BTreeMap::new();
@@ -405,7 +465,13 @@ fn delta_sync_reconstructs_the_full_query() {
 /// id in its message (mirrors the in-process error).
 #[test]
 fn unknown_path_retire_is_typed() {
-    let handle = line_server(3, ServerConfig::default());
+    for config in both_configs() {
+        unknown_path_case(config);
+    }
+}
+
+fn unknown_path_case(config: ServerConfig) {
+    let handle = line_server(3, config);
     let mut client = Client::connect(handle.addr()).expect("connect");
     match client.retire(0, 42) {
         Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownPath),

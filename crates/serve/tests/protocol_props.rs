@@ -3,7 +3,7 @@
 //! random — can make the decoder panic. Decoding is total: bytes in,
 //! `Ok(message)` or a typed `WireError` out.
 
-use dagwave_serve::protocol::{decode_header, WireError, HEADER_LEN, MAX_PAYLOAD};
+use dagwave_serve::protocol::{decode_header, FrameDecoder, WireError, HEADER_LEN, MAX_PAYLOAD};
 use dagwave_serve::{ErrorCode, Request, Response, WireDelta, WireOp, WireSolution, WireStats};
 use proptest::prelude::*;
 
@@ -105,6 +105,10 @@ fn arbitrary_response(mix: &mut Mix) -> Response {
             epoch: mix.next(),
             delta_queries: mix.next(),
             delta_resyncs: mix.next(),
+            bytes_in: mix.next(),
+            bytes_out: mix.next(),
+            busy_rejections: mix.next(),
+            max_write_queue: mix.next(),
         }),
         5 => Response::Delta(WireDelta {
             epoch: mix.next(),
@@ -238,6 +242,69 @@ proptest! {
             Request::decode(op, &[]),
             Err(WireError::UnknownOpcode(op))
         );
+    }
+
+    /// The streaming decoder recovers every message from a concatenated
+    /// frame stream regardless of how the bytes are chunked — the chunk
+    /// boundaries (driven by `seed2`) can split headers, payloads, and
+    /// frame boundaries arbitrarily, down to byte-at-a-time.
+    #[test]
+    fn streaming_decode_is_chunking_invariant(seed in 0u64..100_000, seed2 in 0u64..1_000_000) {
+        let mut mix = Mix(seed);
+        let mut expected = Vec::new();
+        let mut stream = Vec::new();
+        for _ in 0..(1 + mix.below(4)) {
+            let req = arbitrary_request(&mut mix);
+            stream.extend_from_slice(&req.to_frame());
+            expected.push(req);
+        }
+        let mut chunks = Mix(seed2);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut i = 0;
+        while i < stream.len() {
+            let n = 1 + chunks.below(7) as usize;
+            let end = (i + n).min(stream.len());
+            dec.push(&stream[i..end]);
+            i = end;
+            while let Some((op, payload)) = dec.next_frame().expect("valid stream") {
+                got.push(Request::decode(op, payload).expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Responses stream-decode the same way (the reactor's read path).
+    #[test]
+    fn streaming_response_decode_is_chunking_invariant(seed in 0u64..100_000, cut in 1usize..9) {
+        let mut mix = Mix(seed);
+        let resp = arbitrary_response(&mut mix);
+        let stream = resp.to_frame();
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for chunk in stream.chunks(cut) {
+            dec.push(chunk);
+            if let Some((op, payload)) = dec.next_frame().expect("valid stream") {
+                got = Some(Response::decode(op, payload).expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(got, Some(resp));
+    }
+
+    /// Feeding the streaming decoder random byte soup never panics: it
+    /// either waits for more bytes or fails with a typed header error.
+    #[test]
+    fn streaming_decode_of_random_bytes_never_panics(seed in 0u64..100_000, len in 0usize..96) {
+        let mut mix = Mix(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| mix.next() as u8).collect();
+        let mut dec = FrameDecoder::new();
+        for chunk in bytes.chunks(5) {
+            dec.push(chunk);
+            if dec.next_frame().is_err() {
+                break; // header errors are sticky: the stream is dead
+            }
+        }
     }
 }
 
